@@ -1,0 +1,43 @@
+"""Shared fixtures for the benchmark harnesses.
+
+Compiled programs are cached per session (the pytest-benchmark timers
+then measure just the phase each harness targets), and every harness
+appends its paper-vs-measured rows to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+import pytest
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent))
+
+from repro.bench.suite import BENCHMARKS
+from repro.pipeline import compile_program
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def compiled_benchmarks():
+    """All 16 benchmarks compiled once."""
+    out = {}
+    for name in BENCHMARKS.names():
+        out[name] = compile_program(BENCHMARKS[name].program())
+    return out
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_result(path: pathlib.Path, lines) -> None:
+    path.write_text("\n".join(lines) + "\n")
+    print()
+    for line in lines:
+        print(line)

@@ -1,0 +1,89 @@
+"""Fig. 10: streaming-operator fusion on the OptionPricing-style
+program.
+
+(a) → (b): outer fusion merges the ``stream_map`` into the ``reduce``,
+leaving a single ``stream_red`` (checked structurally).
+(b) → (c): F2/F4/F5/F7 collapse the fold's map-scan-reduce chain into
+one ``stream_seq``, making the per-thread footprint O(1) at chunk size
+one (checked via the interpreter's array-traffic counters across chunk
+policies).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import array_value, to_python
+from repro.core import ast as A
+from repro.core.prim import I32
+from repro.fusion import fuse_prog
+from repro.fusion.stream_rules import sequentialise_body_to_stream_seq
+from repro.interp import Interpreter, run_program
+
+from tests.helpers import fig10_program
+
+from conftest import write_result
+
+
+def _fuse_and_sequentialise():
+    prog, stats = fuse_prog(fig10_program())
+    main = prog.fun("main")
+    sr_idx, sr = next(
+        (i, b.exp)
+        for i, b in enumerate(main.body.bindings)
+        if isinstance(b.exp, A.StreamRedExp)
+    )
+    fold = sr.fold_lam
+    new_fold = A.Lambda(
+        fold.params,
+        sequentialise_body_to_stream_seq(fold.body),
+        fold.ret_types,
+    )
+    bindings = list(main.body.bindings)
+    bindings[sr_idx] = A.Binding(
+        bindings[sr_idx].pat,
+        A.StreamRedExp(sr.width, sr.red_lam, new_fold, sr.accs, sr.arrs),
+    )
+    fused_c = prog.with_fun(
+        A.FunDef(
+            main.name,
+            main.params,
+            main.ret,
+            A.Body(tuple(bindings), main.body.result),
+        )
+    )
+    return prog, fused_c, stats
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_stream_fusion(benchmark, results_dir):
+    prog_b, prog_c, stats = benchmark.pedantic(
+        _fuse_and_sequentialise, rounds=1, iterations=1
+    )
+    assert stats.vertical == 1  # a -> b: one outer fusion
+
+    n = 96
+    xs = array_value(np.arange(n, dtype=np.int32), I32)
+    expected = run_program(fig10_program(), [xs])
+
+    # Footprint: per-chunk array traffic at outer chunk = n, inner
+    # chunk = 1 (efficient sequentialisation).
+    results = {}
+    for label, prog in (("fig10b", prog_b), ("fig10c", prog_c)):
+        interp = Interpreter(
+            prog,
+            chunk_policy=lambda k: [k] if k == n else [1] * k,
+        )
+        out = interp.run("main", [xs])
+        assert to_python(out[0]) == to_python(expected[0])
+        results[label] = interp.metrics.array_elems_touched
+
+    lines = [
+        f"Fig. 10 stream fusion, n={n}: array elements touched",
+        f"(b) after outer fusion:        {results['fig10b']}",
+        f"(c) after stream_seq fusion:   {results['fig10c']}",
+    ]
+    write_result(results_dir / "fig10.txt", lines)
+
+    # The (c) form must not blow up traffic despite running element
+    # at a time — the paper's O(1)-footprint claim.
+    assert results["fig10c"] <= results["fig10b"] * 6

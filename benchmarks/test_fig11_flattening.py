@@ -1,0 +1,67 @@
+"""Fig. 11: kernel extraction from a complicated nesting.
+
+The flattener must produce exactly the paper's four perfect nests —
+a map-map (with the sequentialised irregular scan/reduce inside), a
+map-map-map, and, inside the interchanged loop, a map-map-reduce
+(segmented reduction) plus a map-map — and the interchange must pay
+off in simulated time.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import array_value, scalar, values_equal
+from repro.core import ast as A
+from repro.core.prim import I32
+from repro.flatten import FlattenOptions, flatten_prog, perfect_nests
+from repro.interp import run_program
+from repro.pipeline import CompilerOptions, compile_program
+from repro.simplify import simplify_prog
+
+from tests.helpers import fig11_program
+
+from conftest import write_result
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11_flattening(benchmark, results_dir):
+    flat = benchmark.pedantic(
+        lambda: simplify_prog(flatten_prog(fig11_program())),
+        rounds=1,
+        iterations=1,
+    )
+    body = flat.fun("main").body
+    nests = perfect_nests(body)
+    kinds = sorted((i.depth, i.inner) for _, i in nests)
+
+    lines = ["Fig. 11: extracted perfect nests (depth, innermost op)"]
+    lines += [f"  {k}" for k in kinds]
+
+    assert (2, "seq") in kinds  # the sequentialised scan/reduce nest
+    assert (3, "seq") in kinds  # the map-map-map
+    assert (3, "reduce") in kinds  # the segmented reduction
+    assert any(isinstance(b.exp, A.LoopExp) for b in body.bindings)
+
+    # Interchange pays: compare simulated cost with G7 on and off.
+    sizes = {"m": 512, "n": 32}
+    with_g7 = compile_program(fig11_program()).estimate(sizes)
+    without_g7 = compile_program(
+        fig11_program(), CompilerOptions(interchange=False)
+    ).estimate(sizes)
+    lines.append(
+        f"simulated time at m=512, n=32: with G7 "
+        f"{with_g7.total_ms:.2f} ms, without {without_g7.total_ms:.2f} ms"
+    )
+    write_result(results_dir / "fig11.txt", lines)
+    assert without_g7.total_ms > with_g7.total_ms * 2
+
+    # Semantics unchanged by the whole transformation.
+    rng = np.random.default_rng(2)
+    pss = array_value(
+        rng.integers(0, 4, size=(4, 4)).astype(np.int32), I32
+    )
+    args = [pss, scalar(3, I32)]
+    for e, g in zip(
+        run_program(fig11_program(), args), run_program(flat, args)
+    ):
+        assert values_equal(e, g)

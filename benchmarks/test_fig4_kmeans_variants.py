@@ -1,0 +1,95 @@
+"""Fig. 4: the three cluster-counting formulations.
+
+(a) a sequential loop with an in-place update — O(n) work;
+(b) the fully parallel map/reduce over one-hot vectors — O(n*k) work;
+(c) the ``stream_red`` that is both parallel and work-efficient.
+
+Measured three ways: abstract work from the interpreter's counters,
+simulated GPU time, and wall-clock interpretation (the pytest-benchmark
+timing).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import array_value
+from repro.core.prim import I32
+from repro.interp import Interpreter
+from repro.pipeline import compile_program
+
+from tests.helpers import (
+    kmeans_counts_parallel,
+    kmeans_counts_sequential,
+    kmeans_counts_stream,
+)
+
+from conftest import write_result
+
+K = 16
+N = 4000
+
+
+def _work(mk, data):
+    interp = Interpreter(mk(K), in_place=True)
+    interp.run("main", [data])
+    return interp.metrics.work
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_work_complexity(benchmark, results_dir):
+    rng = np.random.default_rng(0)
+    data = array_value(rng.integers(0, K, N).astype(np.int32), I32)
+
+    w_seq = _work(kmeans_counts_sequential, data)
+    w_par = _work(kmeans_counts_parallel, data)
+    w_stream = benchmark.pedantic(
+        _work,
+        args=(kmeans_counts_stream, data),
+        rounds=1,
+        iterations=1,
+    )
+
+    lines = [
+        f"Fig. 4 cluster counting, n={N}, k={K} "
+        f"(abstract work from the interpreter)",
+        f"(a) sequential loop, in-place: {w_seq:>10d}",
+        f"(b) map/reduce one-hot:        {w_par:>10d}",
+        f"(c) stream_red:                {w_stream:>10d}",
+        f"(b)/(a) = {w_par / w_seq:.1f}  — the O(n*k) overhead",
+        f"(c)/(a) = {w_stream / w_seq:.2f} — work-efficient",
+    ]
+    write_result(results_dir / "fig4_work.txt", lines)
+
+    # (b) does ~k times the work of (a); (c) stays within a small
+    # constant of (a).
+    assert w_par > w_seq * (K / 3)
+    assert w_stream < w_seq * 3
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_simulated_gpu_time(benchmark, results_dir):
+    rng = np.random.default_rng(1)
+    data = array_value(rng.integers(0, K, 512).astype(np.int32), I32)
+
+    def simulate_all():
+        out = {}
+        for label, mk in (
+            ("sequential", kmeans_counts_sequential),
+            ("one-hot", kmeans_counts_parallel),
+            ("stream_red", kmeans_counts_stream),
+        ):
+            compiled = compile_program(mk(K))
+            _, report = compiled.run([data])
+            out[label] = report.total_us
+        return out
+
+    times = benchmark.pedantic(simulate_all, rounds=1, iterations=1)
+    lines = ["Fig. 4 variants, simulated GPU time (us) at n=512"]
+    for label, us in times.items():
+        lines.append(f"{label:12s} {us:10.1f}")
+    write_result(results_dir / "fig4_gpu.txt", lines)
+
+    # The sequential formulation cannot use the device at all (it is
+    # one long dependent chain executed on the host path), and the
+    # one-hot version moves k times the data of the stream_red.
+    assert times["stream_red"] <= times["one-hot"] * 1.1

@@ -1,0 +1,49 @@
+"""Figure 13: relative speedup of Futhark-compiled code over the
+reference, per benchmark, on both devices.
+
+Checks the figure's headline shapes: NN is the largest speedup and
+exceeds x10 on the NVIDIA profile; the four benchmarks the paper counts
+as slower (CFD, HotSpot, LavaMD, LocVolCalib on NVIDIA) stay below 1;
+NN's speedup shrinks on the AMD card (launch overhead, §6.1).
+"""
+
+import math
+
+import pytest
+
+from repro.bench.runner import figure13_speedups
+
+from paper_numbers import AMD, NV, TABLE1
+from conftest import write_result
+
+
+@pytest.mark.benchmark(group="figure13")
+def test_figure13_speedups(benchmark, results_dir):
+    speedups = benchmark.pedantic(
+        figure13_speedups, rounds=1, iterations=1
+    )
+
+    from repro.bench.figures import render_speedup_chart
+
+    paper_nv = {name: p[0] / p[1] for name, p in TABLE1.items()}
+    chart = render_speedup_chart(speedups, paper=paper_nv)
+    write_result(results_dir / "figure13.txt", chart.splitlines())
+
+    # Headline shapes of the figure.
+    nv = {name: d[NV] for name, d in speedups.items()}
+    amd = {name: d[AMD] for name, d in speedups.items()}
+    assert max(nv, key=nv.get) == "NN"
+    assert nv["NN"] > 10
+    for slower in ("CFD", "HotSpot", "LavaMD", "LocVolCalib"):
+        assert nv[slower] < 1.0, slower
+    # NN speedup is "less impressive on the AMD GPU" (§6.1).
+    assert amd["NN"] < nv["NN"] / 1.5
+
+    # The paper's geometric means over the 12 benchmarks with
+    # hand-written references: 1.81x on those where Futhark wins and
+    # 0.79x on the 4 it loses; check the same split has the same shape.
+    wins = [v for v in nv.values() if v > 1]
+    losses = [v for v in nv.values() if v <= 1]
+    gm = lambda xs: math.exp(sum(math.log(x) for x in xs) / len(xs))
+    assert gm(wins) > 1.5
+    assert 0.5 < gm(losses) <= 1.0

@@ -1,0 +1,38 @@
+"""§6.1.1 — impact of the coalescing transformation: disable the
+transposition-based layout pass and report the slowdown.
+
+Paper: K-means x9.26, Myocyte x4.2, OptionPricing x8.79,
+LocVolCalib x8.4.
+"""
+
+import pytest
+
+from repro.bench.runner import run_impact
+
+from paper_numbers import IMPACT
+from conftest import write_result
+
+NAMES = ["K-means", "Myocyte", "OptionPricing", "LocVolCalib"]
+
+
+@pytest.mark.benchmark(group="impact")
+def test_impact_coalescing(benchmark, results_dir):
+    factors = benchmark.pedantic(
+        run_impact, args=("coalescing", NAMES), rounds=1, iterations=1
+    )
+    lines = [
+        "Impact of memory coalescing (slowdown when disabled, "
+        "NVIDIA profile)"
+    ]
+    for name, factor in factors.items():
+        lines.append(
+            f"{name:14s} x{factor:5.2f}  "
+            f"(paper x{IMPACT['coalescing'][name]})"
+        )
+    write_result(results_dir / "impact_coalescing.txt", lines)
+
+    # Every benchmark the paper lists must slow down substantially.
+    for name in NAMES:
+        assert factors[name] > 2.0, name
+    # Myocyte is the most layout-bound benchmark here.
+    assert factors["Myocyte"] > 4.0

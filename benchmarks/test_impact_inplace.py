@@ -1,0 +1,48 @@
+"""§6.1.1 — impact of in-place updates: compare each benchmark against
+its explicit no-in-place program variant.
+
+Paper: "we would have to implement K-means as on Figure 4b — the
+resulting program is slower by x8.3.  Likewise, LocVolCalib would have
+to implement its central tridag procedure via a less efficient
+scan-map composition, causing a x1.7 slowdown.  OptionPricing uses an
+inherently sequential Brownian Bridge computation that is not
+expressible without in-place updates."
+"""
+
+import pytest
+
+from repro.bench.runner import run_impact
+from repro.bench.suite import BENCHMARKS
+
+from paper_numbers import IMPACT
+from conftest import write_result
+
+
+@pytest.mark.benchmark(group="impact")
+def test_impact_inplace(benchmark, results_dir):
+    factors = benchmark.pedantic(
+        run_impact,
+        args=("inplace", ["K-means", "LocVolCalib"]),
+        rounds=1,
+        iterations=1,
+    )
+    lines = [
+        "Impact of in-place updates "
+        "(slowdown of the no-in-place variants, NVIDIA profile)"
+    ]
+    for name, factor in factors.items():
+        lines.append(
+            f"{name:14s} x{factor:5.2f}  (paper x{IMPACT['inplace'][name]})"
+        )
+    lines.append(
+        "OptionPricing: no variant exists — the Brownian bridge is "
+        "inexpressible without in-place updates (as the paper states)."
+    )
+    write_result(results_dir / "impact_inplace.txt", lines)
+
+    assert factors["K-means"] > 4.0  # paper: 8.3
+    assert factors["LocVolCalib"] > 1.15  # paper: 1.7
+
+    # And the paper's inexpressibility claim: OptionPricing ships no
+    # no-in-place variant.
+    assert BENCHMARKS["OptionPricing"].variant("no_inplace") is None

@@ -1,0 +1,30 @@
+"""§6.1.1 — impact of block tiling in local memory.
+
+Paper: LavaMD x1.35, MRI-Q x1.33, N-body x2.29 — modest but real
+factors from staging thread-invariant streamed arrays in local memory.
+"""
+
+import pytest
+
+from repro.bench.runner import run_impact
+
+from paper_numbers import IMPACT
+from conftest import write_result
+
+NAMES = ["LavaMD", "MRI-Q", "N-body"]
+
+
+@pytest.mark.benchmark(group="impact")
+def test_impact_tiling(benchmark, results_dir):
+    factors = benchmark.pedantic(
+        run_impact, args=("tiling", NAMES), rounds=1, iterations=1
+    )
+    lines = ["Impact of block tiling (slowdown when disabled, NVIDIA)"]
+    for name, factor in factors.items():
+        lines.append(
+            f"{name:14s} x{factor:5.2f}  (paper x{IMPACT['tiling'][name]})"
+        )
+    write_result(results_dir / "impact_tiling.txt", lines)
+
+    for name in NAMES:
+        assert 1.1 < factors[name] < 4.0, name

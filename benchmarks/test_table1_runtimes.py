@@ -1,0 +1,69 @@
+"""Table 1: average runtimes (ms) of the reference implementations and
+Futhark-compiled code on both simulated devices, at paper-scale dataset
+sizes.
+
+The pytest-benchmark timing covers the full Futhark-side evaluation —
+compiling every benchmark through the pipeline and pricing it on both
+devices; the assertions check the reproduction criteria from DESIGN.md:
+the *sign* of every speedup matches the paper, and the geometric-mean
+speedup is within 2x of the paper's.
+"""
+
+import math
+
+import pytest
+
+from repro.bench.runner import table1_runtimes
+from repro.gpu.device import AMD_W8100, NVIDIA_GTX780TI
+
+from paper_numbers import AMD, NV, TABLE1
+from conftest import write_result
+
+
+def _rows():
+    return table1_runtimes()
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_runtimes(benchmark, results_dir):
+    rows = benchmark.pedantic(_rows, rounds=1, iterations=1)
+
+    lines = [
+        "Table 1: runtimes in ms (measured on the simulated devices "
+        "vs the paper's hardware)",
+        f"{'benchmark':14s} {'NV ref':>10s} {'NV fut':>10s} "
+        f"{'speedup':>8s} {'paper':>7s}   {'AMD ref':>10s} "
+        f"{'AMD fut':>10s} {'speedup':>8s} {'paper':>7s}",
+    ]
+    sign_matches = 0
+    ours, theirs = [], []
+    for row in rows:
+        p = TABLE1[row.name]
+        s_nv = row.speedup(NV)
+        ps_nv = p[0] / p[1]
+        s_amd = row.speedup(AMD)
+        ps_amd = (p[2] / p[3]) if p[2] else float("nan")
+        ours.append(s_nv)
+        theirs.append(ps_nv)
+        if (s_nv > 1) == (ps_nv > 1):
+            sign_matches += 1
+        lines.append(
+            f"{row.name:14s} {row.ref_ms[NV]:10.1f} "
+            f"{row.fut_ms[NV]:10.1f} {s_nv:8.2f} {ps_nv:7.2f}   "
+            f"{row.ref_ms[AMD]:10.1f} {row.fut_ms[AMD]:10.1f} "
+            f"{s_amd:8.2f} {ps_amd:7.2f}"
+        )
+
+    gm = lambda xs: math.exp(sum(math.log(x) for x in xs) / len(xs))
+    lines.append(
+        f"{'geomean':14s} {'':10s} {'':10s} {gm(ours):8.2f} "
+        f"{gm(theirs):7.2f}"
+    )
+    write_result(results_dir / "table1.txt", lines)
+
+    # Reproduction criteria (DESIGN.md): who-wins matches everywhere,
+    # and the overall picture is within a factor ~2.
+    assert sign_matches == len(rows), (
+        f"speedup sign mismatches: {len(rows) - sign_matches}"
+    )
+    assert 0.5 < gm(ours) / gm(theirs) < 2.0

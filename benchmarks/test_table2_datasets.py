@@ -1,0 +1,41 @@
+"""Table 2: dataset configurations.
+
+Regenerates the table and checks each configuration is the paper's
+(the `full` size bindings are what every other harness prices at),
+and that every benchmark's small-scale validation inputs build.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.datasets import TABLE2
+from repro.bench.suite import BENCHMARKS
+
+from conftest import write_result
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_datasets(benchmark, results_dir):
+    def build_all_small_inputs():
+        rng = np.random.default_rng(0)
+        return {
+            name: BENCHMARKS[name].small_args(rng)
+            for name in BENCHMARKS.names()
+        }
+
+    args = benchmark.pedantic(
+        build_all_small_inputs, rounds=1, iterations=1
+    )
+
+    lines = ["Table 2: benchmark dataset configurations"]
+    for name, ds in TABLE2.items():
+        lines.append(f"{name:14s} {ds.description:45s} full={ds.full}")
+    write_result(results_dir / "table2.txt", lines)
+
+    assert TABLE2["Backprop"].full["n"] == 1 << 20
+    assert TABLE2["HotSpot"].full == {"r": 1024, "c": 1024, "iters": 360}
+    assert TABLE2["SRAD"].full["r"] == 502 and TABLE2["SRAD"].full["c"] == 458
+    assert TABLE2["Mandelbrot"].full == {"w": 4000, "h": 4000, "limit": 255}
+    assert TABLE2["N-body"].full["n"] == 100_000
+    assert TABLE2["NN"].full["n"] == 855_280
+    assert len(args) == 16

@@ -1,0 +1,17 @@
+"""Functional validation of all 16 benchmarks at reduced scale: the
+compiled program executed on the simulated GPU must agree with the
+reference interpreter (the semantics-preservation claim underlying
+every number in Tables 1 and Fig. 13)."""
+
+import pytest
+
+from repro.bench.runner import validate_benchmark
+from repro.bench.suite import BENCHMARKS
+
+
+@pytest.mark.benchmark(group="validation")
+@pytest.mark.parametrize("name", list(BENCHMARKS.names()))
+def test_validate(benchmark, name):
+    benchmark.pedantic(
+        validate_benchmark, args=(name,), rounds=1, iterations=1
+    )

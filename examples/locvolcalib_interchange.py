@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Map-loop interchange (rule G7) on the LocVolCalib structure.
+
+LocVolCalib is "an outer map containing a sequential for-loop, which
+itself contains several more maps" (§6.1) — only the outer map's
+parallelism is statically available as written.  Rule G7 interchanges
+the loop outwards so the inner maps become wide kernels; the coalescing
+pass then manifests transpositions inside the time loop for the
+y-direction sweep, which is exactly what makes the benchmark relatively
+slower on the AMD device.
+
+Run with:  python examples/locvolcalib_interchange.py
+"""
+
+import numpy as np
+
+from repro.core import array_value, scalar, values_equal
+from repro.core.prim import F32, I32
+from repro.bench.programs.locvolcalib import SOURCE
+from repro.gpu import AMD_W8100, NVIDIA_GTX780TI
+from repro.interp import run_program
+from repro.frontend import parse
+from repro.pipeline import CompilerOptions, compile_source
+
+
+def main() -> None:
+    with_g7 = compile_source(SOURCE)
+    without_g7 = compile_source(
+        SOURCE, CompilerOptions(interchange=False)
+    )
+
+    # Both compile; results agree with the interpreter at small scale.
+    rng = np.random.default_rng(1)
+    grids = array_value(
+        rng.normal(size=(3, 5, 4)).astype(np.float32), F32
+    )
+    args = [grids, scalar(2, I32)]
+    expected = run_program(parse(SOURCE), args, in_place=True)
+    for compiled in (with_g7, without_g7):
+        got, _ = compiled.run(args)
+        assert all(
+            values_equal(e, g, rtol=1e-4) for e, g in zip(expected, got)
+        )
+    print("G7 on and off both compute the correct result")
+
+    # At the FinPar 'large' scale the interchange is essential.
+    sizes = {"outer": 256, "nx": 256, "ny": 256, "numT": 128}
+    for device in (NVIDIA_GTX780TI, AMD_W8100):
+        t_on = with_g7.estimate(sizes, device)
+        t_off = without_g7.estimate(sizes, device)
+        print(
+            f"{device.name}: with G7 {t_on.total_ms:8.1f} ms "
+            f"(of which transpositions {t_on.manifest_us / 1000:6.1f}) "
+            f"| without G7 {t_off.total_ms:8.1f} ms "
+            f"-> x{t_off.total_ms / t_on.total_ms:.1f}"
+        )
+    print(
+        "\nnote the transposition share is larger on the AMD profile —"
+        "\nthe paper's explanation for LocVolCalib's AMD slowdown."
+    )
+
+
+if __name__ == "__main__":
+    main()

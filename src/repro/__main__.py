@@ -1,0 +1,180 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+compile FILE [--emit core|opencl] [--no-fusion --no-coalescing ...]
+    Compile a core-language source file and print the core IR after
+    optimisation or the pseudo-OpenCL rendering.
+
+check FILE
+    Type-check (including alias and uniqueness analysis) and report.
+
+run FILE [--size name=value ...]
+    Compile FILE and price it analytically at the given sizes on both
+    simulated devices.
+
+bench [table1|figure13|table2|impact <kind>] [--names A,B,...]
+    Regenerate the paper's evaluation artefacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _options_from_flags(args) -> "CompilerOptions":
+    from .pipeline import CompilerOptions
+
+    return CompilerOptions(
+        fusion=not args.no_fusion,
+        coalescing=not args.no_coalescing,
+        tiling=not args.no_tiling,
+        interchange=not args.no_interchange,
+    )
+
+
+def _add_opt_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--no-fusion", action="store_true")
+    p.add_argument("--no-coalescing", action="store_true")
+    p.add_argument("--no-tiling", action="store_true")
+    p.add_argument("--no-interchange", action="store_true")
+
+
+def cmd_compile(args) -> int:
+    from .core.pretty import pretty_prog
+    from .pipeline import compile_source
+
+    text = open(args.file).read()
+    compiled = compile_source(text, _options_from_flags(args))
+    if args.emit == "core":
+        print(pretty_prog(compiled.core))
+    else:
+        print(compiled.opencl())
+    if compiled.fusion_stats:
+        print(
+            f"// fusion: {compiled.fusion_stats.vertical} vertical, "
+            f"{compiled.fusion_stats.horizontal} horizontal",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def cmd_check(args) -> int:
+    from .checker import CheckError, check_program
+    from .frontend import ParseError, parse
+    from .frontend.desugar import DesugarError
+
+    text = open(args.file).read()
+    try:
+        check_program(parse(text))
+    except (CheckError, ParseError, DesugarError) as ex:
+        print(f"error: {ex}", file=sys.stderr)
+        return 1
+    print(f"{args.file}: OK")
+    return 0
+
+
+def cmd_run(args) -> int:
+    from .gpu.device import AMD_W8100, NVIDIA_GTX780TI
+    from .pipeline import compile_source
+
+    text = open(args.file).read()
+    compiled = compile_source(text, _options_from_flags(args))
+    sizes = {}
+    for item in args.size or []:
+        name, _, value = item.partition("=")
+        sizes[name] = int(value)
+    for device in (NVIDIA_GTX780TI, AMD_W8100):
+        report = compiled.estimate(sizes, device)
+        print(
+            f"{device.name}: {report.total_ms:10.3f} ms "
+            f"({report.launches:.0f} launches, "
+            f"transpositions {report.manifest_us / 1000:.3f} ms)"
+        )
+    return 0
+
+
+def cmd_bench(args) -> int:
+    from .bench.runner import (
+        figure13_speedups,
+        run_impact,
+        table1_runtimes,
+    )
+    from .bench.datasets import TABLE2
+    from .bench.figures import render_speedup_chart
+
+    names = args.names.split(",") if args.names else None
+    what = args.what
+    if what == "table2":
+        for name, ds in TABLE2.items():
+            print(f"{name:14s} {ds.description:45s} {ds.full}")
+        return 0
+    if what == "table1":
+        rows = table1_runtimes(names)
+        print(f"{'benchmark':14s} {'NV ref':>10s} {'NV fut':>10s} "
+              f"{'AMD ref':>10s} {'AMD fut':>10s}")
+        for r in rows:
+            nv, amd = list(r.ref_ms), None
+            vals = list(r.ref_ms.values()) + list(r.fut_ms.values())
+            print(
+                f"{r.name:14s} "
+                + " ".join(f"{v:10.1f}" for v in vals)
+            )
+        return 0
+    if what == "figure13":
+        print(render_speedup_chart(figure13_speedups(names)))
+        return 0
+    if what == "impact":
+        if not names:
+            print("impact requires --names", file=sys.stderr)
+            return 1
+        factors = run_impact(args.kind, names.split(",") if isinstance(names, str) else names)
+        for name, f in factors.items():
+            print(f"{name:14s} x{f:.2f}")
+        return 0
+    print(f"unknown bench artefact {what!r}", file=sys.stderr)
+    return 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Futhark (PLDI 2017) reproduction toolchain",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compile", help="compile a source file")
+    p.add_argument("file")
+    p.add_argument("--emit", choices=("core", "opencl"), default="opencl")
+    _add_opt_flags(p)
+    p.set_defaults(fn=cmd_compile)
+
+    p = sub.add_parser("check", help="static checking only")
+    p.add_argument("file")
+    p.set_defaults(fn=cmd_check)
+
+    p = sub.add_parser("run", help="price a program on the simulated GPUs")
+    p.add_argument("file")
+    p.add_argument("--size", action="append", metavar="NAME=VALUE")
+    _add_opt_flags(p)
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("bench", help="regenerate evaluation artefacts")
+    p.add_argument(
+        "what", choices=("table1", "table2", "figure13", "impact")
+    )
+    p.add_argument("--names", default=None)
+    p.add_argument(
+        "--kind",
+        default="fusion",
+        choices=("fusion", "coalescing", "tiling", "inplace"),
+    )
+    p.set_defaults(fn=cmd_bench)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,96 @@
+"""Multi-versioned compilation — the future-work direction §5.1 closes
+with: "A more general solution would be to generate all possible code
+versions, and to discriminate between them at runtime based on static
+predicates that test whether the exploited parallelism is enough to
+fully utilize hardware.  Work is in progress in this direction."
+
+:func:`compile_versions` compiles a program under several flattening
+strategies; :class:`MultiVersioned` picks, per dataset size, the
+version the cost model predicts fastest (the "static predicate" being
+the analytic estimate at the concrete sizes), and can execute it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as dc_replace
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .core import ast as A
+from .core.values import ScalarValue, Value
+from .gpu.costmodel import CostReport
+from .gpu.device import DeviceProfile, NVIDIA_GTX780TI
+from .pipeline import CompiledProgram, CompilerOptions, compile_program
+
+__all__ = ["MultiVersioned", "compile_versions", "DEFAULT_STRATEGIES"]
+
+#: The strategy space: how much nested parallelism to exploit.
+DEFAULT_STRATEGIES: Dict[str, CompilerOptions] = {
+    "full-flattening": CompilerOptions(),
+    "outer-parallelism": CompilerOptions(distribute=False),
+    "no-interchange": CompilerOptions(interchange=False),
+}
+
+
+@dataclass
+class MultiVersioned:
+    """Several compilations of one program plus size-based dispatch."""
+
+    versions: Dict[str, CompiledProgram]
+
+    def choose(
+        self,
+        size_env: Mapping[str, int],
+        device: DeviceProfile = NVIDIA_GTX780TI,
+    ) -> Tuple[str, CostReport]:
+        """The version predicted fastest at the given sizes."""
+        best_name = None
+        best_report: Optional[CostReport] = None
+        for name, compiled in self.versions.items():
+            report = compiled.estimate(size_env, device)
+            if best_report is None or report.total_us < best_report.total_us:
+                best_name, best_report = name, report
+        assert best_name is not None and best_report is not None
+        return best_name, best_report
+
+    def run(
+        self,
+        args: Sequence[Value],
+        device: DeviceProfile = NVIDIA_GTX780TI,
+    ):
+        """Dispatch on the actual argument sizes and execute the
+        chosen version on the simulated device."""
+        size_env = _sizes_from_args(
+            next(iter(self.versions.values())), args
+        )
+        name, _ = self.choose(size_env, device)
+        results, report = self.versions[name].run(args, device)
+        return results, report, name
+
+
+def _sizes_from_args(compiled: CompiledProgram, args) -> Dict[str, int]:
+    sizes: Dict[str, int] = {}
+    for p, arg in zip(compiled.host.params, args):
+        t = p.type
+        shape = getattr(t, "shape", None)
+        if shape is not None:
+            for d, actual in zip(shape, arg.shape):
+                if isinstance(d, str):
+                    sizes.setdefault(d, int(actual))
+        elif isinstance(arg, ScalarValue) and arg.type.is_integral:
+            sizes.setdefault(p.name, int(arg.value))
+    return sizes
+
+
+def compile_versions(
+    prog: A.Prog,
+    strategies: Optional[Mapping[str, CompilerOptions]] = None,
+    entry: str = "main",
+) -> MultiVersioned:
+    """Compile ``prog`` under every strategy."""
+    strategies = strategies or DEFAULT_STRATEGIES
+    return MultiVersioned(
+        {
+            name: compile_program(prog, options, entry)
+            for name, options in strategies.items()
+        }
+    )

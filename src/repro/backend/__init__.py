@@ -1,0 +1,17 @@
+"""Backend: kernel IR, lowering of flattened programs, and an
+OpenCL-like textual rendering of the generated kernels."""
+
+from .kernel_ir import (  # noqa: F401
+    AccessInfo,
+    Count,
+    HostEval,
+    HostIfStmt,
+    HostLoopStmt,
+    HostProgram,
+    Kernel,
+    LaunchStmt,
+    ManifestStmt,
+    TileInfo,
+)
+from .codegen import lower_program  # noqa: F401
+from .opencl_text import render_program  # noqa: F401

@@ -1,0 +1,258 @@
+"""The kernel intermediate representation.
+
+A lowered program is a *host program*: a sequence of host statements —
+kernel launches, host-side scalar evaluation, sequential host loops and
+branches, and layout manifestations (transpositions) — over
+device-resident arrays.  Each kernel retains the core-IR expression it
+computes (used both to execute it for correctness and to cost it), plus
+the metadata the cost model needs: grid, per-thread work, and the
+classified global-memory accesses of Section 5.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..core import ast as A
+from ..core.types import Dim
+from ..memory.index_fn import IndexFn
+
+__all__ = [
+    "Count",
+    "AccessInfo",
+    "TileInfo",
+    "Kernel",
+    "LaunchStmt",
+    "HostEval",
+    "HostLoopStmt",
+    "HostIfStmt",
+    "ManifestStmt",
+    "HostStmt",
+    "HostProgram",
+]
+
+
+@dataclass(frozen=True)
+class Count:
+    """A symbolic count: a polynomial ``Σ coeff * Π dims`` in the
+    program's size variables."""
+
+    terms: Tuple[Tuple[float, Tuple[str, ...]], ...] = ()
+
+    @staticmethod
+    def of(value: float = 1.0, *dims: Dim) -> "Count":
+        coeff = float(value)
+        names: List[str] = []
+        for d in dims:
+            if isinstance(d, int):
+                coeff *= d
+            else:
+                names.append(d)
+        return Count(((coeff, tuple(sorted(names))),))
+
+    @staticmethod
+    def zero() -> "Count":
+        return Count(())
+
+    def __add__(self, other: "Count") -> "Count":
+        acc: Dict[Tuple[str, ...], float] = {}
+        for coeff, dims in self.terms + other.terms:
+            acc[dims] = acc.get(dims, 0.0) + coeff
+        return Count(tuple((c, d) for d, c in sorted(acc.items())))
+
+    def scaled(self, factor: float = 1.0, *dims: Dim) -> "Count":
+        coeff = float(factor)
+        names: List[str] = []
+        for d in dims:
+            if isinstance(d, int):
+                coeff *= d
+            else:
+                names.append(d)
+        return Count(
+            tuple(
+                (c * coeff, tuple(sorted(ds + tuple(names))))
+                for c, ds in self.terms
+            )
+        )
+
+    def evaluate(self, env: Mapping[str, int]) -> float:
+        total = 0.0
+        for coeff, dims in self.terms:
+            value = coeff
+            for d in dims:
+                value *= env.get(d, 1)
+            total += value
+        return total
+
+    def __str__(self) -> str:
+        if not self.terms:
+            return "0"
+        parts = []
+        for coeff, dims in self.terms:
+            s = f"{coeff:g}"
+            if dims:
+                s += "*" + "*".join(dims)
+            parts.append(s)
+        return " + ".join(parts)
+
+
+@dataclass
+class AccessInfo:
+    """One classified global-memory access stream of a kernel.
+
+    ``thread_dims`` — how many leading grid dimensions index the array;
+    ``seq_rank`` — trailing dimensions traversed sequentially inside
+    the thread; ``trips`` — accesses *per thread* (symbolic);
+    ``gather`` — data-dependent indexing (never coalescible);
+    ``invariant`` — the access does not depend on the thread at all
+    (a broadcast, and a tiling candidate).
+    """
+
+    array: str
+    elem_bytes: int
+    trips: Count
+    thread_dims: int = 0
+    seq_rank: int = 0
+    gather: bool = False
+    invariant: bool = False
+    is_write: bool = False
+
+    def coalesced_under(self, layout: IndexFn, grid_rank: int) -> bool:
+        """Whether consecutive threads touch consecutive elements.
+
+        With the innermost grid dimension giving consecutive thread
+        ids, the access is coalesced when the last thread dimension is
+        the physically innermost dimension of the array.
+        """
+        if self.gather:
+            return False
+        if self.invariant or self.thread_dims == 0:
+            return True  # broadcast: one transaction serves the warp
+        if self.seq_rank == 0:
+            # Direct element access: a[t1, ..., tk].
+            return layout.innermost_logical_dim() == self.thread_dims - 1
+        # a[t1, ..., tk, s...]: coalesced iff some sequential dim is
+        # NOT innermost — i.e. the innermost physical dim is a thread
+        # dim (the transposition trick of Section 5.2).
+        return layout.innermost_logical_dim() < self.thread_dims
+
+
+@dataclass
+class TileInfo:
+    """A block-tiling opportunity: the array is streamed sequentially
+    by every thread and is invariant to ``invariant_dims`` of the grid,
+    so a thread block can stage it through local memory."""
+
+    array: str
+    elem_bytes: int
+    two_d: bool = False
+
+
+@dataclass
+class Kernel:
+    """One GPU kernel: a perfect nest lowered from core IR."""
+
+    name: str
+    kind: str  # map | segreduce | reduce | segscan | scan | stream_red | scatter | builtin
+    grid: Tuple[A.Atom, ...]
+    seg_width: Optional[A.Atom]
+    exp: A.Exp
+    pat: Tuple[A.Param, ...]
+    accesses: List[AccessInfo] = field(default_factory=list)
+    flops_per_thread: Count = field(default_factory=Count.zero)
+    tiles: List[TileInfo] = field(default_factory=list)
+    #: Arrays whose accesses this kernel expects in a specific layout
+    #: (filled in by the coalescing pass).
+    layouts: Dict[str, IndexFn] = field(default_factory=dict)
+
+    def grid_dims(self) -> Tuple[Dim, ...]:
+        out: List[Dim] = []
+        for a in self.grid:
+            out.append(int(a.value) if isinstance(a, A.Const) else a.name)
+        return tuple(out)
+
+    def threads(self) -> Count:
+        return Count.of(1.0, *self.grid_dims())
+
+
+@dataclass
+class LaunchStmt:
+    kernel: Kernel
+
+
+@dataclass
+class HostEval:
+    """Host-side evaluation of a (cheap) core-IR binding: scalar code,
+    allocations like iota/replicate lowered as builtin kernels are
+    separate; anything evaluated here costs (almost) nothing."""
+
+    binding: A.Binding
+
+
+@dataclass
+class HostLoopStmt:
+    merge: Tuple[Tuple[A.Param, A.Atom], ...]
+    form: A.LoopForm
+    body: List["HostStmt"]
+    body_result: Tuple[A.Atom, ...]
+    pat: Tuple[A.Param, ...]
+    #: Arrays double-buffered by copy between iterations (a Futhark
+    #: overhead the paper calls out for HotSpot); filled by codegen.
+    double_buffered: List[str] = field(default_factory=list)
+
+
+@dataclass
+class HostIfStmt:
+    cond: A.Atom
+    then_body: List["HostStmt"]
+    then_result: Tuple[A.Atom, ...]
+    else_body: List["HostStmt"]
+    else_result: Tuple[A.Atom, ...]
+    pat: Tuple[A.Param, ...]
+
+
+@dataclass
+class ManifestStmt:
+    """Materialise ``src`` with a new physical layout into ``dst`` —
+    the transposition the coalescing pass inserts."""
+
+    src: str
+    dst: str
+    layout: IndexFn
+    elem_bytes: int
+    elems: Count
+
+
+HostStmt = Union[LaunchStmt, HostEval, HostLoopStmt, HostIfStmt, ManifestStmt]
+
+
+@dataclass
+class HostProgram:
+    """A fully lowered entry point."""
+
+    name: str
+    params: Tuple[A.Param, ...]
+    stmts: List[HostStmt]
+    result: Tuple[A.Atom, ...]
+    #: Current physical layout of every array (default: row-major).
+    layouts: Dict[str, IndexFn] = field(default_factory=dict)
+    #: Logical shape of every array (symbolic dims), for sizing
+    #: manifestation traffic.
+    array_shapes: Dict[str, Tuple[Dim, ...]] = field(default_factory=dict)
+
+    def kernels(self) -> List[Kernel]:
+        out: List[Kernel] = []
+
+        def walk(stmts: Sequence[HostStmt]) -> None:
+            for s in stmts:
+                if isinstance(s, LaunchStmt):
+                    out.append(s.kernel)
+                elif isinstance(s, HostLoopStmt):
+                    walk(s.body)
+                elif isinstance(s, HostIfStmt):
+                    walk(s.then_body)
+                    walk(s.else_body)
+
+        walk(self.stmts)
+        return out

@@ -1,0 +1,141 @@
+"""Render a host program as pseudo-OpenCL C for inspection.
+
+Not meant to be compiled (there is no OpenCL runtime in this
+environment), but precise enough that a reader can audit what the
+compiler decided: one ``__kernel`` per extracted nest, the global ids
+per grid dimension, per-thread sequential code, the layout each array
+is accessed with, local-memory tiles, and the host-side driver loop.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core import ast as A
+from ..core.pretty import pretty_exp
+from ..core.types import Prim, Type
+from .kernel_ir import (
+    HostEval,
+    HostIfStmt,
+    HostLoopStmt,
+    HostProgram,
+    Kernel,
+    LaunchStmt,
+    ManifestStmt,
+)
+
+__all__ = ["render_program", "render_kernel"]
+
+_C_TYPES = {
+    "bool": "bool",
+    "i8": "char",
+    "i16": "short",
+    "i32": "int",
+    "i64": "long",
+    "f32": "float",
+    "f64": "double",
+}
+
+
+def _c_type(t: Type) -> str:
+    if isinstance(t, Prim):
+        return _C_TYPES[t.t.name]
+    return f"__global {_C_TYPES[t.elem.name]} *"
+
+
+def render_kernel(kernel: Kernel) -> str:
+    lines: List[str] = []
+    params = ", ".join(
+        f"{_c_type(p.type)}{p.name}_out" for p in kernel.pat
+    )
+    lines.append(f"__kernel void {kernel.name}({params}, ...) {{")
+    for i, w in enumerate(kernel.grid):
+        lines.append(f"    const int gtid_{i} = get_global_id({i});"
+                     f"  // < {w}")
+    if kernel.seg_width is not None:
+        lines.append(
+            f"    // sequential inner width: {kernel.seg_width}"
+        )
+    if kernel.kind in ("reduce", "segreduce", "stream_red"):
+        lines.append("    // two-stage reduction; "
+                     "workgroup tree + second-stage kernel")
+    if kernel.kind in ("scan", "segscan"):
+        lines.append("    // multi-pass work-efficient scan")
+    for t in kernel.tiles:
+        kind = "2-D" if t.two_d else "1-D"
+        lines.append(
+            f"    __local char tile_{t.array}[];  // {kind} block tile "
+            f"of {t.array}"
+        )
+    for arr, layout in sorted(kernel.layouts.items()):
+        if not layout.is_identity:
+            lines.append(
+                f"    // {arr} accessed with layout {layout}"
+            )
+    body = pretty_exp(kernel.exp, 1)
+    for line in body.splitlines():
+        lines.append(f"    // {line}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def render_program(hp: HostProgram) -> str:
+    out: List[str] = []
+    out.append(f"// host program for '{hp.name}'")
+    out.append("// ---- kernels " + "-" * 50)
+    for kernel in hp.kernels():
+        out.append(render_kernel(kernel))
+        out.append("")
+    out.append("// ---- host driver " + "-" * 46)
+    params = ", ".join(f"{_c_type(p.type)}{p.name}" for p in hp.params)
+    out.append(f"void {hp.name}({params}) {{")
+    _render_stmts(hp.stmts, out, 1)
+    results = ", ".join(str(a) for a in hp.result)
+    out.append(f"    return {results};")
+    out.append("}")
+    return "\n".join(out)
+
+
+def _render_stmts(stmts, out: List[str], depth: int) -> None:
+    ind = "    " * depth
+    for s in stmts:
+        if isinstance(s, LaunchStmt):
+            k = s.kernel
+            grid = ", ".join(str(w) for w in k.grid)
+            outs = ", ".join(p.name for p in k.pat)
+            out.append(
+                f"{ind}{outs} = launch {k.name}<<<{grid}>>>();"
+            )
+        elif isinstance(s, HostEval):
+            pat = ", ".join(p.name for p in s.binding.pat)
+            out.append(
+                f"{ind}{pat} = {pretty_exp(s.binding.exp, depth)};"
+                f"  // host"
+            )
+        elif isinstance(s, ManifestStmt):
+            out.append(
+                f"{ind}manifest({s.src} -> {s.dst}, layout {s.layout});"
+                f"  // transposition"
+            )
+        elif isinstance(s, HostLoopStmt):
+            merge = ", ".join(
+                f"{p.name} = {a}" for p, a in s.merge
+            )
+            if isinstance(s.form, A.ForLoop):
+                head = f"for ({s.form.ivar} < {s.form.bound})"
+            else:
+                head = f"while ({s.form.cond})"
+            out.append(f"{ind}loop ({merge}) {head} {{")
+            _render_stmts(s.body, out, depth + 1)
+            if s.double_buffered:
+                out.append(
+                    f"{ind}    // double-buffer copies: "
+                    + ", ".join(s.double_buffered)
+                )
+            out.append(f"{ind}}}")
+        elif isinstance(s, HostIfStmt):
+            out.append(f"{ind}if ({s.cond}) {{")
+            _render_stmts(s.then_body, out, depth + 1)
+            out.append(f"{ind}}} else {{")
+            _render_stmts(s.else_body, out, depth + 1)
+            out.append(f"{ind}}}")

@@ -1,0 +1,112 @@
+"""Dataset configurations — Table 2 of the paper.
+
+For every benchmark: the size bindings used to *price* the program at
+paper scale (the analytic cost model is closed-form in these), and a
+reduced-scale configuration used to *validate* the compiled code
+functionally on the simulator against the reference interpreter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+__all__ = ["Dataset", "TABLE2"]
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """One benchmark's workload configuration."""
+
+    #: The paper's dataset description (Table 2, verbatim).
+    description: str
+    #: Size bindings at paper scale, for analytic costing.
+    full: Dict[str, int]
+    #: Size bindings at validation scale.
+    small: Dict[str, int]
+
+
+TABLE2: Dict[str, Dataset] = {
+    "Backprop": Dataset(
+        description="Input layer size equal to 2^20",
+        full={"n": 1 << 20, "h": 16},
+        small={"n": 64, "h": 4},
+    ),
+    "CFD": Dataset(
+        description="fvcorr.domn.193K",
+        full={"n": 193_536, "iters": 2000},
+        small={"n": 24, "iters": 3},
+    ),
+    "HotSpot": Dataset(
+        description="1024 x 1024; 360 iterations",
+        full={"r": 1024, "c": 1024, "iters": 360},
+        small={"r": 8, "c": 8, "iters": 4},
+    ),
+    "K-means": Dataset(
+        description="kdd_cup",
+        full={"n": 494_019, "d": 34, "k": 5, "iters": 20},
+        small={"n": 40, "d": 3, "k": 4, "iters": 3},
+    ),
+    "LavaMD": Dataset(
+        description="boxes1d=10",
+        full={"nb": 1000, "par": 100, "nn": 27},
+        small={"nb": 4, "par": 6, "nn": 3},
+    ),
+    "Myocyte": Dataset(
+        description="workload=65536, xmax=3",
+        full={"w": 65_536, "eq": 91, "steps": 5000},
+        small={"w": 6, "eq": 8, "steps": 5},
+    ),
+    "NN": Dataset(
+        description="Default Rodinia dataset duplicated 20 times",
+        full={"n": 855_280, "q": 100},
+        small={"n": 50, "q": 4},
+    ),
+    "Pathfinder": Dataset(
+        description="Array of size 10^5",
+        full={"cols": 100_000, "rows": 100},
+        small={"cols": 32, "rows": 5},
+    ),
+    "SRAD": Dataset(
+        description="502 x 458; 100 iterations",
+        full={"r": 502, "c": 458, "iters": 100},
+        small={"r": 8, "c": 6, "iters": 3},
+    ),
+    "LocVolCalib": Dataset(
+        description="large dataset",
+        full={"outer": 256, "nx": 256, "ny": 256, "numT": 128},
+        small={"outer": 4, "nx": 6, "ny": 6, "numT": 3},
+    ),
+    "OptionPricing": Dataset(
+        description="large dataset",
+        full={"paths": 2_097_152, "steps": 256},
+        small={"paths": 32, "steps": 6},
+    ),
+    "MRI-Q": Dataset(
+        description="large dataset",
+        full={"x": 262_144, "k": 2048},
+        small={"x": 24, "k": 12},
+    ),
+    "Crystal": Dataset(
+        description="Size 2000, degree 50",
+        full={"side": 2000, "degree": 50},
+        small={"side": 10, "degree": 4},
+    ),
+    "Fluid": Dataset(
+        description="3000 x 3000; 20 iterations",
+        full={"side": 3000, "iters": 20, "solver": 10},
+        small={"side": 8, "iters": 2, "solver": 3},
+    ),
+    "Mandelbrot": Dataset(
+        description="4000 x 4000; 255 limit",
+        full={"w": 4000, "h": 4000, "limit": 255},
+        small={"w": 12, "h": 8, "limit": 20},
+    ),
+    "N-body": Dataset(
+        description="N = 10^5",
+        full={"n": 100_000, "steps": 1},
+        small={"n": 16, "steps": 1},
+    ),
+}

@@ -1,0 +1,70 @@
+"""Plain-text rendering of Figure 13 (the speedup bar chart).
+
+The paper's figure is a per-benchmark bar chart of the speedup over
+the reference on both GPUs; this renders the same data as horizontal
+ASCII bars (log-scaled, since speedups span 0.6x – 16x), which the
+benchmark harness writes alongside the raw numbers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Optional
+
+__all__ = ["render_speedup_chart"]
+
+_BAR_WIDTH = 40
+
+
+def _bar(speedup: float, max_speedup: float) -> str:
+    """A log-scale bar; the '|' marks speedup 1.0 (parity)."""
+    if speedup <= 0:
+        return "?"
+    log_max = math.log10(max_speedup)
+    log_min = math.log10(0.5)
+    span = log_max - log_min
+    pos = (math.log10(max(speedup, 0.5)) - log_min) / span
+    parity = (0.0 - log_min) / span
+    n = max(1, round(pos * _BAR_WIDTH))
+    p = round(parity * _BAR_WIDTH)
+    cells = ["#" if i < n else " " for i in range(_BAR_WIDTH)]
+    if 0 <= p < _BAR_WIDTH:
+        cells[p] = "|" if p >= n else "+"
+    return "".join(cells)
+
+
+def render_speedup_chart(
+    speedups: Mapping[str, Mapping[str, float]],
+    paper: Optional[Mapping[str, float]] = None,
+) -> str:
+    """Render Fig. 13 as text.
+
+    ``speedups`` maps benchmark name to {device name: speedup};
+    ``paper`` optionally supplies the paper's (NVIDIA) numbers for a
+    side-by-side column.
+    """
+    devices = list(next(iter(speedups.values())))
+    max_speedup = max(
+        max(per.values()) for per in speedups.values()
+    )
+    max_speedup = max(max_speedup, 2.0)
+
+    lines = [
+        "Figure 13: speedup over the reference implementation "
+        "(log scale; '|' marks parity)",
+        "",
+    ]
+    for name, per_device in speedups.items():
+        for j, device in enumerate(devices):
+            label = name if j == 0 else ""
+            s = per_device[device]
+            tag = device.split()[0][:6]
+            suffix = ""
+            if paper is not None and j == 0 and name in paper:
+                suffix = f"   (paper NV: {paper[name]:5.2f}x)"
+            lines.append(
+                f"{label:14s} {tag:6s} {_bar(s, max_speedup)} "
+                f"{s:6.2f}x{suffix}"
+            )
+        lines.append("")
+    return "\n".join(lines)

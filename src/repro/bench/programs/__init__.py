@@ -1,0 +1,40 @@
+"""The 16 benchmark programs, one module each.
+
+Every module exposes:
+
+* ``NAME`` — the benchmark's name as it appears in Table 1;
+* ``SOURCE`` — the program in the core language's concrete syntax;
+* ``program()`` — the parsed (and checkable) core-IR program;
+* ``small_args(rng, sizes)`` — input values at validation scale;
+* ``reference()`` — the reference implementation's cost model;
+* optional ablation variants (e.g. ``program_no_inplace``).
+"""
+
+from importlib import import_module
+
+_MODULES = {
+    "Backprop": "backprop",
+    "CFD": "cfd",
+    "HotSpot": "hotspot",
+    "K-means": "kmeans",
+    "LavaMD": "lavamd",
+    "Myocyte": "myocyte",
+    "NN": "nn",
+    "Pathfinder": "pathfinder",
+    "SRAD": "srad",
+    "LocVolCalib": "locvolcalib",
+    "OptionPricing": "optionpricing",
+    "MRI-Q": "mriq",
+    "Crystal": "crystal",
+    "Fluid": "fluid",
+    "Mandelbrot": "mandelbrot",
+    "N-body": "nbody",
+}
+
+
+def module_for(name: str):
+    """Import the program module for a benchmark name."""
+    return import_module(f"{__name__}.{_MODULES[name]}")
+
+
+ALL_NAMES = tuple(_MODULES)

@@ -1,0 +1,89 @@
+"""Backprop (Rodinia): one training step of a two-layer perceptron.
+
+The forward pass is a matrix-vector product (a map of reductions over
+the 2^20-element input layer) through a sigmoid; the weight adjustment
+is a rank-1 update of the weight matrix.
+
+Reference structure (§6.1): "the speedup on Backprop seems related to a
+reduction that Rodinia has left sequential.  Running time of the
+training phase is roughly equal in Rodinia and Futhark (~10 ms)" — so
+the reference performs the same parallel training kernels *plus* a
+single-thread reduction over the input layer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.prim import F32
+from repro.core.values import array_value
+from repro.frontend import parse
+from ..references import Count, ReferenceImpl, gpu_phase, host_phase, mem
+
+NAME = "Backprop"
+
+SOURCE = """
+fun main (x: [n]f32) (w: [h][n]f32) (target: [h]f32)
+    : ([h]f32, [h][n]f32) =
+  let hidden = map (\\(wrow: [n]f32) ->
+      let prods = map (\\(wi: f32) (xi: f32) -> wi * xi) wrow x
+      let s = reduce (\\(a: f32) (b: f32) -> a + b) 0.0f32 prods
+      in 1.0f32 / (1.0f32 + exp (0.0f32 - s))) w
+  let err = map (\\(t: f32) (o: f32) ->
+      o * (1.0f32 - o) * (t - o)) target hidden
+  let wadj = map (\\(wrow: [n]f32) (e: f32) ->
+      map (\\(wi: f32) (xi: f32) -> wi + 0.3f32 * e * xi) wrow x)
+      w err
+  in {hidden, wadj}
+"""
+
+
+def program():
+    return parse(SOURCE)
+
+
+def small_args(rng, sizes):
+    n, h = sizes["n"], sizes["h"]
+    return [
+        array_value(rng.normal(size=n).astype(np.float32) * 0.1, F32),
+        array_value(rng.normal(size=(h, n)).astype(np.float32) * 0.1, F32),
+        array_value(rng.normal(size=h).astype(np.float32) * 0.1, F32),
+    ]
+
+
+def reference() -> ReferenceImpl:
+    return ReferenceImpl(
+        NAME,
+        [
+            # Forward pass: partial dot products, parallel over n.
+            gpu_phase(
+                "layerforward",
+                threads=["n"],
+                flops_total=Count.of(2.0, "n", "h"),
+                accesses=[
+                    mem("n", "h"),  # weights, coalesced
+                    mem("n"),  # input
+                    mem("h", write=True),
+                ],
+            ),
+            # The reduction Rodinia left sequential: a single thread
+            # folds the 2^20 partial sums.
+            gpu_phase(
+                "sequential_reduction",
+                threads=1,
+                flops_total=Count.of(1.0, "n"),
+                accesses=[mem("n")],
+            ),
+            # Weight adjustment, parallel over the whole matrix.
+            gpu_phase(
+                "adjust_weights",
+                threads=["n", "h"],
+                flops_total=Count.of(3.0, "n", "h"),
+                accesses=[
+                    mem("n", "h"),
+                    mem("n"),
+                    mem("n", "h", write=True),
+                ],
+            ),
+        ],
+    )

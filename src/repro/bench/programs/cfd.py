@@ -1,0 +1,81 @@
+"""CFD (Rodinia euler3d): unstructured-mesh finite-volume solver.
+
+Per iteration, every cell accumulates flux contributions from its four
+neighbours, found through an indirection array — a data-dependent
+gather that no layout change can coalesce.  The loop-carried state is
+re-created by a fresh kernel each step, so Futhark double-buffers it by
+copy; the hand-written reference pointer-swaps.  The paper reports the
+reference slightly *faster* (1878 vs 2236 ms on the GTX 780), which it
+attributes to "generic issues of unnecessary copying and missing
+micro-optimization".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.prim import F32, I32
+from repro.core.values import array_value, scalar
+from repro.frontend import parse
+from ..references import Count, ReferenceImpl, gpu_phase, mem
+
+NAME = "CFD"
+
+SOURCE = """
+fun main (vars: [n][5]f32) (neigh: [n][4]i32) (areas: [n]f32)
+    (iters: i32): [n][5]f32 =
+  let cells = iota n
+  let vdims = iota 5
+  in loop (vs = vars) for it < iters do
+    map (\\(i: i32) ->
+      let area = areas[i]
+      in map (\\(v: i32) ->
+        let own = vs[i, v]
+        let contrib =
+          loop (acc = 0.0f32) for ngh < 4 do
+            let j = neigh[i, ngh]
+            let jj = if j < 0 then i else j
+            in acc + vs[jj, v] - own
+        in own + 0.0005f32 * contrib * area)
+      vdims) cells
+"""
+
+
+def program():
+    return parse(SOURCE)
+
+
+def small_args(rng, sizes):
+    n, iters = sizes["n"], sizes["iters"]
+    neigh = rng.integers(-1, n, size=(n, 4)).astype(np.int32)
+    return [
+        array_value(rng.normal(size=(n, 5)).astype(np.float32), F32),
+        array_value(neigh, I32),
+        array_value(
+            np.abs(rng.normal(size=n)).astype(np.float32) + 0.5, F32
+        ),
+        scalar(iters, I32),
+    ]
+
+
+def reference() -> ReferenceImpl:
+    return ReferenceImpl(
+        NAME,
+        [
+            # compute_step_factor + compute_flux + time_step: three
+            # kernels per iteration, pointer-swapped (no copies).
+            gpu_phase(
+                "euler3d_iteration",
+                threads=["n"],
+                flops_total=Count.of(60.0, "n"),
+                accesses=[
+                    mem(5, "n"),  # own variables
+                    mem(20, "n", mode="gather"),  # neighbour gathers
+                    mem("n"),  # areas
+                    mem(5, "n", write=True),
+                ],
+                launches=3.0,
+                repeats=["iters"],
+            ),
+        ],
+    )

@@ -1,0 +1,84 @@
+"""Crystal (Accelerate): quasicrystal interference pattern — per pixel,
+a sum of ``degree`` rotated plane waves, followed by tone-mapping
+passes.
+
+The tone-mapping chain is a producer-consumer ladder of whole-image
+maps: vertical fusion collapses it into the wave kernel (the Crystal
+fusion ablation; the paper measures x10.1).  The Accelerate version
+executes the stages as separate passes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.prim import F32, I32
+from repro.core.values import scalar
+from repro.frontend import parse
+from ..references import Count, ReferenceImpl, gpu_phase, mem
+
+NAME = "Crystal"
+
+SOURCE = """
+fun main (side: i32) (degree: i32): [side][side]f32 =
+  let is = iota side
+  let js = iota side
+  let img = map (\\(i: i32) ->
+    map (\\(j: i32) ->
+      let x = f32 j / f32 side * 30.0f32
+      let y = f32 i / f32 side * 30.0f32
+      in loop (a = 0.0f32) for d < degree do
+        let angle = f32 d * 0.8975979f32
+        in a + cos (x * cos angle + y * sin angle)) js) is
+  let waved = map (\\(row: [side]f32) ->
+      map (\\(v: f32) -> v / f32 degree) row) img
+  let toned = map (\\(row: [side]f32) ->
+      map (\\(v: f32) -> 0.5f32 + 0.5f32 * cos (6.2831855f32 * v))
+        row) waved
+  in map (\\(row: [side]f32) ->
+      map (\\(v: f32) -> v * v) row) toned
+"""
+
+
+def program():
+    return parse(SOURCE)
+
+
+def small_args(rng, sizes):
+    return [scalar(sizes["side"], I32), scalar(sizes["degree"], I32)]
+
+
+def reference() -> ReferenceImpl:
+    # Accelerate executes the wave sum and each tone-mapping stage as
+    # separate full-image passes, with the per-degree wave images
+    # materialised by its (then) limited loop fusion.
+    return ReferenceImpl(
+        NAME,
+        [
+            gpu_phase(
+                "wave_passes",
+                threads=["side", "side"],
+                flops_total=Count.of(60.0, "side", "side"),
+                accesses=[
+                    mem(2, "side", "side"),
+                    mem(2, "side", "side", write=True),
+                ],
+                repeats=["degree"],  # one pass per wave component
+                # Accelerate's generated scalar code reaches a fraction
+                # of hand-written throughput (boxed indices, f64
+                # constants); calibrated constant.
+                device_factor=lambda dev: 2.5,
+            ),
+            gpu_phase(
+                "tonemap_passes",
+                threads=["side", "side"],
+                flops_total=Count.of(12.0, "side", "side"),
+                accesses=[
+                    mem("side", "side"),
+                    mem("side", "side", write=True),
+                ],
+                launches=3.0,
+                device_factor=lambda dev: 2.5,
+            ),
+        ],
+    )

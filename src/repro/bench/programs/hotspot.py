@@ -1,0 +1,82 @@
+"""HotSpot (Rodinia): transient thermal simulation — a 5-point stencil
+over the chip grid, iterated in time.
+
+Futhark's version recomputes the grid with a fresh map-map nest per
+time step; because the loop-carried grid is not updated in place, the
+compiler double-buffers it by copy, "accounting for 30% of runtime"
+(§6.1).  The reference uses *time tiling* [26], which batches time
+steps in local memory: fewer global passes, but it "seems to pay off on
+the NVIDIA GPU, but not on AMD".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.prim import F32, I32
+from repro.core.values import array_value, scalar
+from repro.frontend import parse
+from ..references import Count, ReferenceImpl, gpu_phase, mem
+
+NAME = "HotSpot"
+
+SOURCE = """
+fun main (temp: [r][c]f32) (power: [r][c]f32) (iters: i32)
+    : [r][c]f32 =
+  let rows = iota r
+  let cols = iota c
+  in loop (t = temp) for it < iters do
+    map (\\(i: i32) ->
+      map (\\(j: i32) ->
+        let im1 = max (i - 1) 0
+        let ip1 = min (i + 1) (r - 1)
+        let jm1 = max (j - 1) 0
+        let jp1 = min (j + 1) (c - 1)
+        let ctr = t[i, j]
+        let nrt = t[im1, j]
+        let sth = t[ip1, j]
+        let est = t[i, jp1]
+        let wst = t[i, jm1]
+        let delta = 0.1f32 * (nrt + sth + est + wst - 4.0f32 * ctr)
+        in ctr + delta + 0.0156f32 * power[i, j])
+      cols) rows
+"""
+
+
+def program():
+    return parse(SOURCE)
+
+
+def small_args(rng, sizes):
+    r, c, iters = sizes["r"], sizes["c"], sizes["iters"]
+    return [
+        array_value(rng.normal(size=(r, c)).astype(np.float32), F32),
+        array_value(
+            np.abs(rng.normal(size=(r, c))).astype(np.float32), F32
+        ),
+        scalar(iters, I32),
+    ]
+
+
+def reference() -> ReferenceImpl:
+    # Time tiling batches ~2 time steps per global pass; the combined
+    # kernel is heavier but halves DRAM traffic.  The device factor
+    # captures that the technique is tuned for the NVIDIA card and
+    # backfires on the AMD one (§6.1).
+    return ReferenceImpl(
+        NAME,
+        [
+            gpu_phase(
+                "timetiled_stencil",
+                threads=["r", "c"],
+                flops_total=Count.of(16.0, "r", "c"),
+                accesses=[
+                    mem("r", "c"),  # temperature in (one pass / 2 steps)
+                    mem("r", "c"),  # power
+                    mem("r", "c", write=True),
+                ],
+                repeats=Count.of(0.5, "iters"),
+                device_factor=lambda dev: 1.0 / dev.time_tiling_efficiency,
+            ),
+        ],
+    )

@@ -1,0 +1,165 @@
+"""K-means (Rodinia): Lloyd's algorithm — assignment plus per-cluster
+sums/counts, iterated.
+
+The cluster-size/sum computation is the paper's running example
+(Fig. 4): a ``stream_red`` whose fold updates a per-chunk accumulator
+*in place* (work O(n) rather than O(n*k)).  The assignment's inner
+distance loop walks each point's coordinates, so the coalescing pass
+transposes the points array (impact x9.26 per §6.1.1).
+
+Reference structure (§6.1): "our speedup on K-means is due to Rodinia
+not parallelizing computation of the new cluster centers, which is a
+segmented reduction" — the reference runs the assignment on the GPU
+and the centre update on the host.
+
+``program_no_inplace`` is the Fig. 4b variant used by the in-place
+ablation: one-hot increment matrices reduced with a vectorised add,
+doing O(n*k) work.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.prim import F32, I32
+from repro.core.values import array_value, scalar
+from repro.frontend import parse
+from ..references import Count, ReferenceImpl, gpu_phase, host_phase, mem
+
+NAME = "K-means"
+
+_ASSIGNMENT = """
+fun assign (points: [n][d]f32) (centers: [k][d]f32): [n]i32 =
+  map (\\(p: [d]f32) ->
+    let (bi, bd) =
+      loop (bi = 0, bd = 1.0e30f32) for cl < k do
+        let dist =
+          loop (acc = 0.0f32) for dd < d do
+            let diff = p[dd] - centers[cl, dd]
+            in acc + diff * diff
+        in if dist < bd then {cl, dist} else {bi, bd}
+    in bi) points
+"""
+
+SOURCE = _ASSIGNMENT + """
+fun main (points: [n][d]f32) (centers0: [k][d]f32) (iters: i32)
+    : [k][d]f32 =
+  loop (centers = centers0) for it < iters do
+    let membership = assign points centers
+    let counts = stream_red
+        (\\(xv: [k]i32) (yv: [k]i32) ->
+           map (\\(a: i32) (b: i32) -> a + b) xv yv)
+        (\\(q: i32) (acc: *[k]i32) (ch: [q]i32) ->
+           loop (acc2: *[k]i32 = acc) for i < q do
+             let cl = ch[i]
+             let acc2[cl] = acc2[cl] + 1
+             in acc2)
+        (replicate k 0)
+        membership
+    let sums = stream_red
+        (\\(xs: [k][d]f32) (ys: [k][d]f32) ->
+           map (\\(xr: [d]f32) (yr: [d]f32) ->
+             map (\\(a: f32) (b: f32) -> a + b) xr yr) xs ys)
+        (\\(q: i32) (acc: *[k][d]f32) (mch: [q]i32) (pch: [q][d]f32) ->
+           loop (acc2: *[k][d]f32 = acc) for i < q do
+             let cl = mch[i]
+             let acc3 =
+               loop (a: *[k][d]f32 = acc2) for dd < d do
+                 let a[cl, dd] = a[cl, dd] + pch[i, dd]
+                 in a
+             in acc3)
+        (replicate k (replicate d 0.0f32))
+        membership points
+    in map (\\(srow: [d]f32) (cnt: i32) ->
+         let denom = f32 (max cnt 1)
+         in map (\\(s: f32) -> s / denom) srow) sums counts
+"""
+
+
+def program():
+    return parse(SOURCE)
+
+
+#: Fig. 4b-style variant for the in-place ablation: one-hot increment
+#: matrices reduced with vectorised addition — O(n*k*d) work.
+SOURCE_NO_INPLACE = _ASSIGNMENT + """
+fun main (points: [n][d]f32) (centers0: [k][d]f32) (iters: i32)
+    : [k][d]f32 =
+  loop (centers = centers0) for it < iters do
+    let membership = assign points centers
+    let increments = map (\\(cl: i32) ->
+        map (\\(kk: i32) -> if kk == cl then 1 else 0) (iota k))
+        membership
+    let counts = reduce
+        (\\(xv: [k]i32) (yv: [k]i32) ->
+           map (\\(a: i32) (b: i32) -> a + b) xv yv)
+        (replicate k 0) increments
+    let checks = map (\\(row: [k]i32) ->
+        reduce (\\(a: i32) (b: i32) -> a + b) 0 row) increments
+    let total = reduce (\\(a: i32) (b: i32) -> a + b) 0 checks
+    let onehots = map (\\(cl: i32) (p: [d]f32) ->
+        map (\\(kk: i32) ->
+          map (\\(pv: f32) ->
+            if kk == cl then pv else 0.0f32) p) (iota k))
+        membership points
+    let sums = reduce
+        (\\(xs: [k][d]f32) (ys: [k][d]f32) ->
+           map (\\(xr: [d]f32) (yr: [d]f32) ->
+             map (\\(a: f32) (b: f32) -> a + b) xr yr) xs ys)
+        (replicate k (replicate d 0.0f32)) onehots
+    -- A second traversal of the materialised one-hots (as in the
+    -- measured Fig. 4b variant, which reuses the increments array).
+    let onechk = map (\\(m3: [k][d]f32) ->
+        reduce (\\(a: f32) (b: f32) -> a + b) 0.0f32
+          (map (\\(r2: [d]f32) ->
+             reduce (\\(a: f32) (b: f32) -> a + b) 0.0f32 r2) m3))
+        onehots
+    let chk = reduce (\\(a: f32) (b: f32) -> a + b) 0.0f32 onechk
+    in map (\\(srow: [d]f32) (cnt: i32) ->
+         let denom = f32 (max (cnt + total * 0) 1) + chk * 0.0f32
+         in map (\\(s: f32) -> s / denom) srow) sums counts
+"""
+
+
+def program_no_inplace():
+    return parse(SOURCE_NO_INPLACE)
+
+
+def small_args(rng, sizes):
+    n, d, k, iters = sizes["n"], sizes["d"], sizes["k"], sizes["iters"]
+    return [
+        array_value(rng.normal(size=(n, d)).astype(np.float32), F32),
+        array_value(rng.normal(size=(k, d)).astype(np.float32), F32),
+        scalar(iters, I32),
+    ]
+
+
+def reference() -> ReferenceImpl:
+    return ReferenceImpl(
+        NAME,
+        [
+            # Assignment on the GPU (points kept row-major: each thread
+            # walks its point's coordinates — Rodinia's layout).
+            gpu_phase(
+                "assignment",
+                threads=["n"],
+                flops_total=Count.of(3.0, "n", "d", "k"),
+                accesses=[
+                    mem("n", "d", mode="coalesced"),
+                    mem("k", "d", mode="broadcast"),
+                    mem("n", write=True),
+                ],
+                repeats=["iters"],
+            ),
+            # New cluster centres computed on the host: transfer the
+            # points + membership and do the segmented reduction on
+            # the CPU (the inefficiency §6.1 calls out).
+            host_phase(
+                "host_center_update",
+                host_flops=Count.of(2.0, "n", "d"),
+                pcie_bytes=Count.of(4.0, "n"),
+                repeats=["iters"],
+                gflops=5.4,  # vectorised, but still the bottleneck
+            ),
+        ],
+    )

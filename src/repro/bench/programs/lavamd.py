@@ -1,0 +1,81 @@
+"""LavaMD (Rodinia): short-range particle forces within a 3D box grid.
+
+Every particle accumulates interactions with all particles of its
+box's neighbours, found through an indirect neighbour list — the
+"interesting tiling pattern ... in which the to-be-tiled array is the
+result of an indirect index" of §5.2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.prim import F32, I32
+from repro.core.values import array_value
+from repro.frontend import parse
+from ..references import Count, ReferenceImpl, gpu_phase, mem
+
+NAME = "LavaMD"
+
+SOURCE = """
+fun main (posx: [nb][par]f32) (posy: [nb][par]f32)
+    (posz: [nb][par]f32) (charge: [nb][par]f32)
+    (nlist: [nb][nn]i32): [nb][par]f32 =
+  let boxes = iota nb
+  let parts = iota par
+  in map (\\(b: i32) ->
+    map (\\(p: i32) ->
+      let px = posx[b, p]
+      let py = posy[b, p]
+      let pz = posz[b, p]
+      in loop (acc = 0.0f32) for k < nn do
+        let ob = nlist[b, k]
+        let obc = if ob < 0 then b else ob
+        in loop (a2 = acc) for o < par do
+          let dx = px - posx[obc, o]
+          let dy = py - posy[obc, o]
+          let dz = pz - posz[obc, o]
+          let r2 = dx * dx + dy * dy + dz * dz + 0.5f32
+          in a2 + charge[obc, o] / (r2 * r2))
+      parts) boxes
+"""
+
+
+def program():
+    return parse(SOURCE)
+
+
+def small_args(rng, sizes):
+    nb, par, nn = sizes["nb"], sizes["par"], sizes["nn"]
+    nlist = rng.integers(-1, nb, size=(nb, nn)).astype(np.int32)
+    mk = lambda: array_value(
+        rng.normal(size=(nb, par)).astype(np.float32), F32
+    )
+    return [mk(), mk(), mk(), mk(), array_value(nlist, I32)]
+
+
+def reference() -> ReferenceImpl:
+    # The hand-written kernel stages each neighbour box's particles in
+    # local memory (the indirect tiling Futhark also performs).
+    return ReferenceImpl(
+        NAME,
+        [
+            gpu_phase(
+                "lavamd_forces",
+                threads=["nb", "par"],
+                flops_total=Count.of(14.0, "nb", "par", "nn", "par"),
+                accesses=[
+                    mem("nb", "par", "nn", "par", mode="tiled"),  # positions
+                    mem(3, "nb", "par"),  # own position
+                    mem("nb", "par", write=True),
+                ],
+                tiled=True,
+                # Hand-tuned for the NVIDIA card (launch bounds and
+                # unrolling); those choices mis-fit the AMD wavefront
+                # (the paper's LavaMD sign flips between devices).
+                device_factor=lambda dev: (
+                    0.75 if "NVIDIA" in dev.name else 1.25
+                ),
+            ),
+        ],
+    )

@@ -1,0 +1,77 @@
+"""Mandelbrot (Accelerate): escape-time iteration per pixel.
+
+Futhark's while loop exits as soon as a pixel escapes; the Accelerate
+version of the day iterated the full limit for every pixel (its
+``awhile`` construct ran whole-array steps until *all* pixels
+converged, costing a full pass per step).  The paper notes G7 is
+deliberately *not* applied here — interchanging the while loop outwards
+"would change the Mandelbrot benchmark to have a memory- rather than a
+compute-bound behavior"; our flattener leaves while loops in-thread.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.prim import F32, I32
+from repro.core.values import scalar
+from repro.frontend import parse
+from ..references import Count, ReferenceImpl, gpu_phase, mem
+
+NAME = "Mandelbrot"
+
+SOURCE = """
+fun main (w: i32) (h: i32) (limit: i32): i32 =
+  let is = iota h
+  let js = iota w
+  let img = map (\\(i: i32) ->
+    map (\\(j: i32) ->
+      let cr = f32 j / f32 w * 3.5f32 - 2.5f32
+      let ci = f32 i / f32 h * 2.0f32 - 1.0f32
+      let (x, y, it, going) =
+        loop (x = 0.0f32, y = 0.0f32, it = 0, going = true)
+        while going do
+          let x2 = x * x - y * y + cr
+          let y2 = 2.0f32 * x * y + ci
+          let it2 = it + 1
+          let g2 = x2 * x2 + y2 * y2 < 4.0f32 && it2 < limit
+          in {x2, y2, it2, g2}
+      in it) js) is
+  -- checksum so the whole image is demanded
+  in reduce (\\(a: i32) (b: i32) -> a + b) 0
+       (map (\\(row: [w]i32) ->
+          reduce (\\(a: i32) (b: i32) -> a + b) 0 row) img)
+"""
+
+
+def program():
+    return parse(SOURCE)
+
+
+def small_args(rng, sizes):
+    return [
+        scalar(sizes["w"], I32),
+        scalar(sizes["h"], I32),
+        scalar(sizes["limit"], I32),
+    ]
+
+
+def reference() -> ReferenceImpl:
+    # Accelerate: one full-image kernel per iteration step until every
+    # pixel has converged — the full limit of passes, memory-traffic
+    # included each time.
+    return ReferenceImpl(
+        NAME,
+        [
+            gpu_phase(
+                "awhile_step",
+                threads=["w", "h"],
+                flops_total=Count.of(10.0, "w", "h"),
+                accesses=[
+                    mem(3, "w", "h"),  # pixel state in
+                    mem(3, "w", "h", write=True),
+                ],
+                repeats=Count.of(0.35, "limit"),  # most converge early
+            ),
+        ],
+    )

@@ -1,0 +1,71 @@
+"""MRI-Q (Parboil): non-Cartesian MRI reconstruction — for every voxel,
+a sum over all k-space samples of a trigonometric kernel.
+
+The sample arrays are invariant to the voxel dimension and streamed
+sequentially by every thread — the 1D block-tiling opportunity of
+§5.2 ("We have selected the MRI-Q benchmark from Parboil mainly to
+demonstrate tiling"; impact x1.33 per §6.1.1).  The Parboil OpenCL
+reference leaves that locality unexploited (§6.1 attributes the paper's
+speedup to "the reference implementation leaving unoptimised the
+spatial/temporal locality of reference (Myocyte/MRI-Q)").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.prim import F32, I32
+from repro.core.values import array_value
+from repro.frontend import parse
+from ..references import Count, ReferenceImpl, gpu_phase, mem
+
+NAME = "MRI-Q"
+
+SOURCE = """
+fun main (xs: [x]f32) (ys: [x]f32) (zs: [x]f32)
+    (kxs: [k]f32) (kys: [k]f32) (kzs: [k]f32)
+    (phir: [k]f32) (phii: [k]f32): ([x]f32, [x]f32) =
+  let (qrs, qis) = map (\\(xi: f32) (yi: f32) (zi: f32) ->
+    loop (qr = 0.0f32, qi = 0.0f32) for j < k do
+      let ang = 6.2831855f32 *
+        (kxs[j] * xi + kys[j] * yi + kzs[j] * zi)
+      let cs = cos ang
+      let sn = sin ang
+      in {qr + phir[j] * cs - phii[j] * sn,
+          qi + phir[j] * sn + phii[j] * cs})
+    xs ys zs
+  in {qrs, qis}
+"""
+
+
+def program():
+    return parse(SOURCE)
+
+
+def small_args(rng, sizes):
+    x, k = sizes["x"], sizes["k"]
+    mk = lambda n: array_value(
+        rng.normal(size=n).astype(np.float32), F32
+    )
+    return [mk(x), mk(x), mk(x), mk(k), mk(k), mk(k), mk(k), mk(k)]
+
+
+def reference() -> ReferenceImpl:
+    # Parboil's ComputeQ: same arithmetic, sample data re-read from
+    # global memory every iteration (constant-memory capacity exceeded
+    # at this k) — no tiling.
+    return ReferenceImpl(
+        NAME,
+        [
+            gpu_phase(
+                "computeQ",
+                threads=["x"],
+                flops_total=Count.of(30.0, "x", "k"),
+                accesses=[
+                    mem(5, "x", "k", mode="broadcast"),
+                    mem(3, "x"),
+                    mem(2, "x", write=True),
+                ],
+            ),
+        ],
+    )

@@ -1,0 +1,75 @@
+"""Myocyte (Rodinia): many independent cardiac-cell ODE integrations.
+
+Each of the ``w`` instances advances a 91-equation state vector through
+hundreds of solver steps — heavy sequential per-thread code whose state
+and parameter arrays are walked element-wise.  With a row-major layout
+consecutive threads stride by 91: the paper attributes Futhark's
+speedup "to automatic coalescing optimizations, which is tedious to do
+by hand on such large programs"; the CUDA reference keeps the
+uncoalesced layout.  (The paper expanded the dataset to workload=65536
+because the original has parallelism one; no OpenCL reference exists,
+hence the missing AMD entry in Table 1.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.prim import F32, I32
+from repro.core.values import array_value, scalar
+from repro.frontend import parse
+from ..references import Count, ReferenceImpl, gpu_phase, mem
+
+NAME = "Myocyte"
+
+SOURCE = """
+fun main (states0: [w][eq]f32) (params: [w][eq]f32) (steps: i32)
+    : [w][eq]f32 =
+  map (\\(st0: [eq]f32) (pr: [eq]f32) ->
+    let st1 = copy st0
+    in loop (st: *[eq]f32 = st1) for s < steps do
+      loop (st2: *[eq]f32 = st) for j < eq do
+        let jm = if j == 0 then eq - 1 else j - 1
+        let x = st2[j]
+        let xm = st2[jm]
+        let r = pr[j]
+        let st2[j] = x + 0.01f32 * (r * xm - x * x * 0.1f32)
+        in st2)
+    states0 params
+"""
+
+
+def program():
+    return parse(SOURCE)
+
+
+def small_args(rng, sizes):
+    w, eq, steps = sizes["w"], sizes["eq"], sizes["steps"]
+    return [
+        array_value(
+            rng.normal(size=(w, eq)).astype(np.float32) * 0.1, F32
+        ),
+        array_value(
+            np.abs(rng.normal(size=(w, eq))).astype(np.float32), F32
+        ),
+        scalar(steps, I32),
+    ]
+
+
+def reference() -> ReferenceImpl:
+    # The CUDA version: same per-instance solver, but the state and
+    # parameter arrays stay row-major — every access is strided.
+    return ReferenceImpl(
+        NAME,
+        [
+            gpu_phase(
+                "ode_solver",
+                threads=["w"],
+                flops_total=Count.of(6.0, "w", "eq", "steps"),
+                accesses=[
+                    mem("w", "eq", "steps", mode="uncoalesced"),  # params
+                    mem(3, "w", "eq"),  # state kept in registers
+                ],
+            ),
+        ],
+    )

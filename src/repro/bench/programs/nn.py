@@ -1,0 +1,90 @@
+"""NN (Rodinia): k-nearest neighbours of a query among geographic
+records.
+
+One distance map over all records, then ``q`` rounds of an *atypical*
+reduction computing both the minimal value and its index (§6.1: "the
+reduce operator is atypical; it computes both the minimal value and
+the corresponding index"), each followed by an O(1) in-place update
+masking the found record.  Runtime is dominated by many launches of
+short kernels — which is why the paper's speedup is smaller on the AMD
+card with its higher launch overhead.
+
+Reference structure (§6.1): "Rodinia leaving 100 reduce operations for
+finding the nearest neighbors sequential on the CPU" — the reference
+computes distances on the GPU, transfers them, and scans on the host.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.prim import F32, I32
+from repro.core.values import array_value, scalar
+from repro.frontend import parse
+from ..references import Count, ReferenceImpl, gpu_phase, host_phase, mem
+
+NAME = "NN"
+
+SOURCE = """
+fun main (lats: [n]f32) (lons: [n]f32) (lat0: f32) (lon0: f32)
+    (q: i32): ([q]f32, [q]i32) =
+  let dists = map (\\(la: f32) (lo: f32) ->
+      sqrt ((la - lat0) * (la - lat0) + (lo - lon0) * (lo - lon0)))
+      lats lons
+  let idxs = iota n
+  let (ds, outv, outi) =
+    loop (ds: *[n]f32 = dists,
+          outv: *[q]f32 = replicate q 0.0f32,
+          outi: *[q]i32 = replicate q 0)
+    for t < q do
+      let (mv, mi) = reduce
+          (\\(av: f32) (ai: i32) (v: f32) (i: i32) ->
+             if v < av then {v, i} else {av, ai})
+          (1.0e30f32, 0) ds idxs
+      let outv[t] = mv
+      let outi[t] = mi
+      let ds[mi] = 1.0e30f32
+      in {ds, outv, outi}
+  in {outv, outi}
+"""
+
+
+def program():
+    return parse(SOURCE)
+
+
+def small_args(rng, sizes):
+    n, q = sizes["n"], sizes["q"]
+    return [
+        array_value(rng.normal(size=n).astype(np.float32), F32),
+        array_value(rng.normal(size=n).astype(np.float32), F32),
+        scalar(0.5, F32),
+        scalar(-0.5, F32),
+        scalar(q, I32),
+    ]
+
+
+def reference() -> ReferenceImpl:
+    return ReferenceImpl(
+        NAME,
+        [
+            gpu_phase(
+                "distances",
+                threads=["n"],
+                flops_total=Count.of(6.0, "n"),
+                accesses=[
+                    mem("n"),
+                    mem("n"),
+                    mem("n", write=True),
+                ],
+            ),
+            # Transfer the distance array back to the host once...
+            host_phase("transfer", pcie_bytes=Count.of(4.0, "n")),
+            # ...then q sequential min+argmin scans on the CPU.
+            host_phase(
+                "host_minimum",
+                host_flops=Count.of(2.0, "n"),
+                repeats=["q"],
+            ),
+        ],
+    )

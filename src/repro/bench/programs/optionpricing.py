@@ -1,0 +1,99 @@
+"""OptionPricing (FinPar): Sobol quasi-Monte-Carlo option pricing with
+a Brownian-bridge path construction.
+
+Per path: Sobol numbers from direction vectors (a bit loop), then the
+*inherently sequential* Brownian bridge writing path positions through
+indirection arrays — "not expressible without in-place updates" (§6.1.1)
+— then the payoff accumulation.  The top-level map-reduce composition
+fuses into a ``stream_red``; the per-path scratch array lives in global
+memory, strided across threads unless the compiler picks the transposed
+layout (the big coalescing lever: x8.79 per §6.1.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.prim import F32, I32
+from repro.core.values import array_value, scalar
+from repro.frontend import parse
+from ..references import Count, ReferenceImpl, gpu_phase, mem
+
+NAME = "OptionPricing"
+
+SOURCE = """
+fun main (dirvs: [steps][30]i32) (bb_li: [steps]i32)
+    (bb_ri: [steps]i32) (md_drift: [steps]f32)
+    (md_vol: [steps]f32) (paths: i32): f32 =
+  let is = iota paths
+  let payoffs = map (\\(i: i32) ->
+      let bb0 = replicate steps 0.0f32
+      let bridge =
+        loop (bb: *[steps]f32 = bb0) for s < steps do
+          -- Sobol number for (path i, step s).
+          let g =
+            loop (acc = 0) for b < 30 do
+              let bit = (shr i b) % 2
+              in if bit == 1 then xor acc dirvs[s, b] else acc
+          let z = f32 g * 4.6566128e-10f32 - 1.0f32
+          -- Brownian bridge: indirect in-place placement.
+          let li = bb_li[s]
+          let ri = bb_ri[s]
+          let left = bb[li]
+          let right = bb[ri]
+          let bb[s] = 0.5f32 * (left + right)
+            + z * md_vol[s] + md_drift[s]
+          in bb
+      in loop (acc = 0.0f32) for s < steps do
+        acc + max (bridge[s] - 1.0f32) 0.0f32)
+    is
+  in reduce (\\(a: f32) (b: f32) -> a + b) 0.0f32 payoffs
+"""
+
+
+def program():
+    return parse(SOURCE)
+
+
+def small_args(rng, sizes):
+    steps, paths = sizes["steps"], sizes["paths"]
+    return [
+        array_value(
+            rng.integers(0, 1 << 30, size=(steps, 30)).astype(np.int32),
+            I32,
+        ),
+        array_value(
+            rng.integers(0, steps, size=steps).astype(np.int32), I32
+        ),
+        array_value(
+            rng.integers(0, steps, size=steps).astype(np.int32), I32
+        ),
+        array_value(rng.normal(size=steps).astype(np.float32) * 0.01, F32),
+        array_value(
+            np.abs(rng.normal(size=steps)).astype(np.float32) * 0.1, F32
+        ),
+        scalar(paths, I32),
+    ]
+
+
+def reference() -> ReferenceImpl:
+    # FinPar's hand-written OpenCL: the same per-path pipeline with the
+    # scratch and direction-vector layouts hand-transposed; slightly
+    # better tuned than generated code (fewer passes, constant memory).
+    return ReferenceImpl(
+        NAME,
+        [
+            gpu_phase(
+                "mc_pricing",
+                threads=["paths"],
+                flops_total=Count.of(220.0, "paths", "steps"),
+                accesses=[
+                    mem(30, "steps", "paths", mode="tiled"),  # dirvs
+                    mem(4, "paths", "steps"),  # bridge scratch (coalesced)
+                    mem("paths", write=True),
+                ],
+                tiled=True,
+                launches=2.0,
+            ),
+        ],
+    )

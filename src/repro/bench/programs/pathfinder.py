@@ -1,0 +1,69 @@
+"""Pathfinder (Rodinia): dynamic programming over a 2D grid — each row's
+minimal path cost from the three parents in the previous row.
+
+The reference uses time tiling (the "pyramid" kernel) which "unlike
+HotSpot, does not seem to pay off on the tested hardware" (§6.1):
+halo recomputation and synchronisation outweigh the saved passes at
+this small row size, on both devices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.prim import F32, I32
+from repro.core.values import array_value, scalar
+from repro.frontend import parse
+from ..references import Count, ReferenceImpl, gpu_phase, mem
+
+NAME = "Pathfinder"
+
+SOURCE = """
+fun main (wall: [rows][cols]i32): [cols]i32 =
+  let js = iota cols
+  let first = map (\\(j: i32) -> wall[0, j]) js
+  in loop (cur = first) for t < rows do
+    map (\\(j: i32) ->
+      let jm = max (j - 1) 0
+      let jp = min (j + 1) (cols - 1)
+      let best = min (min cur[jm] cur[j]) cur[jp]
+      let tnext = min (t + 1) (rows - 1)
+      in best + wall[tnext, j]) js
+"""
+
+
+def program():
+    return parse(SOURCE)
+
+
+def small_args(rng, sizes):
+    rows, cols = sizes["rows"], sizes["cols"]
+    return [
+        array_value(
+            rng.integers(0, 10, size=(rows, cols)).astype(np.int32), I32
+        ),
+    ]
+
+
+def reference() -> ReferenceImpl:
+    return ReferenceImpl(
+        NAME,
+        [
+            # The pyramid kernel advances several rows per launch but
+            # synchronises its blocks repeatedly and recomputes halos —
+            # at this row width the bookkeeping dominates, on both
+            # devices ("does not seem to pay off on the tested
+            # hardware").
+            gpu_phase(
+                "dynproc_pyramid",
+                threads=["cols"],
+                flops_total=Count.of(40.0, "cols"),
+                accesses=[
+                    mem(4, "cols", mode="uncoalesced"),
+                    mem("cols", write=True),
+                ],
+                launches=8.0,
+                repeats=Count.of(0.5, "rows"),
+            ),
+        ],
+    )

@@ -1,0 +1,101 @@
+"""SRAD (Rodinia): speckle-reducing anisotropic diffusion on an
+ultrasound image — per iteration a global mean (nested reduction), a
+diffusion-coefficient stencil, and a divergence stencil.
+
+The paper attributes Futhark's modest speedup to the reference leaving
+"some (nested) reduce operators" unoptimised: Rodinia's mean is a
+multi-kernel reduction making extra passes over the image.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.prim import F32, I32
+from repro.core.values import array_value, scalar
+from repro.frontend import parse
+from ..references import Count, ReferenceImpl, gpu_phase, mem
+
+NAME = "SRAD"
+
+SOURCE = """
+fun main (img0: [r][c]f32) (iters: i32): [r][c]f32 =
+  let is = iota r
+  let js = iota c
+  let rc = r * c
+  in loop (img = img0) for it < iters do
+    let flat = reshape (rc) img
+    let total = reduce (\\(a: f32) (b: f32) -> a + b) 0.0f32 flat
+    let mean = total / f32 r / f32 c
+    let q0 = mean * mean + 1.0f32
+    let coef = map (\\(i: i32) ->
+        map (\\(j: i32) ->
+          let ip = min (i + 1) (r - 1)
+          let jp = min (j + 1) (c - 1)
+          let ctr = img[i, j]
+          let dn = img[ip, j] - ctr
+          let de = img[i, jp] - ctr
+          let g2 = (dn * dn + de * de) / (ctr * ctr + 0.01f32)
+          let cq = 1.0f32 / (1.0f32 + g2 / q0)
+          in max (min cq 1.0f32) 0.0f32) js) is
+    in map (\\(i: i32) ->
+        map (\\(j: i32) ->
+          let im = max (i - 1) 0
+          let jm = max (j - 1) 0
+          let ctr = img[i, j]
+          let div =
+            coef[i, j] * 4.0f32 - coef[im, j] - coef[i, jm]
+            - coef[min (i + 1) (r - 1), j]
+            - coef[i, min (j + 1) (c - 1)]
+          in ctr + 0.05f32 * div * ctr) js) is
+"""
+
+
+def program():
+    return parse(SOURCE)
+
+
+def small_args(rng, sizes):
+    r, c, iters = sizes["r"], sizes["c"], sizes["iters"]
+    return [
+        array_value(
+            (np.abs(rng.normal(size=(r, c))) + 0.1).astype(np.float32),
+            F32,
+        ),
+        scalar(iters, I32),
+    ]
+
+
+def reference() -> ReferenceImpl:
+    return ReferenceImpl(
+        NAME,
+        [
+            # Rodinia's mean: a naive hierarchical multi-kernel
+            # reduction, several extra full passes over the image.
+            gpu_phase(
+                "srad_reduce",
+                threads=["r", "c"],
+                flops_total=Count.of(1.0, "r", "c"),
+                accesses=[mem(3, "r", "c")],
+                launches=6.0,
+                repeats=["iters"],
+            ),
+            # Rodinia materialises the four directional derivatives
+            # (dN/dS/dE/dW) and the coefficient image as separate
+            # global arrays between its two kernels — the "(nested)
+            # reduce operators" and intermediate traffic §6.1 blames.
+            gpu_phase(
+                "srad_stencils",
+                threads=["r", "c"],
+                flops_total=Count.of(24.0, "r", "c"),
+                accesses=[
+                    mem(2, "r", "c"),  # image reads (cached stencil)
+                    mem(5, "r", "c", write=True),  # dN,dS,dE,dW,c out
+                    mem(5, "r", "c"),  # ... and back in
+                    mem(2, "r", "c", write=True),  # updated image
+                ],
+                launches=2.0,
+                repeats=["iters"],
+            ),
+        ],
+    )

@@ -1,0 +1,239 @@
+"""Cost models of the published reference implementations.
+
+Each of the 16 benchmarks ships with a hand-written OpenCL/CUDA (or
+Accelerate-generated) reference whose *structure* the paper documents —
+including the inefficiencies it attributes speedups to (sequential
+reductions, CPU-side phases, missing coalescing, unfused pipelines) and
+the optimisations it credits slowdowns to (time tiling, tuned kernels).
+This module provides the vocabulary for describing such references so
+they are priced by the *same* device model as our generated code:
+
+* :func:`gpu_phase` — a GPU kernel described by its thread count,
+  per-thread flops, and classified memory streams;
+* :func:`host_phase` — CPU work plus PCIe transfers (e.g. Rodinia NN's
+  sequential nearest-neighbour reductions);
+* :class:`ReferenceImpl` — a sequence of phases, each repeated a given
+  (possibly size-dependent) number of times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..backend.kernel_ir import AccessInfo, Count, Kernel, TileInfo
+from ..gpu.costmodel import CostReport, KernelCost, kernel_cost
+from ..gpu.device import DeviceProfile
+
+__all__ = [
+    "Count",
+    "mem",
+    "gpu_phase",
+    "host_phase",
+    "Phase",
+    "ReferenceImpl",
+]
+
+DimsLike = Sequence[Union[int, str]]
+
+
+def mem(
+    *dims: Union[int, str],
+    bytes_per_elem: int = 4,
+    mode: str = "coalesced",
+    write: bool = False,
+) -> AccessInfo:
+    """One memory stream touching ``prod(dims)`` elements per kernel
+    invocation.  ``mode``: coalesced | uncoalesced | gather | broadcast
+    | tiled (staged through local memory)."""
+    trips = Count.of(1.0, *dims)
+    if mode == "coalesced":
+        return AccessInfo("ref", bytes_per_elem, trips, thread_dims=1,
+                          is_write=write)
+    if mode == "uncoalesced":
+        return AccessInfo("ref", bytes_per_elem, trips, thread_dims=1,
+                          seq_rank=1, is_write=write)
+    if mode == "gather":
+        return AccessInfo("ref", bytes_per_elem, trips, thread_dims=1,
+                          gather=True, is_write=write)
+    if mode == "broadcast":
+        return AccessInfo("ref", bytes_per_elem, trips, invariant=True,
+                          is_write=write)
+    if mode == "tiled":
+        acc = AccessInfo("ref_tiled", bytes_per_elem, trips,
+                         invariant=True, is_write=write)
+        return acc
+    raise ValueError(f"unknown access mode {mode!r}")
+
+
+@dataclass
+class Phase:
+    """One phase of a reference implementation."""
+
+    name: str
+    repeats: Count
+    # GPU phase:
+    threads: Optional[Count] = None
+    flops_total: Count = field(default_factory=Count.zero)
+    accesses: List[AccessInfo] = field(default_factory=list)
+    launches: float = 1.0
+    tiled_arrays: bool = False
+    #: A device-dependent time multiplier (e.g. time-tiled stencils run
+    #: at device.time_tiling_efficiency).
+    device_factor: Optional[Callable[[DeviceProfile], float]] = None
+    # Host phase:
+    host_flops: Count = field(default_factory=Count.zero)
+    pcie_bytes: Count = field(default_factory=Count.zero)
+    #: Override of the device profile's host throughput (GFLOP/s) —
+    #: e.g. a vectorised multi-core loop vs a naive scalar scan.
+    host_gflops: Optional[float] = None
+
+
+def _count(x: Union[int, float, Count, DimsLike]) -> Count:
+    if isinstance(x, Count):
+        return x
+    if isinstance(x, (int, float)):
+        return Count.of(float(x))
+    return Count.of(1.0, *x)
+
+
+def gpu_phase(
+    name: str,
+    threads: Union[Count, DimsLike],
+    flops_total: Union[Count, int, float] = 0,
+    accesses: Sequence[AccessInfo] = (),
+    repeats: Union[Count, int, DimsLike] = 1,
+    launches: float = 1.0,
+    tiled: bool = False,
+    device_factor: Optional[Callable[[DeviceProfile], float]] = None,
+) -> Phase:
+    return Phase(
+        name=name,
+        repeats=_count(repeats),
+        threads=_count(threads),
+        flops_total=_count(flops_total),
+        accesses=list(accesses),
+        launches=launches,
+        tiled_arrays=tiled,
+        device_factor=device_factor,
+    )
+
+
+def host_phase(
+    name: str,
+    host_flops: Union[Count, int, float] = 0,
+    pcie_bytes: Union[Count, int, float] = 0,
+    repeats: Union[Count, int, DimsLike] = 1,
+    gflops: Optional[float] = None,
+) -> Phase:
+    return Phase(
+        name=name,
+        repeats=_count(repeats),
+        host_flops=_count(host_flops),
+        pcie_bytes=_count(pcie_bytes),
+        host_gflops=gflops,
+    )
+
+
+@dataclass
+class ReferenceImpl:
+    """A reference implementation as a sequence of costed phases."""
+
+    name: str
+    phases: List[Phase]
+
+    def estimate(
+        self, size_env: Mapping[str, int], device: DeviceProfile
+    ) -> CostReport:
+        report = CostReport(device.name)
+        for phase in self.phases:
+            repeats = phase.repeats.evaluate(size_env)
+            if repeats <= 0:
+                continue
+            if phase.threads is not None:
+                time_us = self._gpu_time(phase, size_env, device)
+            else:
+                time_us = self._host_time(phase, size_env, device)
+            report.kernel_costs.append(
+                KernelCost(
+                    name=phase.name,
+                    kind="reference",
+                    launches=phase.launches * repeats,
+                    time_us=time_us * repeats,
+                    mem_us=0.0,
+                    compute_us=0.0,
+                    bytes_effective=0.0,
+                    bytes_raw=0.0,
+                    flops=phase.flops_total.evaluate(size_env) * repeats,
+                )
+            )
+        return report
+
+    def _gpu_time(
+        self,
+        phase: Phase,
+        size_env: Mapping[str, int],
+        device: DeviceProfile,
+    ) -> float:
+        threads = max(1.0, phase.threads.evaluate(size_env))
+        flops = phase.flops_total.evaluate(size_env)
+        # Build a throwaway kernel so GPU pricing goes through exactly
+        # the same roofline as compiled code.
+        kernel = Kernel(
+            name=phase.name,
+            kind="map",
+            grid=(),
+            seg_width=None,
+            exp=None,  # type: ignore[arg-type]
+            pat=(),
+            accesses=list(phase.accesses),
+        )
+        if phase.tiled_arrays:
+            from ..backend.kernel_ir import TileInfo
+
+            kernel.tiles = [
+                TileInfo(a.array, a.elem_bytes)
+                for a in phase.accesses
+                if a.array == "ref_tiled"
+            ]
+        from ..gpu.costmodel import _occupancy
+
+        bytes_eff = 0.0
+        tiled = {t.array for t in kernel.tiles}
+        for acc in kernel.accesses:
+            raw = acc.trips.evaluate(size_env) * acc.elem_bytes
+            if acc.invariant:
+                if acc.array in tiled:
+                    bytes_eff += raw / device.block
+                    bytes_eff += raw / device.local_bandwidth_ratio
+                else:
+                    bytes_eff += raw / 3.0
+            elif acc.gather:
+                bytes_eff += raw * device.gather_penalty
+            elif acc.seq_rank > 0:
+                bytes_eff += raw * device.uncoalesced_penalty
+            else:
+                bytes_eff += raw
+        occ = _occupancy(threads, device)
+        mem_us = bytes_eff * device.mem_us_per_byte() / occ
+        compute_us = flops * device.flop_us() / occ
+        time = phase.launches * device.launch_overhead_us + max(
+            mem_us, compute_us
+        )
+        if phase.device_factor is not None:
+            time *= phase.device_factor(device)
+        return time
+
+    def _host_time(
+        self,
+        phase: Phase,
+        size_env: Mapping[str, int],
+        device: DeviceProfile,
+    ) -> float:
+        flops = phase.host_flops.evaluate(size_env)
+        transfer = phase.pcie_bytes.evaluate(size_env)
+        gflops = phase.host_gflops or device.host_gflops
+        return (
+            flops * 1e-3 / gflops
+            + transfer * 1e-3 / device.pcie_gbs
+        )

@@ -1,0 +1,195 @@
+"""The benchmark runner: regenerates the evaluation artefacts.
+
+* :func:`validate_benchmark` — compile a benchmark, execute it on the
+  simulated GPU at reduced scale, and check the results against the
+  reference interpreter (bit-exact for integers, tolerance for floats).
+* :func:`table1_runtimes` — Table 1: reference vs Futhark runtimes (ms)
+  on both device profiles, at paper-scale dataset sizes.
+* :func:`figure13_speedups` — Fig. 13: relative speedups.
+* :func:`run_impact` — the §6.1.1 optimisation-impact ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..core.values import values_equal
+from ..gpu.device import AMD_W8100, NVIDIA_GTX780TI, DeviceProfile
+from ..interp import run_program
+from ..pipeline import CompilerOptions, compile_program
+from .suite import BENCHMARKS, BenchmarkSpec
+
+__all__ = [
+    "validate_benchmark",
+    "table1_runtimes",
+    "figure13_speedups",
+    "run_impact",
+    "Row",
+]
+
+_DEVICES = (NVIDIA_GTX780TI, AMD_W8100)
+
+
+@dataclass
+class Row:
+    """One Table 1 / Fig. 13 row."""
+
+    name: str
+    ref_ms: Dict[str, float] = field(default_factory=dict)
+    fut_ms: Dict[str, float] = field(default_factory=dict)
+
+    def speedup(self, device: str) -> float:
+        return self.ref_ms[device] / self.fut_ms[device]
+
+
+def validate_benchmark(name: str, seed: int = 0) -> None:
+    """Functional validation at reduced scale: the compiled program on
+    the simulated GPU must agree with the reference interpreter."""
+    spec = BENCHMARKS[name]
+    rng = np.random.default_rng(seed)
+    args = spec.small_args(rng)
+    prog = spec.program()
+    expected = run_program(prog, args, in_place=True)
+    compiled = compile_program(prog)
+    got, report = compiled.run(args)
+    assert len(got) == len(expected), name
+    for e, g in zip(expected, got):
+        assert values_equal(e, g, rtol=1e-4, atol=1e-4), (
+            f"{name}: simulated result differs from interpreter"
+        )
+    assert report.total_us > 0
+
+
+def _program_dims(compiled) -> set:
+    dims = set()
+    for k in compiled.host.kernels():
+        dims.update(d for d in k.grid_dims() if isinstance(d, str))
+        for c, ds in k.flops_per_thread.terms:
+            dims.update(ds)
+        for a in k.accesses:
+            for c, ds in a.trips.terms:
+                dims.update(ds)
+    return dims
+
+
+def check_size_coverage(compiled, size_env, name: str) -> None:
+    """Guard against silently unpriced dimensions: every size variable
+    the kernels depend on must be bound by the dataset or computed by
+    a host statement the estimator can resolve."""
+    from ..backend.kernel_ir import HostEval, HostIfStmt, HostLoopStmt
+
+    host_defined = set()
+
+    def walk(stmts):
+        for s in stmts:
+            if isinstance(s, HostEval):
+                host_defined.update(s.binding.names())
+            elif isinstance(s, HostLoopStmt):
+                host_defined.update(p.name for p, _ in s.merge)
+                if hasattr(s.form, "ivar"):
+                    host_defined.add(s.form.ivar)
+                walk(s.body)
+            elif isinstance(s, HostIfStmt):
+                walk(s.then_body)
+                walk(s.else_body)
+
+    walk(compiled.host.stmts)
+    missing = _program_dims(compiled) - set(size_env) - host_defined
+    if missing:
+        raise ValueError(
+            f"{name}: dataset does not bind size variables {sorted(missing)}"
+        )
+
+
+def _estimate_pair(
+    spec: BenchmarkSpec,
+    device: DeviceProfile,
+    options: Optional[CompilerOptions] = None,
+) -> Tuple[float, float]:
+    sizes = spec.dataset.full
+    compiled = compile_program(spec.program(), options)
+    fut = compiled.estimate(sizes, device).total_ms
+    ref = spec.reference().estimate(sizes, device).total_ms
+    return ref, fut
+
+
+def table1_runtimes(
+    names: Optional[List[str]] = None,
+    devices: Tuple[DeviceProfile, ...] = _DEVICES,
+) -> List[Row]:
+    """Reference vs Futhark runtimes at paper scale (Table 1)."""
+    names = names or list(BENCHMARKS.names())
+    rows: List[Row] = []
+    for name in names:
+        spec = BENCHMARKS[name]
+        compiled = compile_program(spec.program())
+        check_size_coverage(compiled, spec.dataset.full, name)
+        ref_impl = spec.reference()
+        row = Row(name)
+        for device in devices:
+            sizes = spec.dataset.full
+            row.fut_ms[device.name] = compiled.estimate(
+                sizes, device
+            ).total_ms
+            row.ref_ms[device.name] = ref_impl.estimate(
+                sizes, device
+            ).total_ms
+        rows.append(row)
+    return rows
+
+
+def figure13_speedups(
+    names: Optional[List[str]] = None,
+    devices: Tuple[DeviceProfile, ...] = _DEVICES,
+) -> Dict[str, Dict[str, float]]:
+    """Relative speedup (reference / Futhark) per benchmark per device."""
+    out: Dict[str, Dict[str, float]] = {}
+    for row in table1_runtimes(names, devices):
+        out[row.name] = {
+            device.name: row.speedup(device.name) for device in devices
+        }
+    return out
+
+
+#: The §6.1.1 ablations: which pipeline switch each one turns off.
+_IMPACT_OPTIONS = {
+    "fusion": CompilerOptions(fusion=False),
+    "coalescing": CompilerOptions(coalescing=False),
+    "tiling": CompilerOptions(tiling=False),
+    "interchange": CompilerOptions(interchange=False),
+}
+
+
+def run_impact(
+    kind: str,
+    names: List[str],
+    device: DeviceProfile = NVIDIA_GTX780TI,
+) -> Dict[str, float]:
+    """Slowdown factor from disabling one optimisation (§6.1.1):
+    time(without) / time(with), per benchmark, on the NVIDIA profile
+    (as in the paper).  ``kind='inplace'`` compares against each
+    benchmark's explicit no-in-place program variant."""
+    out: Dict[str, float] = {}
+    for name in names:
+        spec = BENCHMARKS[name]
+        sizes = spec.dataset.full
+        base = compile_program(spec.program()).estimate(
+            sizes, device
+        ).total_ms
+        if kind == "inplace":
+            variant = spec.variant("no_inplace")
+            if variant is None:
+                raise ValueError(f"{name} has no no-inplace variant")
+            slow = compile_program(variant).estimate(
+                sizes, device
+            ).total_ms
+        else:
+            options = _IMPACT_OPTIONS[kind]
+            slow = compile_program(spec.program(), options).estimate(
+                sizes, device
+            ).total_ms
+        out[name] = slow / base
+    return out

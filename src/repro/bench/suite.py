@@ -1,0 +1,77 @@
+"""The benchmark registry: one spec per paper benchmark."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from .datasets import TABLE2, Dataset
+from .programs import ALL_NAMES, module_for
+
+__all__ = ["BenchmarkSpec", "BENCHMARKS", "get_benchmark"]
+
+
+@dataclass
+class BenchmarkSpec:
+    name: str
+    suite: str  # Rodinia | FinPar | Parboil | Accelerate
+    dataset: Dataset
+    module: object
+
+    def program(self):
+        return self.module.program()
+
+    def small_args(self, rng):
+        return self.module.small_args(rng, self.dataset.small)
+
+    def reference(self):
+        return self.module.reference()
+
+    def variant(self, name: str):
+        """An ablation variant program (e.g. 'no_inplace'), if any."""
+        fn = getattr(self.module, f"program_{name}", None)
+        return fn() if fn is not None else None
+
+
+_SUITES = {
+    "Backprop": "Rodinia",
+    "CFD": "Rodinia",
+    "HotSpot": "Rodinia",
+    "K-means": "Rodinia",
+    "LavaMD": "Rodinia",
+    "Myocyte": "Rodinia",
+    "NN": "Rodinia",
+    "Pathfinder": "Rodinia",
+    "SRAD": "Rodinia",
+    "LocVolCalib": "FinPar",
+    "OptionPricing": "FinPar",
+    "MRI-Q": "Parboil",
+    "Crystal": "Accelerate",
+    "Fluid": "Accelerate",
+    "Mandelbrot": "Accelerate",
+    "N-body": "Accelerate",
+}
+
+
+def get_benchmark(name: str) -> BenchmarkSpec:
+    return BenchmarkSpec(
+        name=name,
+        suite=_SUITES[name],
+        dataset=TABLE2[name],
+        module=module_for(name),
+    )
+
+
+class _Lazy(dict):
+    """Benchmark specs, imported on first access."""
+
+    def __missing__(self, name: str) -> BenchmarkSpec:
+        spec = get_benchmark(name)
+        self[name] = spec
+        return spec
+
+    def names(self):
+        return ALL_NAMES
+
+
+BENCHMARKS = _Lazy()

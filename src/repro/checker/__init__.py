@@ -1,0 +1,19 @@
+"""Static checking: types and shapes, alias analysis (Fig. 5), and
+uniqueness / in-place-update checking (Fig. 6)."""
+
+from .errors import AliasError, CheckError, TypeCheckError, UniquenessError  # noqa: F401
+from .typecheck import TypeChecker, check_types  # noqa: F401
+from .alias import AliasAnalysis  # noqa: F401
+from .uniqueness import UniquenessChecker, check_uniqueness  # noqa: F401
+
+
+def check_program(prog, check_unique: bool = True):
+    """Run the full static-checking pipeline on a program.
+
+    Returns the :class:`TypeChecker` (whose tables later passes reuse);
+    raises a :class:`CheckError` subclass on the first violation.
+    """
+    tc = check_types(prog)
+    if check_unique:
+        check_uniqueness(prog)
+    return tc

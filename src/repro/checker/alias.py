@@ -1,0 +1,164 @@
+"""Alias analysis — the inference rules of Fig. 5.
+
+The central judgment ``Σ ⊢ e ⇒ ⟨σ1, ..., σn⟩`` assigns each of an
+expression's results an *alias set*: the variables in scope the result
+may share elements with.  ``Σ`` maps every variable in scope to its
+alias set.
+
+The rules implemented here follow the paper:
+
+* ALIAS-VAR: a variable aliases itself and everything it aliases;
+* ALIAS-CONST, ALIAS-MAP (and other value-producing SOACs): fresh — ∅;
+* ALIAS-IF: component-wise union of the branches;
+* ALIAS-INDEXARRAY: a scalar read aliases nothing;
+* ALIAS-SLICEARRAY: a slice aliases its origin;
+* ALIAS-DOLOOP: the body result's aliases minus the merge parameters;
+* ALIAS-UPDATE: the update result takes Σ(va);
+* ALIAS-APPLY-UNIQUE / -NONUNIQUE: unique results alias nothing,
+  non-unique results conservatively alias all non-unique arguments.
+
+``rearrange``/``reshape``/slice-index results share their operand's
+representation and therefore alias it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Mapping, Tuple
+
+from ..core import ast as A
+from ..core.types import Array, Prim, Type
+from .errors import AliasError
+
+__all__ = ["AliasSet", "AliasAnalysis", "EMPTY"]
+
+AliasSet = FrozenSet[str]
+EMPTY: AliasSet = frozenset()
+
+
+class AliasAnalysis:
+    """Per-expression alias computation.
+
+    Holds the program's function signatures (for the APPLY rules) and a
+    type environment interface (for distinguishing scalar indexing from
+    slicing).
+    """
+
+    def __init__(
+        self,
+        fun_sigs: Mapping[str, Tuple[Tuple[A.Param, ...], Tuple["TypeDeclLike", ...]]],
+    ) -> None:
+        # fun_sigs maps name -> (params, ret TypeDecls); we only need
+        # the uniqueness attributes here.
+        self._sigs = fun_sigs
+
+    def atom_aliases(self, a: A.Atom, sigma: Mapping[str, AliasSet]) -> AliasSet:
+        """ALIAS-VAR / ALIAS-CONST: ``{v} ∪ Σ(v)`` or ∅."""
+        if isinstance(a, A.Const):
+            return EMPTY
+        return frozenset({a.name}) | sigma.get(a.name, EMPTY)
+
+    def exp_aliases(
+        self,
+        e: A.Exp,
+        sigma: Mapping[str, AliasSet],
+        types: Mapping[str, Type],
+        body_aliases,
+    ) -> List[AliasSet]:
+        """The alias sets of each of ``e``'s results.
+
+        ``body_aliases(body, sigma)`` is a callback computing the alias
+        sets of a sub-body's results (supplied by the uniqueness
+        checker, which owns scoping).
+        """
+        if isinstance(e, A.AtomExp):
+            return [self.atom_aliases(e.atom, sigma)]
+
+        if isinstance(
+            e,
+            (
+                A.BinOpExp,
+                A.CmpOpExp,
+                A.UnOpExp,
+                A.ConvOpExp,
+                A.IotaExp,
+                A.ReplicateExp,
+                A.CopyExp,
+                A.ConcatExp,
+            ),
+        ):
+            return [EMPTY]
+
+        if isinstance(e, A.IfExp):
+            t_sets = body_aliases(e.t_body, sigma)
+            f_sets = body_aliases(e.f_body, sigma)
+            if len(t_sets) != len(f_sets):
+                raise AliasError("if branches produce differing arities")
+            return [t | f for t, f in zip(t_sets, f_sets)]
+
+        if isinstance(e, A.IndexExp):
+            arr_t = types.get(e.arr.name)
+            if isinstance(arr_t, Array) and len(e.idxs) < len(arr_t.shape):
+                # ALIAS-SLICEARRAY.
+                return [self.atom_aliases(e.arr, sigma)]
+            # ALIAS-INDEXARRAY: scalar read.
+            return [EMPTY]
+
+        if isinstance(e, A.UpdateExp):
+            # ALIAS-UPDATE: the result takes Σ(va).
+            return [sigma.get(e.arr.name, EMPTY)]
+
+        if isinstance(e, (A.RearrangeExp, A.ReshapeExp)):
+            # Representation-changing views share the buffer.
+            return [self.atom_aliases(e.arr, sigma)]
+
+        if isinstance(e, A.ApplyExp):
+            if e.fname not in self._sigs:
+                raise AliasError(f"call of unknown function {e.fname!r}")
+            params, ret_decls = self._sigs[e.fname]
+            nonunique_args: AliasSet = EMPTY
+            for p, a in zip(params, e.args):
+                if not p.unique:
+                    nonunique_args |= self.atom_aliases(a, sigma)
+            out: List[AliasSet] = []
+            for decl in ret_decls:
+                if getattr(decl, "unique", False):
+                    out.append(EMPTY)  # ALIAS-APPLY-UNIQUE
+                else:
+                    out.append(nonunique_args)  # ALIAS-APPLY-NONUNIQUE
+            return out
+
+        if isinstance(e, A.LoopExp):
+            merge_names = {p.name for p, _ in e.merge}
+            inner_sigma: Dict[str, AliasSet] = dict(sigma)
+            for p, init in e.merge:
+                inner_sigma[p.name] = self.atom_aliases(init, sigma)
+            sets = body_aliases(e.body, inner_sigma)
+            # ALIAS-DOLOOP: strip the merge parameters.
+            return [s - merge_names for s in sets]
+
+        if isinstance(e, A.MapExp):
+            return [EMPTY] * len(e.lam.ret_types)
+
+        if isinstance(e, (A.ReduceExp, A.ScanExp)):
+            return [EMPTY] * len(e.lam.ret_types)
+
+        if isinstance(e, A.StreamMapExp):
+            return [EMPTY] * len(e.lam.ret_types)
+
+        if isinstance(e, A.StreamRedExp):
+            return [EMPTY] * len(e.fold_lam.ret_types)
+
+        if isinstance(e, A.StreamSeqExp):
+            return [EMPTY] * len(e.lam.ret_types)
+
+        if isinstance(e, A.FilterExp):
+            return [EMPTY, EMPTY]  # count and compacted array: fresh
+
+        if isinstance(e, A.ScatterExp):
+            return [sigma.get(e.dest.name, EMPTY)]
+
+        raise AliasError(f"no alias rule for {type(e).__name__}")
+
+
+# Only for the type annotation above; avoids importing TypeDecl eagerly.
+TypeDeclLike = object

@@ -1,0 +1,21 @@
+"""Error hierarchy for static checking."""
+
+__all__ = ["CheckError", "TypeCheckError", "AliasError", "UniquenessError"]
+
+
+class CheckError(Exception):
+    """Base class for all static-checking failures."""
+
+
+class TypeCheckError(CheckError):
+    """A type or shape error."""
+
+
+class AliasError(CheckError):
+    """An internal inconsistency in alias tracking."""
+
+
+class UniquenessError(CheckError):
+    """A violation of the in-place update discipline of Section 3:
+    use-after-consume, consuming a non-unique parameter, a map function
+    consuming a free variable, etc."""

@@ -1,0 +1,520 @@
+"""The monomorphic type and shape checker (Section 2.2).
+
+Validates a whole program: operand types of every expression, lambda
+shapes against SOAC inputs, loop merge consistency, pattern arity, the
+regularity restriction, and return-type declarations.  Produces the
+per-function signature table reused by later passes.
+
+Shape checking is *hybrid*, as in the paper: statically known sizes must
+match exactly, symbolic-vs-constant comparisons are accepted statically
+and deferred to the interpreter's dynamic checks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..core import ast as A
+from ..core.prim import BINOPS, BOOL, CMPOPS, I32, UNOPS, PrimType
+from ..core.types import (
+    Array,
+    Prim,
+    Type,
+    dim_equal,
+    row_type,
+    types_compatible,
+)
+from ..core.typeinfer import FunSigs, atom_type, exp_types
+from .errors import TypeCheckError
+
+__all__ = ["TypeChecker", "check_types"]
+
+
+class TypeChecker:
+    """Checks one program; retains the signature table and the types of
+    every binding for reuse by later passes."""
+
+    def __init__(self, prog: A.Prog) -> None:
+        self.prog = prog
+        self.sigs: Dict[str, Tuple[Tuple[A.Param, ...], Tuple[Type, ...]]] = {
+            f.name: (f.params, f.ret_types) for f in prog.funs
+        }
+
+    def check(self) -> "TypeChecker":
+        names = [f.name for f in self.prog.funs]
+        if len(names) != len(set(names)):
+            raise TypeCheckError("duplicate function names")
+        for fun in self.prog.funs:
+            self._check_fun(fun)
+        return self
+
+    # -- function-level ------------------------------------------------------
+
+    def _check_fun(self, fun: A.FunDef) -> None:
+        env: Dict[str, Type] = {}
+        for p in fun.params:
+            if p.name in env:
+                raise TypeCheckError(
+                    f"{fun.name}: duplicate parameter {p.name}"
+                )
+            env[p.name] = p.type
+            if isinstance(p.type, Array):
+                for d in p.type.shape:
+                    if isinstance(d, str):
+                        env.setdefault(d, Prim(I32))
+        result_ts = self._check_body(fun.body, env, where=fun.name)
+        if len(result_ts) != len(fun.ret):
+            raise TypeCheckError(
+                f"{fun.name}: returns {len(result_ts)} values but "
+                f"declares {len(fun.ret)}"
+            )
+        # Declared result dims not bound by any parameter are
+        # *existential* (the size-slicing treatment of §2.2, needed
+        # e.g. for filter results): they unify with anything.
+        known = set(env)
+        for i, (rt, decl) in enumerate(zip(result_ts, fun.ret)):
+            if not _result_compatible(rt, decl.type, known):
+                raise TypeCheckError(
+                    f"{fun.name}: result #{i} has type {rt}, "
+                    f"declared {decl.type}"
+                )
+
+    # -- bodies ---------------------------------------------------------------
+
+    def _check_body(
+        self, body: A.Body, env: Dict[str, Type], where: str
+    ) -> Tuple[Type, ...]:
+        env = dict(env)
+        for bnd in body.bindings:
+            ts = self._check_exp(bnd.exp, env, where)
+            if len(ts) != len(bnd.pat):
+                raise TypeCheckError(
+                    f"{where}: pattern of {len(bnd.pat)} names bound to "
+                    f"{len(ts)} values"
+                )
+            for p, t in zip(bnd.pat, ts):
+                if p.name in env and p.name in {
+                    q.name for q in bnd.pat
+                } - {p.name}:
+                    raise TypeCheckError(
+                        f"{where}: duplicate name {p.name} in pattern"
+                    )
+                if not types_compatible(p.type, t):
+                    raise TypeCheckError(
+                        f"{where}: {p.name} declared {p.type} but bound "
+                        f"to {t}"
+                    )
+                env[p.name] = p.type
+        return tuple(atom_type(a, env) for a in body.result)
+
+    # -- expressions ------------------------------------------------------------
+
+    def _prim_atom(
+        self, a: A.Atom, env: Dict[str, Type], where: str, what: str
+    ) -> PrimType:
+        t = atom_type(a, env)
+        if not isinstance(t, Prim):
+            raise TypeCheckError(f"{where}: {what} must be scalar, is {t}")
+        return t.t
+
+    def _index_atom(
+        self, a: A.Atom, env: Dict[str, Type], where: str, what: str
+    ) -> None:
+        t = self._prim_atom(a, env, where, what)
+        if not t.is_integral:
+            raise TypeCheckError(
+                f"{where}: {what} must be integral, is {t}"
+            )
+
+    def _array_atom(
+        self, a: A.Atom, env: Dict[str, Type], where: str, what: str
+    ) -> Array:
+        t = atom_type(a, env)
+        if not isinstance(t, Array):
+            raise TypeCheckError(f"{where}: {what} must be an array, is {t}")
+        return t
+
+    def _check_lambda(
+        self,
+        lam: A.Lambda,
+        arg_types: Sequence[Type],
+        env: Dict[str, Type],
+        where: str,
+    ) -> None:
+        if len(lam.params) != len(arg_types):
+            raise TypeCheckError(
+                f"{where}: lambda takes {len(lam.params)} parameters, "
+                f"applied to {len(arg_types)} values"
+            )
+        inner = dict(env)
+        for p, at in zip(lam.params, arg_types):
+            if not types_compatible(p.type, at):
+                raise TypeCheckError(
+                    f"{where}: lambda parameter {p.name}: {p.type} "
+                    f"applied to value of type {at}"
+                )
+            inner[p.name] = p.type
+            if isinstance(p.type, Array):
+                for d in p.type.shape:
+                    if isinstance(d, str):
+                        inner.setdefault(d, Prim(I32))
+            # A scalar i32 parameter may serve as a size (e.g. the chunk
+            # size of a streaming SOAC).
+            if p.type == Prim(I32):
+                inner.setdefault(p.name, Prim(I32))
+        result_ts = self._check_body(lam.body, inner, where)
+        if len(result_ts) != len(lam.ret_types):
+            raise TypeCheckError(
+                f"{where}: lambda declares {len(lam.ret_types)} results, "
+                f"returns {len(result_ts)}"
+            )
+        for i, (rt, dt) in enumerate(zip(result_ts, lam.ret_types)):
+            if not types_compatible(rt, dt):
+                raise TypeCheckError(
+                    f"{where}: lambda result #{i} has type {rt}, "
+                    f"declared {dt}"
+                )
+
+    def _soac_input_row_types(
+        self,
+        width: A.Atom,
+        arrs: Sequence[A.Var],
+        env: Dict[str, Type],
+        where: str,
+    ) -> List[Type]:
+        self._index_atom(width, env, where, "SOAC width")
+        row_ts: List[Type] = []
+        for arr in arrs:
+            at = self._array_atom(arr, env, where, f"SOAC input {arr.name}")
+            from ..core.typeinfer import atom_dim
+
+            if not dim_equal(at.shape[0], atom_dim(width)):
+                raise TypeCheckError(
+                    f"{where}: SOAC input {arr.name} has outer size "
+                    f"{at.shape[0]}, width is {width}"
+                )
+            row_ts.append(row_type(at))
+        return row_ts
+
+    def _check_exp(
+        self, e: A.Exp, env: Dict[str, Type], where: str
+    ) -> Tuple[Type, ...]:
+        if isinstance(e, A.AtomExp):
+            return (atom_type(e.atom, env),)
+
+        if isinstance(e, A.BinOpExp):
+            if e.op not in BINOPS:
+                raise TypeCheckError(f"{where}: unknown binop {e.op!r}")
+            xt = self._prim_atom(e.x, env, where, f"operand of {e.op}")
+            yt = self._prim_atom(e.y, env, where, f"operand of {e.op}")
+            if xt != e.t or yt != e.t:
+                raise TypeCheckError(
+                    f"{where}: {e.op}@{e.t} applied to {xt} and {yt}"
+                )
+            if e.op == "div" and e.t.is_integral:
+                raise TypeCheckError(
+                    f"{where}: use idiv for integral division"
+                )
+            if e.op in ("and", "or") and not e.t.is_bool:
+                raise TypeCheckError(
+                    f"{where}: logical {e.op} requires bool operands"
+                )
+            return (Prim(e.t),)
+
+        if isinstance(e, A.CmpOpExp):
+            if e.op not in CMPOPS:
+                raise TypeCheckError(f"{where}: unknown cmpop {e.op!r}")
+            xt = self._prim_atom(e.x, env, where, f"operand of {e.op}")
+            yt = self._prim_atom(e.y, env, where, f"operand of {e.op}")
+            if xt != e.t or yt != e.t:
+                raise TypeCheckError(
+                    f"{where}: {e.op}@{e.t} applied to {xt} and {yt}"
+                )
+            return (Prim(BOOL),)
+
+        if isinstance(e, A.UnOpExp):
+            if e.op not in UNOPS:
+                raise TypeCheckError(f"{where}: unknown unop {e.op!r}")
+            xt = self._prim_atom(e.x, env, where, f"operand of {e.op}")
+            if xt != e.t:
+                raise TypeCheckError(
+                    f"{where}: {e.op}@{e.t} applied to {xt}"
+                )
+            return (Prim(e.t),)
+
+        if isinstance(e, A.ConvOpExp):
+            xt = self._prim_atom(e.x, env, where, "conversion operand")
+            if xt != e.from_t:
+                raise TypeCheckError(
+                    f"{where}: conversion from {e.from_t} applied to {xt}"
+                )
+            return (Prim(e.to_t),)
+
+        if isinstance(e, A.IfExp):
+            ct = self._prim_atom(e.cond, env, where, "if condition")
+            if not ct.is_bool:
+                raise TypeCheckError(
+                    f"{where}: if condition has type {ct}, expected bool"
+                )
+            t_ts = self._check_body(e.t_body, env, where)
+            f_ts = self._check_body(e.f_body, env, where)
+            for name, ts in (("then", t_ts), ("else", f_ts)):
+                if len(ts) != len(e.ret_types):
+                    raise TypeCheckError(
+                        f"{where}: {name}-branch returns {len(ts)} values, "
+                        f"if declares {len(e.ret_types)}"
+                    )
+                for i, (bt, dt) in enumerate(zip(ts, e.ret_types)):
+                    if not types_compatible(bt, dt):
+                        raise TypeCheckError(
+                            f"{where}: {name}-branch result #{i} has type "
+                            f"{bt}, if declares {dt}"
+                        )
+            return tuple(e.ret_types)
+
+        if isinstance(e, A.IndexExp):
+            at = self._array_atom(e.arr, env, where, "indexed value")
+            if len(e.idxs) > len(at.shape):
+                raise TypeCheckError(
+                    f"{where}: too many indices for {e.arr.name}: {at}"
+                )
+            for i in e.idxs:
+                self._index_atom(i, env, where, "index")
+            return (row_type(at, len(e.idxs)),)
+
+        if isinstance(e, A.UpdateExp):
+            at = self._array_atom(e.arr, env, where, "updated value")
+            if len(e.idxs) > len(at.shape):
+                raise TypeCheckError(
+                    f"{where}: too many indices updating {e.arr.name}"
+                )
+            for i in e.idxs:
+                self._index_atom(i, env, where, "update index")
+            vt = atom_type(e.value, env)
+            expect = row_type(at, len(e.idxs))
+            if not types_compatible(vt, expect):
+                raise TypeCheckError(
+                    f"{where}: updating {e.arr.name} with a {vt}, "
+                    f"expected {expect}"
+                )
+            return (at,)
+
+        if isinstance(e, (A.IotaExp, A.ReplicateExp)):
+            if isinstance(e, A.IotaExp):
+                self._index_atom(e.n, env, where, "iota size")
+            else:
+                self._index_atom(e.n, env, where, "replicate size")
+                atom_type(e.value, env)
+            return exp_types(e, env, self.sigs)
+
+        if isinstance(e, (A.RearrangeExp, A.ReshapeExp, A.CopyExp)):
+            self._array_atom(
+                getattr(e, "arr"), env, where, "array operand"
+            )
+            if isinstance(e, A.ReshapeExp):
+                for s in e.shape:
+                    self._index_atom(s, env, where, "reshape dimension")
+            return exp_types(e, env, self.sigs)
+
+        if isinstance(e, A.ConcatExp):
+            ts = [
+                self._array_atom(a, env, where, "concat operand")
+                for a in e.arrs
+            ]
+            first = ts[0]
+            for t in ts[1:]:
+                if t.elem != first.elem or len(t.shape) != len(first.shape):
+                    raise TypeCheckError(
+                        f"{where}: concat of incompatible arrays "
+                        f"{first} and {t}"
+                    )
+                for d1, d2 in zip(first.shape[1:], t.shape[1:]):
+                    if not dim_equal(d1, d2):
+                        raise TypeCheckError(
+                            f"{where}: concat rows differ: {first} vs {t}"
+                        )
+            return exp_types(e, env, self.sigs)
+
+        if isinstance(e, A.ApplyExp):
+            if e.fname not in self.sigs:
+                raise TypeCheckError(
+                    f"{where}: call of unknown function {e.fname!r}"
+                )
+            params, _ = self.sigs[e.fname]
+            if len(params) != len(e.args):
+                raise TypeCheckError(
+                    f"{where}: {e.fname} takes {len(params)} arguments, "
+                    f"got {len(e.args)}"
+                )
+            for p, a in zip(params, e.args):
+                at = atom_type(a, env)
+                if not types_compatible(at, p.type):
+                    raise TypeCheckError(
+                        f"{where}: argument for {e.fname}'s {p.name}: "
+                        f"{p.type} has type {at}"
+                    )
+            return exp_types(e, env, self.sigs)
+
+        if isinstance(e, A.LoopExp):
+            inner = dict(env)
+            for p, init in e.merge:
+                it = atom_type(init, env)
+                if not types_compatible(it, p.type):
+                    raise TypeCheckError(
+                        f"{where}: loop merge {p.name}: {p.type} "
+                        f"initialised with {it}"
+                    )
+                inner[p.name] = p.type
+            if isinstance(e.form, A.ForLoop):
+                self._index_atom(e.form.bound, env, where, "loop bound")
+                inner[e.form.ivar] = Prim(I32)
+            else:
+                cond_params = [p for p, _ in e.merge if p.name == e.form.cond]
+                if not cond_params or cond_params[0].type != Prim(BOOL):
+                    raise TypeCheckError(
+                        f"{where}: while condition {e.form.cond} must be a "
+                        f"boolean merge parameter"
+                    )
+            body_ts = self._check_body(e.body, inner, where)
+            if len(body_ts) != len(e.merge):
+                raise TypeCheckError(
+                    f"{where}: loop body returns {len(body_ts)} values "
+                    f"for {len(e.merge)} merge parameters"
+                )
+            for (p, _), bt in zip(e.merge, body_ts):
+                if not types_compatible(bt, p.type):
+                    raise TypeCheckError(
+                        f"{where}: loop body result for {p.name}: "
+                        f"{p.type} has type {bt}"
+                    )
+            return tuple(p.type for p, _ in e.merge)
+
+        if isinstance(e, A.MapExp):
+            row_ts = self._soac_input_row_types(e.width, e.arrs, env, where)
+            self._check_lambda(e.lam, row_ts, env, f"{where}/map")
+            return exp_types(e, env, self.sigs)
+
+        if isinstance(e, (A.ReduceExp, A.ScanExp)):
+            what = "reduce" if isinstance(e, A.ReduceExp) else "scan"
+            row_ts = self._soac_input_row_types(e.width, e.arrs, env, where)
+            acc_ts = [atom_type(n, env) for n in e.neutral]
+            if len(acc_ts) != len(row_ts):
+                raise TypeCheckError(
+                    f"{where}: {what} with {len(acc_ts)} neutral elements "
+                    f"and {len(row_ts)} arrays"
+                )
+            self._check_lambda(
+                e.lam, acc_ts + row_ts, env, f"{where}/{what}"
+            )
+            for i, (lt, at) in enumerate(zip(e.lam.ret_types, acc_ts)):
+                if not types_compatible(lt, at):
+                    raise TypeCheckError(
+                        f"{where}: {what} operator result #{i} has type "
+                        f"{lt}, neutral element has {at}"
+                    )
+            return exp_types(e, env, self.sigs)
+
+        if isinstance(e, A.StreamMapExp):
+            self._check_stream_lambda(
+                e.lam, (), e.arrs, env, f"{where}/stream_map"
+            )
+            return exp_types(e, env, self.sigs)
+
+        if isinstance(e, A.StreamRedExp):
+            acc_ts = tuple(atom_type(a, env) for a in e.accs)
+            self._check_stream_lambda(
+                e.fold_lam, acc_ts, e.arrs, env, f"{where}/stream_red"
+            )
+            self._check_lambda(
+                e.red_lam,
+                list(acc_ts) + list(acc_ts),
+                env,
+                f"{where}/stream_red operator",
+            )
+            return exp_types(e, env, self.sigs)
+
+        if isinstance(e, A.StreamSeqExp):
+            acc_ts = tuple(atom_type(a, env) for a in e.accs)
+            self._check_stream_lambda(
+                e.lam, acc_ts, e.arrs, env, f"{where}/stream_seq"
+            )
+            return exp_types(e, env, self.sigs)
+
+        if isinstance(e, A.FilterExp):
+            row_ts = self._soac_input_row_types(
+                e.width, (e.arr,), env, where
+            )
+            self._check_lambda(e.lam, row_ts, env, f"{where}/filter")
+            if e.lam.ret_types != (Prim(BOOL),):
+                raise TypeCheckError(
+                    f"{where}: filter predicate must return bool"
+                )
+            return exp_types(e, env, self.sigs)
+
+        if isinstance(e, A.ScatterExp):
+            dt = self._array_atom(e.dest, env, where, "scatter destination")
+            it = self._array_atom(e.idx_arr, env, where, "scatter indices")
+            vt = self._array_atom(e.val_arr, env, where, "scatter values")
+            if not it.elem.is_integral:
+                raise TypeCheckError(
+                    f"{where}: scatter indices must be integral, are {it}"
+                )
+            if vt.elem != dt.elem:
+                raise TypeCheckError(
+                    f"{where}: scatter values {vt} into {dt}"
+                )
+            return (dt,)
+
+        raise TypeCheckError(
+            f"{where}: cannot type-check {type(e).__name__}"
+        )
+
+    def _check_stream_lambda(
+        self,
+        lam: A.Lambda,
+        acc_ts: Sequence[Type],
+        arrs: Sequence[A.Var],
+        env: Dict[str, Type],
+        where: str,
+    ) -> None:
+        """Stream lambdas take [chunk_size] ++ accs ++ chunk arrays; the
+        chunk arrays' outer dimension is the chunk-size parameter."""
+        if len(lam.params) != 1 + len(acc_ts) + len(arrs):
+            raise TypeCheckError(
+                f"{where}: stream lambda takes {len(lam.params)} "
+                f"parameters, expected {1 + len(acc_ts) + len(arrs)}"
+            )
+        chunk_p = lam.params[0]
+        if chunk_p.type != Prim(I32):
+            raise TypeCheckError(
+                f"{where}: first stream-lambda parameter must be the i32 "
+                f"chunk size, is {chunk_p.type}"
+            )
+        arg_ts: List[Type] = [Prim(I32)]
+        arg_ts.extend(acc_ts)
+        for arr in arrs:
+            at = self._array_atom(arr, env, where, f"stream input {arr.name}")
+            arg_ts.append(Array(at.elem, (chunk_p.name,) + at.shape[1:]))
+        self._check_lambda(lam, arg_ts, env, where)
+
+
+def _result_compatible(rt, declared, known) -> bool:
+    from ..core.types import Array as ArrayT
+
+    if isinstance(rt, Prim) or isinstance(declared, Prim):
+        return types_compatible(rt, declared)
+    if not isinstance(rt, ArrayT) or not isinstance(declared, ArrayT):
+        return False
+    if rt.elem != declared.elem or len(rt.shape) != len(declared.shape):
+        return False
+    for actual, decl in zip(rt.shape, declared.shape):
+        if isinstance(decl, str) and decl not in known:
+            continue  # existential
+        if not dim_equal(actual, decl):
+            return False
+    return True
+
+
+def check_types(prog: A.Prog) -> TypeChecker:
+    """Type-check a whole program; returns the checker with its tables."""
+    return TypeChecker(prog).check()

@@ -1,0 +1,36 @@
+"""The Futhark core language: types, AST, values, builders, traversals."""
+
+from .prim import (  # noqa: F401
+    BOOL,
+    F32,
+    F64,
+    I8,
+    I16,
+    I32,
+    I64,
+    PrimType,
+    prim_from_name,
+)
+from .types import (  # noqa: F401
+    Array,
+    Dim,
+    Prim,
+    Type,
+    TypeDecl,
+    TypeError_,
+    array,
+)
+from . import ast  # noqa: F401
+from .builder import ProgBuilder  # noqa: F401
+from .pretty import pretty_body, pretty_exp, pretty_fun, pretty_prog  # noqa: F401
+from .values import (  # noqa: F401
+    ArrayValue,
+    ScalarValue,
+    Value,
+    array_value,
+    from_python,
+    scalar,
+    to_python,
+    value_type,
+    values_equal,
+)

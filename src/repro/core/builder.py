@@ -1,0 +1,580 @@
+"""A programmatic front end for constructing core-IR programs.
+
+The builder maintains the ANF discipline automatically: every helper
+introduces a fresh let-binding and returns the bound variable(s), with
+pattern types computed by local inference.  Benchmarks and tests use
+this instead of writing raw AST, e.g.::
+
+    pb = ProgBuilder()
+    with pb.function("main") as fb:
+        xs = fb.param("xs", array(F32, "n"))
+        with fb.lam([("x", Prim(F32))]) as lb:
+            (x,) = lb.params
+            lb.ret(lb.binop("add", x, fb.f32(1.0)))
+        ys = fb.map(lb.lam, xs)
+        fb.ret(ys)
+    prog = pb.build()
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from . import ast as A
+from .prim import BOOL, F32, F64, I32, I64, PrimType
+from .types import Array, Dim, Prim, Type, TypeDecl, TypeError_
+from .traversal import NameSource, name_source
+from .typeinfer import FunSigs, atom_type, exp_types
+
+__all__ = ["ProgBuilder", "BodyBuilder", "FunctionBuilder", "LambdaBuilder"]
+
+AtomLike = Union[A.Atom, int, float, bool]
+
+
+class BodyBuilder:
+    """Accumulates bindings for one scope (function, lambda, loop or
+    if-branch body)."""
+
+    def __init__(
+        self,
+        names: NameSource,
+        env: Dict[str, Type],
+        sigs: FunSigs,
+    ) -> None:
+        self._names = names
+        self._env = env
+        self._sigs = sigs
+        self._bindings: List[A.Binding] = []
+        self._result: Optional[Tuple[A.Atom, ...]] = None
+
+    # -- scope plumbing ----------------------------------------------------
+
+    def type_of(self, a: A.Atom) -> Type:
+        return atom_type(a, self._env)
+
+    def size_of(self, arr: A.Var, dim: int = 0) -> A.Atom:
+        """The given dimension of an array variable, as an atom."""
+        t = self.type_of(arr)
+        if not isinstance(t, Array):
+            raise TypeError_(f"{arr.name} is not an array")
+        d = t.shape[dim]
+        if isinstance(d, int):
+            return A.Const(d, I32)
+        return A.Var(d)
+
+    def _atom(self, a: AtomLike, t: Optional[PrimType] = None) -> A.Atom:
+        if isinstance(a, (A.Var, A.Const)):
+            return a
+        if isinstance(a, bool):
+            return A.Const(a, BOOL)
+        if isinstance(a, int):
+            return A.Const(a, t if t is not None else I32)
+        if isinstance(a, float):
+            return A.Const(a, t if t is not None else F32)
+        raise TypeError_(f"cannot make an atom from {a!r}")
+
+    @staticmethod
+    def i32(v: int) -> A.Const:
+        return A.Const(int(v), I32)
+
+    @staticmethod
+    def i64(v: int) -> A.Const:
+        return A.Const(int(v), I64)
+
+    @staticmethod
+    def f32(v: float) -> A.Const:
+        return A.Const(float(v), F32)
+
+    @staticmethod
+    def f64(v: float) -> A.Const:
+        return A.Const(float(v), F64)
+
+    @staticmethod
+    def true() -> A.Const:
+        return A.Const(True, BOOL)
+
+    @staticmethod
+    def false() -> A.Const:
+        return A.Const(False, BOOL)
+
+    # -- binding -----------------------------------------------------------
+
+    def bind(
+        self,
+        exp: A.Exp,
+        hint: str = "t",
+        unique: Sequence[bool] = (),
+    ) -> Tuple[A.Var, ...]:
+        """Bind ``exp`` to fresh names; returns the bound variables."""
+        ts = exp_types(exp, self._env, self._sigs)
+        pat = []
+        for i, t in enumerate(ts):
+            name = self._names.fresh(hint)
+            uniq = bool(unique[i]) if i < len(unique) else False
+            pat.append(A.Param(name, t, uniq))
+            self._env[name] = t
+        self._bindings.append(A.Binding(tuple(pat), exp))
+        return tuple(A.Var(p.name) for p in pat)
+
+    def bind1(self, exp: A.Exp, hint: str = "t") -> A.Var:
+        vs = self.bind(exp, hint)
+        if len(vs) != 1:
+            raise TypeError_(
+                f"bind1 of an expression producing {len(vs)} values"
+            )
+        return vs[0]
+
+    # -- expression helpers (each introduces one binding) -------------------
+
+    def binop(self, op: str, x: AtomLike, y: AtomLike, hint: str = "t") -> A.Var:
+        xa = self._atom(x)
+        xt = self.type_of(xa)
+        ya = self._atom(y, xt.t if isinstance(xt, Prim) else None)
+        if not isinstance(xt, Prim):
+            raise TypeError_(f"binop operand must be scalar, got {xt}")
+        return self.bind1(A.BinOpExp(op, xa, ya, xt.t), hint)
+
+    def cmpop(self, op: str, x: AtomLike, y: AtomLike, hint: str = "b") -> A.Var:
+        xa = self._atom(x)
+        xt = self.type_of(xa)
+        ya = self._atom(y, xt.t if isinstance(xt, Prim) else None)
+        return self.bind1(A.CmpOpExp(op, xa, ya, xt.t), hint)
+
+    def unop(self, op: str, x: AtomLike, hint: str = "t") -> A.Var:
+        xa = self._atom(x)
+        xt = self.type_of(xa)
+        if not isinstance(xt, Prim):
+            raise TypeError_(f"unop operand must be scalar, got {xt}")
+        return self.bind1(A.UnOpExp(op, xa, xt.t), hint)
+
+    def convert(self, to_t: PrimType, x: AtomLike, hint: str = "c") -> A.Var:
+        xa = self._atom(x)
+        xt = self.type_of(xa)
+        if not isinstance(xt, Prim):
+            raise TypeError_(f"conversion operand must be scalar, got {xt}")
+        return self.bind1(A.ConvOpExp(to_t, xa, xt.t), hint)
+
+    def add(self, x: AtomLike, y: AtomLike) -> A.Var:
+        return self.binop("add", x, y)
+
+    def sub(self, x: AtomLike, y: AtomLike) -> A.Var:
+        return self.binop("sub", x, y)
+
+    def mul(self, x: AtomLike, y: AtomLike) -> A.Var:
+        return self.binop("mul", x, y)
+
+    def index(self, arr: A.Var, *idxs: AtomLike, hint: str = "x") -> A.Var:
+        return self.bind1(
+            A.IndexExp(arr, tuple(self._atom(i) for i in idxs)), hint
+        )
+
+    def update(
+        self, arr: A.Var, idxs: Sequence[AtomLike], value: AtomLike,
+        hint: str = "upd",
+    ) -> A.Var:
+        return self.bind1(
+            A.UpdateExp(
+                arr, tuple(self._atom(i) for i in idxs), self._atom(value)
+            ),
+            hint,
+        )
+
+    def iota(self, n: AtomLike, hint: str = "is") -> A.Var:
+        return self.bind1(A.IotaExp(self._atom(n)), hint)
+
+    def replicate(self, n: AtomLike, v: AtomLike, hint: str = "rep") -> A.Var:
+        return self.bind1(A.ReplicateExp(self._atom(n), self._atom(v)), hint)
+
+    def rearrange(self, perm: Sequence[int], arr: A.Var, hint: str = "tr") -> A.Var:
+        return self.bind1(A.RearrangeExp(tuple(perm), arr), hint)
+
+    def transpose(self, arr: A.Var, hint: str = "tr") -> A.Var:
+        t = self.type_of(arr)
+        r = len(t.shape) if isinstance(t, Array) else 0
+        perm = (1, 0) + tuple(range(2, r))
+        return self.rearrange(perm, arr, hint)
+
+    def reshape(self, shape: Sequence[AtomLike], arr: A.Var, hint: str = "rs") -> A.Var:
+        return self.bind1(
+            A.ReshapeExp(tuple(self._atom(s) for s in shape), arr), hint
+        )
+
+    def copy(self, arr: A.Var, hint: str = "cp") -> A.Var:
+        return self.bind1(A.CopyExp(arr), hint)
+
+    def concat(self, *arrs: A.Var, hint: str = "cat") -> A.Var:
+        return self.bind1(A.ConcatExp(tuple(arrs)), hint)
+
+    def apply(self, fname: str, *args: AtomLike, hint: str = "r"):
+        exp = A.ApplyExp(fname, tuple(self._atom(a) for a in args))
+        vs = self.bind(exp, hint)
+        return vs[0] if len(vs) == 1 else vs
+
+    # -- SOAC helpers --------------------------------------------------------
+
+    def _soac_width(self, arrs: Sequence[A.Var]) -> A.Atom:
+        if not arrs:
+            raise TypeError_("SOAC needs at least one input array")
+        return self.size_of(arrs[0], 0)
+
+    def map(self, lam: A.Lambda, *arrs: A.Var, hint: str = "m"):
+        exp = A.MapExp(self._soac_width(arrs), lam, tuple(arrs))
+        vs = self.bind(exp, hint)
+        return vs[0] if len(vs) == 1 else vs
+
+    def reduce(
+        self, lam: A.Lambda, neutral: Sequence[AtomLike], *arrs: A.Var,
+        comm: bool = False, hint: str = "red",
+    ):
+        exp = A.ReduceExp(
+            self._soac_width(arrs),
+            lam,
+            tuple(self._atom(n) for n in neutral),
+            tuple(arrs),
+            comm,
+        )
+        vs = self.bind(exp, hint)
+        return vs[0] if len(vs) == 1 else vs
+
+    def scan(
+        self, lam: A.Lambda, neutral: Sequence[AtomLike], *arrs: A.Var,
+        hint: str = "scn",
+    ):
+        exp = A.ScanExp(
+            self._soac_width(arrs),
+            lam,
+            tuple(self._atom(n) for n in neutral),
+            tuple(arrs),
+        )
+        vs = self.bind(exp, hint)
+        return vs[0] if len(vs) == 1 else vs
+
+    def stream_map(self, lam: A.Lambda, *arrs: A.Var, hint: str = "sm"):
+        exp = A.StreamMapExp(self._soac_width(arrs), lam, tuple(arrs))
+        vs = self.bind(exp, hint)
+        return vs[0] if len(vs) == 1 else vs
+
+    def stream_red(
+        self,
+        red_lam: A.Lambda,
+        fold_lam: A.Lambda,
+        accs: Sequence[AtomLike],
+        *arrs: A.Var,
+        hint: str = "sr",
+    ):
+        exp = A.StreamRedExp(
+            self._soac_width(arrs),
+            red_lam,
+            fold_lam,
+            tuple(self._atom(a) for a in accs),
+            tuple(arrs),
+        )
+        vs = self.bind(exp, hint)
+        return vs[0] if len(vs) == 1 else vs
+
+    def stream_seq(
+        self, lam: A.Lambda, accs: Sequence[AtomLike], *arrs: A.Var,
+        hint: str = "ss",
+    ):
+        exp = A.StreamSeqExp(
+            self._soac_width(arrs),
+            lam,
+            tuple(self._atom(a) for a in accs),
+            tuple(arrs),
+        )
+        vs = self.bind(exp, hint)
+        return vs[0] if len(vs) == 1 else vs
+
+    def scatter(self, dest: A.Var, idx_arr: A.Var, val_arr: A.Var,
+                hint: str = "sct") -> A.Var:
+        width = self.size_of(idx_arr, 0)
+        return self.bind1(A.ScatterExp(width, dest, idx_arr, val_arr), hint)
+
+    def filter_(
+        self, lam: A.Lambda, arr: A.Var, hint: str = "flt"
+    ) -> Tuple[A.Var, A.Var]:
+        """``filter p xs``: returns (count, compacted array); the
+        compacted array's existential size is the count's name."""
+        width = self.size_of(arr, 0)
+        count_name = self._names.fresh(f"{hint}_n")
+        exp = A.FilterExp(width, lam, arr, count_name)
+        ts = exp_types(exp, self._env, self._sigs)
+        pat = (
+            A.Param(count_name, ts[0]),
+            A.Param(self._names.fresh(hint), ts[1]),
+        )
+        self._env[count_name] = ts[0]
+        self._env[pat[1].name] = ts[1]
+        self._bindings.append(A.Binding(pat, exp))
+        return (A.Var(count_name), A.Var(pat[1].name))
+
+    # -- structured expressions ---------------------------------------------
+
+    def lam(
+        self,
+        params: Sequence[Tuple[str, Type]],
+        unique: Sequence[bool] = (),
+    ) -> "LambdaBuilder":
+        return LambdaBuilder(self, params, unique)
+
+    def if_(
+        self, cond: AtomLike, ret_types: Optional[Sequence[Type]] = None
+    ) -> "IfBuilder":
+        return IfBuilder(self, self._atom(cond), ret_types)
+
+    def loop(
+        self,
+        merge: Sequence[Tuple[str, Type, AtomLike]],
+        *,
+        for_lt: Optional[Tuple[str, AtomLike]] = None,
+        while_: Optional[str] = None,
+        unique: Sequence[bool] = (),
+    ) -> "LoopBuilder":
+        return LoopBuilder(self, merge, for_lt, while_, unique)
+
+    # -- finishing -----------------------------------------------------------
+
+    def ret(self, *atoms: AtomLike) -> None:
+        self._result = tuple(self._atom(a) for a in atoms)
+
+    def body(self) -> A.Body:
+        if self._result is None:
+            raise TypeError_("body built without a result (call .ret)")
+        return A.Body(tuple(self._bindings), self._result)
+
+    def result_types(self) -> Tuple[Type, ...]:
+        if self._result is None:
+            raise TypeError_("no result set")
+        return tuple(self.type_of(a) for a in self._result)
+
+
+class LambdaBuilder(BodyBuilder):
+    """Builds a :class:`Lambda`; parameters enter scope immediately.
+
+    Usable as a context manager purely for indentation clarity.
+    """
+
+    def __init__(
+        self,
+        parent: BodyBuilder,
+        params: Sequence[Tuple[str, Type]],
+        unique: Sequence[bool] = (),
+    ) -> None:
+        super().__init__(parent._names, dict(parent._env), parent._sigs)
+        self._params: List[A.Param] = []
+        rename: Dict[str, Dim] = {}
+        for i, (name, t) in enumerate(params):
+            fresh = parent._names.fresh(name)
+            # Later parameter types may use earlier parameters as sizes
+            # (e.g. a stream chunk array sized by the chunk parameter);
+            # rewrite them to the freshened names.
+            if isinstance(t, Array):
+                t = Array(
+                    t.elem,
+                    tuple(
+                        rename.get(d, d) if isinstance(d, str) else d
+                        for d in t.shape
+                    ),
+                )
+            rename[name] = fresh
+            uniq = bool(unique[i]) if i < len(unique) else False
+            self._params.append(A.Param(fresh, t, uniq))
+            self._env[fresh] = t
+
+    @property
+    def params(self) -> Tuple[A.Var, ...]:
+        return tuple(A.Var(p.name) for p in self._params)
+
+    @property
+    def fn(self) -> A.Lambda:
+        return A.Lambda(
+            tuple(self._params), self.body(), self.result_types()
+        )
+
+    def __enter__(self) -> "LambdaBuilder":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+class IfBuilder:
+    """Builds an if-expression with two sub-scopes::
+
+        ib = fb.if_(cond)
+        with ib.then_() as tb: ... tb.ret(...)
+        with ib.else_() as eb: ... eb.ret(...)
+        v = ib.end()
+    """
+
+    def __init__(
+        self,
+        parent: BodyBuilder,
+        cond: A.Atom,
+        ret_types: Optional[Sequence[Type]],
+    ) -> None:
+        self._parent = parent
+        self._cond = cond
+        self._ret_types = tuple(ret_types) if ret_types is not None else None
+        self._then: Optional[BodyBuilder] = None
+        self._else: Optional[BodyBuilder] = None
+
+    def then_(self) -> BodyBuilder:
+        self._then = _SubBody(self._parent)
+        return self._then
+
+    def else_(self) -> BodyBuilder:
+        self._else = _SubBody(self._parent)
+        return self._else
+
+    def end(self, hint: str = "if"):
+        if self._then is None or self._else is None:
+            raise TypeError_("if-expression missing a branch")
+        ret_types = self._ret_types or self._then.result_types()
+        exp = A.IfExp(
+            self._cond, self._then.body(), self._else.body(), ret_types
+        )
+        vs = self._parent.bind(exp, hint)
+        return vs[0] if len(vs) == 1 else vs
+
+
+class _SubBody(BodyBuilder):
+    def __init__(self, parent: BodyBuilder) -> None:
+        super().__init__(parent._names, dict(parent._env), parent._sigs)
+
+    def __enter__(self) -> "BodyBuilder":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+class LoopBuilder(BodyBuilder):
+    """Builds a sequential loop.  Merge parameters (and the for-loop
+    index) are in scope inside::
+
+        lp = fb.loop([("acc", Prim(F32), fb.f32(0))], for_lt=("i", n))
+        (acc,) = lp.merge_vars
+        ... lp.ret(new_acc)
+        result = lp.end()
+    """
+
+    def __init__(
+        self,
+        parent: BodyBuilder,
+        merge: Sequence[Tuple[str, Type, AtomLike]],
+        for_lt: Optional[Tuple[str, AtomLike]],
+        while_: Optional[str],
+        unique: Sequence[bool] = (),
+    ) -> None:
+        super().__init__(parent._names, dict(parent._env), parent._sigs)
+        self._parent = parent
+        self._merge: List[Tuple[A.Param, A.Atom]] = []
+        rename: Dict[str, str] = {}
+        for i, (name, t, init) in enumerate(merge):
+            fresh = parent._names.fresh(name)
+            rename[name] = fresh
+            uniq = bool(unique[i]) if i < len(unique) else False
+            self._merge.append((A.Param(fresh, t, uniq), parent._atom(init)))
+            self._env[fresh] = t
+        if (for_lt is None) == (while_ is None):
+            raise TypeError_("loop needs exactly one of for_lt=/while_=")
+        if for_lt is not None:
+            ivar, bound = for_lt
+            fresh_i = parent._names.fresh(ivar)
+            self._form: A.LoopForm = A.ForLoop(fresh_i, parent._atom(bound))
+            self._env[fresh_i] = Prim(I32)
+            self._ivar: Optional[A.Var] = A.Var(fresh_i)
+        else:
+            self._form = A.WhileLoop(rename.get(while_, while_))
+            self._ivar = None
+
+    @property
+    def merge_vars(self) -> Tuple[A.Var, ...]:
+        return tuple(A.Var(p.name) for p, _ in self._merge)
+
+    @property
+    def ivar(self) -> A.Var:
+        if self._ivar is None:
+            raise TypeError_("while-loop has no index variable")
+        return self._ivar
+
+    def __enter__(self) -> "LoopBuilder":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+    def end(self, hint: str = "loop"):
+        exp = A.LoopExp(tuple(self._merge), self._form, self.body())
+        vs = self._parent.bind(exp, hint)
+        return vs[0] if len(vs) == 1 else vs
+
+
+class FunctionBuilder(BodyBuilder):
+    """Builds one top-level function."""
+
+    def __init__(self, prog: "ProgBuilder", name: str) -> None:
+        super().__init__(prog._names, {}, prog._sigs)
+        self._prog = prog
+        self._name = name
+        self._fparams: List[A.Param] = []
+        self._ret_decls: Optional[Tuple[TypeDecl, ...]] = None
+
+    def param(self, name: str, t: Type, unique: bool = False) -> A.Var:
+        self._fparams.append(A.Param(name, t, unique))
+        self._env[name] = t
+        self._names.declare([name])
+        if isinstance(t, Array):
+            for d in t.shape:
+                if isinstance(d, str) and d not in self._env:
+                    self._env[d] = Prim(I32)
+                    self._names.declare([d])
+        return A.Var(name)
+
+    def returns(self, *decls: Union[Type, TypeDecl]) -> None:
+        """Declare return types explicitly (optional; inferred from the
+        result atoms when omitted)."""
+        self._ret_decls = tuple(
+            d if isinstance(d, TypeDecl) else TypeDecl(d) for d in decls
+        )
+
+    def __enter__(self) -> "FunctionBuilder":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self._prog._finish(self)
+
+    def build_fun(self) -> A.FunDef:
+        ret = self._ret_decls
+        if ret is None:
+            ret = tuple(TypeDecl(t) for t in self.result_types())
+        return A.FunDef(self._name, tuple(self._fparams), ret, self.body())
+
+
+class ProgBuilder:
+    """Builds a whole program; functions defined earlier are callable
+    from later ones (and recursively from themselves)."""
+
+    def __init__(self, names: Optional[NameSource] = None) -> None:
+        self._names = names if names is not None else NameSource()
+        self._funs: List[A.FunDef] = []
+        self._sigs: Dict[str, Tuple[Tuple[A.Param, ...], Tuple[Type, ...]]] = {}
+
+    def function(self, name: str) -> FunctionBuilder:
+        return FunctionBuilder(self, name)
+
+    def declare(
+        self, name: str, params: Sequence[A.Param], ret_types: Sequence[Type]
+    ) -> None:
+        """Pre-declare a signature (needed for recursive functions)."""
+        self._sigs[name] = (tuple(params), tuple(ret_types))
+
+    def _finish(self, fb: FunctionBuilder) -> None:
+        fun = fb.build_fun()
+        self._funs.append(fun)
+        self._sigs[fun.name] = (fun.params, fun.ret_types)
+
+    def build(self) -> A.Prog:
+        return A.Prog(tuple(self._funs))

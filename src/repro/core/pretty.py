@@ -1,0 +1,165 @@
+"""Pretty-printer for the core IR.
+
+Produces a concrete-syntax rendering close to the paper's notation; the
+output of ``pretty_prog`` round-trips through the front-end parser
+(tested in ``tests/frontend/test_roundtrip.py``).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from . import ast as A
+
+__all__ = ["pretty_prog", "pretty_fun", "pretty_body", "pretty_exp"]
+
+_INDENT = "  "
+
+_BINOP_SYMBOLS = {
+    "add": "+",
+    "sub": "-",
+    "mul": "*",
+    "div": "/",
+    "idiv": "//",
+    "imod": "%",
+    "and": "&&",
+    "or": "||",
+}
+
+_CMPOP_SYMBOLS = {
+    "eq": "==",
+    "neq": "!=",
+    "lt": "<",
+    "le": "<=",
+    "gt": ">",
+    "ge": ">=",
+}
+
+
+def _atom(a: A.Atom) -> str:
+    return str(a)
+
+
+def _atoms(atoms) -> str:
+    return ", ".join(_atom(a) for a in atoms)
+
+
+def _pat(pat) -> str:
+    inner = ", ".join(str(p) for p in pat)
+    if len(pat) == 1:
+        return inner
+    return f"({inner})"
+
+
+def pretty_exp(e: A.Exp, depth: int = 0) -> str:
+    ind = _INDENT * depth
+    if isinstance(e, A.AtomExp):
+        return _atom(e.atom)
+    if isinstance(e, A.BinOpExp):
+        sym = _BINOP_SYMBOLS.get(e.op)
+        if sym is not None:
+            return f"{_atom(e.x)} {sym} {_atom(e.y)}"
+        return f"{e.op}@{e.t}({_atom(e.x)}, {_atom(e.y)})"
+    if isinstance(e, A.CmpOpExp):
+        return f"{_atom(e.x)} {_CMPOP_SYMBOLS[e.op]} {_atom(e.y)}"
+    if isinstance(e, A.UnOpExp):
+        return f"{e.op}@{e.t}({_atom(e.x)})"
+    if isinstance(e, A.ConvOpExp):
+        return f"{e.to_t}({_atom(e.x)})"
+    if isinstance(e, A.IfExp):
+        return (
+            f"if {_atom(e.cond)}\n{ind}{_INDENT}then "
+            f"{pretty_body(e.t_body, depth + 1)}\n{ind}{_INDENT}else "
+            f"{pretty_body(e.f_body, depth + 1)}"
+        )
+    if isinstance(e, A.IndexExp):
+        return f"{e.arr}[{_atoms(e.idxs)}]"
+    if isinstance(e, A.UpdateExp):
+        return f"{e.arr} with [{_atoms(e.idxs)}] <- {_atom(e.value)}"
+    if isinstance(e, A.IotaExp):
+        return f"iota {_atom(e.n)}"
+    if isinstance(e, A.ReplicateExp):
+        return f"replicate {_atom(e.n)} {_atom(e.value)}"
+    if isinstance(e, A.RearrangeExp):
+        perm = ", ".join(str(k) for k in e.perm)
+        return f"rearrange ({perm}) {e.arr}"
+    if isinstance(e, A.ReshapeExp):
+        return f"reshape ({_atoms(e.shape)}) {e.arr}"
+    if isinstance(e, A.CopyExp):
+        return f"copy {e.arr}"
+    if isinstance(e, A.ConcatExp):
+        return f"concat {' '.join(str(a) for a in e.arrs)}"
+    if isinstance(e, A.ApplyExp):
+        return f"{e.fname} {' '.join(_atom(a) for a in e.args)}"
+    if isinstance(e, A.LoopExp):
+        merge = ", ".join(f"{p} = {_atom(a)}" for p, a in e.merge)
+        if isinstance(e.form, A.ForLoop):
+            form = f"for {e.form.ivar} < {_atom(e.form.bound)}"
+        else:
+            form = f"while {e.form.cond}"
+        return (
+            f"loop ({merge}) {form} do\n{ind}{_INDENT}"
+            f"{pretty_body(e.body, depth + 1)}"
+        )
+    if isinstance(e, A.MapExp):
+        return f"map {_lambda(e.lam, depth)} {' '.join(map(str, e.arrs))}"
+    if isinstance(e, A.ReduceExp):
+        comm = "_comm" if e.comm else ""
+        return (
+            f"reduce{comm} {_lambda(e.lam, depth)} ({_atoms(e.neutral)}) "
+            f"{' '.join(map(str, e.arrs))}"
+        )
+    if isinstance(e, A.ScanExp):
+        return (
+            f"scan {_lambda(e.lam, depth)} ({_atoms(e.neutral)}) "
+            f"{' '.join(map(str, e.arrs))}"
+        )
+    if isinstance(e, A.StreamMapExp):
+        return f"stream_map {_lambda(e.lam, depth)} {' '.join(map(str, e.arrs))}"
+    if isinstance(e, A.StreamRedExp):
+        return (
+            f"stream_red {_lambda(e.red_lam, depth)} "
+            f"{_lambda(e.fold_lam, depth)} ({_atoms(e.accs)}) "
+            f"{' '.join(map(str, e.arrs))}"
+        )
+    if isinstance(e, A.StreamSeqExp):
+        return (
+            f"stream_seq {_lambda(e.lam, depth)} ({_atoms(e.accs)}) "
+            f"{' '.join(map(str, e.arrs))}"
+        )
+    if isinstance(e, A.FilterExp):
+        return f"filter {_lambda(e.lam, depth)} {e.arr}"
+    if isinstance(e, A.ScatterExp):
+        return f"scatter {e.dest} {e.idx_arr} {e.val_arr}"
+    raise TypeError(f"pretty_exp: unhandled {type(e).__name__}")
+
+
+def _lambda(lam: A.Lambda, depth: int) -> str:
+    params = " ".join(f"({p})" for p in lam.params)
+    rets = ", ".join(str(t) for t in lam.ret_types)
+    body = pretty_body(lam.body, depth + 1)
+    return f"(\\{params}: ({rets}) ->\n{_INDENT * (depth + 1)}{body})"
+
+
+def pretty_body(body: A.Body, depth: int = 0) -> str:
+    ind = _INDENT * depth
+    if not body.bindings:
+        return f"{{{_atoms(body.result)}}}"
+    lines: List[str] = []
+    for bnd in body.bindings:
+        lines.append(
+            f"let {_pat(bnd.pat)} = {pretty_exp(bnd.exp, depth)}"
+        )
+    lines.append(f"in {{{_atoms(body.result)}}}")
+    return f"\n{ind}".join(lines)
+
+
+def pretty_fun(fun: A.FunDef, depth: int = 0) -> str:
+    params = " ".join(f"({p})" for p in fun.params)
+    rets = ", ".join(str(r) for r in fun.ret)
+    body = pretty_body(fun.body, depth + 1)
+    return f"fun {fun.name} {params}: ({rets}) =\n{_INDENT * (depth + 1)}{body}"
+
+
+def pretty_prog(prog: A.Prog) -> str:
+    return "\n\n".join(pretty_fun(f) for f in prog.funs) + "\n"

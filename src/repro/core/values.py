@@ -1,0 +1,119 @@
+"""Runtime values of the core language.
+
+Scalars are tagged Python numbers; arrays are numpy arrays tagged with
+their element type.  Arrays are *regular* by construction (numpy
+enforces rectangularity), matching the language restriction of
+Section 2.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple, Union
+
+import numpy as np
+
+from .prim import PrimType, PrimValue, prim_from_name
+from .types import Array, Prim, Type
+
+__all__ = [
+    "ScalarValue",
+    "ArrayValue",
+    "Value",
+    "scalar",
+    "array_value",
+    "from_python",
+    "to_python",
+    "value_type",
+    "values_equal",
+]
+
+
+@dataclass(frozen=True)
+class ScalarValue:
+    """A primitive scalar at a specific primitive type."""
+
+    value: PrimValue
+    type: PrimType
+
+    def __str__(self) -> str:
+        return f"{self.value}{self.type}" if not self.type.is_bool else str(self.value)
+
+
+@dataclass
+class ArrayValue:
+    """A regular array value.  Mutability of the underlying buffer is
+    managed by the interpreter: logically the language is pure, and the
+    buffer is only mutated when uniqueness typing has proven it safe."""
+
+    data: np.ndarray
+    elem: PrimType
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return tuple(int(d) for d in self.data.shape)
+
+    @property
+    def rank(self) -> int:
+        return self.data.ndim
+
+    def copy(self) -> "ArrayValue":
+        return ArrayValue(self.data.copy(), self.elem)
+
+    def __str__(self) -> str:
+        return f"{self.data.tolist()}"
+
+
+Value = Union[ScalarValue, ArrayValue]
+
+
+def scalar(value: PrimValue, t: PrimType) -> ScalarValue:
+    return ScalarValue(t.coerce(value), t)
+
+
+def array_value(data, elem: PrimType) -> ArrayValue:
+    arr = np.asarray(data, dtype=elem.to_dtype())
+    if arr.ndim == 0:
+        raise ValueError("array_value requires at least one dimension")
+    return ArrayValue(arr, elem)
+
+
+def from_python(obj, t: Type) -> Value:
+    """Build a value of declared type ``t`` from plain Python data."""
+    if isinstance(t, Prim):
+        return scalar(obj, t.t)
+    return array_value(obj, t.elem)
+
+
+def to_python(v: Value):
+    """Convert a value back to plain Python data (lists and numbers)."""
+    if isinstance(v, ScalarValue):
+        if v.type.is_bool:
+            return bool(v.value)
+        if v.type.is_integral:
+            return int(v.value)
+        return float(v.value)
+    return v.data.tolist()
+
+
+def value_type(v: Value) -> Type:
+    if isinstance(v, ScalarValue):
+        return Prim(v.type)
+    return Array(v.elem, v.shape)
+
+
+def values_equal(a: Value, b: Value, rtol: float = 1e-5, atol: float = 1e-6) -> bool:
+    """Equality with float tolerance, for tests and result validation."""
+    if isinstance(a, ScalarValue) and isinstance(b, ScalarValue):
+        if a.type != b.type:
+            return False
+        if a.type.is_float:
+            return bool(np.isclose(a.value, b.value, rtol=rtol, atol=atol))
+        return a.value == b.value
+    if isinstance(a, ArrayValue) and isinstance(b, ArrayValue):
+        if a.elem != b.elem or a.shape != b.shape:
+            return False
+        if a.elem.is_float:
+            return bool(np.allclose(a.data, b.data, rtol=rtol, atol=atol))
+        return bool(np.array_equal(a.data, b.data))
+    return False

@@ -1,0 +1,8 @@
+"""Flattening / kernel extraction (Section 5.1): reorganises
+imperfectly nested parallelism into perfect SOAC nests using the rules
+G1–G7 of Fig. 12."""
+
+from .context import MapCtx, lift_type, manifest  # noqa: F401
+from .distribute import FlattenOptions, flatten_body, flatten_prog  # noqa: F401
+from .interchange import apply_g5_body, vec_operator  # noqa: F401
+from .nests import NestInfo, perfect_nests  # noqa: F401

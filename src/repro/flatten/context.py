@@ -1,0 +1,156 @@
+"""Map-nest contexts (the Σ of Fig. 12) and the G1 manifestation rule.
+
+A context is a stack of map levels; each level has a width and a list
+of (parameter, array) pairs — ``M x y`` in the paper's notation.  The
+level-0 arrays are variables defined at the *top* (outside the whole
+nest); a level-i array for i > 0 is a parameter of level i-1.
+
+:func:`manifest` implements rule G1: wrap a block of (sequential) code
+in nested maps over the context, returning the top-level binding and
+the names of the lifted results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core import ast as A
+from ..core.prim import I32
+from ..core.types import Array, Dim, Prim, Type, array_of
+from ..core.traversal import NameSource, free_vars_body
+
+__all__ = ["MapCtx", "lift_type", "width_dim", "manifest", "extend_ctx"]
+
+
+@dataclass
+class MapCtx:
+    """One map level: ``M x y`` — params ``x`` bound to rows of arrays
+    ``y``, all of outer size ``width``."""
+
+    width: A.Atom
+    pairs: List[Tuple[A.Param, A.Var]] = field(default_factory=list)
+
+    def params(self) -> List[A.Param]:
+        return [p for p, _ in self.pairs]
+
+    def arrays(self) -> List[A.Var]:
+        return [a for _, a in self.pairs]
+
+
+def width_dim(width: A.Atom) -> Dim:
+    if isinstance(width, A.Const):
+        return int(width.value)
+    return width.name
+
+
+def lift_type(t: Type, ctx: Sequence[MapCtx]) -> Type:
+    """The type of a value of type ``t`` lifted over the whole context
+    (outermost level first)."""
+    for level in reversed(ctx):
+        t = array_of(t, width_dim(level.width))
+    return t
+
+
+def _needed_pairs(
+    ctx: Sequence[MapCtx], needed: Set[str]
+) -> List[List[Tuple[A.Param, A.Var]]]:
+    """Select, per level, the pairs actually required to run a nest
+    whose innermost body needs the names in ``needed``.  Works from the
+    innermost level outwards (a deeper level's arrays are parameters of
+    the shallower one).  Every level keeps at least one pair so the
+    nest retains its width."""
+    selected: List[List[Tuple[A.Param, A.Var]]] = [[] for _ in ctx]
+    need = set(needed)
+    for i in range(len(ctx) - 1, -1, -1):
+        level_pairs = [
+            (p, a) for (p, a) in ctx[i].pairs if p.name in need
+        ]
+        if not level_pairs:
+            level_pairs = [ctx[i].pairs[0]]
+        selected[i] = level_pairs
+        for _, a in level_pairs:
+            need.add(a.name)
+    return selected
+
+
+def manifest(
+    ctx: Sequence[MapCtx],
+    bindings: Sequence[A.Binding],
+    liveouts: Sequence[A.Param],
+    names: NameSource,
+) -> Tuple[List[A.Binding], List[A.Var]]:
+    """Rule G1: manifest the context over a block of code.
+
+    Returns top-level bindings (a single perfect map nest) and the
+    top-level variables holding the lifted liveouts (types lifted by
+    the full context depth).  With an empty context the code is simply
+    passed through.
+    """
+    if not ctx:
+        return list(bindings), [A.Var(p.name) for p in liveouts]
+
+    inner_body = A.Body(
+        tuple(bindings), tuple(A.Var(p.name) for p in liveouts)
+    )
+    needed = free_vars_body(inner_body)
+    for p in liveouts:
+        needed.add(p.name)
+    per_level = _needed_pairs(ctx, needed)
+
+    body = inner_body
+    ret_types: List[Type] = [p.type for p in liveouts]
+    out_vars: List[A.Var] = []
+    top: List[A.Binding] = []
+    for i in range(len(ctx) - 1, -1, -1):
+        level = ctx[i]
+        pairs = per_level[i]
+        lam = A.Lambda(
+            tuple(p for p, _ in pairs),
+            body,
+            tuple(ret_types),
+        )
+        exp = A.MapExp(level.width, lam, tuple(a for _, a in pairs))
+        ret_types = [array_of(t, width_dim(level.width)) for t in ret_types]
+        pat = tuple(
+            A.Param(names.fresh(f"{p.name}_lifted"), t)
+            for p, t in zip(liveouts, ret_types)
+        )
+        if i == 0:
+            top.append(A.Binding(pat, exp))
+            out_vars = [A.Var(p.name) for p in pat]
+        else:
+            body = A.Body(
+                (A.Binding(pat, exp),),
+                tuple(A.Var(p.name) for p in pat),
+            )
+    return top, out_vars
+
+
+def extend_ctx(
+    ctx: List[MapCtx],
+    orig: A.Param,
+    top_var: A.Var,
+    names: NameSource,
+) -> None:
+    """The G4 context extension Σ → Σ': thread a lifted value down the
+    nest so that inner code can refer to ``orig.name`` (bound, at the
+    innermost level, to the per-element value).  ``top_var`` holds the
+    fully lifted value at the top level."""
+    if not ctx:
+        return
+    t = orig.type
+    # Types at each level, from outermost param to innermost.
+    level_types: List[Type] = []
+    for i in range(len(ctx)):
+        level_types.append(lift_type(t, ctx[i + 1 :]))
+    array: A.Var = top_var
+    for i, level in enumerate(ctx):
+        if i == len(ctx) - 1:
+            param = A.Param(orig.name, t, orig.unique)
+        else:
+            param = A.Param(
+                names.fresh(f"{orig.name}_row"), level_types[i]
+            )
+        level.pairs.append((param, array))
+        array = A.Var(param.name)

@@ -1,0 +1,546 @@
+"""The flattening algorithm (Fig. 12).
+
+``flatten_body`` walks a body with a map-nest context Σ (empty at the
+top level), partitioning each lambda body into *segments*:
+
+* sequential code is manifested under the context (rule G1),
+* nested ``map``s extend the context and recurse (rule G2),
+* ``let``-bound intermediate results are materialised and threaded
+  down the extended context (rule G4) — only when the resulting arrays
+  are regular, which is the rule's side condition,
+* reductions with vectorised operators are first rewritten by rule G5
+  (see :mod:`repro.flatten.interchange`),
+* ``rearrange`` distributes by expanding its permutation (rule G6),
+* sequential loops containing inner parallelism are interchanged with
+  the context (rule G7).
+
+Nested ``stream_red``/``stream_map`` are sequentialised (the paper's
+stated heuristic), if-branches are not searched for parallelism, and
+anything irregular falls back to G1 — so flattening is *total*: every
+program compiles, the rules only improve the exploitable parallelism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core import ast as A
+from ..core.prim import I32
+from ..core.types import Array, Prim, Type, array_of
+from ..core.traversal import (
+    NameSource,
+    bound_names_body,
+    free_vars_body,
+    free_vars_exp,
+    name_source,
+    type_free_vars,
+)
+from .context import MapCtx, extend_ctx, lift_type, manifest, width_dim
+from .interchange import apply_g5_body, contains_parallelism
+
+__all__ = ["FlattenOptions", "flatten_body", "flatten_prog"]
+
+
+@dataclass(frozen=True)
+class FlattenOptions:
+    """Switches for the §6.1.1 ablations."""
+
+    distribute: bool = True  # G2/G4: exploit nested parallelism
+    interchange: bool = True  # G7: map-loop interchange
+    reduce_map_interchange: bool = True  # G5
+    sequentialise_streams: bool = True  # nested stream_red -> stream_seq
+
+
+def flatten_prog(
+    prog: A.Prog, options: Optional[FlattenOptions] = None
+) -> A.Prog:
+    options = options or FlattenOptions()
+    names = name_source
+    funs = []
+    for f in prog.funs:
+        names.declare(p.name for p in f.params)
+        names.declare(bound_names_body(f.body) | free_vars_body(f.body))
+        param_types = {p.name: p.type for p in f.params}
+        funs.append(
+            A.FunDef(
+                f.name,
+                f.params,
+                f.ret,
+                flatten_body(f.body, names, options, param_types),
+            )
+        )
+    return A.Prog(tuple(funs))
+
+
+def flatten_body(
+    body: A.Body,
+    names: Optional[NameSource] = None,
+    options: Optional[FlattenOptions] = None,
+    param_types: Optional[Dict[str, Type]] = None,
+) -> A.Body:
+    """Flatten a function body (empty context)."""
+    options = options or FlattenOptions()
+    if names is None:
+        names = name_source
+        names.declare(bound_names_body(body) | free_vars_body(body))
+    if options.reduce_map_interchange:
+        body = apply_g5_body(body, names)
+    d = _Distributor(names, options)
+    if param_types:
+        d.type_env.update(param_types)
+    d.record_types(body)
+    bindings, result = d.distribute([], body)
+    return A.Body(tuple(bindings), tuple(result))
+
+
+class _Distributor:
+    def __init__(self, names: NameSource, options: FlattenOptions) -> None:
+        self.names = names
+        self.options = options
+        #: Types of every name bound anywhere (names are unique).
+        self.type_env: Dict[str, Type] = {}
+
+    def record_types(self, body: A.Body) -> None:
+        from ..core.traversal import exp_bodies, exp_lambdas
+
+        def visit_body(b: A.Body) -> None:
+            for bnd in b.bindings:
+                for p in bnd.pat:
+                    self.type_env[p.name] = p.type
+                visit_exp(bnd.exp)
+
+        def visit_exp(e: A.Exp) -> None:
+            if isinstance(e, A.LoopExp):
+                for p, _ in e.merge:
+                    self.type_env[p.name] = p.type
+            for sub in exp_bodies(e):
+                visit_body(sub)
+            for lam in exp_lambdas(e):
+                for p in lam.params:
+                    self.type_env[p.name] = p.type
+                visit_body(lam.body)
+
+        visit_body(body)
+
+    # -- helpers -----------------------------------------------------------
+
+    def _ctx_param_names(self, ctx: Sequence[MapCtx]) -> Set[str]:
+        return {p.name for level in ctx for p, _ in level.pairs}
+
+    def _invariant_atom(
+        self, a: A.Atom, variant: Set[str]
+    ) -> bool:
+        return isinstance(a, A.Const) or a.name not in variant
+
+    def _regular_type(self, t: Type, variant: Set[str]) -> bool:
+        return not (type_free_vars(t) & variant)
+
+    def _replicate_chain(
+        self,
+        ctx: Sequence[MapCtx],
+        value: A.Atom,
+        value_type: Type,
+        top: List[A.Binding],
+        hint: str,
+    ) -> A.Var:
+        """Bind ``replicate^d value`` at the top; returns the variable."""
+        t = value_type
+        atom = value
+        for level in reversed(ctx):
+            t = array_of(t, width_dim(level.width))
+            name = self.names.fresh(f"{hint}_rep")
+            if not isinstance(atom, (A.Var, A.Const)):
+                raise AssertionError("replicate chain over non-atom")
+            top.append(
+                A.Binding(
+                    (A.Param(name, t),),
+                    A.ReplicateExp(level.width, atom),
+                )
+            )
+            atom = A.Var(name)
+        assert isinstance(atom, A.Var)
+        return atom
+
+    # -- the main loop ---------------------------------------------------------
+
+    def distribute(
+        self, ctx: List[MapCtx], body: A.Body
+    ) -> Tuple[List[A.Binding], List[A.Atom]]:
+        """Returns top-level bindings plus the lifted result atoms."""
+        ctx = [MapCtx(l.width, list(l.pairs)) for l in ctx]
+        depth = len(ctx)
+        top: List[A.Binding] = []
+        lifted: Dict[str, A.Var] = {}
+        if depth == 1:
+            for p, a in ctx[0].pairs:
+                lifted[p.name] = a
+
+        locally_bound: Set[str] = set()
+        for bnd in body.bindings:
+            locally_bound.update(bnd.names())
+
+        bindings = list(body.bindings)
+        seq_buffer: List[A.Binding] = []
+
+        def variant_now() -> Set[str]:
+            return self._ctx_param_names(ctx) | locally_bound
+
+        def used_later(start: int) -> Set[str]:
+            used: Set[str] = {
+                a.name for a in body.result if isinstance(a, A.Var)
+            }
+            for later in bindings[start:]:
+                used |= free_vars_exp(later.exp)
+                for p in later.pat:
+                    used |= type_free_vars(p.type)
+            return used
+
+        def flush_seq(start: int) -> None:
+            """Manifest the buffered sequential segment (rule G1) and
+            thread its liveouts down the context (rule G4)."""
+            nonlocal seq_buffer
+            if not seq_buffer:
+                return
+            if depth == 0:
+                top.extend(seq_buffer)
+                seq_buffer = []
+                return
+            defined = [
+                p for b in seq_buffer for p in b.pat
+            ]
+            used = used_later(start)
+            liveouts = [p for p in defined if p.name in used]
+            seg_bindings = seq_buffer
+            seq_buffer = []
+            if not liveouts:
+                return  # dead segment
+            nest, out_vars = manifest(
+                ctx, seg_bindings, liveouts, self.names
+            )
+            top.extend(nest)
+            for p, v in zip(liveouts, out_vars):
+                lifted[p.name] = v
+                extend_ctx(ctx, p, v, self.names)
+
+        i = 0
+        while i < len(bindings):
+            bnd = bindings[i]
+            kind = self._classify(bnd, ctx, variant_now(), lifted, depth)
+            if kind == "seq":
+                seq_buffer.append(self._sequentialise(bnd, depth))
+                i += 1
+                continue
+            if (
+                kind == "map"
+                and depth > 0
+                and seq_buffer
+                and all(_cheap_scalar(b) for b in seq_buffer)
+                and not (
+                    {p.name for b in seq_buffer for p in b.pat}
+                    & used_later(i + 1)
+                )
+            ):
+                # The paper's let-floating/tupling: cheap scalar code
+                # used only by the next map is grouped into it (and
+                # recomputed per thread) rather than materialised as
+                # arrays by rule G4.
+                bnd = _sink_into_map(seq_buffer, bnd)
+                seq_buffer = []
+            flush_seq(i)
+            if kind == "map":
+                self._distribute_map(bnd, ctx, top, lifted)
+            elif kind == "soac":
+                self._distribute_soac(bnd, ctx, top, lifted)
+            elif kind == "loop":
+                self._interchange_loop(
+                    bnd, ctx, top, lifted, variant_now()
+                )
+            elif kind == "rearrange":
+                self._distribute_rearrange(bnd, ctx, top, lifted)
+            else:  # pragma: no cover
+                raise AssertionError(kind)
+            i += 1
+
+        flush_seq(len(bindings))
+
+        # Lift the result atoms.
+        results: List[A.Atom] = []
+        pending: List[Tuple[int, A.Var]] = []
+        variant = variant_now()
+        for a in body.result:
+            if depth == 0:
+                results.append(a)
+            elif isinstance(a, A.Var) and a.name in lifted:
+                results.append(lifted[a.name])
+            elif self._invariant_atom(a, variant):
+                t = self._atom_type_guess(a, ctx, body)
+                if t is None:
+                    results.append(a)
+                else:
+                    results.append(
+                        self._replicate_chain(ctx, a, t, top, "res")
+                    )
+            else:
+                results.append(a)  # resolved below via identity nest
+                pending.append((len(results) - 1, a))
+        if pending:
+            params = []
+            for _, a in pending:
+                t = self._param_type_in_ctx(a.name, ctx)
+                params.append(A.Param(a.name, t if t else Prim(I32)))
+            nest, out_vars = manifest(ctx, [], params, self.names)
+            top.extend(nest)
+            for (idx, _), v in zip(pending, out_vars):
+                results[idx] = v
+        return top, results
+
+    # -- classification -----------------------------------------------------
+
+    def _classify(
+        self,
+        bnd: A.Binding,
+        ctx: List[MapCtx],
+        variant: Set[str],
+        lifted: Dict[str, A.Var],
+        depth: int,
+    ) -> str:
+        e = bnd.exp
+        opts = self.options
+        regular_outs = all(
+            self._regular_type(p.type, variant) for p in bnd.pat
+        )
+        if isinstance(e, A.MapExp):
+            if not opts.distribute and depth > 0:
+                return "seq"
+            if self._invariant_atom(e.width, variant) and regular_outs:
+                return "map"
+            return "seq"
+        if isinstance(e, (A.ReduceExp, A.ScanExp)):
+            if depth == 0:
+                return "seq"  # a top-level reduce/scan is already a kernel
+            if not opts.distribute:
+                return "seq"
+            if self._invariant_atom(e.width, variant) and regular_outs:
+                return "soac"
+            return "seq"
+        if isinstance(e, A.LoopExp):
+            if depth == 0:
+                return "seq"
+            if (
+                opts.interchange
+                and isinstance(e.form, A.ForLoop)
+                and self._invariant_atom(e.form.bound, variant)
+                and contains_parallelism(e.body)
+                and regular_outs
+                and all(
+                    self._liftable_init(init, variant, lifted)
+                    for _, init in e.merge
+                )
+            ):
+                return "loop"
+            return "seq"
+        if isinstance(e, A.RearrangeExp):
+            if depth > 0 and e.arr.name in lifted and regular_outs:
+                return "rearrange"
+            return "seq"
+        return "seq"
+
+    def _liftable_init(
+        self, init: A.Atom, variant: Set[str], lifted: Dict[str, A.Var]
+    ) -> bool:
+        if self._invariant_atom(init, variant):
+            return True
+        return isinstance(init, A.Var) and init.name in lifted
+
+    def _sequentialise(self, bnd: A.Binding, depth: int) -> A.Binding:
+        """Prepare a binding for per-thread execution: nested parallel
+        streams become sequential streams (the paper's heuristic)."""
+        e = bnd.exp
+        if depth > 0 and self.options.sequentialise_streams:
+            if isinstance(e, A.StreamRedExp):
+                return A.Binding(
+                    bnd.pat,
+                    A.StreamSeqExp(e.width, e.fold_lam, e.accs, e.arrs),
+                )
+            if isinstance(e, A.StreamMapExp):
+                return A.Binding(
+                    bnd.pat,
+                    A.StreamSeqExp(e.width, e.lam, (), e.arrs),
+                )
+        if depth == 0 and isinstance(e, (A.LoopExp, A.IfExp)):
+            # Flatten parallelism inside sequential top-level control
+            # flow (e.g. LocVolCalib's outer time loop).
+            return A.Binding(bnd.pat, self._flatten_inside(e))
+        return bnd
+
+    def _flatten_inside(self, e: A.Exp) -> A.Exp:
+        from ..core.traversal import map_exp_bodies
+
+        def on_body(b: A.Body) -> A.Body:
+            bs, res = self.distribute([], b)
+            return A.Body(tuple(bs), tuple(res))
+
+        return map_exp_bodies(e, on_body)
+
+    # -- G2: nested maps ---------------------------------------------------------
+
+    def _distribute_map(
+        self,
+        bnd: A.Binding,
+        ctx: List[MapCtx],
+        top: List[A.Binding],
+        lifted: Dict[str, A.Var],
+    ) -> None:
+        e: A.MapExp = bnd.exp
+        level = MapCtx(e.width, list(zip(e.lam.params, e.arrs)))
+        sub_top, sub_results = self.distribute(ctx + [level], e.lam.body)
+        top.extend(sub_top)
+        for p, res in zip(bnd.pat, sub_results):
+            if not isinstance(res, A.Var):
+                # A map returning a constant: the recursion replicates,
+                # so this should not happen; bind defensively.
+                name = self.names.fresh(p.name)
+                top.append(
+                    A.Binding(
+                        (A.Param(name, lift_type(p.type, ctx[:0])),),
+                        A.AtomExp(res),
+                    )
+                )
+                res = A.Var(name)
+            lifted[p.name] = res
+            extend_ctx(ctx, p, res, self.names)
+            if not ctx:
+                # Depth 0: keep the original name visible downstream.
+                top.append(A.Binding((p,), A.AtomExp(res)))
+
+    # -- reduce/scan segments -------------------------------------------------
+
+    def _distribute_soac(
+        self,
+        bnd: A.Binding,
+        ctx: List[MapCtx],
+        top: List[A.Binding],
+        lifted: Dict[str, A.Var],
+    ) -> None:
+        nest, out_vars = manifest(ctx, [bnd], list(bnd.pat), self.names)
+        top.extend(nest)
+        for p, v in zip(bnd.pat, out_vars):
+            lifted[p.name] = v
+            extend_ctx(ctx, p, v, self.names)
+
+    # -- G6: rearrange ------------------------------------------------------------
+
+    def _distribute_rearrange(
+        self,
+        bnd: A.Binding,
+        ctx: List[MapCtx],
+        top: List[A.Binding],
+        lifted: Dict[str, A.Var],
+    ) -> None:
+        e: A.RearrangeExp = bnd.exp
+        d = len(ctx)
+        perm = tuple(range(d)) + tuple(k + d for k in e.perm)
+        (p,) = bnd.pat
+        out = self.names.fresh(f"{p.name}_lifted")
+        out_t = lift_type(p.type, ctx)
+        top.append(
+            A.Binding(
+                (A.Param(out, out_t),),
+                A.RearrangeExp(perm, lifted[e.arr.name]),
+            )
+        )
+        v = A.Var(out)
+        lifted[p.name] = v
+        extend_ctx(ctx, p, v, self.names)
+
+    # -- G7: map-loop interchange ----------------------------------------------
+
+    def _interchange_loop(
+        self,
+        bnd: A.Binding,
+        ctx: List[MapCtx],
+        top: List[A.Binding],
+        lifted: Dict[str, A.Var],
+        variant: Set[str],
+    ) -> None:
+        e: A.LoopExp = bnd.exp
+        merge_top: List[Tuple[A.Param, A.Atom]] = []
+        loop_ctx = [MapCtx(l.width, list(l.pairs)) for l in ctx]
+        for w, init in e.merge:
+            T = lift_type(w.type, ctx)
+            if isinstance(init, A.Var) and init.name in lifted:
+                lifted_init: A.Atom = lifted[init.name]
+            else:
+                lifted_init = self._replicate_chain(
+                    ctx, init, w.type, top, w.name
+                )
+            mp = A.Param(self.names.fresh(f"{w.name}_outer"), T, w.unique)
+            merge_top.append((mp, lifted_init))
+            extend_ctx(loop_ctx, w, A.Var(mp.name), self.names)
+        body_bindings, body_results = self.distribute(loop_ctx, e.body)
+        loop_exp = A.LoopExp(
+            tuple(merge_top),
+            e.form,
+            A.Body(tuple(body_bindings), tuple(body_results)),
+        )
+        pat = tuple(
+            A.Param(
+                self.names.fresh(f"{p.name}_lifted"),
+                lift_type(p.type, ctx),
+                p.unique,
+            )
+            for p in bnd.pat
+        )
+        top.append(A.Binding(pat, loop_exp))
+        for p, np in zip(bnd.pat, pat):
+            v = A.Var(np.name)
+            lifted[p.name] = v
+            extend_ctx(ctx, p, v, self.names)
+
+    # -- misc ---------------------------------------------------------------------
+
+    def _atom_type_guess(
+        self, a: A.Atom, ctx: Sequence[MapCtx], body: A.Body
+    ) -> Optional[Type]:
+        if isinstance(a, A.Const):
+            return Prim(a.type)
+        t = self._param_type_in_ctx(a.name, ctx)
+        if t is not None:
+            return t
+        return self.type_env.get(a.name)
+
+    def _param_type_in_ctx(
+        self, name: str, ctx: Sequence[MapCtx]
+    ) -> Optional[Type]:
+        for level in ctx:
+            for p, _ in level.pairs:
+                if p.name == name:
+                    return p.type
+        return None
+
+
+def _cheap_scalar(bnd: A.Binding) -> bool:
+    """Pure scalar arithmetic or scalar indexing: cheap to recompute
+    per thread instead of materialising (let-floating grouping)."""
+    if not all(isinstance(p.type, Prim) for p in bnd.pat):
+        return False
+    return isinstance(
+        bnd.exp,
+        (A.BinOpExp, A.CmpOpExp, A.UnOpExp, A.ConvOpExp, A.AtomExp,
+         A.IndexExp),
+    )
+
+
+def _sink_into_map(
+    scalars: List[A.Binding], bnd: A.Binding
+) -> A.Binding:
+    """Prepend scalar bindings to a map binding's lambda body."""
+    e: A.MapExp = bnd.exp
+    lam = e.lam
+    new_lam = A.Lambda(
+        lam.params,
+        A.Body(tuple(scalars) + lam.body.bindings, lam.body.result),
+        lam.ret_types,
+    )
+    return A.Binding(bnd.pat, A.MapExp(e.width, new_lam, e.arrs))

@@ -1,0 +1,170 @@
+"""Local interchange rewrites used by the flattener.
+
+* Rule G5 (reduce-map interchange): a reduction with a *vectorised*
+  operator (``reduce (map ⊕) (replicate k n) z``) becomes a map of
+  scalar reductions over the transposed input — a regular segmented
+  reduction, "at the expense of transposing the input array(s)".
+* Detection of inner parallelism (the side condition of rule G7).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..core import ast as A
+from ..core.prim import I32
+from ..core.types import Array, Prim, Type
+from ..core.traversal import (
+    NameSource,
+    exp_bodies,
+    exp_lambdas,
+    map_exp_bodies,
+    map_exp_lambdas,
+)
+
+__all__ = [
+    "vec_operator",
+    "apply_g5_body",
+    "contains_parallelism",
+]
+
+
+def vec_operator(lam: A.Lambda) -> Optional[A.Lambda]:
+    """If ``lam`` is a vectorised binary operator — two array
+    parameters combined element-wise by a single inner ``map`` — return
+    the scalar operator lambda; otherwise None."""
+    if len(lam.params) != 2:
+        return None
+    if not all(isinstance(p.type, Array) for p in lam.params):
+        return None
+    if len(lam.body.bindings) != 1:
+        return None
+    bnd = lam.body.bindings[0]
+    if not isinstance(bnd.exp, A.MapExp):
+        return None
+    inner = bnd.exp
+    if set(a.name for a in inner.arrs) != {p.name for p in lam.params}:
+        return None
+    if lam.body.result != tuple(A.Var(p.name) for p in bnd.pat):
+        return None
+    if len(inner.lam.params) != 2:
+        return None
+    return inner.lam
+
+
+def _dim_atom(d) -> A.Atom:
+    if isinstance(d, int):
+        return A.Const(d, I32)
+    return A.Var(d)
+
+
+def g5_rewrite(
+    bnd: A.Binding, names: NameSource
+) -> Optional[List[A.Binding]]:
+    """Rewrite ``r = reduce (map ⊕) (ne) z`` into::
+
+        zt = rearrange (1, 0) z
+        r  = map (λcol → reduce ⊕ ne[0] col) zt
+
+    Returns the replacement bindings, or None if not applicable.
+    """
+    e = bnd.exp
+    if not isinstance(e, A.ReduceExp) or len(e.arrs) != 1:
+        return None
+    scalar_op = vec_operator(e.lam)
+    if scalar_op is None:
+        return None
+    if len(bnd.pat) != 1 or not isinstance(bnd.pat[0].type, Array):
+        return None
+    r_type: Array = bnd.pat[0].type
+    if len(r_type.shape) != 1:
+        return None
+    (ne,) = e.neutral
+    if not isinstance(ne, A.Var):
+        return None
+
+    out: List[A.Binding] = []
+    # The neutral element is (by the rule's assumption) a replicated
+    # value; its first element is the scalar neutral.
+    ne0 = names.fresh("ne0")
+    out.append(
+        A.Binding(
+            (A.Param(ne0, Prim(r_type.elem)),),
+            A.IndexExp(ne, (A.Const(0, I32),)),
+        )
+    )
+    (z,) = e.arrs
+    zt = names.fresh(f"{z.name}_tr")
+    zt_type = Array(r_type.elem, (r_type.shape[0], width_of(e)))
+    out.append(
+        A.Binding(
+            (A.Param(zt, zt_type),),
+            A.RearrangeExp((1, 0), z),
+        )
+    )
+    col = names.fresh("col")
+    col_type = Array(r_type.elem, (width_of(e),))
+    red_name = names.fresh("segred")
+    inner_red = A.ReduceExp(
+        e.width,
+        scalar_op,
+        (A.Var(ne0),),
+        (A.Var(col),),
+        e.comm,
+    )
+    lam_body = A.Body(
+        (A.Binding((A.Param(red_name, Prim(r_type.elem)),), inner_red),),
+        (A.Var(red_name),),
+    )
+    lam = A.Lambda(
+        (A.Param(col, col_type),), lam_body, (Prim(r_type.elem),)
+    )
+    out.append(
+        A.Binding(
+            bnd.pat,
+            A.MapExp(_dim_atom(r_type.shape[0]), lam, (A.Var(zt),)),
+        )
+    )
+    return out
+
+
+def width_of(e: A.ReduceExp):
+    from .context import width_dim
+
+    return width_dim(e.width)
+
+
+def apply_g5_body(body: A.Body, names: NameSource) -> A.Body:
+    """Apply the G5 rewrite everywhere in a body (recursively)."""
+    new_bindings: List[A.Binding] = []
+    for bnd in body.bindings:
+        exp = map_exp_bodies(bnd.exp, lambda b: apply_g5_body(b, names))
+        exp = map_exp_lambdas(
+            exp,
+            lambda lam: A.Lambda(
+                lam.params, apply_g5_body(lam.body, names), lam.ret_types
+            ),
+        )
+        bnd = A.Binding(bnd.pat, exp)
+        replacement = g5_rewrite(bnd, names)
+        if replacement is not None:
+            new_bindings.extend(replacement)
+        else:
+            new_bindings.append(bnd)
+    return A.Body(tuple(new_bindings), body.result)
+
+
+def contains_parallelism(body: A.Body) -> bool:
+    """Whether a body contains an (exploitable) parallel SOAC — the
+    side condition of rule G7."""
+    for bnd in body.bindings:
+        e = bnd.exp
+        if isinstance(
+            e,
+            (A.MapExp, A.ReduceExp, A.ScanExp, A.StreamRedExp, A.StreamMapExp),
+        ):
+            return True
+        for sub in exp_bodies(e):
+            if contains_parallelism(sub):
+                return True
+    return False

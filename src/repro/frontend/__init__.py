@@ -1,0 +1,5 @@
+"""Concrete-syntax front end: lexer, parser, and desugaring into the
+ANF core IR."""
+
+from .lexer import LexError, Token, tokenize  # noqa: F401
+from .parser import ParseError, parse, parse_expression  # noqa: F401

@@ -1,0 +1,375 @@
+"""Desugaring: surface AST → ANF core IR.
+
+Flattens nested expressions into let-bindings (via the builder), renames
+surface variables to the core program's unique names, resolves builtin
+identifiers (unary operators, named binops, conversions, program
+functions), expands ``let x[i] = v`` into an in-place update, and
+expands ``transpose`` into ``rearrange``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core import ast as A
+from ..core.builder import BodyBuilder, LambdaBuilder, ProgBuilder
+from ..core.prim import BINOPS, BOOL, UNOPS, PrimType
+from ..core.types import Array, Dim, Prim, Type, TypeDecl, TypeError_
+from . import sast as S
+from .parser import ParseError
+
+__all__ = ["desugar_prog", "DesugarError"]
+
+
+class DesugarError(Exception):
+    """A name-resolution or structural error during desugaring."""
+
+
+Env = Dict[str, A.Atom]
+
+
+def desugar_prog(sprog: S.SProg) -> A.Prog:
+    pb = ProgBuilder()
+    # Pre-declare every signature so any order (and recursion) works.
+    for f in sprog.funs:
+        params = tuple(A.Param(p.name, p.type, p.unique) for p in f.params)
+        ret_types = tuple(t for t, _ in f.ret)
+        pb.declare(f.name, params, ret_types)
+    fun_names = {f.name for f in sprog.funs}
+    for f in sprog.funs:
+        with pb.function(f.name) as fb:
+            env: Env = {}
+            for p in f.params:
+                env[p.name] = fb.param(p.name, p.type, p.unique)
+                if isinstance(p.type, Array):
+                    for d in p.type.shape:
+                        if isinstance(d, str):
+                            env.setdefault(d, A.Var(d))
+            norm = _Normalizer(fun_names)
+            results = norm.norm(fb, f.body, env)
+            fb.returns(*(TypeDecl(t, u) for t, u in f.ret))
+            fb.ret(*results)
+    return pb.build()
+
+
+class _Normalizer:
+    def __init__(self, fun_names) -> None:
+        self._fun_names = fun_names
+
+    # -- helpers ---------------------------------------------------------
+
+    def norm1(self, bb: BodyBuilder, e: S.SExp, env: Env) -> A.Atom:
+        atoms = self.norm(bb, e, env)
+        if len(atoms) != 1:
+            raise DesugarError(
+                f"expected a single value, got {len(atoms)}"
+            )
+        return atoms[0]
+
+    def _var(self, bb: BodyBuilder, e: S.SExp, env: Env, what: str) -> A.Var:
+        a = self.norm1(bb, e, env)
+        if not isinstance(a, A.Var):
+            raise DesugarError(f"{what} must be an array, got constant {a}")
+        return a
+
+    def _subst_type(self, t: Type, env: Env) -> Type:
+        """Rewrite size variables of a declared type through ``env``."""
+        if not isinstance(t, Array):
+            return t
+        shape: List[Dim] = []
+        for d in t.shape:
+            if isinstance(d, str) and d in env:
+                a = env[d]
+                if isinstance(a, A.Var):
+                    shape.append(a.name)
+                else:
+                    shape.append(int(a.value))
+            else:
+                shape.append(d)
+        return Array(t.elem, tuple(shape))
+
+    # -- the main dispatch --------------------------------------------------
+
+    def norm(
+        self, bb: BodyBuilder, e: S.SExp, env: Env
+    ) -> Tuple[A.Atom, ...]:
+        if isinstance(e, S.SVar):
+            if e.name not in env:
+                raise DesugarError(f"unknown variable {e.name!r}")
+            return (env[e.name],)
+
+        if isinstance(e, S.SLit):
+            return (A.Const(e.value, e.type),)
+
+        if isinstance(e, S.STuple):
+            out: List[A.Atom] = []
+            for elem in e.elems:
+                out.extend(self.norm(bb, elem, env))
+            return tuple(out)
+
+        if isinstance(e, S.SBin):
+            x = self.norm1(bb, e.x, env)
+            y = self.norm1(bb, e.y, env)
+            xt = bb.type_of(x)
+            op = e.op
+            if (
+                op == "div"
+                and isinstance(xt, Prim)
+                and xt.t.is_integral
+            ):
+                op = "idiv"
+            if not isinstance(xt, Prim):
+                raise DesugarError(f"operator {op} applied to array")
+            return (bb.bind1(A.BinOpExp(op, x, y, xt.t)),)
+
+        if isinstance(e, S.SCmp):
+            x = self.norm1(bb, e.x, env)
+            y = self.norm1(bb, e.y, env)
+            xt = bb.type_of(x)
+            if not isinstance(xt, Prim):
+                raise DesugarError(f"comparison {e.op} applied to array")
+            return (bb.bind1(A.CmpOpExp(e.op, x, y, xt.t)),)
+
+        if isinstance(e, S.SUn):
+            x = self.norm1(bb, e.x, env)
+            xt = bb.type_of(x)
+            if not isinstance(xt, Prim):
+                raise DesugarError(f"operator {e.op} applied to array")
+            return (bb.bind1(A.UnOpExp(e.op, x, xt.t)),)
+
+        if isinstance(e, S.SCall):
+            return self._norm_call(bb, e, env)
+
+        if isinstance(e, S.SIndex):
+            arr = self._var(bb, e.arr, env, "indexed value")
+            idxs = tuple(self.norm1(bb, i, env) for i in e.idxs)
+            return (bb.bind1(A.IndexExp(arr, idxs), hint="x"),)
+
+        if isinstance(e, S.SUpdate):
+            arr = self._var(bb, e.arr, env, "updated value")
+            idxs = tuple(self.norm1(bb, i, env) for i in e.idxs)
+            value = self.norm1(bb, e.value, env)
+            return (bb.bind1(A.UpdateExp(arr, idxs, value), hint="upd"),)
+
+        if isinstance(e, S.SIf):
+            return self._norm_if(bb, e, env)
+
+        if isinstance(e, S.SLet):
+            return self._norm_let(bb, e, env)
+
+        if isinstance(e, S.SLoop):
+            return self._norm_loop(bb, e, env)
+
+        if isinstance(e, S.SIota):
+            return (bb.iota(self.norm1(bb, e.n, env)),)
+
+        if isinstance(e, S.SReplicate):
+            n = self.norm1(bb, e.n, env)
+            v = self.norm1(bb, e.value, env)
+            return (bb.replicate(n, v),)
+
+        if isinstance(e, S.SRearrange):
+            arr = self._var(bb, e.arr, env, "rearranged value")
+            t = bb.type_of(arr)
+            rank = len(t.shape) if isinstance(t, Array) else 0
+            perm = e.perm
+            if perm == (1, 0) and rank > 2:
+                perm = (1, 0) + tuple(range(2, rank))
+            return (bb.rearrange(perm, arr),)
+
+        if isinstance(e, S.SReshape):
+            arr = self._var(bb, e.arr, env, "reshaped value")
+            shape = [self.norm1(bb, s, env) for s in e.shape]
+            return (bb.reshape(shape, arr),)
+
+        if isinstance(e, S.SCopy):
+            return (bb.copy(self._var(bb, e.arr, env, "copied value")),)
+
+        if isinstance(e, S.SConcat):
+            arrs = [self._var(bb, a, env, "concat operand") for a in e.arrs]
+            return (bb.concat(*arrs),)
+
+        if isinstance(e, S.SSoac):
+            return self._norm_soac(bb, e, env)
+
+        if isinstance(e, S.SLambda):
+            raise DesugarError(
+                "a lambda may only appear as a SOAC's function argument"
+            )
+
+        raise DesugarError(f"cannot desugar {type(e).__name__}")
+
+    # -- structured forms --------------------------------------------------------
+
+    def _norm_call(
+        self, bb: BodyBuilder, e: S.SCall, env: Env
+    ) -> Tuple[A.Atom, ...]:
+        args = [self.norm1(bb, a, env) for a in e.args]
+        name = e.fname
+        if name in self._fun_names:
+            return bb.bind(A.ApplyExp(name, tuple(args)), hint="r")
+        # Conversions: f32 x / i64 x / ...
+        from ..core.prim import prim_from_name
+
+        try:
+            to_t: Optional[PrimType] = prim_from_name(name)
+        except ValueError:
+            to_t = None
+        if to_t is not None:
+            if len(args) != 1:
+                raise DesugarError(f"conversion {name} takes one argument")
+            xt = bb.type_of(args[0])
+            if not isinstance(xt, Prim):
+                raise DesugarError(f"conversion {name} of an array")
+            return (bb.bind1(A.ConvOpExp(to_t, args[0], xt.t), hint="c"),)
+        if name in UNOPS and len(args) == 1:
+            xt = e.at_type
+            if xt is None:
+                t0 = bb.type_of(args[0])
+                if not isinstance(t0, Prim):
+                    raise DesugarError(f"{name} applied to an array")
+                xt = t0.t
+            return (bb.bind1(A.UnOpExp(name, args[0], xt)),)
+        if name in BINOPS and len(args) == 2:
+            xt = e.at_type
+            if xt is None:
+                t0 = bb.type_of(args[0])
+                if not isinstance(t0, Prim):
+                    raise DesugarError(f"{name} applied to an array")
+                xt = t0.t
+            return (bb.bind1(A.BinOpExp(name, args[0], args[1], xt)),)
+        raise DesugarError(f"unknown function or operator {name!r}")
+
+    def _norm_if(
+        self, bb: BodyBuilder, e: S.SIf, env: Env
+    ) -> Tuple[A.Atom, ...]:
+        cond = self.norm1(bb, e.cond, env)
+        ib = bb.if_(cond)
+        tb = ib.then_()
+        t_atoms = self.norm(tb, e.then, dict(env))
+        tb.ret(*t_atoms)
+        eb = ib.else_()
+        f_atoms = self.norm(eb, e.els, dict(env))
+        eb.ret(*f_atoms)
+        result = ib.end()
+        return result if isinstance(result, tuple) else (result,)
+
+    def _norm_let(
+        self, bb: BodyBuilder, e: S.SLet, env: Env
+    ) -> Tuple[A.Atom, ...]:
+        env = dict(env)
+        if len(e.dests) == 1 and e.dests[0].idxs:
+            # let x[i] = v  ==>  let x = x with [i] <- v
+            dest = e.dests[0]
+            if dest.name not in env:
+                raise DesugarError(
+                    f"updated variable {dest.name!r} is not in scope"
+                )
+            arr = env[dest.name]
+            if not isinstance(arr, A.Var):
+                raise DesugarError(f"{dest.name!r} is not an array")
+            idxs = tuple(self.norm1(bb, i, env) for i in dest.idxs)
+            value = self.norm1(bb, e.rhs, env)
+            env[dest.name] = bb.bind1(
+                A.UpdateExp(arr, idxs, value), hint=dest.name
+            )
+        else:
+            atoms = self.norm(bb, e.rhs, env)
+            if len(atoms) != len(e.dests):
+                raise DesugarError(
+                    f"let pattern of {len(e.dests)} names bound to "
+                    f"{len(atoms)} values"
+                )
+            for dest, atom in zip(e.dests, atoms):
+                env[dest.name] = atom
+        return self.norm(bb, e.body, env)
+
+    def _norm_loop(
+        self, bb: BodyBuilder, e: S.SLoop, env: Env
+    ) -> Tuple[A.Atom, ...]:
+        merge_spec = []
+        unique = []
+        for dest, init_e in e.merge:
+            init = self.norm1(bb, init_e, env)
+            t = dest.type
+            if t is None:
+                t = bb.type_of(init)
+            else:
+                t = self._subst_type(t, env)
+            merge_spec.append((dest.name, t, init))
+            unique.append(dest.unique or isinstance(t, Array))
+        if e.form[0] == "for":
+            _, ivar, bound_e = e.form
+            bound = self.norm1(bb, bound_e, env)
+            lp = bb.loop(merge_spec, for_lt=(ivar, bound), unique=unique)
+        else:
+            lp = bb.loop(merge_spec, while_=e.form[1], unique=unique)
+        inner_env = dict(env)
+        for (dest, _), v in zip(e.merge, lp.merge_vars):
+            inner_env[dest.name] = v
+        if e.form[0] == "for":
+            inner_env[e.form[1]] = lp.ivar
+        body_atoms = self.norm(lp, e.body, inner_env)
+        lp.ret(*body_atoms)
+        result = lp.end()
+        return result if isinstance(result, tuple) else (result,)
+
+    def _norm_lambda(
+        self, bb: BodyBuilder, slam: S.SExp, env: Env, what: str
+    ) -> A.Lambda:
+        if not isinstance(slam, S.SLambda):
+            raise DesugarError(f"{what} must be a lambda expression")
+        params = [
+            (p.name, self._subst_type(p.type, env)) for p in slam.params
+        ]
+        unique = [p.unique for p in slam.params]
+        lb = bb.lam(params, unique=unique)
+        inner_env = dict(env)
+        for p, v in zip(slam.params, lb.params):
+            inner_env[p.name] = v
+        atoms = self.norm(lb, slam.body, inner_env)
+        lb.ret(*atoms)
+        return lb.fn
+
+    def _norm_soac(
+        self, bb: BodyBuilder, e: S.SSoac, env: Env
+    ) -> Tuple[A.Atom, ...]:
+        kind = e.kind
+        if kind == "scatter":
+            dest, idx, vals = (
+                self._var(bb, a, env, "scatter operand") for a in e.arrs
+            )
+            return (bb.scatter(dest, idx, vals),)
+        arrs = [
+            self._var(bb, a, env, f"{kind} input") for a in e.arrs
+        ]
+        neutral = [self.norm1(bb, n, env) for n in e.neutral]
+        if kind == "map":
+            lam = self._norm_lambda(bb, e.fns[0], env, "map function")
+            result = bb.map(lam, *arrs)
+        elif kind == "filter":
+            if len(arrs) != 1:
+                raise DesugarError("filter takes exactly one array")
+            lam = self._norm_lambda(bb, e.fns[0], env, "filter predicate")
+            result = bb.filter_(lam, arrs[0])
+        elif kind in ("reduce", "reduce_comm"):
+            lam = self._norm_lambda(bb, e.fns[0], env, "reduce operator")
+            result = bb.reduce(
+                lam, neutral, *arrs, comm=(kind == "reduce_comm")
+            )
+        elif kind == "scan":
+            lam = self._norm_lambda(bb, e.fns[0], env, "scan operator")
+            result = bb.scan(lam, neutral, *arrs)
+        elif kind == "stream_map":
+            lam = self._norm_lambda(bb, e.fns[0], env, "stream_map function")
+            result = bb.stream_map(lam, *arrs)
+        elif kind == "stream_red":
+            red = self._norm_lambda(bb, e.fns[0], env, "stream_red operator")
+            fold = self._norm_lambda(bb, e.fns[1], env, "stream_red function")
+            result = bb.stream_red(red, fold, neutral, *arrs)
+        elif kind == "stream_seq":
+            lam = self._norm_lambda(bb, e.fns[0], env, "stream_seq function")
+            result = bb.stream_seq(lam, neutral, *arrs)
+        else:
+            raise DesugarError(f"unknown SOAC {kind!r}")
+        return result if isinstance(result, tuple) else (result,)

@@ -1,0 +1,189 @@
+"""Tokenizer for the Futhark core-language concrete syntax.
+
+The syntax follows the paper's notation (Fig. 1 and the examples):
+``--`` comments, type-suffixed literals (``1.0f32``, ``5i64``), and the
+operator set of the pretty-printer, whose output re-parses exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+__all__ = ["Token", "LexError", "tokenize", "KEYWORDS"]
+
+
+class LexError(Exception):
+    """A lexical error, with line/column information in the message."""
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'ident', 'int', 'float', 'bool', 'op', 'kw', 'eof'
+    text: str
+    line: int
+    col: int
+
+    def __str__(self) -> str:
+        return f"{self.text!r} at line {self.line}, column {self.col}"
+
+
+KEYWORDS = frozenset(
+    {
+        "fun",
+        "let",
+        "in",
+        "if",
+        "then",
+        "else",
+        "loop",
+        "for",
+        "while",
+        "do",
+        "with",
+        "iota",
+        "replicate",
+        "rearrange",
+        "reshape",
+        "transpose",
+        "copy",
+        "concat",
+        "map",
+        "filter",
+        "reduce",
+        "reduce_comm",
+        "scan",
+        "stream_map",
+        "stream_red",
+        "stream_seq",
+        "scatter",
+        "true",
+        "false",
+    }
+)
+
+# Multi-character operators first, so maximal munch applies.
+_OPERATORS = [
+    "->",
+    "<-",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "//",
+    "(",
+    ")",
+    "[",
+    "]",
+    "{",
+    "}",
+    ",",
+    ":",
+    "=",
+    "<",
+    ">",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "\\",
+    "@",
+    "!",
+    "^",
+]
+
+_SUFFIXES = ("i8", "i16", "i32", "i64", "f32", "f64")
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize ``text``; raises :class:`LexError` on illegal input."""
+    tokens: List[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(text)
+
+    def advance(k: int) -> None:
+        nonlocal i, line, col
+        for _ in range(k):
+            if i < n and text[i] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            i += 1
+
+    while i < n:
+        c = text[i]
+        if c in " \t\r\n":
+            advance(1)
+            continue
+        if text.startswith("--", i):
+            while i < n and text[i] != "\n":
+                advance(1)
+            continue
+        if c.isdigit() or (
+            c == "." and i + 1 < n and text[i + 1].isdigit()
+        ):
+            tokens.append(_lex_number(text, i, line, col))
+            advance(len(tokens[-1].text))
+            continue
+        if c.isalpha() or c == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            if word in ("true", "false"):
+                tokens.append(Token("bool", word, line, col))
+            elif word in KEYWORDS:
+                tokens.append(Token("kw", word, line, col))
+            else:
+                tokens.append(Token("ident", word, line, col))
+            advance(j - i)
+            continue
+        for op in _OPERATORS:
+            if text.startswith(op, i):
+                tokens.append(Token("op", op, line, col))
+                advance(len(op))
+                break
+        else:
+            raise LexError(
+                f"illegal character {c!r} at line {line}, column {col}"
+            )
+    tokens.append(Token("eof", "", line, col))
+    return tokens
+
+
+def _lex_number(text: str, i: int, line: int, col: int) -> Token:
+    n = len(text)
+    j = i
+    is_float = False
+    while j < n and text[j].isdigit():
+        j += 1
+    if j < n and text[j] == "." and j + 1 < n and text[j + 1].isdigit():
+        is_float = True
+        j += 1
+        while j < n and text[j].isdigit():
+            j += 1
+    if j < n and text[j] in "eE":
+        k = j + 1
+        if k < n and text[k] in "+-":
+            k += 1
+        if k < n and text[k].isdigit():
+            is_float = True
+            j = k
+            while j < n and text[j].isdigit():
+                j += 1
+    for suf in _SUFFIXES:
+        if text.startswith(suf, j):
+            after = j + len(suf)
+            if after >= n or not (text[after].isalnum() or text[after] == "_"):
+                j += len(suf)
+                if suf.startswith("f"):
+                    is_float = True
+                break
+    word = text[i:j]
+    return Token("float" if is_float else "int", word, line, col)

@@ -1,0 +1,536 @@
+"""Recursive-descent parser for the concrete syntax.
+
+Produces surface AST (:mod:`repro.frontend.sast`) and, via
+:func:`parse`, desugared ANF core IR.  The grammar is whitespace
+insensitive; operator precedence is (low to high): ``with``, ``||``,
+``&&``, comparisons, additive, multiplicative, unary, indexing,
+application.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..core import ast as A
+from ..core.prim import (
+    ALL_PRIM_TYPES,
+    BOOL,
+    F32,
+    F64,
+    I32,
+    PrimType,
+    prim_from_name,
+)
+from ..core.types import Array, Dim, Prim, Type
+from .lexer import Token, tokenize
+from . import sast as S
+
+__all__ = ["ParseError", "Parser", "parse", "parse_expression"]
+
+_PRIM_NAMES = {t.name for t in ALL_PRIM_TYPES}
+
+_BIN_SYMBOLS = {
+    "+": "add",
+    "-": "sub",
+    "*": "mul",
+    "/": "div",
+    "//": "idiv",
+    "%": "imod",
+    "^": "pow",
+}
+
+_CMP_SYMBOLS = {
+    "==": "eq",
+    "!=": "neq",
+    "<": "lt",
+    "<=": "le",
+    ">": "gt",
+    ">=": "ge",
+}
+
+
+class ParseError(Exception):
+    """A syntax error, with position information in the message."""
+
+
+class Parser:
+    def __init__(self, text: str) -> None:
+        self._tokens = tokenize(text)
+        self._pos = 0
+
+    # -- token plumbing ------------------------------------------------------
+
+    def _peek(self, ahead: int = 0) -> Token:
+        return self._tokens[min(self._pos + ahead, len(self._tokens) - 1)]
+
+    def _next(self) -> Token:
+        tok = self._peek()
+        if tok.kind != "eof":
+            self._pos += 1
+        return tok
+
+    def _at(self, kind: str, text: Optional[str] = None, ahead: int = 0) -> bool:
+        tok = self._peek(ahead)
+        return tok.kind == kind and (text is None or tok.text == text)
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> Token:
+        tok = self._peek()
+        if not self._at(kind, text):
+            want = text if text is not None else kind
+            raise ParseError(f"expected {want!r}, found {tok}")
+        return self._next()
+
+    def _accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        if self._at(kind, text):
+            return self._next()
+        return None
+
+    # -- programs ----------------------------------------------------------
+
+    def parse_prog(self) -> S.SProg:
+        funs: List[S.SFun] = []
+        while not self._at("eof"):
+            funs.append(self.parse_fun())
+        return S.SProg(tuple(funs))
+
+    def parse_fun(self) -> S.SFun:
+        self._expect("kw", "fun")
+        name = self._expect("ident").text
+        params: List[S.SParam] = []
+        while self._at("op", "("):
+            params.append(self._parse_param())
+        self._expect("op", ":")
+        ret = self._parse_ret_types()
+        self._expect("op", "=")
+        body = self.parse_expr()
+        return S.SFun(name, tuple(params), ret, body)
+
+    def _parse_param(self) -> S.SParam:
+        self._expect("op", "(")
+        name = self._expect("ident").text
+        self._expect("op", ":")
+        unique = self._accept("op", "*") is not None
+        t = self._parse_type()
+        self._expect("op", ")")
+        return S.SParam(name, t, unique)
+
+    def _parse_ret_types(self) -> Tuple[Tuple[Type, bool], ...]:
+        if self._accept("op", "("):
+            out = [self._parse_opt_unique_type()]
+            while self._accept("op", ","):
+                out.append(self._parse_opt_unique_type())
+            self._expect("op", ")")
+            return tuple(out)
+        return (self._parse_opt_unique_type(),)
+
+    def _parse_opt_unique_type(self) -> Tuple[Type, bool]:
+        unique = self._accept("op", "*") is not None
+        return (self._parse_type(), unique)
+
+    def _parse_type(self) -> Type:
+        dims: List[Dim] = []
+        while self._accept("op", "["):
+            tok = self._next()
+            if tok.kind == "int":
+                dims.append(int(tok.text))
+            elif tok.kind == "ident":
+                dims.append(tok.text)
+            else:
+                raise ParseError(f"expected a dimension, found {tok}")
+            self._expect("op", "]")
+        tok = self._expect("ident")
+        if tok.text not in _PRIM_NAMES:
+            raise ParseError(f"unknown primitive type {tok}")
+        prim = prim_from_name(tok.text)
+        if dims:
+            return Array(prim, tuple(dims))
+        return Prim(prim)
+
+    # -- expressions ----------------------------------------------------------
+
+    def parse_expr(self) -> S.SExp:
+        if self._at("kw", "let"):
+            return self._parse_let_chain()
+        if self._at("kw", "if"):
+            return self._parse_if()
+        if self._at("kw", "loop"):
+            return self._parse_loop()
+        return self._parse_with()
+
+    def _parse_let_chain(self) -> S.SExp:
+        self._expect("kw", "let")
+        dests = self._parse_let_pattern()
+        self._expect("op", "=")
+        rhs = self.parse_expr()
+        if self._accept("kw", "in"):
+            body = self.parse_expr()
+        elif self._at("kw", "let"):
+            body = self._parse_let_chain()
+        else:
+            raise ParseError(
+                f"expected 'let' or 'in' after binding, found {self._peek()}"
+            )
+        return S.SLet(dests, rhs, body)
+
+    def _parse_let_pattern(self) -> Tuple[S.SLetDest, ...]:
+        if self._accept("op", "("):
+            dests = [self._parse_let_dest()]
+            while self._accept("op", ","):
+                dests.append(self._parse_let_dest())
+            self._expect("op", ")")
+            return tuple(dests)
+        return (self._parse_let_dest(),)
+
+    def _parse_let_dest(self) -> S.SLetDest:
+        name = self._expect("ident").text
+        idxs: Tuple[S.SExp, ...] = ()
+        t: Optional[Type] = None
+        unique = False
+        if self._accept("op", "["):
+            # let x[i, j] = v  sugar for an in-place update.
+            ix = [self.parse_expr()]
+            while self._accept("op", ","):
+                ix.append(self.parse_expr())
+            self._expect("op", "]")
+            idxs = tuple(ix)
+        elif self._accept("op", ":"):
+            unique = self._accept("op", "*") is not None
+            t = self._parse_type()
+        return S.SLetDest(name, t, unique, idxs)
+
+    def _parse_if(self) -> S.SExp:
+        self._expect("kw", "if")
+        cond = self.parse_expr()
+        self._expect("kw", "then")
+        then = self.parse_expr()
+        self._expect("kw", "else")
+        els = self.parse_expr()
+        return S.SIf(cond, then, els)
+
+    def _parse_loop(self) -> S.SExp:
+        self._expect("kw", "loop")
+        self._expect("op", "(")
+        merge: List[Tuple[S.SLetDest, S.SExp]] = []
+        while True:
+            dest = self._parse_let_dest()
+            self._expect("op", "=")
+            init = self.parse_expr()
+            merge.append((dest, init))
+            if not self._accept("op", ","):
+                break
+        self._expect("op", ")")
+        if self._accept("kw", "for"):
+            ivar = self._expect("ident").text
+            self._expect("op", "<")
+            bound = self.parse_expr()
+            form: Tuple = ("for", ivar, bound)
+        else:
+            self._expect("kw", "while")
+            cond = self._expect("ident").text
+            form = ("while", cond)
+        self._expect("kw", "do")
+        body = self.parse_expr()
+        return S.SLoop(tuple(merge), form, body)
+
+    def _parse_with(self) -> S.SExp:
+        e = self._parse_or()
+        if self._accept("kw", "with"):
+            self._expect("op", "[")
+            idxs = [self.parse_expr()]
+            while self._accept("op", ","):
+                idxs.append(self.parse_expr())
+            self._expect("op", "]")
+            self._expect("op", "<-")
+            value = self.parse_expr()
+            return S.SUpdate(e, tuple(idxs), value)
+        return e
+
+    def _parse_or(self) -> S.SExp:
+        e = self._parse_and()
+        while self._accept("op", "||"):
+            e = S.SBin("or", e, self._parse_and())
+        return e
+
+    def _parse_and(self) -> S.SExp:
+        e = self._parse_cmp()
+        while self._accept("op", "&&"):
+            e = S.SBin("and", e, self._parse_cmp())
+        return e
+
+    def _parse_cmp(self) -> S.SExp:
+        e = self._parse_add()
+        for sym, op in _CMP_SYMBOLS.items():
+            if self._at("op", sym):
+                self._next()
+                return S.SCmp(op, e, self._parse_add())
+        return e
+
+    def _parse_add(self) -> S.SExp:
+        e = self._parse_mul()
+        while True:
+            if self._accept("op", "+"):
+                e = S.SBin("add", e, self._parse_mul())
+            elif self._accept("op", "-"):
+                e = S.SBin("sub", e, self._parse_mul())
+            else:
+                return e
+
+    def _parse_mul(self) -> S.SExp:
+        e = self._parse_unary()
+        while True:
+            matched = False
+            for sym in ("*", "/", "//", "%", "^"):
+                if self._at("op", sym):
+                    self._next()
+                    e = S.SBin(_BIN_SYMBOLS[sym], e, self._parse_unary())
+                    matched = True
+                    break
+            if not matched:
+                return e
+
+    def _parse_unary(self) -> S.SExp:
+        if self._accept("op", "-"):
+            return S.SUn("neg", self._parse_unary())
+        if self._accept("op", "!"):
+            return S.SUn("not", self._parse_unary())
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> S.SExp:
+        e = self._parse_app()
+        while self._at("op", "["):
+            self._next()
+            idxs = [self.parse_expr()]
+            while self._accept("op", ","):
+                idxs.append(self.parse_expr())
+            self._expect("op", "]")
+            e = S.SIndex(e, tuple(idxs))
+        return e
+
+    # -- application & special forms --------------------------------------------
+
+    def _parse_app(self) -> S.SExp:
+        tok = self._peek()
+        if tok.kind == "kw":
+            handler = {
+                "iota": self._parse_iota,
+                "replicate": self._parse_replicate,
+                "copy": self._parse_copy,
+                "concat": self._parse_concat,
+                "rearrange": self._parse_rearrange,
+                "transpose": self._parse_transpose,
+                "reshape": self._parse_reshape,
+                "map": self._parse_soac,
+                "filter": self._parse_soac,
+                "reduce": self._parse_soac,
+                "reduce_comm": self._parse_soac,
+                "scan": self._parse_soac,
+                "stream_map": self._parse_soac,
+                "stream_red": self._parse_soac,
+                "stream_seq": self._parse_soac,
+                "scatter": self._parse_soac,
+            }.get(tok.text)
+            if handler is not None:
+                return handler()
+        if tok.kind == "ident":
+            # ident@type(args): an explicitly typed operator.
+            if self._at("op", "@", ahead=1):
+                name = self._next().text
+                self._next()  # '@'
+                t = self._parse_prim_name()
+                self._expect("op", "(")
+                args = [self.parse_expr()]
+                while self._accept("op", ","):
+                    args.append(self.parse_expr())
+                self._expect("op", ")")
+                return S.SCall(name, tuple(args), at_type=t)
+            # Plain application: ident followed by argument atoms.
+            if self._arg_follows(ahead=1):
+                name = self._next().text
+                args = [self._parse_arg()]
+                while self._arg_follows():
+                    args.append(self._parse_arg())
+                return S.SCall(name, tuple(args))
+        return self._parse_primary()
+
+    def _parse_prim_name(self) -> PrimType:
+        tok = self._expect("ident")
+        if tok.text not in _PRIM_NAMES:
+            raise ParseError(f"expected a primitive type, found {tok}")
+        return prim_from_name(tok.text)
+
+    def _arg_follows(self, ahead: int = 0) -> bool:
+        tok = self._peek(ahead)
+        if tok.kind in ("ident", "int", "float", "bool"):
+            return True
+        if tok.kind == "op" and tok.text in ("(", "\\"):
+            return True
+        return False
+
+    def _parse_arg(self) -> S.SExp:
+        """One argument of an application: a primary with indexing."""
+        e = self._parse_primary()
+        while self._at("op", "["):
+            self._next()
+            idxs = [self.parse_expr()]
+            while self._accept("op", ","):
+                idxs.append(self.parse_expr())
+            self._expect("op", "]")
+            e = S.SIndex(e, tuple(idxs))
+        return e
+
+    def _parse_primary(self) -> S.SExp:
+        tok = self._peek()
+        if tok.kind == "int":
+            self._next()
+            return _int_literal(tok.text)
+        if tok.kind == "float":
+            self._next()
+            return _float_literal(tok.text)
+        if tok.kind == "bool":
+            self._next()
+            return S.SLit(tok.text == "true", BOOL)
+        if tok.kind == "ident":
+            self._next()
+            return S.SVar(tok.text)
+        if self._accept("op", "("):
+            if self._at("op", "\\"):
+                lam = self._parse_lambda()
+                self._expect("op", ")")
+                return lam
+            e = self.parse_expr()
+            if self._at("op", ","):
+                elems = [e]
+                while self._accept("op", ","):
+                    elems.append(self.parse_expr())
+                self._expect("op", ")")
+                return S.STuple(tuple(elems))
+            self._expect("op", ")")
+            return e
+        if self._at("op", "\\"):
+            return self._parse_lambda()
+        if self._accept("op", "{"):
+            elems = [self.parse_expr()]
+            while self._accept("op", ","):
+                elems.append(self.parse_expr())
+            self._expect("op", "}")
+            if len(elems) == 1:
+                return elems[0]
+            return S.STuple(tuple(elems))
+        raise ParseError(f"expected an expression, found {tok}")
+
+    def _parse_lambda(self) -> S.SLambda:
+        self._expect("op", "\\")
+        params: List[S.SParam] = []
+        while self._at("op", "("):
+            params.append(self._parse_param())
+        # Optional return-type annotation (ignored; inferred instead).
+        if self._accept("op", ":"):
+            self._expect("op", "(")
+            if not self._at("op", ")"):
+                self._parse_type()
+                while self._accept("op", ","):
+                    self._parse_type()
+            self._expect("op", ")")
+        self._expect("op", "->")
+        body = self.parse_expr()
+        return S.SLambda(tuple(params), body)
+
+    # -- builtin array forms -------------------------------------------------
+
+    def _parse_iota(self) -> S.SExp:
+        self._expect("kw", "iota")
+        return S.SIota(self._parse_arg())
+
+    def _parse_replicate(self) -> S.SExp:
+        self._expect("kw", "replicate")
+        n = self._parse_arg()
+        v = self._parse_arg()
+        return S.SReplicate(n, v)
+
+    def _parse_copy(self) -> S.SExp:
+        self._expect("kw", "copy")
+        return S.SCopy(self._parse_arg())
+
+    def _parse_concat(self) -> S.SExp:
+        self._expect("kw", "concat")
+        arrs = [self._parse_arg()]
+        while self._arg_follows():
+            arrs.append(self._parse_arg())
+        return S.SConcat(tuple(arrs))
+
+    def _parse_rearrange(self) -> S.SExp:
+        self._expect("kw", "rearrange")
+        self._expect("op", "(")
+        perm = [int(self._expect("int").text)]
+        while self._accept("op", ","):
+            perm.append(int(self._expect("int").text))
+        self._expect("op", ")")
+        arr = self._parse_arg()
+        return S.SRearrange(tuple(perm), arr)
+
+    def _parse_transpose(self) -> S.SExp:
+        self._expect("kw", "transpose")
+        arr = self._parse_arg()
+        return S.SRearrange((1, 0), arr)
+
+    def _parse_reshape(self) -> S.SExp:
+        self._expect("kw", "reshape")
+        self._expect("op", "(")
+        shape = [self.parse_expr()]
+        while self._accept("op", ","):
+            shape.append(self.parse_expr())
+        self._expect("op", ")")
+        arr = self._parse_arg()
+        return S.SReshape(tuple(shape), arr)
+
+    def _parse_soac(self) -> S.SExp:
+        kind = self._next().text
+        if kind == "scatter":
+            dest = self._parse_arg()
+            idx = self._parse_arg()
+            vals = self._parse_arg()
+            return S.SSoac("scatter", (), (), (dest, idx, vals))
+        fns: List[S.SExp] = [self._parse_arg()]
+        if kind == "stream_red":
+            fns.append(self._parse_arg())
+        neutral: Tuple[S.SExp, ...] = ()
+        if kind in ("reduce", "reduce_comm", "scan", "stream_red", "stream_seq"):
+            ne = self._parse_arg()
+            neutral = ne.elems if isinstance(ne, S.STuple) else (ne,)
+        arrs: List[S.SExp] = []
+        while self._arg_follows():
+            arrs.append(self._parse_arg())
+        if not arrs:
+            raise ParseError(
+                f"{kind} needs at least one input array near {self._peek()}"
+            )
+        return S.SSoac(kind, tuple(fns), neutral, tuple(arrs))
+
+
+def _int_literal(text: str) -> S.SLit:
+    for suf in ("i8", "i16", "i32", "i64"):
+        if text.endswith(suf):
+            return S.SLit(int(text[: -len(suf)]), prim_from_name(suf))
+    return S.SLit(int(text), I32)
+
+
+def _float_literal(text: str) -> S.SLit:
+    for suf in ("f32", "f64"):
+        if text.endswith(suf):
+            return S.SLit(float(text[: -len(suf)]), prim_from_name(suf))
+    return S.SLit(float(text), F32)
+
+
+def parse(text: str) -> A.Prog:
+    """Parse a whole program into desugared ANF core IR."""
+    from .desugar import desugar_prog
+
+    return desugar_prog(Parser(text).parse_prog())
+
+
+def parse_expression(text: str) -> S.SExp:
+    """Parse a single expression into surface AST (mainly for tests)."""
+    p = Parser(text)
+    e = p.parse_expr()
+    p._expect("eof")
+    return e

@@ -1,0 +1,229 @@
+"""Surface abstract syntax produced by the parser.
+
+Unlike the core IR, surface expressions nest arbitrarily; the
+desugaring pass (``repro.frontend.desugar``) flattens them into ANF.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+from ..core.prim import PrimType
+from ..core.types import Type
+
+__all__ = [
+    "SExp",
+    "SVar",
+    "SLit",
+    "SBin",
+    "SCmp",
+    "SUn",
+    "SCall",
+    "SIndex",
+    "SUpdate",
+    "SIf",
+    "SLet",
+    "SLetDest",
+    "SLoop",
+    "SLambda",
+    "SSoac",
+    "STuple",
+    "SIota",
+    "SReplicate",
+    "SRearrange",
+    "SReshape",
+    "SCopy",
+    "SConcat",
+    "SParam",
+    "SFun",
+    "SProg",
+]
+
+
+@dataclass(frozen=True)
+class SVar:
+    name: str
+
+
+@dataclass(frozen=True)
+class SLit:
+    value: object
+    type: PrimType
+
+
+@dataclass(frozen=True)
+class SBin:
+    op: str  # core binop name ('add', 'mul', ...)
+    x: "SExp"
+    y: "SExp"
+
+
+@dataclass(frozen=True)
+class SCmp:
+    op: str  # core cmpop name ('lt', 'eq', ...)
+    x: "SExp"
+    y: "SExp"
+
+
+@dataclass(frozen=True)
+class SUn:
+    op: str
+    x: "SExp"
+
+
+@dataclass(frozen=True)
+class SCall:
+    """Application of an identifier: a named function, a builtin unary
+    operator (``sqrt x``), a named binop (``min a b``), a primitive
+    type used as a conversion (``f32 x``), or an ``ident@type(args)``
+    explicitly-typed operator."""
+
+    fname: str
+    args: Tuple["SExp", ...]
+    at_type: Optional[PrimType] = None
+
+
+@dataclass(frozen=True)
+class SIndex:
+    arr: "SExp"
+    idxs: Tuple["SExp", ...]
+
+
+@dataclass(frozen=True)
+class SUpdate:
+    arr: "SExp"
+    idxs: Tuple["SExp", ...]
+    value: "SExp"
+
+
+@dataclass(frozen=True)
+class SIf:
+    cond: "SExp"
+    then: "SExp"
+    els: "SExp"
+
+
+@dataclass(frozen=True)
+class SLetDest:
+    """One element of a let pattern: a name with an optional type
+    annotation, or an indexed destination (``let x[i] = v`` sugar)."""
+
+    name: str
+    type: Optional[Type] = None
+    unique: bool = False
+    idxs: Tuple["SExp", ...] = ()
+
+
+@dataclass(frozen=True)
+class SLet:
+    dests: Tuple[SLetDest, ...]
+    rhs: "SExp"
+    body: "SExp"
+
+
+@dataclass(frozen=True)
+class SLoop:
+    merge: Tuple[Tuple[SLetDest, "SExp"], ...]
+    # ('for', ivar, bound) or ('while', cond_name)
+    form: Tuple
+    body: "SExp"
+
+
+@dataclass(frozen=True)
+class SParam:
+    name: str
+    type: Type
+    unique: bool = False
+
+
+@dataclass(frozen=True)
+class SLambda:
+    params: Tuple[SParam, ...]
+    body: "SExp"
+
+
+@dataclass(frozen=True)
+class SSoac:
+    """kind in {'map','reduce','reduce_comm','scan','stream_map',
+    'stream_red','stream_seq','scatter'}."""
+
+    kind: str
+    fns: Tuple["SExp", ...]  # one lambda (two for stream_red)
+    neutral: Tuple["SExp", ...]
+    arrs: Tuple["SExp", ...]
+
+
+@dataclass(frozen=True)
+class STuple:
+    elems: Tuple["SExp", ...]
+
+
+@dataclass(frozen=True)
+class SIota:
+    n: "SExp"
+
+
+@dataclass(frozen=True)
+class SReplicate:
+    n: "SExp"
+    value: "SExp"
+
+
+@dataclass(frozen=True)
+class SRearrange:
+    perm: Tuple[int, ...]
+    arr: "SExp"
+
+
+@dataclass(frozen=True)
+class SReshape:
+    shape: Tuple["SExp", ...]
+    arr: "SExp"
+
+
+@dataclass(frozen=True)
+class SCopy:
+    arr: "SExp"
+
+
+@dataclass(frozen=True)
+class SConcat:
+    arrs: Tuple["SExp", ...]
+
+
+SExp = Union[
+    SVar,
+    SLit,
+    SBin,
+    SCmp,
+    SUn,
+    SCall,
+    SIndex,
+    SUpdate,
+    SIf,
+    SLet,
+    SLoop,
+    SLambda,
+    SSoac,
+    STuple,
+    SIota,
+    SReplicate,
+    SRearrange,
+    SReshape,
+    SCopy,
+    SConcat,
+]
+
+
+@dataclass(frozen=True)
+class SFun:
+    name: str
+    params: Tuple[SParam, ...]
+    ret: Tuple[Tuple[Type, bool], ...]  # (type, unique)
+    body: SExp
+
+
+@dataclass(frozen=True)
+class SProg:
+    funs: Tuple[SFun, ...]

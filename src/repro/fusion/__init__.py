@@ -1,0 +1,11 @@
+"""The fusion engine (Section 4): producer-consumer fusion by T2 graph
+reduction, horizontal fusion, and the streaming-SOAC rules F1–F7."""
+
+from .fuse import fuse_body, fuse_prog  # noqa: F401
+from .stream_rules import (  # noqa: F401
+    map_to_stream_seq,
+    reduce_to_stream_red,
+    reduce_to_stream_seq,
+    scan_to_stream_seq,
+    sequentialise_body_to_stream_seq,
+)

@@ -1,0 +1,83 @@
+"""Dependency bookkeeping for the fusion engine.
+
+The T2 graph-reduction condition of Section 4 — "a SOAC is fused if it
+is the source of only one dependency edge and the target is a
+compatible SOAC" — is decided from the use counts computed here, and
+the consumption-point restriction ("do not move a source SOAC past a
+consumption point of one of its input arrays") from
+:func:`consumption_between`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..core import ast as A
+from ..core.traversal import exp_bodies, exp_lambdas, free_vars_exp
+from ..checker.uniqueness import exp_directly_consumes
+
+__all__ = [
+    "use_counts",
+    "producer_index",
+    "consumption_between",
+    "single_consumer",
+]
+
+
+def use_counts(body: A.Body) -> Counter:
+    """How many syntactic uses each variable has in a body (including
+    nested bodies and lambdas, via free-variable sets per binding)."""
+    counts: Counter = Counter()
+    for bnd in body.bindings:
+        for v in free_vars_exp(bnd.exp):
+            counts[v] += 1
+        # Count duplicate direct operands too (a var used twice in one
+        # expression still has one free-var entry); being precise here
+        # only matters for the "is it used anywhere else" question, so
+        # free-variable granularity per binding suffices.
+    for a in body.result:
+        if isinstance(a, A.Var):
+            counts[a.name] += 1
+    return counts
+
+
+def producer_index(body: A.Body) -> Dict[str, int]:
+    """Map each bound name to the index of the binding producing it."""
+    out: Dict[str, int] = {}
+    for i, bnd in enumerate(body.bindings):
+        for p in bnd.pat:
+            out[p.name] = i
+    return out
+
+
+def consumption_between(
+    body: A.Body, start: int, end: int, protected: Set[str]
+) -> bool:
+    """Whether any binding in ``body.bindings[start+1:end]`` consumes a
+    variable in ``protected`` — which forbids moving the binding at
+    ``start`` down to position ``end``."""
+    for bnd in body.bindings[start + 1 : end]:
+        if exp_directly_consumes(bnd.exp) & protected:
+            return True
+    return False
+
+
+def single_consumer(
+    body: A.Body,
+    producer_pos: int,
+    consumer_pos: int,
+) -> bool:
+    """T2 condition: every use of every output of the producer binding
+    occurs in the consumer binding (so the producer is the source of
+    exactly one dependency edge)."""
+    produced = set(body.bindings[producer_pos].names())
+    for i, bnd in enumerate(body.bindings):
+        if i in (producer_pos, consumer_pos):
+            continue
+        if free_vars_exp(bnd.exp) & produced:
+            return False
+    for a in body.result:
+        if isinstance(a, A.Var) and a.name in produced:
+            return False
+    return True

@@ -1,0 +1,454 @@
+"""The streaming-SOAC rewrite rules of Fig. 9.
+
+Conversions (F1–F5) turn ``map``/``reduce``/``scan`` into parallel or
+sequential streams; compositions (F6/F7) fuse two streams into one.
+:func:`sequentialise_body_to_stream_seq` applies F2/F4/F5 and then F7
+repeatedly to a body, reproducing the Fig. 10c transformation that
+collapses a map–scan–reduce chain into a single ``stream_seq`` whose
+per-thread footprint is O(1) at chunk size one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core import ast as A
+from ..core.prim import I32
+from ..core.types import Array, Prim, Type, row_type
+from ..core.traversal import (
+    NameSource,
+    alpha_rename_lambda,
+    free_vars_exp,
+    name_source,
+    substitute_body,
+)
+from .graph import single_consumer, use_counts
+
+__all__ = [
+    "inline_lambda",
+    "map_to_stream_seq",
+    "reduce_to_stream_red",
+    "reduce_to_stream_seq",
+    "scan_to_stream_seq",
+    "fuse_stream_seq_pair",
+    "sequentialise_body_to_stream_seq",
+]
+
+
+def inline_lambda(
+    lam: A.Lambda,
+    args: Sequence[A.Atom],
+    names: NameSource,
+) -> Tuple[List[A.Binding], Tuple[A.Atom, ...]]:
+    """Alpha-rename ``lam``, substitute ``args`` for its parameters, and
+    return its bindings plus result atoms, ready for splicing."""
+    fresh = alpha_rename_lambda(lam, names)
+    subst = {p.name: a for p, a in zip(fresh.params, args)}
+    body = substitute_body(fresh.body, subst)
+    return list(body.bindings), tuple(body.result)
+
+
+def _chunk_array_types(
+    lam_param_types: Sequence[Type], chunk_name: str
+) -> List[Type]:
+    """Per-chunk array types for inputs whose *row* types are given."""
+    out: List[Type] = []
+    for t in lam_param_types:
+        if isinstance(t, Array):
+            out.append(Array(t.elem, (chunk_name,) + t.shape))
+        else:
+            out.append(Array(t.t, (chunk_name,)))
+    return out
+
+
+def map_to_stream_seq(e: A.MapExp, names: NameSource) -> A.StreamSeqExp:
+    """F2: ``map f b ⇒ stream_seq (λ(q, bc) → map f bc) () b``
+    (we use zero accumulators instead of the paper's dummy one)."""
+    q = names.fresh("q")
+    chunk_params = []
+    chunk_vars = []
+    for p in e.lam.params:
+        cname = names.fresh(f"{p.name}_chunk")
+        chunk_params.append(
+            A.Param(cname, _chunk_array_types([p.type], q)[0])
+        )
+        chunk_vars.append(A.Var(cname))
+    out_names = [names.fresh("mapped") for _ in e.lam.ret_types]
+    out_types = _chunk_array_types(e.lam.ret_types, q)
+    inner = A.MapExp(A.Var(q), e.lam, tuple(chunk_vars))
+    body = A.Body(
+        (
+            A.Binding(
+                tuple(
+                    A.Param(n, t) for n, t in zip(out_names, out_types)
+                ),
+                inner,
+            ),
+        ),
+        tuple(A.Var(n) for n in out_names),
+    )
+    lam = A.Lambda(
+        (A.Param(q, Prim(I32)),) + tuple(chunk_params),
+        body,
+        tuple(out_types),
+    )
+    return A.StreamSeqExp(e.width, lam, (), e.arrs)
+
+
+def reduce_to_stream_seq(
+    e: A.ReduceExp, names: NameSource
+) -> A.StreamSeqExp:
+    """F4: ``reduce ⊕ e b ⇒
+    stream_seq (λ(q, a, bc) → a ⊕ (reduce ⊕ e bc)) (e) b``."""
+    q = names.fresh("q")
+    n_acc = len(e.neutral)
+    acc_params = [
+        A.Param(names.fresh("acc"), t) for t in e.lam.ret_types
+    ]
+    elem_types = [p.type for p in e.lam.params[n_acc:]]
+    chunk_params = [
+        A.Param(names.fresh("chunk"), t)
+        for t in _chunk_array_types(elem_types, q)
+    ]
+    bindings: List[A.Binding] = []
+    red_names = [names.fresh("part") for _ in range(n_acc)]
+    bindings.append(
+        A.Binding(
+            tuple(
+                A.Param(n, t)
+                for n, t in zip(red_names, e.lam.ret_types)
+            ),
+            A.ReduceExp(
+                A.Var(q),
+                e.lam,
+                e.neutral,
+                tuple(A.Var(p.name) for p in chunk_params),
+                e.comm,
+            ),
+        )
+    )
+    comb_bindings, comb_result = inline_lambda(
+        e.lam,
+        [A.Var(p.name) for p in acc_params]
+        + [A.Var(n) for n in red_names],
+        names,
+    )
+    bindings.extend(comb_bindings)
+    body = A.Body(tuple(bindings), comb_result)
+    lam = A.Lambda(
+        (A.Param(q, Prim(I32)),) + tuple(acc_params) + tuple(chunk_params),
+        body,
+        tuple(e.lam.ret_types),
+    )
+    return A.StreamSeqExp(e.width, lam, e.neutral, e.arrs)
+
+
+def reduce_to_stream_red(
+    e: A.ReduceExp, names: NameSource
+) -> A.StreamRedExp:
+    """F3: ``reduce ⊕ e b ⇒
+    stream_red ⊕ (λ(a, bc) → a ⊕ reduce ⊕ e bc) (e) b``."""
+    seq = reduce_to_stream_seq(e, names)
+    return A.StreamRedExp(
+        e.width,
+        e.lam,
+        seq.lam,
+        e.neutral,
+        e.arrs,
+    )
+
+
+def scan_to_stream_seq(e: A.ScanExp, names: NameSource) -> A.StreamSeqExp:
+    """F5: per-chunk scan, shifted by the running accumulator; the last
+    element of the shifted scan becomes the next accumulator."""
+    q = names.fresh("q")
+    n_acc = len(e.neutral)
+    acc_params = [A.Param(names.fresh("acc"), t) for t in e.lam.ret_types]
+    elem_types = [p.type for p in e.lam.params[n_acc:]]
+    chunk_params = [
+        A.Param(names.fresh("chunk"), t)
+        for t in _chunk_array_types(elem_types, q)
+    ]
+    bindings: List[A.Binding] = []
+    # xc = scan ⊕ e bc
+    xc_names = [names.fresh("xc") for _ in range(n_acc)]
+    xc_types = _chunk_array_types(e.lam.ret_types, q)
+    bindings.append(
+        A.Binding(
+            tuple(A.Param(n, t) for n, t in zip(xc_names, xc_types)),
+            A.ScanExp(
+                A.Var(q),
+                e.lam,
+                e.neutral,
+                tuple(A.Var(p.name) for p in chunk_params),
+            ),
+        )
+    )
+    # yc = map (a ⊕) xc
+    elem_params = [
+        A.Param(names.fresh("x"), t) for t in e.lam.ret_types
+    ]
+    shift_bindings, shift_result = inline_lambda(
+        e.lam,
+        [A.Var(p.name) for p in acc_params]
+        + [A.Var(p.name) for p in elem_params],
+        names,
+    )
+    shift_lam = A.Lambda(
+        tuple(elem_params),
+        A.Body(tuple(shift_bindings), shift_result),
+        tuple(e.lam.ret_types),
+    )
+    yc_names = [names.fresh("yc") for _ in range(n_acc)]
+    bindings.append(
+        A.Binding(
+            tuple(A.Param(n, t) for n, t in zip(yc_names, xc_types)),
+            A.MapExp(
+                A.Var(q), shift_lam, tuple(A.Var(n) for n in xc_names)
+            ),
+        )
+    )
+    # last = yc[q-1]  (the accumulator for the next chunk)
+    qm1 = names.fresh("qm1")
+    bindings.append(
+        A.Binding(
+            (A.Param(qm1, Prim(I32)),),
+            A.BinOpExp("sub", A.Var(q), A.Const(1, I32), I32),
+        )
+    )
+    last_names = [names.fresh("last") for _ in range(n_acc)]
+    for ln, yn, t in zip(last_names, yc_names, e.lam.ret_types):
+        bindings.append(
+            A.Binding(
+                (A.Param(ln, t),),
+                A.IndexExp(A.Var(yn), (A.Var(qm1),)),
+            )
+        )
+    body = A.Body(
+        tuple(bindings),
+        tuple(A.Var(n) for n in last_names)
+        + tuple(A.Var(n) for n in yc_names),
+    )
+    lam = A.Lambda(
+        (A.Param(q, Prim(I32)),) + tuple(acc_params) + tuple(chunk_params),
+        body,
+        tuple(e.lam.ret_types) + tuple(xc_types),
+    )
+    return A.StreamSeqExp(e.width, lam, e.neutral, e.arrs)
+
+
+def fuse_stream_seq_pair(
+    producer: A.StreamSeqExp,
+    producer_pat: Tuple[A.Param, ...],
+    consumer: A.StreamSeqExp,
+    consumer_pat: Tuple[A.Param, ...],
+    names: NameSource,
+) -> Tuple[A.StreamSeqExp, Tuple[A.Param, ...]]:
+    """F7: compose two sequential streams where some of the consumer's
+    inputs are array outputs of the producer.
+
+    Returns the fused expression and its combined pattern
+    ``producer_pat ++ consumer_pat`` (unused results are left for DCE).
+    """
+    p_accs = producer.num_accs
+    c_accs = consumer.num_accs
+    p_arr_pats = producer_pat[p_accs:]
+    produced = {p.name: i for i, p in enumerate(p_arr_pats)}
+
+    q = names.fresh("q")
+    # Fresh accumulator params mirroring both streams' accs.
+    p_lam = alpha_rename_lambda(producer.lam, names)
+    c_lam = alpha_rename_lambda(consumer.lam, names)
+
+    new_acc_params = list(p_lam.params[1 : 1 + p_accs]) + list(
+        c_lam.params[1 : 1 + c_accs]
+    )
+    # Chunk inputs: all of the producer's, plus the consumer's that are
+    # NOT produced by the producer.
+    new_chunk_params = list(p_lam.params[1 + p_accs :])
+    new_arrs = list(producer.arrs)
+    consumer_chunk_args: List[Optional[A.Atom]] = []
+    for p, arr in zip(c_lam.params[1 + c_accs :], consumer.arrs):
+        if arr.name in produced:
+            consumer_chunk_args.append(None)  # to be wired to p outputs
+        else:
+            new_chunk_params.append(p)
+            new_arrs.append(arr)
+            consumer_chunk_args.append(A.Var(p.name))
+
+    bindings: List[A.Binding] = []
+    # Run the producer body at the fused chunk size.
+    p_body = substitute_body(
+        p_lam.body, {p_lam.params[0].name: A.Var(q)}
+    )
+    bindings.extend(p_body.bindings)
+    p_results = p_body.result
+    p_acc_results = p_results[:p_accs]
+    p_arr_results = p_results[p_accs:]
+
+    # Wire the consumer's chunk inputs.
+    wired: List[A.Atom] = []
+    idx = 0
+    for arr, arg in zip(consumer.arrs, consumer_chunk_args):
+        if arg is None:
+            wired.append(p_arr_results[produced[arr.name]])
+        else:
+            wired.append(arg)
+    c_subst: Dict[str, A.Atom] = {c_lam.params[0].name: A.Var(q)}
+    for p, a in zip(c_lam.params[1 + c_accs :], wired):
+        c_subst[p.name] = a
+    c_body = substitute_body(c_lam.body, c_subst)
+    bindings.extend(c_body.bindings)
+    c_results = c_body.result
+    c_acc_results = c_results[:c_accs]
+    c_arr_results = c_results[c_accs:]
+
+    body = A.Body(
+        tuple(bindings),
+        tuple(p_acc_results)
+        + tuple(c_acc_results)
+        + tuple(p_arr_results)
+        + tuple(c_arr_results),
+    )
+    ret_types = (
+        tuple(p_lam.ret_types[:p_accs])
+        + tuple(c_lam.ret_types[:c_accs])
+        + tuple(p_lam.ret_types[p_accs:])
+        + tuple(c_lam.ret_types[c_accs:])
+    )
+
+    # Both constituent lambdas sized their chunk types by their own
+    # chunk parameter; rewrite those dims to the fused parameter.
+    from ..core.types import substitute_dims
+
+    dim_env = {
+        p_lam.params[0].name: q,
+        c_lam.params[0].name: q,
+    }
+
+    def fix(t: Type) -> Type:
+        return substitute_dims(t, dim_env)
+
+    new_chunk_params = [
+        A.Param(p.name, fix(p.type), p.unique) for p in new_chunk_params
+    ]
+    ret_types = tuple(fix(t) for t in ret_types)
+    lam = A.Lambda(
+        (A.Param(q, Prim(I32)),)
+        + tuple(new_acc_params)
+        + tuple(new_chunk_params),
+        body,
+        ret_types,
+    )
+    fused = A.StreamSeqExp(
+        producer.width,
+        lam,
+        tuple(producer.accs) + tuple(consumer.accs),
+        tuple(new_arrs),
+    )
+    new_pat = (
+        tuple(producer_pat[:p_accs])
+        + tuple(consumer_pat[:c_accs])
+        + tuple(p_arr_pats)
+        + tuple(consumer_pat[c_accs:])
+    )
+    return fused, new_pat
+
+
+def sequentialise_body_to_stream_seq(
+    body: A.Body, names: Optional[NameSource] = None
+) -> A.Body:
+    """Fig. 10c: convert every map/reduce/scan binding in ``body`` to a
+    sequential stream (F2/F4/F5) and fuse producer-consumer chains
+    (F7).  Intended for code that will execute sequentially (inside a
+    stream fold or a kernel thread): after the transformation, chunk
+    size one gives O(1) extra footprint per thread.
+    """
+    if names is None:
+        names = name_source
+        from ..core.traversal import bound_names_body, free_vars_body
+
+        names.declare(bound_names_body(body) | free_vars_body(body))
+
+    # Step 1: convert.
+    new_bindings: List[A.Binding] = []
+    for bnd in body.bindings:
+        e = bnd.exp
+        if isinstance(e, A.MapExp):
+            new_bindings.append(
+                A.Binding(bnd.pat, map_to_stream_seq(e, names))
+            )
+        elif isinstance(e, A.ReduceExp):
+            new_bindings.append(
+                A.Binding(bnd.pat, reduce_to_stream_seq(e, names))
+            )
+        elif isinstance(e, A.ScanExp):
+            # F5 returns accs (the carried last element) before arrays;
+            # the original pattern binds only the arrays.
+            seq = scan_to_stream_seq(e, names)
+            acc_pats = tuple(
+                A.Param(names.fresh("carry"), t)
+                for t in seq.lam.ret_types[: len(seq.accs)]
+            )
+            new_bindings.append(A.Binding(acc_pats + bnd.pat, seq))
+        else:
+            new_bindings.append(bnd)
+    body = A.Body(tuple(new_bindings), body.result)
+
+    # Step 2: fuse chains of stream_seq (F7), greedily.
+    changed = True
+    while changed:
+        changed = False
+        for ci in range(len(body.bindings)):
+            consumer = body.bindings[ci]
+            if not isinstance(consumer.exp, A.StreamSeqExp):
+                continue
+            prod_pos = _find_stream_seq_producer(body, ci)
+            if prod_pos is None:
+                continue
+            producer = body.bindings[prod_pos]
+            fused_exp, fused_pat = fuse_stream_seq_pair(
+                producer.exp,
+                producer.pat,
+                consumer.exp,
+                consumer.pat,
+                names,
+            )
+            bindings = list(body.bindings)
+            bindings[ci] = A.Binding(fused_pat, fused_exp)
+            del bindings[prod_pos]
+            body = A.Body(tuple(bindings), body.result)
+            changed = True
+            break
+    return body
+
+
+def _find_stream_seq_producer(body: A.Body, ci: int) -> Optional[int]:
+    """A stream_seq binding before ``ci`` whose array outputs feed only
+    the consumer at ``ci``, with matching width."""
+    consumer = body.bindings[ci]
+    cons_exp = consumer.exp
+    assert isinstance(cons_exp, A.StreamSeqExp)
+    cons_inputs = {a.name for a in cons_exp.arrs}
+    from .graph import consumption_between
+
+    for pi in range(ci - 1, -1, -1):
+        cand = body.bindings[pi]
+        if not isinstance(cand.exp, A.StreamSeqExp):
+            continue
+        if cand.exp.width != cons_exp.width:
+            continue
+        arr_outs = {
+            p.name for p in cand.pat[cand.exp.num_accs :]
+        }
+        if not (arr_outs & cons_inputs):
+            continue
+        if not single_consumer(body, pi, ci):
+            continue
+        protected = free_vars_exp(cand.exp) | {
+            a.name for a in cand.exp.arrs
+        }
+        if consumption_between(body, pi, ci, protected):
+            continue
+        return pi
+    return None

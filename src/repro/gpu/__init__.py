@@ -1,0 +1,13 @@
+"""The simulated GPU: device profiles, the analytic cost model, and a
+functional executor for host programs.
+
+This package substitutes for the paper's NVIDIA GTX 780 Ti and AMD
+FirePro W8100 test machines (see DESIGN.md, "Substitutions"): kernels
+are executed for correctness via the reference interpreter, and timed
+by a roofline-style cost model over the kernel IR's classified memory
+accesses and flop counts.
+"""
+
+from .device import AMD_W8100, DeviceProfile, NVIDIA_GTX780TI  # noqa: F401
+from .costmodel import CostReport, KernelCost, estimate_program  # noqa: F401
+from .simulator import GpuSimulator  # noqa: F401

@@ -1,0 +1,382 @@
+"""The analytic kernel cost model.
+
+Each kernel is timed with a roofline formula::
+
+    time = launch_overhead + max(memory_time, compute_time) / occupancy
+
+where memory time is the effective DRAM traffic (coalesced bytes at
+full bandwidth; uncoalesced/gathered bytes multiplied by the device
+penalty; invariant broadcasts amortised over a warp; tiled arrays
+amortised over a work group plus local-memory traffic) and compute
+time is the flop count at the device's achievable throughput.
+Host-side statements, manifestation (transposition) and double-buffer
+copies are costed directly.
+
+Costs are *closed-form in the program's size variables* (symbolic
+`Count` polynomials), so a host program can be priced at the paper's
+full dataset sizes without executing it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..core import ast as A
+from ..core.types import Array
+from ..memory.index_fn import IndexFn
+from ..backend.kernel_ir import (
+    AccessInfo,
+    Count,
+    HostEval,
+    HostIfStmt,
+    HostLoopStmt,
+    HostProgram,
+    Kernel,
+    LaunchStmt,
+    ManifestStmt,
+)
+from .device import DeviceProfile
+
+__all__ = ["KernelCost", "CostReport", "kernel_cost", "estimate_program"]
+
+_HOST_EVAL_US = 0.3
+
+
+@dataclass
+class KernelCost:
+    name: str
+    kind: str
+    launches: float
+    time_us: float
+    mem_us: float
+    compute_us: float
+    bytes_effective: float
+    bytes_raw: float
+    flops: float
+
+
+@dataclass
+class CostReport:
+    device: str
+    kernel_costs: List[KernelCost] = field(default_factory=list)
+    host_us: float = 0.0
+    manifest_us: float = 0.0
+    copy_us: float = 0.0
+
+    @property
+    def total_us(self) -> float:
+        return (
+            sum(k.time_us for k in self.kernel_costs)
+            + self.host_us
+            + self.manifest_us
+            + self.copy_us
+        )
+
+    @property
+    def total_ms(self) -> float:
+        return self.total_us / 1000.0
+
+    @property
+    def launches(self) -> float:
+        return sum(k.launches for k in self.kernel_costs)
+
+    def scaled(self, factor: float) -> "CostReport":
+        report = CostReport(self.device)
+        report.kernel_costs = [
+            KernelCost(
+                k.name,
+                k.kind,
+                k.launches * factor,
+                k.time_us * factor,
+                k.mem_us * factor,
+                k.compute_us * factor,
+                k.bytes_effective * factor,
+                k.bytes_raw * factor,
+                k.flops * factor,
+            )
+            for k in self.kernel_costs
+        ]
+        report.host_us = self.host_us * factor
+        report.manifest_us = self.manifest_us * factor
+        report.copy_us = self.copy_us * factor
+        return report
+
+    def merge(self, other: "CostReport") -> None:
+        self.kernel_costs.extend(other.kernel_costs)
+        self.host_us += other.host_us
+        self.manifest_us += other.manifest_us
+        self.copy_us += other.copy_us
+
+
+#: Traffic and launch multipliers per kernel kind: a scan is a
+#: multi-pass algorithm; reductions have a (cheap) second stage.
+_KIND_TRAFFIC = {
+    "scan": 2.5,
+    "segscan": 2.0,
+    "filter": 3.0,  # predicate pass + prefix sum + compaction
+}
+_KIND_LAUNCHES = {
+    "reduce": 2.0,
+    "stream_red": 2.0,
+    "scan": 3.0,
+    "segscan": 2.0,
+    "filter": 3.0,
+}
+
+
+def _occupancy(threads: float, device: DeviceProfile) -> float:
+    """Fraction of the device's throughput a kernel can use.  The floor
+    models that even a single thread sustains a small fraction of peak
+    (needed for reference codes that leave a reduction sequential)."""
+    if threads <= 0:
+        return 1e-6
+    # A power law rather than linear scaling: a handful of threads
+    # still pipeline memory requests (latency hiding via ILP), so
+    # per-thread throughput is relatively higher at low counts.
+    return min(1.0, (threads / device.saturation_threads) ** 0.7)
+
+
+def kernel_cost(
+    kernel: Kernel,
+    size_env: Mapping[str, int],
+    device: DeviceProfile,
+    layouts: Optional[Mapping[str, IndexFn]] = None,
+    coalescing: bool = True,
+) -> KernelCost:
+    layouts = layouts or {}
+    threads = max(1.0, kernel.threads().evaluate(size_env))
+    flops = kernel.flops_per_thread.evaluate(size_env) * threads
+
+    bytes_raw = 0.0
+    bytes_eff = 0.0
+    tiled = {t.array for t in kernel.tiles}
+    for acc in _dedupe_stencil_reads(kernel.accesses, size_env):
+        per_thread = acc.trips.evaluate(size_env)
+        raw = per_thread * threads * acc.elem_bytes
+        bytes_raw += raw
+        if acc.invariant:
+            if acc.array in tiled:
+                # Staged through local memory once per work group.
+                eff = raw / device.block + raw / device.local_bandwidth_ratio
+            else:
+                # Broadcast through L2: cheaper than DRAM but far from
+                # free — the L2 is shared by all work groups.
+                eff = raw / 3.0
+        elif acc.gather:
+            eff = raw * device.gather_penalty
+        else:
+            layout = kernel.layouts.get(
+                acc.array,
+                layouts.get(
+                    acc.array,
+                    IndexFn.identity(acc.thread_dims + acc.seq_rank),
+                ),
+            )
+            if coalescing is False:
+                layout = IndexFn.identity(acc.thread_dims + acc.seq_rank)
+            if acc.coalesced_under(layout, len(kernel.grid)):
+                eff = raw
+            else:
+                eff = raw * device.uncoalesced_penalty
+        bytes_eff += eff
+
+    # Kernel outputs not already recorded as write accesses (reduction
+    # and scan results) are written coalesced.
+    recorded_writes = {a.array for a in kernel.accesses if a.is_write}
+    for p in kernel.pat:
+        if p.name in recorded_writes:
+            continue
+        if isinstance(p.type, Array):
+            out_bytes = Count.of(1.0, *p.type.shape).evaluate(size_env)
+            out_bytes *= p.type.elem.nbytes
+        else:
+            out_bytes = 4.0
+        bytes_raw += out_bytes
+        bytes_eff += out_bytes
+
+    traffic_factor = _KIND_TRAFFIC.get(kernel.kind, 1.0)
+    launches = _KIND_LAUNCHES.get(kernel.kind, 1.0)
+    bytes_eff *= traffic_factor
+
+    occ = _occupancy(threads, device)
+    mem_us = bytes_eff * device.mem_us_per_byte() / occ
+    compute_us = flops * device.flop_us() / occ
+    time_us = launches * device.launch_overhead_us + max(
+        mem_us, compute_us
+    )
+    return KernelCost(
+        name=kernel.name,
+        kind=kernel.kind,
+        launches=launches,
+        time_us=time_us,
+        mem_us=mem_us,
+        compute_us=compute_us,
+        bytes_effective=bytes_eff,
+        bytes_raw=bytes_raw,
+        flops=flops,
+    )
+
+
+def _propagate_scalar(binding, size_env) -> None:
+    """Track host-computed integer scalars (e.g. ``rc = r * c``) so
+    kernel widths derived from them are priced correctly."""
+    if len(binding.pat) != 1 or not isinstance(size_env, dict):
+        return
+    e = binding.exp
+    name = binding.pat[0].name
+
+    def val(a):
+        if isinstance(a, A.Const):
+            return int(a.value) if isinstance(a.value, int) else None
+        return size_env.get(a.name)
+
+    if isinstance(e, A.AtomExp):
+        v = val(e.atom)
+        if v is not None:
+            size_env[name] = v
+    elif isinstance(e, A.BinOpExp):
+        x, y = val(e.x), val(e.y)
+        if x is None or y is None:
+            return
+        try:
+            from ..core.prim import BINOPS, eval_binop
+
+            size_env[name] = int(eval_binop(BINOPS[e.op], e.t, x, y))
+        except Exception:
+            pass
+
+
+def _touches_device(e: A.Exp) -> bool:
+    """Host statements that read or write device arrays synchronise
+    with the device; pure scalar arithmetic does not."""
+    return isinstance(
+        e,
+        (A.IndexExp, A.UpdateExp, A.RearrangeExp, A.ReshapeExp,
+         A.CopyExp, A.ConcatExp),
+    )
+
+
+def _dedupe_stencil_reads(accesses, size_env):
+    """Collapse multiple reads of the same array with the same access
+    class (the 5-point-stencil pattern): neighbouring reads hit the
+    cache, so the extra streams cost a fraction of a full pass."""
+    from collections import defaultdict
+
+    groups: Dict[tuple, List[AccessInfo]] = defaultdict(list)
+    out: List[AccessInfo] = []
+    for acc in accesses:
+        if acc.is_write or acc.gather:
+            out.append(acc)
+            continue
+        key = (acc.array, acc.thread_dims, acc.seq_rank, acc.invariant)
+        groups[key].append(acc)
+    for group in groups.values():
+        if len(group) == 1:
+            out.append(group[0])
+            continue
+        trips = [a.trips.evaluate(size_env) for a in group]
+        biggest = group[max(range(len(group)), key=lambda i: trips[i])]
+        extra = sum(trips) - max(trips)
+        # One full stream plus a quarter-cost for each extra (cached).
+        merged = AccessInfo(
+            array=biggest.array,
+            elem_bytes=biggest.elem_bytes,
+            trips=Count.of(max(trips) + 0.25 * extra),
+            thread_dims=biggest.thread_dims,
+            seq_rank=biggest.seq_rank,
+            gather=False,
+            invariant=biggest.invariant,
+        )
+        out.append(merged)
+    return out
+
+
+def _atom_value(a: A.Atom, size_env: Mapping[str, int]) -> Optional[int]:
+    if isinstance(a, A.Const):
+        return int(a.value)
+    v = size_env.get(a.name)
+    return int(v) if v is not None else None
+
+
+def estimate_program(
+    hp: HostProgram,
+    size_env: Mapping[str, int],
+    device: DeviceProfile,
+    coalescing: bool = True,
+    loop_trip_default: int = 8,
+) -> CostReport:
+    """Price a host program analytically at the given sizes, without
+    executing it.  Host loops multiply their body's cost by the trip
+    count (``loop_trip_default`` when it cannot be resolved)."""
+    report = CostReport(device.name)
+    env = dict(size_env)
+    _estimate_stmts(
+        hp.stmts, env, device, hp.layouts, report, coalescing,
+        loop_trip_default,
+    )
+    return report
+
+
+def _estimate_stmts(
+    stmts,
+    size_env: Mapping[str, int],
+    device: DeviceProfile,
+    layouts: Mapping[str, IndexFn],
+    report: CostReport,
+    coalescing: bool,
+    loop_trip_default: int,
+) -> None:
+    for s in stmts:
+        if isinstance(s, LaunchStmt):
+            report.kernel_costs.append(
+                kernel_cost(
+                    s.kernel, size_env, device, layouts, coalescing
+                )
+            )
+        elif isinstance(s, HostEval):
+            report.host_us += (
+                device.host_sync_us
+                if _touches_device(s.binding.exp)
+                else 0.3
+            )
+            _propagate_scalar(s.binding, size_env)
+        elif isinstance(s, ManifestStmt):
+            elems = s.elems.evaluate(size_env)
+            bytes_moved = elems * s.elem_bytes * 2.0
+            report.manifest_us += (
+                device.launch_overhead_us
+                + bytes_moved
+                * device.mem_us_per_byte()
+                / device.transpose_efficiency
+            )
+        elif isinstance(s, HostLoopStmt):
+            trips = loop_trip_default
+            if isinstance(s.form, A.ForLoop):
+                resolved = _atom_value(s.form.bound, size_env)
+                if resolved is not None:
+                    trips = resolved
+            inner = CostReport(device.name)
+            _estimate_stmts(
+                s.body, size_env, device, layouts, inner, coalescing,
+                loop_trip_default,
+            )
+            # Double-buffer copies of array-typed merge state.
+            copy_us = 0.0
+            for p, _ in s.merge:
+                if p.name in s.double_buffered and isinstance(
+                    p.type, Array
+                ):
+                    elems = Count.of(1.0, *p.type.shape).evaluate(size_env)
+                    copy_us += (
+                        elems * p.type.elem.nbytes * 2.0
+                    ) * device.mem_us_per_byte()
+            inner.copy_us += copy_us
+            report.merge(inner.scaled(trips))
+        elif isinstance(s, HostIfStmt):
+            inner = CostReport(device.name)
+            _estimate_stmts(
+                s.then_body, size_env, device, layouts, inner,
+                coalescing, loop_trip_default,
+            )
+            report.merge(inner)

@@ -1,0 +1,94 @@
+"""Device profiles for the two GPUs of the paper's evaluation.
+
+Parameters come from the cards' public specifications plus a few
+behavioural constants chosen to reflect the differences the paper
+observes (notably the AMD card's higher kernel-launch overhead — called
+out in the NN discussion — and its relatively slower transpositions —
+called out for LocVolCalib).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DeviceProfile", "NVIDIA_GTX780TI", "AMD_W8100"]
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    name: str
+    #: Achievable global-memory bandwidth, GB/s.
+    bandwidth_gbs: float
+    #: Peak single-precision throughput, GFLOP/s.
+    peak_gflops: float
+    #: Fraction of peak a straightforwardly generated kernel reaches.
+    compute_efficiency: float
+    #: Fixed cost of one kernel launch, microseconds.
+    launch_overhead_us: float
+    #: Traffic multiplier for fully uncoalesced (strided) access.
+    uncoalesced_penalty: float
+    #: Traffic multiplier for data-dependent gathers.
+    gather_penalty: float
+    #: Threads per warp/wavefront (broadcast amortisation).
+    warp: int
+    #: Work-group size assumed for block tiling.
+    block: int
+    #: Local memory is this many times faster than global.
+    local_bandwidth_ratio: float
+    #: Fraction of peak bandwidth achieved by transposition kernels.
+    transpose_efficiency: float
+    #: Minimum number of threads needed to saturate the device; below
+    #: this the effective bandwidth/compute scale down linearly.
+    saturation_threads: int
+    #: How well hand-written time-tiled stencils work on this device —
+    #: the paper observes time tiling pays off on the NVIDIA card
+    #: (HotSpot) but backfires badly on the AMD one.
+    time_tiling_efficiency: float = 1.0
+    #: Host-side throughput for reference codes that leave work on the
+    #: CPU (GFLOP/s) and PCIe transfer bandwidth (GB/s).
+    host_gflops: float = 1.0
+    pcie_gbs: float = 6.0
+    #: Cost of one host-side statement touching device state (driver
+    #: round-trip / synchronisation), microseconds.
+    host_sync_us: float = 3.0
+
+    def mem_us_per_byte(self) -> float:
+        return 1e-3 / self.bandwidth_gbs  # us per byte
+
+    def flop_us(self) -> float:
+        return 1e-3 / (self.peak_gflops * self.compute_efficiency)
+
+
+NVIDIA_GTX780TI = DeviceProfile(
+    name="NVIDIA GTX 780 Ti",
+    bandwidth_gbs=288.0,  # ~86% of the 336 GB/s spec
+    peak_gflops=5046.0,
+    compute_efficiency=0.35,
+    launch_overhead_us=35.0,
+    uncoalesced_penalty=8.0,
+    gather_penalty=6.0,
+    warp=32,
+    block=256,
+    local_bandwidth_ratio=16.0,
+    transpose_efficiency=0.55,
+    saturation_threads=30_000,
+    time_tiling_efficiency=0.39,
+    host_sync_us=3.0,
+)
+
+AMD_W8100 = DeviceProfile(
+    name="AMD FirePro W8100",
+    bandwidth_gbs=270.0,  # ~84% of the 320 GB/s spec
+    peak_gflops=4220.0,
+    compute_efficiency=0.35,
+    launch_overhead_us=60.0,  # higher launch overhead (cf. NN, §6.1)
+    uncoalesced_penalty=8.0,
+    gather_penalty=6.0,
+    warp=64,
+    block=256,
+    local_bandwidth_ratio=12.0,
+    transpose_efficiency=0.22,  # transposes relatively slower (§6.1)
+    saturation_threads=40_000,
+    time_tiling_efficiency=0.115,  # time tiling backfires (HotSpot §6.1)
+    host_sync_us=30.0,  # slower host round-trips (cf. NN, §6.1)
+)

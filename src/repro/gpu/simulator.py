@@ -1,0 +1,189 @@
+"""Functional execution of host programs on the simulated device.
+
+Kernels are executed through the reference interpreter (each kernel
+carries the core-IR expression it was lowered from), so simulation
+results are bit-identical to direct interpretation; alongside, the
+simulator accrues the cost model's time for every statement executed,
+with occupancy and traffic computed from the *actual* runtime sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core import ast as A
+from ..core.values import ArrayValue, ScalarValue, Value, scalar
+from ..core.prim import BOOL, I32
+from ..interp.interpreter import Interpreter, InterpError
+from ..backend.kernel_ir import (
+    Count,
+    HostEval,
+    HostIfStmt,
+    HostLoopStmt,
+    HostProgram,
+    LaunchStmt,
+    ManifestStmt,
+)
+from ..core.types import Array
+from .costmodel import CostReport, kernel_cost
+from .device import DeviceProfile
+
+__all__ = ["GpuSimulator"]
+
+
+class GpuSimulator:
+    """Executes a :class:`HostProgram`, producing both the result
+    values and a :class:`CostReport` of simulated device time."""
+
+    def __init__(
+        self,
+        device: DeviceProfile,
+        coalescing: bool = True,
+        in_place: bool = True,
+    ) -> None:
+        self.device = device
+        self.coalescing = coalescing
+        self._interp = Interpreter(A.Prog(()), in_place=in_place)
+
+    def run(
+        self, hp: HostProgram, args: Sequence[Value]
+    ) -> Tuple[Tuple[Value, ...], CostReport]:
+        if len(args) != len(hp.params):
+            raise InterpError(
+                f"{hp.name}: expected {len(hp.params)} arguments, "
+                f"got {len(args)}"
+            )
+        env: Dict[str, Value] = {}
+        for p, arg in zip(hp.params, args):
+            if isinstance(arg, ArrayValue):
+                arg = arg.copy()
+            self._interp.bind_param(env, p, arg)
+        report = CostReport(self.device.name)
+        self._exec_stmts(hp.stmts, env, report)
+        results = tuple(self._atom(env, a) for a in hp.result)
+        return results, report
+
+    # -- execution ----------------------------------------------------------
+
+    def _atom(self, env: Dict[str, Value], a: A.Atom) -> Value:
+        if isinstance(a, A.Const):
+            return scalar(a.value, a.type)
+        try:
+            return env[a.name]
+        except KeyError:
+            raise InterpError(f"unbound variable {a.name}") from None
+
+    def _size_env(self, env: Mapping[str, Value]) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for k, v in env.items():
+            if isinstance(v, ScalarValue) and v.type.is_integral:
+                out[k] = int(v.value)
+        return out
+
+    def _exec_stmts(
+        self,
+        stmts: Sequence,
+        env: Dict[str, Value],
+        report: CostReport,
+    ) -> None:
+        for s in stmts:
+            if isinstance(s, LaunchStmt):
+                kernel = s.kernel
+                values = self._interp.eval_exp(kernel.exp, env)
+                for p, v in zip(kernel.pat, values):
+                    self._interp.bind_param(env, p, v)
+                report.kernel_costs.append(
+                    kernel_cost(
+                        kernel,
+                        self._size_env(env),
+                        self.device,
+                        coalescing=self.coalescing,
+                    )
+                )
+            elif isinstance(s, HostEval):
+                values = self._interp.eval_exp(s.binding.exp, env)
+                for p, v in zip(s.binding.pat, values):
+                    self._interp.bind_param(env, p, v)
+                from .costmodel import _touches_device
+
+                report.host_us += (
+                    self.device.host_sync_us
+                    if _touches_device(s.binding.exp)
+                    else 0.3
+                )
+            elif isinstance(s, ManifestStmt):
+                # Layout change only; the logical value is unchanged.
+                if s.src != s.dst and s.src in env:
+                    env[s.dst] = env[s.src]
+                size_env = self._size_env(env)
+                elems = s.elems.evaluate(size_env)
+                bytes_moved = elems * s.elem_bytes * 2.0
+                report.manifest_us += (
+                    self.device.launch_overhead_us
+                    + bytes_moved
+                    * self.device.mem_us_per_byte()
+                    / self.device.transpose_efficiency
+                )
+            elif isinstance(s, HostLoopStmt):
+                self._exec_loop(s, env, report)
+            elif isinstance(s, HostIfStmt):
+                cond = self._atom(env, s.cond)
+                body, result = (
+                    (s.then_body, s.then_result)
+                    if cond.value
+                    else (s.else_body, s.else_result)
+                )
+                inner_env = dict(env)
+                self._exec_stmts(body, inner_env, report)
+                for p, a in zip(s.pat, result):
+                    self._interp.bind_param(
+                        env, p, self._atom(inner_env, a)
+                    )
+            else:  # pragma: no cover
+                raise InterpError(f"unknown host statement {s!r}")
+
+    def _exec_loop(
+        self,
+        s: HostLoopStmt,
+        env: Dict[str, Value],
+        report: CostReport,
+    ) -> None:
+        state: List[Value] = [self._atom(env, a) for _, a in s.merge]
+        params = [p for p, _ in s.merge]
+
+        def copy_cost() -> None:
+            size_env = self._size_env(env)
+            for p in params:
+                if p.name in s.double_buffered and isinstance(
+                    p.type, Array
+                ):
+                    elems = Count.of(1.0, *p.type.shape).evaluate(size_env)
+                    report.copy_us += (
+                        elems * p.type.elem.nbytes * 2.0
+                    ) * self.device.mem_us_per_byte()
+
+        def iterate(extra: Dict[str, Value]) -> None:
+            inner: Dict[str, Value] = dict(env)
+            inner.update(extra)
+            for p, v in zip(params, state):
+                self._interp.bind_param(inner, p, v)
+            self._exec_stmts(s.body, inner, report)
+            results = [self._atom(inner, a) for a in s.body_result]
+            state[:] = results
+            copy_cost()
+
+        if isinstance(s.form, A.ForLoop):
+            bound = self._atom(env, s.form.bound)
+            for i in range(int(bound.value)):
+                iterate({s.form.ivar: scalar(i, I32)})
+        else:
+            cond_index = next(
+                k for k, p in enumerate(params) if p.name == s.form.cond
+            )
+            while True:
+                cond = state[cond_index]
+                if not cond.value:
+                    break
+                iterate({})
+        for p, v in zip(s.pat, state):
+            self._interp.bind_param(env, p, v)

@@ -1,0 +1,3 @@
+"""Reference interpreter for the core language."""
+
+from .interpreter import Interpreter, InterpError, Metrics, run_program  # noqa: F401

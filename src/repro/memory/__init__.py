@@ -1,0 +1,24 @@
+"""Memory representation and locality optimisations (Section 5.2):
+symbolic index functions, transposition-based coalescing, and block
+tiling in fast (local) memory.
+
+``coalesce_program``/``tile_program`` are exported lazily: they operate
+on the kernel IR, which itself uses :class:`IndexFn`, and an eager
+import would be circular.
+"""
+
+from .index_fn import IndexFn  # noqa: F401
+
+__all__ = ["IndexFn", "coalesce_program", "tile_program"]
+
+
+def __getattr__(name):
+    if name == "coalesce_program":
+        from .coalescing import coalesce_program
+
+        return coalesce_program
+    if name == "tile_program":
+        from .tiling import tile_program
+
+        return tile_program
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,157 @@
+"""Transposition-based memory coalescing (Section 5.2).
+
+For every kernel access where one or more innermost dimensions of a
+mapped array are traversed *sequentially inside* the thread, a naive
+row-major layout makes consecutive threads stride by the inner sizes.
+The pass changes the array's representation so that the sequential
+dimensions come physically first (``as_column_major`` in the paper's
+rank-2 example):
+
+* arrays *produced* by an earlier kernel are simply produced in the
+  required layout (writes are re-classified as coalesced, no extra
+  cost);
+* arrays that already exist in a different layout (e.g. the kernel's
+  inputs, or values flowing around a host loop) are *manifested*: an
+  explicit transposition statement is inserted — whose cost is real,
+  and relatively higher on the AMD device (the LocVolCalib effect).
+
+Gathers (data-dependent indices) cannot be fixed this way and are left
+alone — though the transposition-based approach still succeeds where
+index analysis would give up (the OptionPricing discussion of §7).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set
+
+from ..backend.kernel_ir import (
+    AccessInfo,
+    Count,
+    HostEval,
+    HostIfStmt,
+    HostLoopStmt,
+    HostProgram,
+    Kernel,
+    LaunchStmt,
+    ManifestStmt,
+)
+from .index_fn import IndexFn
+
+__all__ = ["coalesce_program"]
+
+
+def _desired_layout(acc: AccessInfo) -> IndexFn:
+    """Sequential dims physically outermost, thread dims innermost —
+    so the last thread dimension gets stride 1."""
+    rank = acc.thread_dims + acc.seq_rank
+    perm = tuple(range(acc.thread_dims, rank)) + tuple(
+        range(acc.thread_dims)
+    )
+    return IndexFn(perm)
+
+
+def coalesce_program(hp: HostProgram, enabled: bool = True) -> HostProgram:
+    """Annotate kernels with layout decisions and insert manifestation
+    statements.  With ``enabled=False`` this is the §6.1.1 ablation: no
+    layout changes happen and strided accesses pay full penalty."""
+    if not enabled:
+        return hp
+    layouts: Dict[str, IndexFn] = dict(hp.layouts)
+    produced_by: Dict[str, Kernel] = {}
+    hp.stmts = _walk(hp.stmts, layouts, produced_by, hp)
+    hp.layouts = layouts
+    return hp
+
+
+def _walk(
+    stmts: Sequence,
+    layouts: Dict[str, IndexFn],
+    produced_by: Dict[str, Kernel],
+    hp: HostProgram,
+) -> List:
+    out: List = []
+    for s in stmts:
+        if isinstance(s, LaunchStmt):
+            kernel = s.kernel
+            for acc in kernel.accesses:
+                if acc.gather or acc.invariant or acc.thread_dims == 0:
+                    continue
+                rank = acc.thread_dims + acc.seq_rank
+                current = layouts.get(acc.array, IndexFn.identity(rank))
+                if len(current.perm) != rank:
+                    current = IndexFn.identity(rank)
+                if acc.coalesced_under(current, len(kernel.grid)):
+                    kernel.layouts.setdefault(acc.array, current)
+                    continue
+                desired = _desired_layout(acc)
+                if acc.is_write:
+                    # Produce directly in the good layout: free.
+                    layouts[acc.array] = desired
+                    kernel.layouts[acc.array] = desired
+                    continue
+                producer = produced_by.get(acc.array)
+                if producer is not None and _can_retarget(
+                    producer, acc.array
+                ):
+                    # Ask the producing kernel to write transposed.
+                    _retarget_writes(producer, acc.array, desired)
+                    layouts[acc.array] = desired
+                    kernel.layouts[acc.array] = desired
+                    continue
+                if acc.array not in hp.array_shapes:
+                    # Kernel-internal scratch (per-thread arrays): the
+                    # compiler simply allocates it transposed — free.
+                    layouts[acc.array] = desired
+                    kernel.layouts[acc.array] = desired
+                    continue
+                # Manifest: insert an explicit transposition, moving
+                # the array once (its true size, not the access count).
+                elem_bytes = acc.elem_bytes
+                shape = hp.array_shapes.get(acc.array)
+                if shape is not None:
+                    elems = Count.of(1.0, *shape)
+                else:
+                    elems = acc.trips.scaled(1.0, *kernel.grid_dims())
+                out.append(
+                    ManifestStmt(
+                        src=acc.array,
+                        dst=acc.array,
+                        layout=desired,
+                        elem_bytes=elem_bytes,
+                        elems=elems,
+                    )
+                )
+                layouts[acc.array] = desired
+                kernel.layouts[acc.array] = desired
+            for p in kernel.pat:
+                produced_by[p.name] = kernel
+            out.append(s)
+        elif isinstance(s, HostLoopStmt):
+            # Loop-carried arrays may flow through kernels that want a
+            # different layout; conservatively process the body with
+            # the current tables (manifests inside loops repeat every
+            # iteration, as in LocVolCalib).
+            s.body = _walk(s.body, layouts, produced_by, hp)
+            out.append(s)
+        elif isinstance(s, HostIfStmt):
+            s.then_body = _walk(s.then_body, layouts, produced_by, hp)
+            s.else_body = _walk(s.else_body, layouts, produced_by, hp)
+            out.append(s)
+        else:
+            out.append(s)
+    return out
+
+
+def _can_retarget(producer: Kernel, array: str) -> bool:
+    """A producing map kernel whose write to ``array`` is plain
+    (one value per thread) can write in any layout for free."""
+    if producer.kind not in ("map", "builtin"):
+        return False
+    return any(
+        a.array == array and a.is_write and not a.gather
+        for a in producer.accesses
+    )
+
+
+def _retarget_writes(producer: Kernel, array: str, layout: IndexFn) -> None:
+    producer.layouts[array] = layout

@@ -1,0 +1,67 @@
+"""Symbolic index functions: the physical representation of an array.
+
+The paper records an array's representation "as a symbolic composition
+of affine transformations".  The compositions the compiler actually
+produces are dimension permutations over a row-major base, so an index
+function here is a permutation ``perm``: logical dimension ``i`` is
+stored as physical dimension ``perm.index(i)`` — i.e. the physical
+order of the logical dimensions is ``perm``.
+
+``IndexFn.identity(r)`` is plain row-major; ``as_column_major`` for a
+rank-2 array is ``IndexFn((1, 0))``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+__all__ = ["IndexFn"]
+
+
+@dataclass(frozen=True)
+class IndexFn:
+    """A permutation layout: ``perm[k]`` is the logical dimension
+    stored at physical position ``k`` (outermost first)."""
+
+    perm: Tuple[int, ...]
+
+    @staticmethod
+    def identity(rank: int) -> "IndexFn":
+        return IndexFn(tuple(range(rank)))
+
+    @property
+    def rank(self) -> int:
+        return len(self.perm)
+
+    @property
+    def is_identity(self) -> bool:
+        return self.perm == tuple(range(len(self.perm)))
+
+    def innermost_logical_dim(self) -> int:
+        """The logical dimension with stride 1."""
+        return self.perm[-1]
+
+    def compose_view(self, view_perm: Sequence[int]) -> "IndexFn":
+        """The layout of ``rearrange view_perm a`` when ``a`` has this
+        layout: logical dim i of the view is logical dim view_perm[i]
+        of the source, whose physical position is unchanged."""
+        inverse = [0] * len(view_perm)
+        for new_pos, old_dim in enumerate(view_perm):
+            inverse[old_dim] = new_pos
+        return IndexFn(tuple(inverse[d] for d in self.perm))
+
+    def strides(self, shape: Sequence[int]) -> Tuple[int, ...]:
+        """Element strides per logical dimension for a concrete shape."""
+        rank = len(self.perm)
+        phys_sizes = [shape[d] for d in self.perm]
+        phys_strides = [1] * rank
+        for k in range(rank - 2, -1, -1):
+            phys_strides[k] = phys_strides[k + 1] * phys_sizes[k + 1]
+        out = [0] * rank
+        for k, d in enumerate(self.perm):
+            out[d] = phys_strides[k]
+        return tuple(out)
+
+    def __str__(self) -> str:
+        return f"perm{self.perm}"

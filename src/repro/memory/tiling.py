@@ -1,0 +1,47 @@
+"""Block tiling in fast (local) memory (Section 5.2).
+
+Codegen marks, per kernel, the arrays that are streamed sequentially by
+every thread while being invariant to the kernel's parallel dimensions
+(the N-body pattern: every body loops over all bodies) — these are
+exactly the inputs of ``stream_seq`` constructs invariant to a parallel
+dimension.  The tiling pass enables the staged-through-local-memory
+costing for those arrays; two candidate arrays invariant to different
+dimensions mark two-dimensional tiling (the matrix-multiplication and
+MRI-Q pattern).  Disabling the pass is the §6.1.1 tiling ablation.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..backend.kernel_ir import (
+    HostIfStmt,
+    HostLoopStmt,
+    HostProgram,
+    LaunchStmt,
+)
+
+__all__ = ["tile_program"]
+
+
+def tile_program(hp: HostProgram, enabled: bool = True) -> HostProgram:
+    """Enable (or, for the ablation, strip) block tiling annotations."""
+    _walk(hp.stmts, enabled)
+    return hp
+
+
+def _walk(stmts, enabled: bool) -> None:
+    for s in stmts:
+        if isinstance(s, LaunchStmt):
+            kernel = s.kernel
+            if not enabled:
+                kernel.tiles = []
+                continue
+            if len(kernel.tiles) >= 2:
+                for t in kernel.tiles:
+                    t.two_d = True
+        elif isinstance(s, HostLoopStmt):
+            _walk(s.body, enabled)
+        elif isinstance(s, HostIfStmt):
+            _walk(s.then_body, enabled)
+            _walk(s.else_body, enabled)

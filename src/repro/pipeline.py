@@ -1,0 +1,137 @@
+"""The compiler driver — the pipeline of Fig. 3.
+
+``compile_program`` takes a core-IR program through type checking,
+alias/uniqueness checking, inlining, simplification, fusion, kernel
+extraction (flattening), locality optimisation (coalescing + tiling)
+and lowering to the kernel IR.  Every optimisation can be switched off
+through :class:`CompilerOptions`, which is how the §6.1.1 ablation
+benchmarks are produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from .core import ast as A
+from .core.values import Value
+from .backend.codegen import lower_program
+from .backend.kernel_ir import HostProgram
+from .backend.opencl_text import render_program
+from .checker import check_program
+from .flatten import FlattenOptions, flatten_prog
+from .fusion import fuse_prog
+from .fusion.fuse import FusionStats
+from .gpu.costmodel import CostReport, estimate_program
+from .gpu.device import DeviceProfile, NVIDIA_GTX780TI
+from .gpu.simulator import GpuSimulator
+from .memory.coalescing import coalesce_program
+from .memory.tiling import tile_program
+from .simplify import inline_prog, simplify_prog
+
+__all__ = ["CompilerOptions", "CompiledProgram", "compile_program", "compile_source"]
+
+
+@dataclass(frozen=True)
+class CompilerOptions:
+    """Pipeline switches (all on by default, as in the paper)."""
+
+    fusion: bool = True
+    distribute: bool = True
+    interchange: bool = True
+    reduce_map_interchange: bool = True
+    #: The paper's heuristic of sequentialising stream_red/stream_map
+    #: nested inside map nests ("Presently, nested stream_reds are
+    #: sequentialised", §5.1).
+    sequentialise_streams: bool = True
+    coalescing: bool = True
+    tiling: bool = True
+    check: bool = True
+    check_uniqueness: bool = True
+
+
+@dataclass
+class CompiledProgram:
+    """The result of running the pipeline on one entry point."""
+
+    core: A.Prog
+    host: HostProgram
+    options: CompilerOptions
+    fusion_stats: Optional[FusionStats] = None
+
+    def opencl(self) -> str:
+        """Pseudo-OpenCL rendering of the generated code."""
+        return render_program(self.host)
+
+    def run(
+        self,
+        args: Sequence[Value],
+        device: DeviceProfile = NVIDIA_GTX780TI,
+    ) -> Tuple[Tuple[Value, ...], CostReport]:
+        """Execute on the simulated device: returns result values and
+        the simulated-time cost report."""
+        sim = GpuSimulator(device, coalescing=self.options.coalescing)
+        return sim.run(self.host, args)
+
+    def estimate(
+        self,
+        size_env: Mapping[str, int],
+        device: DeviceProfile = NVIDIA_GTX780TI,
+        loop_trip_default: int = 8,
+    ) -> CostReport:
+        """Price the program analytically at the given sizes (no
+        execution) — used to evaluate paper-scale datasets."""
+        return estimate_program(
+            self.host,
+            size_env,
+            device,
+            coalescing=self.options.coalescing,
+            loop_trip_default=loop_trip_default,
+        )
+
+
+def compile_program(
+    prog: A.Prog,
+    options: Optional[CompilerOptions] = None,
+    entry: str = "main",
+) -> CompiledProgram:
+    """Run the full Fig. 3 pipeline."""
+    options = options or CompilerOptions()
+
+    if options.check:
+        check_program(prog, check_unique=options.check_uniqueness)
+
+    prog = inline_prog(prog, keep=entry)
+    prog = simplify_prog(prog)
+
+    stats: Optional[FusionStats] = None
+    if options.fusion:
+        prog, stats = fuse_prog(prog)
+        prog = simplify_prog(prog)
+
+    flat_opts = FlattenOptions(
+        distribute=options.distribute,
+        interchange=options.interchange,
+        reduce_map_interchange=options.reduce_map_interchange,
+        sequentialise_streams=options.sequentialise_streams,
+    )
+    prog = flatten_prog(prog, flat_opts)
+    # Post-flattening cleanup must not hoist: pulling bindings out of
+    # lambda bodies could perturb the perfect nests just built.
+    prog = simplify_prog(prog, hoisting=False)
+
+    host = lower_program(prog, fname=entry)
+    host = coalesce_program(host, enabled=options.coalescing)
+    host = tile_program(host, enabled=options.tiling)
+    return CompiledProgram(prog, host, options, stats)
+
+
+def compile_source(
+    text: str,
+    options: Optional[CompilerOptions] = None,
+    entry: str = "main",
+) -> CompiledProgram:
+    """Parse concrete syntax and compile it."""
+    from .frontend import parse
+
+    return compile_program(parse(text), options, entry)

@@ -1,0 +1,10 @@
+"""The simplification engine of the compiler pipeline (Fig. 3):
+inlining, rule-based simplification, CSE, dead-code removal and
+hoisting, applied to a fixpoint."""
+
+from .engine import simplify_fun, simplify_prog  # noqa: F401
+from .inline import inline_prog  # noqa: F401
+from .rules import simplify_body_once  # noqa: F401
+from .cse import cse_body  # noqa: F401
+from .dce import dce_body, dce_prog  # noqa: F401
+from .hoist import hoist_body  # noqa: F401

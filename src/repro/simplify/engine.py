@@ -1,0 +1,48 @@
+"""The simplification engine: iterate the individual passes to a
+fixpoint (Fig. 3's "apply simplification rules / merge common
+subexpressions / hoisting / remove dead code" box)."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..core import ast as A
+from .cse import cse_body
+from .dce import dce_body
+from .hoist import hoist_body
+from .rules import simplify_body_once
+
+__all__ = ["simplify_fun", "simplify_prog"]
+
+_MAX_ROUNDS = 12
+
+
+def simplify_body(body: A.Body, hoisting: bool = True) -> A.Body:
+    for _ in range(_MAX_ROUNDS):
+        changed = False
+        body, ch = simplify_body_once(body)
+        changed |= ch
+        body, ch = cse_body(body)
+        changed |= ch
+        if hoisting:
+            body, ch = hoist_body(body)
+            changed |= ch
+        body, ch = dce_body(body)
+        changed |= ch
+        if not changed:
+            break
+    return body
+
+
+def simplify_fun(fun: A.FunDef, hoisting: bool = True) -> A.FunDef:
+    """Simplify one function to a fixpoint."""
+    return A.FunDef(
+        fun.name, fun.params, fun.ret, simplify_body(fun.body, hoisting)
+    )
+
+
+def simplify_prog(prog: A.Prog, hoisting: bool = True) -> A.Prog:
+    """Simplify every function in the program."""
+    return A.Prog(
+        tuple(simplify_fun(f, hoisting) for f in prog.funs)
+    )

@@ -1,0 +1,111 @@
+"""Hoisting of invariant bindings out of loops and SOAC lambdas
+(let-floating, [43] in the paper).
+
+A binding is hoisted when its free variables are all defined outside
+the enclosing loop/lambda body.  Consuming expressions (in-place
+updates, scatter, calls with unique parameters) are never hoisted —
+moving a consumption point would change what the uniqueness rules see —
+and neither are bindings that (transitively) depend on un-hoisted ones.
+
+Like Futhark, the pass hoists allocations (``replicate``/``iota``) and
+dynamic checks speculatively: a check hoisted out of a zero-trip loop
+may fail earlier than strictly required, which the paper accepts as
+part of its hybrid checking strategy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Set, Tuple
+
+from ..core import ast as A
+from ..core.traversal import (
+    free_vars_exp,
+    map_exp_bodies,
+    map_exp_lambdas,
+    type_free_vars,
+)
+
+__all__ = ["hoist_body"]
+
+
+def hoist_body(body: A.Body) -> Tuple[A.Body, bool]:
+    """Hoist invariant bindings out of the loops/lambdas bound in this
+    body (recursively, innermost first)."""
+    changed = False
+    new_bindings: List[A.Binding] = []
+    for bnd in body.bindings:
+        exp = bnd.exp
+
+        def on_lambda(lam: A.Lambda) -> A.Lambda:
+            nonlocal changed
+            inner, ch = hoist_body(lam.body)
+            bound_here = {p.name for p in lam.params}
+            hoisted, kept = _split_hoistable(inner, bound_here)
+            if hoisted:
+                changed = True
+                new_bindings.extend(hoisted)
+            changed = changed or ch
+            return A.Lambda(lam.params, kept, lam.ret_types)
+
+        def on_body(b: A.Body) -> A.Body:
+            nonlocal changed
+            inner, ch = hoist_body(b)
+            changed = changed or ch
+            return inner
+
+        exp = map_exp_bodies(exp, on_body)
+        exp = map_exp_lambdas(exp, on_lambda)
+
+        if isinstance(exp, A.LoopExp):
+            bound_here = {p.name for p, _ in exp.merge}
+            if isinstance(exp.form, A.ForLoop):
+                bound_here.add(exp.form.ivar)
+            hoisted, kept = _split_hoistable(exp.body, bound_here)
+            if hoisted:
+                changed = True
+                new_bindings.extend(hoisted)
+                exp = replace(exp, body=kept)
+
+        new_bindings.append(A.Binding(bnd.pat, exp))
+    return A.Body(tuple(new_bindings), body.result), changed
+
+
+def _consumes(e: A.Exp) -> bool:
+    from ..checker.uniqueness import exp_directly_consumes
+
+    if isinstance(e, (A.UpdateExp, A.ScatterExp)):
+        return True
+    return bool(exp_directly_consumes(e))
+
+
+def _split_hoistable(
+    body: A.Body, bound_here: Set[str]
+) -> Tuple[List[A.Binding], A.Body]:
+    """Partition a body's bindings into (hoistable, remaining body).
+
+    A binding whose value is consumed later in the body must stay: the
+    consumption would otherwise become an (illegal) consumption of a
+    variable free in the lambda/loop, and semantically the value must
+    be fresh per iteration.
+    """
+    from ..checker.uniqueness import _body_directly_consumes
+
+    consumed_later = _body_directly_consumes(body, None)
+    stuck: Set[str] = set(bound_here)
+    hoisted: List[A.Binding] = []
+    kept: List[A.Binding] = []
+    for bnd in body.bindings:
+        deps = free_vars_exp(bnd.exp)
+        for p in bnd.pat:
+            deps |= type_free_vars(p.type)
+        if (
+            deps & stuck
+            or _consumes(bnd.exp)
+            or any(name in consumed_later for name in bnd.names())
+        ):
+            stuck.update(bnd.names())
+            kept.append(bnd)
+        else:
+            hoisted.append(bnd)
+    return hoisted, A.Body(tuple(kept), body.result)

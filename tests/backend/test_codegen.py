@@ -1,0 +1,199 @@
+"""Tests of kernel lowering and the access-pattern analyser."""
+
+import pytest
+
+from repro.backend.kernel_ir import (
+    HostEval,
+    HostLoopStmt,
+    LaunchStmt,
+)
+from repro.core import ast as A
+from repro.pipeline import compile_source
+
+
+def kernels_of(src, **opts):
+    return compile_source(src).host.kernels()
+
+
+class TestKernelKinds:
+    def test_map_kernel(self):
+        (k,) = kernels_of(
+            "fun main (xs: [n]f32): [n]f32 = "
+            "map (\\(x: f32) -> x * 2.0f32) xs"
+        )
+        assert k.kind == "map"
+        assert k.grid_dims() == ("n",)
+
+    def test_reduce_kernel(self):
+        (k,) = kernels_of(
+            "fun main (xs: [n]f32): f32 = "
+            "reduce (\\(a: f32) (b: f32) -> a + b) 0.0f32 xs"
+        )
+        assert k.kind == "reduce"
+
+    def test_fused_map_reduce_is_stream_red(self):
+        (k,) = kernels_of(
+            """
+            fun main (xs: [n]f32): f32 =
+              let ys = map (\\(x: f32) -> x * x) xs
+              in reduce (\\(a: f32) (b: f32) -> a + b) 0.0f32 ys
+            """
+        )
+        assert k.kind == "stream_red"
+
+    def test_segmented_reduce(self):
+        (k,) = kernels_of(
+            """
+            fun main (m: [a][b]f32): [a]f32 =
+              map (\\(row: [b]f32) ->
+                reduce (\\(x: f32) (y: f32) -> x + y) 0.0f32 row) m
+            """
+        )
+        assert k.kind == "segreduce"
+        assert k.grid_dims() == ("a", "b")
+
+    def test_scan_kernel(self):
+        (k,) = kernels_of(
+            "fun main (xs: [n]i32): [n]i32 = "
+            "scan (\\(a: i32) (b: i32) -> a + b) 0 xs"
+        )
+        assert k.kind == "scan"
+
+    def test_builtin_kernels(self):
+        ks = kernels_of(
+            "fun main (n: i32): [n]i32 = iota n"
+        )
+        assert [k.kind for k in ks] == ["builtin"]
+
+
+class TestAccessClassification:
+    def test_elementwise_coalesced(self):
+        (k,) = kernels_of(
+            "fun main (xs: [n]f32): [n]f32 = "
+            "map (\\(x: f32) -> x + 1.0f32) xs"
+        )
+        reads = [a for a in k.accesses if not a.is_write]
+        assert len(reads) == 1
+        assert reads[0].array == "xs"
+        assert reads[0].thread_dims == 1 and reads[0].seq_rank == 0
+
+    def test_row_traversal_strided(self):
+        (k,) = kernels_of(
+            """
+            fun main (m: [a][b]f32): [a]f32 =
+              map (\\(row: [b]f32) ->
+                loop (acc = 0.0f32) for j < b do acc + row[j]) m
+            """
+        )
+        reads = [a for a in k.accesses if a.array == "m"]
+        assert reads and all(a.seq_rank >= 1 for a in reads)
+
+    def test_data_dependent_gather(self):
+        (k,) = kernels_of(
+            """
+            fun main (xs: [n]f32) (idx: [n]i32): [n]f32 =
+              map (\\(i: i32) -> xs[i]) idx
+            """
+        )
+        assert any(a.gather for a in k.accesses)
+
+    def test_affine_stencil_not_gather(self):
+        # (the iota becomes its own builtin kernel before the map)
+        kernels = kernels_of(
+            """
+            fun main (xs: [n]f32): [n]f32 =
+              map (\\(i: i32) ->
+                let ip = min (i + 1) (n - 1)
+                in xs[ip]) (iota n)
+            """
+        )
+        (k,) = [k for k in kernels if k.kind == "map"]
+        assert not any(a.gather for a in k.accesses)
+
+    def test_invariant_loop_indexed_is_broadcast(self):
+        (k,) = kernels_of(
+            """
+            fun main (xs: [n]f32) (ws: [m]f32): [n]f32 =
+              map (\\(x: f32) ->
+                loop (acc = 0.0f32) for j < m do
+                  acc + ws[j] * x) xs
+            """
+        )
+        ws_reads = [a for a in k.accesses if a.array == "ws"]
+        assert ws_reads and all(a.invariant for a in ws_reads)
+        assert [t.array for t in k.tiles] == ["ws"]
+
+    def test_flop_counting_scales_with_loops(self):
+        (k,) = kernels_of(
+            """
+            fun main (xs: [n]f32) (t: i32): [n]f32 =
+              map (\\(x: f32) ->
+                loop (a = x) for i < t do a * 1.0001f32) xs
+            """
+        )
+        assert k.flops_per_thread.evaluate({"t": 100}) >= 100
+
+    def test_transcendental_weighting(self):
+        (cheap,) = kernels_of(
+            "fun main (xs: [n]f32): [n]f32 = "
+            "map (\\(x: f32) -> x + 1.0f32) xs"
+        )
+        (costly,) = kernels_of(
+            "fun main (xs: [n]f32): [n]f32 = "
+            "map (\\(x: f32) -> exp x) xs"
+        )
+        assert (
+            costly.flops_per_thread.evaluate({})
+            > cheap.flops_per_thread.evaluate({}) * 3
+        )
+
+
+class TestHostStructure:
+    def test_loop_lowered_to_host(self):
+        compiled = compile_source(
+            """
+            fun main (xs: [n]f32) (k: i32): [n]f32 =
+              loop (ys = xs) for i < k do
+                map (\\(y: f32) -> y * 2.0f32) ys
+            """
+        )
+        loops = [
+            s for s in compiled.host.stmts
+            if isinstance(s, HostLoopStmt)
+        ]
+        assert len(loops) == 1
+        # The kernel-produced merge array is double-buffered...
+        assert loops[0].double_buffered == [loops[0].merge[0][0].name]
+
+    def test_inplace_loop_not_double_buffered(self):
+        compiled = compile_source(
+            """
+            fun main (xs: *[n]f32) (k: i32): [n]f32 =
+              loop (ys: *[n]f32 = xs) for i < k do
+                ys with [0] <- f32 i
+            """
+        )
+        loops = [
+            s for s in compiled.host.stmts
+            if isinstance(s, HostLoopStmt)
+        ]
+        assert loops and loops[0].double_buffered == []
+
+    def test_scalar_code_on_host(self):
+        compiled = compile_source(
+            """
+            fun main (x: f32): f32 =
+              let y = x * 2.0f32
+              in y + 1.0f32
+            """
+        )
+        assert all(
+            isinstance(s, HostEval) for s in compiled.host.stmts
+        )
+
+    def test_array_shapes_recorded(self):
+        compiled = compile_source(
+            "fun main (m: [a][b]f32): [a][b]f32 = "
+            "map (\\(r: [b]f32) -> map (\\(x: f32) -> x) r) m"
+        )
+        assert compiled.host.array_shapes["m"] == ("a", "b")

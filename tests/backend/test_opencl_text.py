@@ -1,0 +1,76 @@
+"""Tests of the pseudo-OpenCL renderer."""
+
+import pytest
+
+from repro.pipeline import CompilerOptions, compile_source
+
+
+class TestRendering:
+    def test_kernel_signature_and_ids(self):
+        text = compile_source(
+            "fun main (m: [a][b]f32): [a][b]f32 = "
+            "map (\\(r: [b]f32) -> map (\\(x: f32) -> x * 2.0f32) r) m"
+        ).opencl()
+        assert "__kernel void" in text
+        assert "get_global_id(0)" in text
+        assert "get_global_id(1)" in text
+
+    def test_reduction_annotation(self):
+        text = compile_source(
+            "fun main (xs: [n]f32): f32 = "
+            "reduce (\\(a: f32) (b: f32) -> a + b) 0.0f32 xs"
+        ).opencl()
+        assert "two-stage reduction" in text
+
+    def test_scan_annotation(self):
+        text = compile_source(
+            "fun main (xs: [n]i32): [n]i32 = "
+            "scan (\\(a: i32) (b: i32) -> a + b) 0 xs"
+        ).opencl()
+        assert "scan" in text.lower()
+
+    def test_layout_annotation_after_coalescing(self):
+        text = compile_source(
+            """
+            fun main (m: [a][b]f32): [a]f32 =
+              map (\\(row: [b]f32) ->
+                loop (acc = 0.0f32) for j < b do acc + row[j]) m
+            """
+        ).opencl()
+        assert "layout perm(1, 0)" in text
+        assert "manifest" in text
+
+    def test_tile_annotation(self):
+        text = compile_source(
+            """
+            fun main (xs: [n]f32): [n]f32 =
+              map (\\(x: f32) ->
+                loop (a = 0.0f32) for j < n do a + xs[j] * x) xs
+            """
+        ).opencl()
+        assert "__local" in text
+        assert "block tile of xs" in text
+
+    def test_host_driver_loop(self):
+        text = compile_source(
+            """
+            fun main (xs: [n]f32) (k: i32): [n]f32 =
+              loop (ys = xs) for i < k do
+                map (\\(y: f32) -> y * 0.5f32) ys
+            """
+        ).opencl()
+        assert "loop (" in text
+        assert "double-buffer copies" in text
+
+    def test_launch_lines_per_kernel(self):
+        compiled = compile_source(
+            """
+            fun main (xs: [n]f32): ([n]f32, f32) =
+              let ys = map (\\(x: f32) -> x + 1.0f32) xs
+              let zs = map (\\(x: f32) -> x * 3.0f32) xs
+              let s = reduce (\\(a: f32) (b: f32) -> a + b) 0.0f32 zs
+              in {ys, s}
+            """
+        )
+        text = compiled.opencl()
+        assert text.count("launch") == len(compiled.host.kernels())

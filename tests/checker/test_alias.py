@@ -1,0 +1,113 @@
+"""Direct tests of the Fig. 5 alias rules."""
+
+from repro.core import array
+from repro.core import ast as A
+from repro.core.prim import I32
+from repro.core.types import Prim, TypeDecl
+from repro.checker.alias import EMPTY, AliasAnalysis
+
+
+def _aa(sigs=None):
+    return AliasAnalysis(sigs or {})
+
+
+def _no_bodies(body, sigma):
+    raise AssertionError("no sub-bodies expected")
+
+
+class TestAtomAliases:
+    def test_const_aliases_nothing(self):
+        assert _aa().atom_aliases(A.Const(1, I32), {}) == EMPTY
+
+    def test_var_aliases_itself_and_its_set(self):
+        sigma = {"b": frozenset({"a"})}
+        assert _aa().atom_aliases(A.Var("b"), sigma) == {"a", "b"}
+
+
+class TestExpAliases:
+    def test_map_is_fresh(self):
+        lam = A.Lambda(
+            (A.Param("x", Prim(I32)),),
+            A.Body((), (A.Var("x"),)),
+            (Prim(I32),),
+        )
+        e = A.MapExp(A.Var("n"), lam, (A.Var("xs"),))
+        sets = _aa().exp_aliases(e, {"xs": EMPTY}, {}, _no_bodies)
+        assert sets == [EMPTY]
+
+    def test_scalar_index_is_fresh(self):
+        e = A.IndexExp(A.Var("m"), (A.Const(0, I32), A.Const(0, I32)))
+        types = {"m": array(I32, "n", "k")}
+        sets = _aa().exp_aliases(e, {"m": EMPTY}, types, _no_bodies)
+        assert sets == [EMPTY]
+
+    def test_slice_aliases_origin(self):
+        e = A.IndexExp(A.Var("m"), (A.Const(0, I32),))
+        types = {"m": array(I32, "n", "k")}
+        sets = _aa().exp_aliases(e, {"m": EMPTY}, types, _no_bodies)
+        assert sets == [{"m"}]
+
+    def test_rearrange_aliases_origin(self):
+        e = A.RearrangeExp((1, 0), A.Var("m"))
+        sets = _aa().exp_aliases(
+            e, {"m": frozenset({"p"})}, {"m": array(I32, "n", "k")}, _no_bodies
+        )
+        assert sets == [{"m", "p"}]
+
+    def test_update_takes_sigma_of_target(self):
+        e = A.UpdateExp(A.Var("a"), (A.Const(0, I32),), A.Const(1, I32))
+        sets = _aa().exp_aliases(
+            e, {"a": frozenset({"b"})}, {"a": array(I32, "n")}, _no_bodies
+        )
+        assert sets == [{"b"}]
+
+    def test_copy_is_fresh(self):
+        e = A.CopyExp(A.Var("a"))
+        sets = _aa().exp_aliases(
+            e, {"a": frozenset({"b"})}, {"a": array(I32, "n")}, _no_bodies
+        )
+        assert sets == [EMPTY]
+
+    def test_apply_unique_result_fresh(self):
+        sigs = {
+            "f": (
+                (A.Param("x", array(I32, "n")),),
+                (TypeDecl(array(I32, "n"), unique=True),),
+            )
+        }
+        e = A.ApplyExp("f", (A.Var("a"),))
+        sets = _aa(sigs).exp_aliases(e, {"a": EMPTY}, {}, _no_bodies)
+        assert sets == [EMPTY]
+
+    def test_apply_nonunique_result_aliases_nonunique_args(self):
+        sigs = {
+            "f": (
+                (
+                    A.Param("x", array(I32, "n"), unique=True),
+                    A.Param("y", array(I32, "n")),
+                ),
+                (TypeDecl(array(I32, "n")),),
+            )
+        }
+        e = A.ApplyExp("f", (A.Var("a"), A.Var("b")))
+        sets = _aa(sigs).exp_aliases(
+            e, {"a": EMPTY, "b": EMPTY}, {}, _no_bodies
+        )
+        # Result may alias the non-unique argument b, but not the
+        # consumed unique argument a.
+        assert sets == [{"b"}]
+
+    def test_if_unions_branches(self):
+        t_body = A.Body((), (A.Var("a"),))
+        f_body = A.Body((), (A.Var("b"),))
+        e = A.IfExp(A.Var("c"), t_body, f_body, (array(I32, "n"),))
+        sigma = {"a": EMPTY, "b": EMPTY, "c": EMPTY}
+
+        def body_aliases(body, sg):
+            return [
+                frozenset({body.result[0].name})
+                | sg.get(body.result[0].name, EMPTY)
+            ]
+
+        sets = _aa().exp_aliases(e, sigma, {}, body_aliases)
+        assert sets == [{"a", "b"}]

@@ -1,0 +1,329 @@
+"""Tests of the monomorphic type and shape checker."""
+
+import pytest
+
+from repro.core import ProgBuilder, array
+from repro.core import ast as A
+from repro.core.prim import BOOL, F32, I32
+from repro.core.types import Array, Prim, TypeDecl
+from repro.checker import TypeCheckError, check_types
+
+from tests.helpers import (
+    fig10_program,
+    kmeans_counts_parallel,
+    kmeans_counts_sequential,
+    kmeans_counts_stream,
+    map_inc_program,
+    matmul_program,
+    rowsums_program,
+    sum_program,
+)
+
+
+ALL_HELPER_PROGRAMS = [
+    map_inc_program,
+    sum_program,
+    rowsums_program,
+    kmeans_counts_sequential,
+    kmeans_counts_parallel,
+    kmeans_counts_stream,
+    fig10_program,
+    matmul_program,
+]
+
+
+class TestWellTypedPrograms:
+    @pytest.mark.parametrize("mk", ALL_HELPER_PROGRAMS)
+    def test_helper_programs_check(self, mk):
+        check_types(mk())
+
+
+def _raw_fun(body, params, ret):
+    return A.Prog((A.FunDef("main", tuple(params), tuple(ret), body),))
+
+
+class TestIllTypedPrograms:
+    def test_binop_type_mismatch(self):
+        body = A.Body(
+            (
+                A.Binding(
+                    (A.Param("y", Prim(I32)),),
+                    A.BinOpExp("add", A.Var("x"), A.Const(1.0, F32), I32),
+                ),
+            ),
+            (A.Var("y"),),
+        )
+        prog = _raw_fun(
+            body, [A.Param("x", Prim(I32))], [TypeDecl(Prim(I32))]
+        )
+        with pytest.raises(TypeCheckError, match="add"):
+            check_types(prog)
+
+    def test_integral_div_rejected(self):
+        body = A.Body(
+            (
+                A.Binding(
+                    (A.Param("y", Prim(I32)),),
+                    A.BinOpExp("div", A.Var("x"), A.Const(2, I32), I32),
+                ),
+            ),
+            (A.Var("y"),),
+        )
+        prog = _raw_fun(body, [A.Param("x", Prim(I32))], [TypeDecl(Prim(I32))])
+        with pytest.raises(TypeCheckError, match="idiv"):
+            check_types(prog)
+
+    def test_if_condition_must_be_bool(self):
+        body = A.Body(
+            (
+                A.Binding(
+                    (A.Param("y", Prim(I32)),),
+                    A.IfExp(
+                        A.Var("x"),
+                        A.Body((), (A.Const(1, I32),)),
+                        A.Body((), (A.Const(2, I32),)),
+                        (Prim(I32),),
+                    ),
+                ),
+            ),
+            (A.Var("y"),),
+        )
+        prog = _raw_fun(body, [A.Param("x", Prim(I32))], [TypeDecl(Prim(I32))])
+        with pytest.raises(TypeCheckError, match="bool"):
+            check_types(prog)
+
+    def test_branch_type_mismatch(self):
+        body = A.Body(
+            (
+                A.Binding(
+                    (A.Param("y", Prim(I32)),),
+                    A.IfExp(
+                        A.Var("c"),
+                        A.Body((), (A.Const(1, I32),)),
+                        A.Body((), (A.Const(2.0, F32),)),
+                        (Prim(I32),),
+                    ),
+                ),
+            ),
+            (A.Var("y"),),
+        )
+        prog = _raw_fun(body, [A.Param("c", Prim(BOOL))], [TypeDecl(Prim(I32))])
+        with pytest.raises(TypeCheckError, match="else-branch"):
+            check_types(prog)
+
+    def test_index_non_integral(self):
+        body = A.Body(
+            (
+                A.Binding(
+                    (A.Param("y", Prim(I32)),),
+                    A.IndexExp(A.Var("xs"), (A.Const(0.5, F32),)),
+                ),
+            ),
+            (A.Var("y"),),
+        )
+        prog = _raw_fun(
+            body, [A.Param("xs", array(I32, "n"))], [TypeDecl(Prim(I32))]
+        )
+        with pytest.raises(TypeCheckError, match="integral"):
+            check_types(prog)
+
+    def test_too_many_indices(self):
+        body = A.Body(
+            (
+                A.Binding(
+                    (A.Param("y", Prim(I32)),),
+                    A.IndexExp(A.Var("xs"), (A.Const(0, I32), A.Const(0, I32))),
+                ),
+            ),
+            (A.Var("y"),),
+        )
+        prog = _raw_fun(
+            body, [A.Param("xs", array(I32, "n"))], [TypeDecl(Prim(I32))]
+        )
+        with pytest.raises(TypeCheckError, match="indices"):
+            check_types(prog)
+
+    def test_update_value_type(self):
+        body = A.Body(
+            (
+                A.Binding(
+                    (A.Param("ys", array(I32, "n")),),
+                    A.UpdateExp(A.Var("xs"), (A.Const(0, I32),), A.Const(1.0, F32)),
+                ),
+            ),
+            (A.Var("ys"),),
+        )
+        prog = _raw_fun(
+            body,
+            [A.Param("xs", array(I32, "n"), unique=True)],
+            [TypeDecl(array(I32, "n"))],
+        )
+        with pytest.raises(TypeCheckError, match="updating"):
+            check_types(prog)
+
+    def test_pattern_arity(self):
+        lam = A.Lambda(
+            (A.Param("x", Prim(I32)),),
+            A.Body((), (A.Var("x"), A.Var("x"))),
+            (Prim(I32), Prim(I32)),
+        )
+        body = A.Body(
+            (
+                A.Binding(
+                    (A.Param("a", array(I32, "n")),),
+                    A.MapExp(A.Var("n"), lam, (A.Var("xs"),)),
+                ),
+            ),
+            (A.Var("a"),),
+        )
+        prog = _raw_fun(
+            body,
+            [A.Param("xs", array(I32, "n"))],
+            [TypeDecl(array(I32, "n"))],
+        )
+        with pytest.raises(TypeCheckError, match="pattern"):
+            check_types(prog)
+
+    def test_lambda_param_type_mismatch(self):
+        lam = A.Lambda(
+            (A.Param("x", Prim(F32)),),
+            A.Body((), (A.Var("x"),)),
+            (Prim(F32),),
+        )
+        body = A.Body(
+            (
+                A.Binding(
+                    (A.Param("a", array(F32, "n")),),
+                    A.MapExp(A.Var("n"), lam, (A.Var("xs"),)),
+                ),
+            ),
+            (A.Var("a"),),
+        )
+        prog = _raw_fun(
+            body,
+            [A.Param("xs", array(I32, "n"))],
+            [TypeDecl(array(F32, "n"))],
+        )
+        with pytest.raises(TypeCheckError, match="parameter"):
+            check_types(prog)
+
+    def test_reduce_operator_result_type(self):
+        # reduce whose operator returns bool instead of the element type.
+        lam = A.Lambda(
+            (A.Param("a", Prim(I32)), A.Param("x", Prim(I32))),
+            A.Body(
+                (
+                    A.Binding(
+                        (A.Param("c", Prim(BOOL)),),
+                        A.CmpOpExp("lt", A.Var("a"), A.Var("x"), I32),
+                    ),
+                ),
+                (A.Var("c"),),
+            ),
+            (Prim(BOOL),),
+        )
+        body = A.Body(
+            (
+                A.Binding(
+                    (A.Param("r", Prim(BOOL)),),
+                    A.ReduceExp(
+                        A.Var("n"), lam, (A.Const(0, I32),), (A.Var("xs"),)
+                    ),
+                ),
+            ),
+            (A.Var("r"),),
+        )
+        prog = _raw_fun(
+            body,
+            [A.Param("xs", array(I32, "n"))],
+            [TypeDecl(Prim(BOOL))],
+        )
+        with pytest.raises(TypeCheckError, match="neutral|operator|parameter"):
+            check_types(prog)
+
+    def test_unknown_function(self):
+        body = A.Body(
+            (
+                A.Binding(
+                    (A.Param("y", Prim(I32)),),
+                    A.ApplyExp("mystery", (A.Var("x"),)),
+                ),
+            ),
+            (A.Var("y"),),
+        )
+        prog = _raw_fun(body, [A.Param("x", Prim(I32))], [TypeDecl(Prim(I32))])
+        with pytest.raises(TypeCheckError, match="unknown function"):
+            check_types(prog)
+
+    def test_return_declaration_mismatch(self):
+        body = A.Body((), (A.Var("x"),))
+        prog = _raw_fun(
+            body, [A.Param("x", Prim(I32))], [TypeDecl(Prim(F32))]
+        )
+        with pytest.raises(TypeCheckError, match="result"):
+            check_types(prog)
+
+    def test_while_condition_must_be_merge_param(self):
+        loop = A.LoopExp(
+            ((A.Param("x", Prim(I32)), A.Const(0, I32)),),
+            A.WhileLoop("nonexistent"),
+            A.Body((), (A.Var("x"),)),
+        )
+        body = A.Body(
+            (A.Binding((A.Param("r", Prim(I32)),), loop),), (A.Var("r"),)
+        )
+        prog = _raw_fun(body, [], [TypeDecl(Prim(I32))])
+        with pytest.raises(TypeCheckError, match="while"):
+            check_types(prog)
+
+    def test_loop_body_arity(self):
+        loop = A.LoopExp(
+            (
+                (A.Param("x", Prim(I32)), A.Const(0, I32)),
+                (A.Param("y", Prim(I32)), A.Const(0, I32)),
+            ),
+            A.ForLoop("i", A.Const(3, I32)),
+            A.Body((), (A.Var("x"),)),
+        )
+        body = A.Body(
+            (
+                A.Binding(
+                    (A.Param("r", Prim(I32)), A.Param("s", Prim(I32))),
+                    loop,
+                ),
+            ),
+            (A.Var("r"),),
+        )
+        prog = _raw_fun(body, [], [TypeDecl(Prim(I32))])
+        with pytest.raises(TypeCheckError, match="loop body"):
+            check_types(prog)
+
+    def test_duplicate_function_names(self):
+        f = A.FunDef(
+            "main", (), (TypeDecl(Prim(I32)),), A.Body((), (A.Const(0, I32),))
+        )
+        with pytest.raises(TypeCheckError, match="duplicate"):
+            check_types(A.Prog((f, f)))
+
+    def test_stream_lambda_needs_chunk_param(self):
+        lam = A.Lambda(
+            (A.Param("chunk", array(I32, "q")),),
+            A.Body((), (A.Var("chunk"),)),
+            (array(I32, "q"),),
+        )
+        body = A.Body(
+            (
+                A.Binding(
+                    (A.Param("r", array(I32, "n")),),
+                    A.StreamMapExp(A.Var("n"), lam, (A.Var("xs"),)),
+                ),
+            ),
+            (A.Var("r"),),
+        )
+        prog = _raw_fun(
+            body,
+            [A.Param("xs", array(I32, "n"))],
+            [TypeDecl(array(I32, "n"))],
+        )
+        with pytest.raises(TypeCheckError, match="stream"):
+            check_types(prog)

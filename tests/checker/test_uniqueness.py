@@ -1,0 +1,280 @@
+"""Tests of alias analysis and in-place update checking (Section 3).
+
+These exercise the paper's own examples: the ``modify`` function, the
+two maps of Fig. 7, K-means' loop and stream_red updates, plus the
+classic error cases (use-after-consume, consuming non-unique
+parameters, consuming free variables, unique results aliasing
+non-unique parameters).
+"""
+
+import pytest
+
+from repro.core import ProgBuilder, array
+from repro.core import ast as A
+from repro.core.prim import F32, I32
+from repro.core.types import Array, Prim, TypeDecl
+from repro.checker import (
+    UniquenessError,
+    check_program,
+    check_uniqueness,
+)
+from repro.checker.uniqueness import exp_directly_consumes
+
+from tests.helpers import (
+    fig10_program,
+    kmeans_counts_parallel,
+    kmeans_counts_sequential,
+    kmeans_counts_stream,
+    map_inc_program,
+    matmul_program,
+    rowsums_program,
+    sum_program,
+)
+
+
+ALL_HELPER_PROGRAMS = [
+    map_inc_program,
+    sum_program,
+    rowsums_program,
+    kmeans_counts_sequential,
+    kmeans_counts_parallel,
+    kmeans_counts_stream,
+    fig10_program,
+    matmul_program,
+]
+
+
+class TestSafePrograms:
+    @pytest.mark.parametrize("mk", ALL_HELPER_PROGRAMS)
+    def test_helper_programs_are_safe(self, mk):
+        check_program(mk())
+
+    def test_paper_modify_function(self):
+        # fun modify (a: *[n]int) (i: int) (x: [n]int): *[n]int =
+        #   a with [i] <- (a[i] + x[i])
+        pb = ProgBuilder()
+        with pb.function("modify") as fb:
+            a = fb.param("a", array(I32, "n"), unique=True)
+            i = fb.param("i", Prim(I32))
+            x = fb.param("x", array(I32, "n"))
+            ai = fb.index(a, i)
+            xi = fb.index(x, i)
+            s = fb.add(ai, xi)
+            a2 = fb.update(a, [i], s)
+            fb.returns(TypeDecl(array(I32, "n"), unique=True))
+            fb.ret(a2)
+        check_program(pb.build())
+
+    def test_fig7_map_consuming_parameter_ok(self):
+        # let bs = map (\a -> a with [0] <- 2) as   -- consumes as
+        pb = ProgBuilder()
+        with pb.function("main") as fb:
+            as_ = fb.param("as_", array(I32, "n", "m"), unique=True)
+            with fb.lam([("a", array(I32, "m"))]) as lb:
+                (a,) = lb.params
+                a2 = lb.update(a, [lb.i32(0)], lb.i32(2))
+                lb.ret(a2)
+            bs = fb.map(lb.fn, as_)
+            fb.ret(bs)
+        check_program(pb.build())
+
+    def test_update_after_copy_is_fine(self):
+        pb = ProgBuilder()
+        with pb.function("main") as fb:
+            xs = fb.param("xs", array(I32, "n"))
+            ys = fb.copy(xs)
+            ys2 = fb.update(ys, [fb.i32(0)], fb.i32(7))
+            x0 = fb.index(xs, fb.i32(0))
+            ys3 = fb.update(ys2, [fb.i32(1)], x0)
+            fb.ret(ys3)
+        check_program(pb.build())
+
+
+class TestUnsafePrograms:
+    def test_use_after_consume(self):
+        pb = ProgBuilder()
+        with pb.function("main") as fb:
+            xs = fb.param("xs", array(I32, "n"), unique=True)
+            ys = fb.update(xs, [fb.i32(0)], fb.i32(1))
+            z = fb.index(xs, fb.i32(0))  # illegal: xs was consumed
+            fb.ret(z)
+        with pytest.raises(UniquenessError, match="consumed"):
+            check_uniqueness(pb.build())
+
+    def test_double_consume(self):
+        pb = ProgBuilder()
+        with pb.function("main") as fb:
+            xs = fb.param("xs", array(I32, "n"), unique=True)
+            ys = fb.update(xs, [fb.i32(0)], fb.i32(1))
+            zs = fb.update(xs, [fb.i32(1)], fb.i32(2))
+            fb.ret(zs)
+        with pytest.raises(UniquenessError, match="consumed"):
+            check_uniqueness(pb.build())
+
+    def test_consume_through_alias(self):
+        # A slice aliases its origin; consuming the origin forbids
+        # later use of the slice.
+        pb = ProgBuilder()
+        with pb.function("main") as fb:
+            m = fb.param("m", array(I32, "n", "k"), unique=True)
+            row = fb.index(m, fb.i32(0))  # aliases m
+            m2 = fb.update(m, [fb.i32(1), fb.i32(0)], fb.i32(9))
+            x = fb.index(row, fb.i32(0))  # illegal
+            fb.ret(x)
+        with pytest.raises(UniquenessError, match="consumed"):
+            check_uniqueness(pb.build())
+
+    def test_consuming_nonunique_parameter(self):
+        pb = ProgBuilder()
+        with pb.function("main") as fb:
+            xs = fb.param("xs", array(I32, "n"))  # NOT unique
+            ys = fb.update(xs, [fb.i32(0)], fb.i32(1))
+            fb.ret(ys)
+        with pytest.raises(UniquenessError, match="non-unique"):
+            check_uniqueness(pb.build())
+
+    def test_fig7_map_consuming_free_variable(self):
+        # let cs = map (\i -> d with [i] <- 2) (iota n)  -- NOT safe
+        pb = ProgBuilder()
+        with pb.function("main") as fb:
+            n = fb.param("n", Prim(I32))
+            d = fb.iota(n)
+            idx = fb.iota(n)
+            with fb.lam([("i", Prim(I32))]) as lb:
+                (i,) = lb.params
+                d2 = lb.update(d, [i], lb.i32(2))
+                lb.ret(d2)
+            cs = fb.map(lb.fn, idx)
+            fb.ret(cs)
+        with pytest.raises(UniquenessError, match="free variable"):
+            check_uniqueness(pb.build())
+
+    def test_unique_call_consumes_argument(self):
+        pb = ProgBuilder()
+        with pb.function("modify") as mb:
+            a = mb.param("a", array(I32, "n"), unique=True)
+            a2 = mb.update(a, [mb.i32(0)], mb.i32(1))
+            mb.returns(TypeDecl(array(I32, "n"), unique=True))
+            mb.ret(a2)
+        with pb.function("main") as fb:
+            xs = fb.param("xs", array(I32, "n"), unique=True)
+            ys = fb.apply("modify", xs)
+            z = fb.index(xs, fb.i32(0))  # illegal: xs consumed by call
+            fb.ret(z)
+        with pytest.raises(UniquenessError, match="consumed"):
+            check_uniqueness(pb.build())
+
+    def test_unique_result_must_not_alias_nonunique_param(self):
+        # fun f (x: [n]i32): *[n]i32 = x   -- illegal
+        prog = A.Prog(
+            (
+                A.FunDef(
+                    "f",
+                    (A.Param("x", array(I32, "n")),),
+                    (TypeDecl(array(I32, "n"), unique=True),),
+                    A.Body((), (A.Var("x"),)),
+                ),
+            )
+        )
+        with pytest.raises(UniquenessError, match="aliases"):
+            check_uniqueness(prog)
+
+    def test_reduce_operator_may_not_consume(self):
+        pb = ProgBuilder()
+        with pb.function("main") as fb:
+            xss = fb.param("xss", array(I32, "n", "k"), unique=True)
+            zeros = fb.replicate(fb.i32(4), fb.i32(0))
+            with fb.lam(
+                [("a", Array(I32, (4,))), ("x", Array(I32, (4,)))]
+            ) as lb:
+                a, x = lb.params
+                x0 = lb.index(x, lb.i32(0))
+                a2 = lb.update(a, [lb.i32(0)], x0)
+                lb.ret(a2)
+            r = fb.reduce(lb.fn, [zeros], xss)
+            fb.ret(r)
+        with pytest.raises(UniquenessError, match="may not consume"):
+            check_uniqueness(pb.build())
+
+    def test_stream_acc_requires_star(self):
+        # Like Fig. 4c but without declaring the accumulator unique.
+        pb = ProgBuilder()
+        with pb.function("main") as fb:
+            membership = fb.param("membership", array(I32, "n"))
+            k = 4
+            with fb.lam(
+                [("xv", Array(I32, (k,))), ("yv", Array(I32, (k,)))]
+            ) as vb:
+                xv, yv = vb.params
+                with vb.lam([("x", Prim(I32)), ("y", Prim(I32))]) as ab:
+                    x, y = ab.params
+                    ab.ret(ab.add(x, y))
+                s = vb.map(ab.fn, xv, yv)
+                vb.ret(s)
+            with fb.lam(
+                [
+                    ("q", Prim(I32)),
+                    ("acc", Array(I32, (k,))),  # no * attribute
+                    ("chunk", array(I32, "q")),
+                ]
+            ) as cb:
+                q, acc, chunk = cb.params
+                c0 = cb.index(chunk, cb.i32(0))
+                acc2 = cb.update(acc, [c0], cb.i32(1))
+                cb.ret(acc2)
+            zeros = fb.replicate(fb.i32(k), fb.i32(0))
+            counts = fb.stream_red(vb.fn, cb.fn, [zeros], membership)
+            fb.ret(counts)
+        with pytest.raises(UniquenessError, match="unique"):
+            check_uniqueness(pb.build())
+
+    def test_consume_in_one_if_branch_blocks_later_use(self):
+        pb = ProgBuilder()
+        with pb.function("main") as fb:
+            xs = fb.param("xs", array(I32, "n"), unique=True)
+            c = fb.param("c", Prim(I32))
+            b = fb.cmpop("lt", c, fb.i32(0))
+            ib = fb.if_(b, ret_types=[array(I32, "n")])
+            with ib.then_() as tb:
+                tb.ret(tb.update(xs, [tb.i32(0)], tb.i32(1)))
+            with ib.else_() as eb:
+                eb.ret(xs)
+            r = ib.end()
+            z = fb.index(xs, fb.i32(0))  # illegal: consumed in a branch
+            fb.ret(z)
+        with pytest.raises(UniquenessError, match="consumed"):
+            check_uniqueness(pb.build())
+
+
+class TestDirectConsumption:
+    def test_update_consumes(self):
+        e = A.UpdateExp(A.Var("a"), (A.Const(0, I32),), A.Const(1, I32))
+        assert exp_directly_consumes(e) == {"a"}
+
+    def test_map_consuming_lambda_param(self):
+        lam = A.Lambda(
+            (A.Param("row", array(I32, "m")),),
+            A.Body(
+                (
+                    A.Binding(
+                        (A.Param("r2", array(I32, "m")),),
+                        A.UpdateExp(
+                            A.Var("row"), (A.Const(0, I32),), A.Const(1, I32)
+                        ),
+                    ),
+                ),
+                (A.Var("r2"),),
+            ),
+            (array(I32, "m"),),
+        )
+        e = A.MapExp(A.Var("n"), lam, (A.Var("xss"),))
+        assert exp_directly_consumes(e) == {"xss"}
+
+    def test_plain_map_consumes_nothing(self):
+        lam = A.Lambda(
+            (A.Param("x", Prim(I32)),),
+            A.Body((), (A.Var("x"),)),
+            (Prim(I32),),
+        )
+        e = A.MapExp(A.Var("n"), lam, (A.Var("xs"),))
+        assert exp_directly_consumes(e) == set()

@@ -1,0 +1,181 @@
+"""Tests for the ProgBuilder DSL and the ANF invariants it maintains."""
+
+import pytest
+
+from repro.core import ProgBuilder, array
+from repro.core import ast as A
+from repro.core.prim import F32, I32
+from repro.core.types import Array, Prim, TypeError_
+
+from tests.helpers import map_inc_program, rowsums_program
+
+
+class TestBasicConstruction:
+    def test_map_inc_structure(self):
+        prog = map_inc_program()
+        main = prog.fun("main")
+        assert [p.name for p in main.params] == ["xs"]
+        assert len(main.body.bindings) == 1
+        exp = main.body.bindings[0].exp
+        assert isinstance(exp, A.MapExp)
+        assert exp.arrs == (A.Var("xs"),)
+        # Width inferred from the parameter's symbolic shape.
+        assert exp.width == A.Var("n")
+
+    def test_inferred_return_types(self):
+        prog = rowsums_program()
+        main = prog.fun("main")
+        assert len(main.ret) == 2
+        assert main.ret[0].type == array(F32, "n", "m")
+        assert main.ret[1].type == array(F32, "n")
+
+    def test_unique_names(self):
+        prog = rowsums_program()
+        from repro.core.traversal import bound_names_body
+
+        names = []
+
+        def collect(fun):
+            names.extend(p.name for p in fun.params)
+
+        for fun in prog.funs:
+            collect(fun)
+            inner = bound_names_body(fun.body)
+            assert len(inner) == len(set(inner))
+
+    def test_const_helpers(self):
+        pb = ProgBuilder()
+        fb = pb.function("main")
+        assert fb.i32(3) == A.Const(3, I32)
+        assert fb.f32(1.5) == A.Const(1.5, F32)
+        assert fb.true().value is True
+
+
+class TestScoping:
+    def test_lambda_params_fresh(self):
+        pb = ProgBuilder()
+        with pb.function("main") as fb:
+            xs = fb.param("xs", array(F32, "n"))
+            with fb.lam([("x", Prim(F32))]) as lb1:
+                (x1,) = lb1.params
+                lb1.ret(lb1.add(x1, lb1.f32(1.0)))
+            with fb.lam([("x", Prim(F32))]) as lb2:
+                (x2,) = lb2.params
+                lb2.ret(lb2.mul(x2, lb2.f32(2.0)))
+            assert x1.name != x2.name
+            ys = fb.map(lb1.fn, xs)
+            zs = fb.map(lb2.fn, ys)
+            fb.ret(zs)
+        prog = pb.build()
+        assert len(prog.fun("main").body.bindings) == 2
+
+    def test_loop_builder(self):
+        pb = ProgBuilder()
+        with pb.function("main") as fb:
+            n = fb.param("n", Prim(I32))
+            with fb.loop(
+                [("acc", Prim(I32), fb.i32(0))], for_lt=("i", n)
+            ) as lp:
+                (acc,) = lp.merge_vars
+                lp.ret(lp.add(acc, lp.ivar))
+            total = lp.end()
+            fb.ret(total)
+        prog = pb.build()
+        exp = prog.fun("main").body.bindings[-1].exp
+        assert isinstance(exp, A.LoopExp)
+        assert isinstance(exp.form, A.ForLoop)
+
+    def test_loop_requires_one_form(self):
+        pb = ProgBuilder()
+        fb = pb.function("main")
+        n = fb.param("n", Prim(I32))
+        with pytest.raises(TypeError_):
+            fb.loop([("acc", Prim(I32), fb.i32(0))])
+
+    def test_if_builder(self):
+        pb = ProgBuilder()
+        with pb.function("main") as fb:
+            x = fb.param("x", Prim(I32))
+            c = fb.cmpop("lt", x, fb.i32(0))
+            ib = fb.if_(c)
+            with ib.then_() as tb:
+                tb.ret(tb.unop("neg", x))
+            with ib.else_() as eb:
+                eb.ret(x)
+            r = ib.end()
+            fb.ret(r)
+        prog = pb.build()
+        exp = prog.fun("main").body.bindings[-1].exp
+        assert isinstance(exp, A.IfExp)
+        assert exp.ret_types == (Prim(I32),)
+
+
+class TestTypeInferenceInBuilder:
+    def test_bind1_rejects_multivalue(self):
+        pb = ProgBuilder()
+        fb = pb.function("main")
+        xs = fb.param("xs", array(F32, "n"))
+        with fb.lam([("x", Prim(F32))]) as lb:
+            (x,) = lb.params
+            y = lb.add(x, lb.f32(1.0))
+            lb.ret(y, y)
+        with pytest.raises(TypeError_):
+            fb.bind1(A.MapExp(fb.size_of(xs), lb.fn, (xs,)))
+
+    def test_binop_rejects_array_operand(self):
+        pb = ProgBuilder()
+        fb = pb.function("main")
+        xs = fb.param("xs", array(F32, "n"))
+        with pytest.raises(TypeError_):
+            fb.add(xs, fb.f32(1.0))
+
+    def test_index_type(self):
+        pb = ProgBuilder()
+        with pb.function("main") as fb:
+            m = fb.param("m", array(F32, "n", "k"))
+            row = fb.index(m, fb.i32(0))
+            assert fb.type_of(row) == array(F32, "k")
+            x = fb.index(m, fb.i32(0), fb.i32(1))
+            assert fb.type_of(x) == Prim(F32)
+            fb.ret(x)
+        pb.build()
+
+    def test_size_of(self):
+        pb = ProgBuilder()
+        fb = pb.function("main")
+        m = fb.param("m", array(F32, "n", 7))
+        assert fb.size_of(m, 0) == A.Var("n")
+        assert fb.size_of(m, 1) == A.Const(7, I32)
+
+    def test_transpose_type(self):
+        pb = ProgBuilder()
+        with pb.function("main") as fb:
+            m = fb.param("m", array(F32, "n", "k"))
+            t = fb.transpose(m)
+            assert fb.type_of(t) == array(F32, "k", "n")
+            fb.ret(t)
+        pb.build()
+
+    def test_function_calls(self):
+        pb = ProgBuilder()
+        with pb.function("double") as db:
+            x = db.param("x", Prim(F32))
+            db.ret(db.mul(x, db.f32(2.0)))
+        with pb.function("main") as fb:
+            y = fb.param("y", Prim(F32))
+            r = fb.apply("double", y)
+            fb.ret(r)
+        prog = pb.build()
+        assert len(prog.funs) == 2
+
+    def test_call_with_array_result_dims(self):
+        pb = ProgBuilder()
+        with pb.function("make") as mb:
+            k = mb.param("k", Prim(I32))
+            mb.ret(mb.iota(k))
+        with pb.function("main") as fb:
+            r = fb.apply("make", fb.i32(9))
+            t = fb.type_of(r)
+            assert t == array(I32, 9)
+            fb.ret(r)
+        pb.build()

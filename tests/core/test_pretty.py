@@ -1,0 +1,87 @@
+"""Unit tests for the pretty-printer (round-trip behaviour is covered
+in tests/frontend/test_roundtrip.py)."""
+
+import pytest
+
+from repro.core import ast as A
+from repro.core.prim import F32, I32, I64
+from repro.core.pretty import pretty_exp, pretty_fun, pretty_prog
+from repro.core.types import Prim, TypeDecl, array
+
+from tests.helpers import fig10_program, rowsums_program
+
+
+class TestAtoms:
+    def test_int_consts(self):
+        assert str(A.Const(5, I32)) == "5"
+        assert str(A.Const(5, I64)) == "5i64"
+
+    def test_float_consts_have_suffix(self):
+        assert str(A.Const(1.5, F32)) == "1.5f32"
+
+    def test_bools(self):
+        from repro.core.prim import BOOL
+
+        assert str(A.Const(True, BOOL)) == "true"
+
+
+class TestExpressions:
+    def test_binop_symbols(self):
+        e = A.BinOpExp("add", A.Var("x"), A.Const(1, I32), I32)
+        assert pretty_exp(e) == "x + 1"
+
+    def test_named_binop(self):
+        e = A.BinOpExp("min", A.Var("x"), A.Var("y"), I32)
+        assert pretty_exp(e) == "min@i32(x, y)"
+
+    def test_indexing(self):
+        e = A.IndexExp(A.Var("a"), (A.Var("i"), A.Const(0, I32)))
+        assert pretty_exp(e) == "a[i, 0]"
+
+    def test_update(self):
+        e = A.UpdateExp(A.Var("a"), (A.Var("i"),), A.Var("v"))
+        assert pretty_exp(e) == "a with [i] <- v"
+
+    def test_builtins(self):
+        assert pretty_exp(A.IotaExp(A.Var("n"))) == "iota n"
+        assert (
+            pretty_exp(A.ReplicateExp(A.Var("n"), A.Const(0, I32)))
+            == "replicate n 0"
+        )
+        assert (
+            pretty_exp(A.RearrangeExp((1, 0), A.Var("m")))
+            == "rearrange (1, 0) m"
+        )
+
+    def test_loop(self):
+        loop = A.LoopExp(
+            ((A.Param("acc", Prim(I32)), A.Const(0, I32)),),
+            A.ForLoop("i", A.Var("n")),
+            A.Body((), (A.Var("acc"),)),
+        )
+        text = pretty_exp(loop)
+        assert "loop (acc: i32 = 0) for i < n do" in text
+
+
+class TestPrograms:
+    def test_fun_header(self):
+        text = pretty_fun(rowsums_program().fun("main"))
+        assert text.startswith("fun main (matrix: [n][m]f32)")
+        assert "([n][m]f32, [n]f32)" in text
+
+    def test_unique_annotations(self):
+        fun = A.FunDef(
+            "f",
+            (A.Param("a", array(I32, "n"), unique=True),),
+            (TypeDecl(array(I32, "n"), unique=True),),
+            A.Body((), (A.Var("a"),)),
+        )
+        text = pretty_fun(fun)
+        assert "(a: *[n]i32)" in text
+        assert "(*[n]i32)" in text
+
+    def test_whole_program(self):
+        text = pretty_prog(fig10_program())
+        assert "stream_map" in text
+        assert "reduce" in text
+        assert text.endswith("\n")

@@ -1,0 +1,159 @@
+"""Unit tests for primitive types and operators."""
+
+import math
+
+import pytest
+
+from repro.core.prim import (
+    ALL_PRIM_TYPES,
+    BINOPS,
+    BOOL,
+    CMPOPS,
+    F32,
+    F64,
+    I8,
+    I32,
+    I64,
+    UNOPS,
+    ConvOp,
+    eval_binop,
+    eval_cmpop,
+    eval_convop,
+    eval_unop,
+    prim_from_name,
+)
+
+
+class TestPrimTypes:
+    def test_lookup_by_name(self):
+        for t in ALL_PRIM_TYPES:
+            assert prim_from_name(t.name) is t or prim_from_name(t.name) == t
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            prim_from_name("i31")
+
+    def test_classification(self):
+        assert I32.is_integral and not I32.is_float and not I32.is_bool
+        assert F64.is_float and not F64.is_integral
+        assert BOOL.is_bool
+
+    def test_bitwidths(self):
+        assert I8.bitwidth == 8
+        assert I32.bitwidth == 32
+        assert F64.bitwidth == 64
+        assert I64.nbytes == 8
+        assert F32.nbytes == 4
+
+    def test_zero(self):
+        assert I32.zero() == 0
+        assert F32.zero() == 0.0
+        assert BOOL.zero() is False
+
+    def test_coerce_wraps_integers(self):
+        assert I8.coerce(128) == -128
+        assert I8.coerce(-129) == 127
+        assert I32.coerce(2**31) == -(2**31)
+
+    def test_coerce_float_precision(self):
+        # f32 rounds to single precision.
+        x = F32.coerce(1.0 + 2.0**-30)
+        assert x == 1.0
+        y = F64.coerce(1.0 + 2.0**-30)
+        assert y != 1.0
+
+    def test_numpy_dtypes(self):
+        assert I32.to_dtype().itemsize == 4
+        assert F64.to_dtype().itemsize == 8
+
+
+class TestBinOps:
+    def test_add_mul_associative_flags(self):
+        assert BINOPS["add"].associative and BINOPS["add"].commutative
+        assert BINOPS["mul"].associative
+        assert not BINOPS["sub"].associative
+
+    def test_eval_add(self):
+        assert eval_binop(BINOPS["add"], I32, 2, 3) == 5
+
+    def test_eval_wraps(self):
+        assert eval_binop(BINOPS["add"], I8, 127, 1) == -128
+
+    def test_idiv_floor(self):
+        assert eval_binop(BINOPS["idiv"], I32, 7, 2) == 3
+        assert eval_binop(BINOPS["idiv"], I32, -7, 2) == -4
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            eval_binop(BINOPS["idiv"], I32, 1, 0)
+        with pytest.raises(ZeroDivisionError):
+            eval_binop(BINOPS["div"], F32, 1.0, 0.0)
+        with pytest.raises(ZeroDivisionError):
+            eval_binop(BINOPS["imod"], I32, 1, 0)
+
+    def test_min_max(self):
+        assert eval_binop(BINOPS["min"], I32, 3, -2) == -2
+        assert eval_binop(BINOPS["max"], F32, 3.0, -2.0) == 3.0
+
+    def test_pow(self):
+        assert eval_binop(BINOPS["pow"], I32, 2, 10) == 1024
+        with pytest.raises(ValueError):
+            eval_binop(BINOPS["pow"], I32, 2, -1)
+
+    def test_bool_ops(self):
+        assert eval_binop(BINOPS["and"], BOOL, True, False) is False
+        assert eval_binop(BINOPS["or"], BOOL, True, False) is True
+
+    def test_shifts(self):
+        assert eval_binop(BINOPS["shl"], I32, 1, 4) == 16
+        assert eval_binop(BINOPS["shr"], I32, 16, 2) == 4
+
+
+class TestCmpOps:
+    @pytest.mark.parametrize(
+        "op,x,y,expected",
+        [
+            ("eq", 1, 1, True),
+            ("neq", 1, 1, False),
+            ("lt", 1, 2, True),
+            ("le", 2, 2, True),
+            ("gt", 1, 2, False),
+            ("ge", 2, 3, False),
+        ],
+    )
+    def test_eval(self, op, x, y, expected):
+        assert eval_cmpop(CMPOPS[op], x, y) is expected
+
+
+class TestUnOps:
+    def test_neg_abs(self):
+        assert eval_unop(UNOPS["neg"], I32, 5) == -5
+        assert eval_unop(UNOPS["abs"], F32, -2.5) == 2.5
+
+    def test_sgn(self):
+        assert eval_unop(UNOPS["sgn"], I32, -7) == -1
+        assert eval_unop(UNOPS["sgn"], I32, 0) == 0
+        assert eval_unop(UNOPS["sgn"], I32, 9) == 1
+
+    def test_transcendental(self):
+        assert eval_unop(UNOPS["exp"], F64, 0.0) == 1.0
+        assert abs(eval_unop(UNOPS["sqrt"], F64, 2.0) - math.sqrt(2)) < 1e-12
+
+    def test_transcendental_requires_float(self):
+        with pytest.raises(TypeError):
+            eval_unop(UNOPS["exp"], I32, 1)
+
+    def test_floor_ceil(self):
+        assert eval_unop(UNOPS["floor"], F32, 2.7) == 2.0
+        assert eval_unop(UNOPS["ceil"], F32, 2.2) == 3.0
+
+
+class TestConvOps:
+    def test_int_to_float(self):
+        assert eval_convop(ConvOp("conv", F32), 3) == 3.0
+
+    def test_float_to_int_truncates(self):
+        assert eval_convop(ConvOp("conv", I32), 3.9) == 3
+
+    def test_to_bool(self):
+        assert eval_convop(ConvOp("conv", BOOL), 2) is True

@@ -1,0 +1,122 @@
+"""Unit tests for local type inference."""
+
+import pytest
+
+from repro.core import ast as A
+from repro.core.prim import BOOL, F32, I32
+from repro.core.types import Array, Prim, TypeError_, array
+from repro.core.typeinfer import atom_dim, atom_type, exp_types
+
+
+ENV = {
+    "x": Prim(I32),
+    "f": Prim(F32),
+    "xs": array(I32, "n"),
+    "m": array(F32, "n", "k"),
+}
+
+
+class TestAtoms:
+    def test_const(self):
+        assert atom_type(A.Const(1, I32), {}) == Prim(I32)
+
+    def test_var(self):
+        assert atom_type(A.Var("xs"), ENV) == array(I32, "n")
+
+    def test_unbound(self):
+        with pytest.raises(TypeError_, match="scope"):
+            atom_type(A.Var("nope"), ENV)
+
+    def test_atom_dim(self):
+        assert atom_dim(A.Const(4, I32)) == 4
+        assert atom_dim(A.Var("n")) == "n"
+        with pytest.raises(TypeError_):
+            atom_dim(A.Const(1.5, F32))
+
+
+class TestExpTypes:
+    def test_binop(self):
+        e = A.BinOpExp("add", A.Var("x"), A.Const(1, I32), I32)
+        assert exp_types(e, ENV) == (Prim(I32),)
+
+    def test_cmpop_returns_bool(self):
+        e = A.CmpOpExp("lt", A.Var("x"), A.Const(1, I32), I32)
+        assert exp_types(e, ENV) == (Prim(BOOL),)
+
+    def test_index_scalar_and_slice(self):
+        full = A.IndexExp(A.Var("m"), (A.Var("x"), A.Var("x")))
+        assert exp_types(full, ENV) == (Prim(F32),)
+        slice_ = A.IndexExp(A.Var("m"), (A.Var("x"),))
+        assert exp_types(slice_, ENV) == (array(F32, "k"),)
+
+    def test_index_too_deep(self):
+        e = A.IndexExp(A.Var("xs"), (A.Var("x"), A.Var("x")))
+        with pytest.raises(TypeError_, match="rank"):
+            exp_types(e, ENV)
+
+    def test_iota(self):
+        assert exp_types(A.IotaExp(A.Var("x")), ENV) == (array(I32, "x"),)
+        assert exp_types(A.IotaExp(A.Const(7, I32)), ENV) == (
+            array(I32, 7),
+        )
+
+    def test_replicate_array_value(self):
+        e = A.ReplicateExp(A.Const(3, I32), A.Var("xs"))
+        assert exp_types(e, ENV) == (array(I32, 3, "n"),)
+
+    def test_rearrange(self):
+        e = A.RearrangeExp((1, 0), A.Var("m"))
+        assert exp_types(e, ENV) == (array(F32, "k", "n"),)
+
+    def test_rearrange_bad_perm(self):
+        with pytest.raises(TypeError_, match="permutation"):
+            exp_types(A.RearrangeExp((0, 0), A.Var("m")), ENV)
+
+    def test_map_lifts_ret_types(self):
+        lam = A.Lambda(
+            (A.Param("v", Prim(I32)),),
+            A.Body((), (A.Var("v"),)),
+            (Prim(I32),),
+        )
+        e = A.MapExp(A.Var("n"), lam, (A.Var("xs"),))
+        assert exp_types(e, ENV) == (array(I32, "n"),)
+
+    def test_reduce_keeps_ret_types(self):
+        lam = A.Lambda(
+            (A.Param("a", Prim(I32)), A.Param("b", Prim(I32))),
+            A.Body((), (A.Var("a"),)),
+            (Prim(I32),),
+        )
+        e = A.ReduceExp(A.Var("n"), lam, (A.Const(0, I32),), (A.Var("xs"),))
+        assert exp_types(e, ENV) == (Prim(I32),)
+
+    def test_apply_instantiates_dims(self):
+        sigs = {
+            "mk": (
+                (A.Param("k", Prim(I32)),),
+                (array(I32, "k"),),
+            )
+        }
+        e = A.ApplyExp("mk", (A.Const(5, I32),))
+        assert exp_types(e, ENV, sigs) == (array(I32, 5),)
+
+    def test_unknown_function(self):
+        with pytest.raises(TypeError_, match="unknown"):
+            exp_types(A.ApplyExp("f", ()), ENV, {})
+
+    def test_if_uses_declared(self):
+        e = A.IfExp(
+            A.Const(True, BOOL),
+            A.Body((), (A.Const(1, I32),)),
+            A.Body((), (A.Const(2, I32),)),
+            (Prim(I32),),
+        )
+        assert exp_types(e, ENV) == (Prim(I32),)
+
+    def test_loop_types_from_merge(self):
+        loop = A.LoopExp(
+            ((A.Param("acc", array(I32, "n")), A.Var("xs")),),
+            A.ForLoop("i", A.Const(3, I32)),
+            A.Body((), (A.Var("acc"),)),
+        )
+        assert exp_types(loop, ENV) == (array(I32, "n"),)

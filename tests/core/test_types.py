@@ -1,0 +1,87 @@
+"""Unit tests for the type representations."""
+
+import pytest
+
+from repro.core.prim import F32, I32
+from repro.core.types import (
+    Array,
+    Prim,
+    TypeDecl,
+    TypeError_,
+    array,
+    array_of,
+    dim_equal,
+    dims_of,
+    elem_type,
+    rank,
+    row_type,
+    substitute_dims,
+    types_compatible,
+)
+
+
+class TestConstruction:
+    def test_array_helper(self):
+        t = array(F32, "n", "m")
+        assert t == Array(F32, ("n", "m"))
+        assert str(t) == "[n][m]f32"
+
+    def test_empty_shape_rejected(self):
+        with pytest.raises(ValueError):
+            Array(F32, ())
+
+    def test_type_decl_str(self):
+        assert str(TypeDecl(array(I32, "n"), unique=True)) == "*[n]i32"
+        assert str(TypeDecl(Prim(F32))) == "f32"
+
+
+class TestQueries:
+    def test_rank(self):
+        assert rank(Prim(I32)) == 0
+        assert rank(array(I32, 4, "n")) == 2
+
+    def test_elem_type(self):
+        assert elem_type(Prim(F32)) == F32
+        assert elem_type(array(F32, "n")) == F32
+
+    def test_row_type(self):
+        t = array(F32, "n", "m", 3)
+        assert row_type(t) == array(F32, "m", 3)
+        assert row_type(t, 2) == array(F32, 3)
+        assert row_type(t, 3) == Prim(F32)
+
+    def test_row_type_too_deep(self):
+        with pytest.raises(TypeError_):
+            row_type(array(F32, "n"), 2)
+
+    def test_array_of(self):
+        assert array_of(Prim(I32), "n") == array(I32, "n")
+        assert array_of(array(I32, "m"), 5) == array(I32, 5, "m")
+
+    def test_dims_of(self):
+        assert dims_of(Prim(I32)) == ()
+        assert dims_of(array(I32, "n", 2)) == ("n", 2)
+
+
+class TestDimReasoning:
+    def test_substitute(self):
+        t = array(F32, "n", "m")
+        assert substitute_dims(t, {"n": 4, "m": "k"}) == array(F32, 4, "k")
+
+    def test_substitute_scalar_identity(self):
+        assert substitute_dims(Prim(F32), {"n": 1}) == Prim(F32)
+
+    def test_dim_equal(self):
+        assert dim_equal(3, 3)
+        assert not dim_equal(3, 4)
+        assert dim_equal("n", "n")
+        assert not dim_equal("n", "m")
+        # Unknown vs constant is optimistic (checked dynamically).
+        assert dim_equal("n", 3)
+
+    def test_types_compatible(self):
+        assert types_compatible(array(F32, "n"), array(F32, 5))
+        assert not types_compatible(array(F32, "n"), array(I32, "n"))
+        assert not types_compatible(array(F32, "n"), array(F32, "n", "m"))
+        assert not types_compatible(Prim(F32), array(F32, "n"))
+        assert types_compatible(Prim(F32), Prim(F32))

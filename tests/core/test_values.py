@@ -1,0 +1,81 @@
+"""Unit tests for runtime values."""
+
+import numpy as np
+import pytest
+
+from repro.core.prim import BOOL, F32, F64, I32
+from repro.core.types import Array, Prim, array
+from repro.core.values import (
+    array_value,
+    from_python,
+    scalar,
+    to_python,
+    value_type,
+    values_equal,
+)
+
+
+class TestConstruction:
+    def test_scalar_coerces(self):
+        v = scalar(3.7, I32)
+        assert v.value == 3
+        assert v.type == I32
+
+    def test_array_dtype(self):
+        v = array_value([1, 2, 3], F32)
+        assert v.data.dtype == np.float32
+        assert v.shape == (3,)
+        assert v.rank == 1
+
+    def test_array_requires_dimension(self):
+        with pytest.raises(ValueError):
+            array_value(5, I32)
+
+    def test_from_python(self):
+        assert from_python(2, Prim(I32)).value == 2
+        arr = from_python([[1, 2]], array(I32, 1, 2))
+        assert arr.shape == (1, 2)
+
+    def test_to_python_types(self):
+        assert to_python(scalar(True, BOOL)) is True
+        assert isinstance(to_python(scalar(1, I32)), int)
+        assert isinstance(to_python(scalar(1.0, F32)), float)
+        assert to_python(array_value([[1]], I32)) == [[1]]
+
+
+class TestValueType:
+    def test_scalar(self):
+        assert value_type(scalar(1, I32)) == Prim(I32)
+
+    def test_array(self):
+        assert value_type(array_value([[1.0]], F64)) == Array(F64, (1, 1))
+
+
+class TestEquality:
+    def test_int_exact(self):
+        assert values_equal(
+            array_value([1, 2], I32), array_value([1, 2], I32)
+        )
+        assert not values_equal(
+            array_value([1, 2], I32), array_value([1, 3], I32)
+        )
+
+    def test_float_tolerance(self):
+        a = array_value([1.0], F32)
+        b = array_value([1.0 + 1e-7], F32)
+        assert values_equal(a, b)
+
+    def test_shape_mismatch(self):
+        assert not values_equal(
+            array_value([1], I32), array_value([1, 2], I32)
+        )
+
+    def test_type_mismatch(self):
+        assert not values_equal(scalar(1, I32), scalar(1.0, F32))
+        assert not values_equal(scalar(1, I32), array_value([1], I32))
+
+    def test_copy_is_independent(self):
+        a = array_value([1, 2], I32)
+        b = a.copy()
+        b.data[0] = 9
+        assert a.data[0] == 1

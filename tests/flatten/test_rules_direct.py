@@ -1,0 +1,154 @@
+"""Direct tests of individual flattening rules that the Fig. 11 case
+does not exercise: G6 (rearrange distribution), replicate chains for
+invariant values, context extension plumbing, and option combinations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import array_value, scalar, to_python, values_equal
+from repro.core import ast as A
+from repro.core.prim import F32, I32
+from repro.checker import check_types
+from repro.frontend import parse
+from repro.flatten import FlattenOptions, flatten_prog, perfect_nests
+from repro.flatten.context import MapCtx, lift_type, manifest
+from repro.core.traversal import NameSource
+from repro.core.types import Prim, array
+from repro.interp import run_program
+from repro.simplify import simplify_prog
+
+
+class TestG6RearrangeDistribution:
+    SRC = """
+    fun main (mss: [a][b][c]f32): [a][c][b]f32 =
+      map (\\(m: [b][c]f32) ->
+        let mt = transpose m
+        in map (\\(row: [b]f32) ->
+          map (\\(x: f32) -> x + 1.0f32) row) mt) mss
+    """
+
+    def test_structure(self):
+        flat = simplify_prog(flatten_prog(parse(self.SRC)))
+        check_types(flat)
+        body = flat.fun("main").body
+        # G6: the per-element transpose became ONE whole-array
+        # rearrange with the permutation expanded by the context depth.
+        rearranges = [
+            b.exp for b in body.bindings
+            if isinstance(b.exp, A.RearrangeExp)
+        ]
+        assert len(rearranges) == 1
+        assert rearranges[0].perm == (0, 2, 1)
+
+    def test_semantics(self):
+        prog = parse(self.SRC)
+        flat = simplify_prog(flatten_prog(prog))
+        data = np.arange(24, dtype=np.float32).reshape(2, 3, 4)
+        args = [array_value(data, F32)]
+        expected = run_program(prog, args)
+        got = run_program(flat, args)
+        assert values_equal(expected[0], got[0])
+        assert np.allclose(
+            got[0].data, data.transpose(0, 2, 1) + 1.0
+        )
+
+
+class TestInvariantReplication:
+    def test_map_returning_invariant(self):
+        # A map whose result is a free scalar: the flattener replicates.
+        src = """
+        fun main (xs: [n]f32) (k: f32): [n]f32 =
+          map (\\(x: f32) -> k) xs
+        """
+        prog = parse(src)
+        flat = simplify_prog(flatten_prog(prog))
+        check_types(flat)
+        out = run_program(
+            flat, [array_value([1.0, 2.0, 3.0], F32), scalar(9.0, F32)]
+        )
+        assert to_python(out[0]) == [9.0, 9.0, 9.0]
+
+    def test_loop_with_invariant_init(self):
+        # G7 with a replicated (invariant) initial value.
+        src = """
+        fun main (xs: [n]f32) (t: i32): [n]f32 =
+          map (\\(x: f32) ->
+            loop (acc = 0.0f32) for i < t do
+              let ys = map (\\(v: f32) -> v) xs
+              in acc + x) xs
+        """
+        # (contains an inner map so G7 fires; acc init is invariant)
+        prog = parse(src)
+        flat = simplify_prog(flatten_prog(prog))
+        check_types(flat)
+        out = run_program(
+            flat, [array_value([1.0, 2.0], F32), scalar(3, I32)]
+        )
+        assert to_python(out[0]) == [3.0, 6.0]
+
+
+class TestManifestHelper:
+    def test_empty_context_passthrough(self):
+        ns = NameSource()
+        bindings = [
+            A.Binding(
+                (A.Param("y", Prim(I32)),),
+                A.BinOpExp("add", A.Var("x"), A.Const(1, I32), I32),
+            )
+        ]
+        out, vars_ = manifest([], bindings, [A.Param("y", Prim(I32))], ns)
+        assert out == bindings
+        assert vars_ == [A.Var("y")]
+
+    def test_single_level_nest(self):
+        ns = NameSource()
+        ctx = [MapCtx(A.Var("n"), [(A.Param("x", Prim(I32)), A.Var("xs"))])]
+        bindings = [
+            A.Binding(
+                (A.Param("y", Prim(I32)),),
+                A.BinOpExp("mul", A.Var("x"), A.Var("x"), I32),
+            )
+        ]
+        out, vars_ = manifest(ctx, bindings, [A.Param("y", Prim(I32))], ns)
+        assert len(out) == 1
+        assert isinstance(out[0].exp, A.MapExp)
+        assert out[0].exp.arrs == (A.Var("xs"),)
+        assert out[0].pat[0].type == array(I32, "n")
+
+    def test_lift_type(self):
+        ctx = [
+            MapCtx(A.Var("a"), [(A.Param("p", Prim(I32)), A.Var("u"))]),
+            MapCtx(A.Var("b"), [(A.Param("q", Prim(I32)), A.Var("v"))]),
+        ]
+        assert lift_type(Prim(F32), ctx) == array(F32, "a", "b")
+        assert lift_type(array(F32, 4), ctx) == array(F32, "a", "b", 4)
+
+
+class TestOptionMatrix:
+    SRC = """
+    fun main (m: [a][b]f32): [a][b]f32 =
+      map (\\(row: [b]f32) ->
+        let s = reduce (\\(x: f32) (y: f32) -> x + y) 0.0f32 row
+        in map (\\(x: f32) -> x / s) row) m
+    """
+
+    @pytest.mark.parametrize("distribute", [True, False])
+    @pytest.mark.parametrize("interchange", [True, False])
+    @pytest.mark.parametrize("g5", [True, False])
+    def test_all_flatten_option_combinations(
+        self, distribute, interchange, g5
+    ):
+        options = FlattenOptions(
+            distribute=distribute,
+            interchange=interchange,
+            reduce_map_interchange=g5,
+        )
+        prog = parse(self.SRC)
+        flat = simplify_prog(flatten_prog(prog, options))
+        check_types(flat)
+        data = np.arange(1, 7, dtype=np.float32).reshape(2, 3)
+        args = [array_value(data, F32)]
+        expected = run_program(prog, args)
+        got = run_program(flat, args)
+        assert values_equal(expected[0], got[0])

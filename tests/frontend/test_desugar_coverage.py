@@ -1,0 +1,159 @@
+"""Additional frontend coverage: every SOAC's concrete syntax, scoping
+corner cases, and error reporting."""
+
+import numpy as np
+import pytest
+
+from repro.core import array_value, scalar, to_python
+from repro.core.prim import F32, I32
+from repro.checker import check_program
+from repro.frontend import ParseError, parse
+from repro.frontend.desugar import DesugarError
+from repro.interp import run_program
+
+
+def run(src, args, **kw):
+    prog = parse(src)
+    check_program(prog)
+    return run_program(prog, args, **kw)
+
+
+class TestAllSoacSyntax:
+    def test_stream_red_syntax(self):
+        src = """
+        fun main (xs: [n]i32): i32 =
+          stream_red (\\(a: i32) (b: i32) -> a + b)
+            (\\(q: i32) (acc: i32) (ch: [q]i32) ->
+               loop (a2 = acc) for i < q do a2 + ch[i])
+            0 xs
+        """
+        out = run(src, [array_value([1, 2, 3, 4], I32)])
+        assert to_python(out[0]) == 10
+
+    def test_stream_seq_syntax(self):
+        src = """
+        fun main (xs: [n]i32): (i32, [n]i32) =
+          stream_seq
+            (\\(q: i32) (acc: i32) (ch: [q]i32) ->
+               let doubled = map (\\(x: i32) -> x * 2) ch
+               let s = reduce (\\(a: i32) (b: i32) -> a + b) 0 ch
+               in {acc + s, doubled})
+            0 xs
+        """
+        outs = run(src, [array_value([1, 2, 3], I32)])
+        assert to_python(outs[0]) == 6
+        assert to_python(outs[1]) == [2, 4, 6]
+
+    def test_scatter_syntax(self):
+        src = """
+        fun main (dest: *[n]i32) (idx: [m]i32) (vals: [m]i32): [n]i32 =
+          scatter dest idx vals
+        """
+        out = run(
+            src,
+            [
+                array_value([0, 0, 0], I32),
+                array_value([2, 0], I32),
+                array_value([9, 7], I32),
+            ],
+        )
+        assert to_python(out[0]) == [7, 0, 9]
+
+    def test_rearrange_3d(self):
+        src = """
+        fun main (t: [a][b][c]i32): [c][a][b]i32 =
+          rearrange (2, 0, 1) t
+        """
+        data = np.arange(24, dtype=np.int32).reshape(2, 3, 4)
+        out = run(src, [array_value(data, I32)])
+        assert np.array_equal(out[0].data, data.transpose(2, 0, 1))
+
+    def test_reduce_comm_syntax(self):
+        src = """
+        fun main (xs: [n]i32): i32 =
+          reduce_comm (\\(a: i32) (b: i32) -> a + b) 0 xs
+        """
+        prog = parse(src)
+        from repro.core import ast as A
+
+        (red,) = [
+            b.exp for b in prog.fun("main").body.bindings
+            if isinstance(b.exp, A.ReduceExp)
+        ]
+        assert red.comm
+
+
+class TestScopingCorners:
+    def test_shadowing_via_let(self):
+        src = """
+        fun main (x: i32): i32 =
+          let x = x + 1
+          let x = x * 2
+          in x
+        """
+        out = run(src, [scalar(3, I32)])
+        assert to_python(out[0]) == 8
+
+    def test_size_var_shared_between_params(self):
+        src = """
+        fun main (xs: [n]i32) (ys: [n]i32): i32 =
+          let zs = map (\\(a: i32) (b: i32) -> a * b) xs ys
+          in reduce (\\(a: i32) (b: i32) -> a + b) 0 zs
+        """
+        out = run(
+            src, [array_value([1, 2], I32), array_value([3, 4], I32)]
+        )
+        assert to_python(out[0]) == 11
+
+    def test_lambda_uses_enclosing_lambda_param(self):
+        src = """
+        fun main (m: [a][b]i32): [a]i32 =
+          map (\\(row: [b]i32) ->
+            let h = row[0]
+            in reduce (\\(p: i32) (q: i32) -> p + q) 0
+                 (map (\\(x: i32) -> x - h) row)) m
+        """
+        out = run(src, [array_value([[2, 5, 8]], I32)])
+        assert to_python(out[0]) == [9]  # (0 + 3 + 6)
+
+    def test_comments_everywhere(self):
+        src = """
+        -- leading comment
+        fun main (x: i32): i32 =  -- trailing
+          -- interior
+          x + 1 -- end
+        """
+        assert to_python(run(src, [scalar(1, I32)])[0]) == 2
+
+
+class TestErrorMessages:
+    @pytest.mark.parametrize(
+        "src,exc,match",
+        [
+            ("fun main (x: i32): i32 = x +", ParseError, "expression"),
+            ("fun main (x: i32) i32 = x", ParseError, "':'"),
+            (
+                "fun main (x: i32): i32 = loop (a = 0) do a",
+                ParseError,
+                "while",
+            ),
+            (
+                "fun main (x: i32): i32 = unknown_fn x",
+                DesugarError,
+                "unknown",
+            ),
+            (
+                "fun main (x: i32): i32 = let (a, b) = x in a",
+                DesugarError,
+                "pattern",
+            ),
+            (
+                "fun main (xs: [n]i32): i32 = map (\\(x: i32) -> x)",
+                ParseError,
+                "input array",
+            ),
+        ],
+    )
+    def test_errors(self, src, exc, match):
+        with pytest.raises(exc, match=match):
+            parse(src)

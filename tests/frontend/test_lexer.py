@@ -1,0 +1,74 @@
+"""Unit tests for the tokenizer."""
+
+import pytest
+
+from repro.frontend.lexer import LexError, tokenize
+
+
+def kinds(text):
+    return [(t.kind, t.text) for t in tokenize(text)[:-1]]
+
+
+class TestTokens:
+    def test_identifiers_and_keywords(self):
+        assert kinds("fun main xs") == [
+            ("kw", "fun"),
+            ("ident", "main"),
+            ("ident", "xs"),
+        ]
+
+    def test_booleans(self):
+        assert kinds("true false") == [("bool", "true"), ("bool", "false")]
+
+    def test_integers(self):
+        assert kinds("42 7i64 0i8") == [
+            ("int", "42"),
+            ("int", "7i64"),
+            ("int", "0i8"),
+        ]
+
+    def test_floats(self):
+        assert kinds("1.5 2.0f32 3f64 1e-5 2.5e3f32") == [
+            ("float", "1.5"),
+            ("float", "2.0f32"),
+            ("float", "3f64"),
+            ("float", "1e-5"),
+            ("float", "2.5e3f32"),
+        ]
+
+    def test_suffix_requires_boundary(self):
+        # 'i32x' is an identifier-looking tail: '5' then ident? It must
+        # not silently split; the suffix only applies at a boundary.
+        toks = kinds("5i32x")
+        assert toks[0] == ("int", "5")
+        assert toks[1] == ("ident", "i32x")
+
+    def test_operators_maximal_munch(self):
+        assert kinds("<- -> <= == // a<-b") == [
+            ("op", "<-"),
+            ("op", "->"),
+            ("op", "<="),
+            ("op", "=="),
+            ("op", "//"),
+            ("ident", "a"),
+            ("op", "<-"),
+            ("ident", "b"),
+        ]
+
+    def test_comments(self):
+        assert kinds("a -- comment here\nb") == [
+            ("ident", "a"),
+            ("ident", "b"),
+        ]
+
+    def test_positions(self):
+        toks = tokenize("a\n  b")
+        assert (toks[0].line, toks[0].col) == (1, 1)
+        assert (toks[1].line, toks[1].col) == (2, 3)
+
+    def test_illegal_character(self):
+        with pytest.raises(LexError, match="illegal"):
+            tokenize("a ~ b")
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].kind == "eof"

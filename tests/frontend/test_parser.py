@@ -1,0 +1,229 @@
+"""Parser and desugaring tests: concrete syntax to core IR to results."""
+
+import numpy as np
+import pytest
+
+from repro.core import array_value, scalar, to_python
+from repro.core.prim import F32, I32
+from repro.checker import check_program
+from repro.frontend import ParseError, parse
+from repro.frontend.desugar import DesugarError
+from repro.interp import run_program
+
+
+def run(src, args, **kw):
+    prog = parse(src)
+    check_program(prog)
+    return run_program(prog, args, **kw)
+
+
+class TestBasicPrograms:
+    def test_scalar_function(self):
+        out = run(
+            "fun main (x: i32): i32 = x * 2 + 1",
+            [scalar(5, I32)],
+        )
+        assert to_python(out[0]) == 11
+
+    def test_let_chain(self):
+        src = """
+        fun main (x: i32): i32 =
+          let a = x + 1
+          let b = a * a
+          in b - x
+        """
+        out = run(src, [scalar(3, I32)])
+        assert to_python(out[0]) == 13
+
+    def test_precedence(self):
+        out = run("fun main (x: i32): i32 = 2 + 3 * x", [scalar(4, I32)])
+        assert to_python(out[0]) == 14
+
+    def test_unary_minus(self):
+        out = run("fun main (x: i32): i32 = -x + 1", [scalar(4, I32)])
+        assert to_python(out[0]) == -3
+
+    def test_comparison_and_if(self):
+        src = """
+        fun main (x: i32): i32 =
+          if x < 0 then -x else x
+        """
+        assert to_python(run(src, [scalar(-9, I32)])[0]) == 9
+
+    def test_integer_division_sugar(self):
+        # '/' on integers becomes idiv.
+        out = run("fun main (x: i32): i32 = x / 2", [scalar(7, I32)])
+        assert to_python(out[0]) == 3
+
+    def test_builtin_unop_call(self):
+        out = run(
+            "fun main (x: f32): f32 = sqrt x",
+            [scalar(4.0, F32)],
+        )
+        assert to_python(out[0]) == 2.0
+
+    def test_conversion_call(self):
+        out = run("fun main (x: i32): f32 = f32 x / 2.0f32", [scalar(5, I32)])
+        assert to_python(out[0]) == 2.5
+
+    def test_named_binop(self):
+        out = run(
+            "fun main (x: i32) (y: i32): i32 = min x y",
+            [scalar(3, I32), scalar(-2, I32)],
+        )
+        assert to_python(out[0]) == -2
+
+    def test_function_calls(self):
+        src = """
+        fun square (x: i32): i32 = x * x
+        fun main (y: i32): i32 = square (square y)
+        """
+        assert to_python(run(src, [scalar(2, I32)])[0]) == 16
+
+    def test_multiple_results(self):
+        src = """
+        fun main (x: i32): (i32, i32) = {x + 1, x - 1}
+        """
+        outs = run(src, [scalar(5, I32)])
+        assert [to_python(o) for o in outs] == [6, 4]
+
+    def test_multi_value_let(self):
+        src = """
+        fun divmod (a: i32) (b: i32): (i32, i32) = {a / b, a % b}
+        fun main (x: i32): i32 =
+          let (d, m) = divmod x 3
+          in d * 10 + m
+        """
+        assert to_python(run(src, [scalar(17, I32)])[0]) == 52
+
+
+class TestArrayPrograms:
+    def test_map(self):
+        src = """
+        fun main (xs: [n]f32): [n]f32 =
+          map (\\(x: f32) -> x + 1.0f32) xs
+        """
+        out = run(src, [array_value([1.0, 2.0], F32)])
+        assert to_python(out[0]) == [2.0, 3.0]
+
+    def test_reduce(self):
+        src = """
+        fun main (xs: [n]i32): i32 =
+          reduce (\\(a: i32) (x: i32) -> a + x) 0 xs
+        """
+        out = run(src, [array_value([1, 2, 3, 4], I32)])
+        assert to_python(out[0]) == 10
+
+    def test_scan(self):
+        src = """
+        fun main (xs: [n]i32): [n]i32 =
+          scan (\\(a: i32) (x: i32) -> a + x) 0 xs
+        """
+        out = run(src, [array_value([1, 2, 3], I32)])
+        assert to_python(out[0]) == [1, 3, 6]
+
+    def test_iota_replicate(self):
+        src = """
+        fun main (n: i32): ([n]i32, [n]i32) =
+          {iota n, replicate n 7}
+        """
+        outs = run(src, [scalar(3, I32)])
+        assert to_python(outs[0]) == [0, 1, 2]
+        assert to_python(outs[1]) == [7, 7, 7]
+
+    def test_indexing_and_update_sugar(self):
+        src = """
+        fun main (xs: *[n]i32): [n]i32 =
+          let x0 = xs[0]
+          let xs[1] = x0 + 10
+          in xs
+        """
+        out = run(src, [array_value([5, 0, 0], I32)])
+        assert to_python(out[0]) == [5, 15, 0]
+
+    def test_with_expression(self):
+        src = """
+        fun main (xs: *[n]i32): [n]i32 =
+          xs with [0] <- 42
+        """
+        out = run(src, [array_value([1, 2], I32)])
+        assert to_python(out[0]) == [42, 2]
+
+    def test_transpose_sugar(self):
+        src = """
+        fun main (m: [a][b]i32): [b][a]i32 = transpose m
+        """
+        out = run(src, [array_value([[1, 2, 3], [4, 5, 6]], I32)])
+        assert to_python(out[0]) == [[1, 4], [2, 5], [3, 6]]
+
+    def test_nested_map_with_closure(self):
+        src = """
+        fun main (m: [a][b]i32) (k: i32): [a][b]i32 =
+          map (\\(row: [b]i32) ->
+            map (\\(x: i32) -> x * k) row) m
+        """
+        out = run(src, [array_value([[1, 2], [3, 4]], I32), scalar(10, I32)])
+        assert to_python(out[0]) == [[10, 20], [30, 40]]
+
+    def test_loop(self):
+        src = """
+        fun main (n: i32): i32 =
+          loop (acc = 0) for i < n do acc + i
+        """
+        assert to_python(run(src, [scalar(5, I32)])[0]) == 10
+
+    def test_while_loop(self):
+        src = """
+        fun main (x0: i32): i32 =
+          let (going, x) =
+            loop (going = true, x = x0) while going do
+              let x2 = x / 2
+              in {x2 > 1, x2}
+          in x
+        """
+        assert to_python(run(src, [scalar(64, I32)])[0]) == 1
+
+    def test_kmeans_style_stream_red(self):
+        src = """
+        fun main (membership: [n]i32): [4]i32 =
+          stream_red
+            (\\(xv: [4]i32) (yv: [4]i32) ->
+               map (\\(x: i32) (y: i32) -> x + y) xv yv)
+            (\\(q: i32) (acc: *[4]i32) (chunk: [q]i32) ->
+               loop (acc2: *[4]i32 = acc) for i < q do
+                 let c = chunk[i]
+                 let acc2[c] = acc2[c] + 1
+                 in acc2)
+            (replicate 4 0)
+            membership
+        """
+        rng = np.random.default_rng(7)
+        data = array_value(rng.integers(0, 4, 50).astype(np.int32), I32)
+        out = run(src, [data], in_place=True)
+        assert to_python(out[0]) == list(np.bincount(data.data, minlength=4))
+
+
+class TestErrors:
+    def test_unknown_variable(self):
+        with pytest.raises(DesugarError, match="unknown variable"):
+            parse("fun main (x: i32): i32 = y")
+
+    def test_unknown_function(self):
+        with pytest.raises(DesugarError, match="unknown function"):
+            parse("fun main (x: i32): i32 = mystery x")
+
+    def test_syntax_error(self):
+        with pytest.raises(ParseError):
+            parse("fun main (x: i32): i32 = let = 3 in x")
+
+    def test_missing_in(self):
+        with pytest.raises(ParseError, match="let"):
+            parse("fun main (x: i32): i32 = let a = 3 a")
+
+    def test_lambda_outside_soac(self):
+        with pytest.raises(DesugarError, match="lambda"):
+            parse("fun main (x: i32): i32 = (\\(y: i32) -> y)")
+
+    def test_bad_type(self):
+        with pytest.raises(ParseError, match="primitive"):
+            parse("fun main (x: banana): i32 = 0")

@@ -1,0 +1,78 @@
+"""Round-trip: pretty-printed core IR re-parses and is semantically
+identical (tested by running both on the same inputs)."""
+
+import numpy as np
+import pytest
+
+from repro.core import array_value, pretty_prog, scalar, to_python, values_equal
+from repro.core.prim import F32, I32
+from repro.checker import check_program
+from repro.frontend import parse
+from repro.interp import run_program
+
+from tests.helpers import (
+    fig10_program,
+    kmeans_counts_parallel,
+    kmeans_counts_sequential,
+    kmeans_counts_stream,
+    map_inc_program,
+    matmul_program,
+    rowsums_program,
+    sum_program,
+)
+
+rng = np.random.default_rng(42)
+
+CASES = [
+    (map_inc_program, [array_value(rng.normal(size=7).astype(np.float32), F32)]),
+    (sum_program, [array_value(rng.normal(size=9).astype(np.float32), F32)]),
+    (
+        rowsums_program,
+        [array_value(rng.normal(size=(4, 5)).astype(np.float32), F32)],
+    ),
+    (
+        kmeans_counts_sequential,
+        [array_value(rng.integers(0, 5, 30).astype(np.int32), I32)],
+    ),
+    (
+        kmeans_counts_parallel,
+        [array_value(rng.integers(0, 5, 30).astype(np.int32), I32)],
+    ),
+    (
+        kmeans_counts_stream,
+        [array_value(rng.integers(0, 5, 30).astype(np.int32), I32)],
+    ),
+    (fig10_program, [array_value(np.arange(13, dtype=np.int32), I32)]),
+    (
+        matmul_program,
+        [
+            array_value(rng.normal(size=(3, 4)).astype(np.float32), F32),
+            array_value(rng.normal(size=(4, 2)).astype(np.float32), F32),
+        ],
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "mk,args", CASES, ids=[mk.__name__ for mk, _ in CASES]
+)
+def test_roundtrip(mk, args):
+    prog = mk()
+    text = pretty_prog(prog)
+    reparsed = parse(text)
+    check_program(reparsed)
+    expected = run_program(prog, args, in_place=True)
+    got = run_program(reparsed, args, in_place=True)
+    assert len(expected) == len(got)
+    for e, g in zip(expected, got):
+        assert values_equal(e, g), f"{e} != {g}\nsource:\n{text}"
+
+
+def test_pretty_is_stable():
+    # Pretty-printing the reparsed program and reparsing again is a
+    # fixpoint semantically (names may differ).
+    prog = rowsums_program()
+    text1 = pretty_prog(prog)
+    text2 = pretty_prog(parse(text1))
+    prog2 = parse(text2)
+    check_program(prog2)

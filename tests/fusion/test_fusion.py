@@ -1,0 +1,266 @@
+"""Tests of producer-consumer fusion, horizontal fusion, and the
+consumption-point restriction (Section 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ProgBuilder, array, array_value, scalar, to_python, values_equal
+from repro.core import ast as A
+from repro.core.prim import F32, I32
+from repro.core.types import Prim
+from repro.checker import check_program
+from repro.frontend import parse
+from repro.fusion import fuse_body, fuse_prog
+from repro.interp import run_program
+from repro.simplify import simplify_prog
+
+from tests.helpers import (
+    fig10_program,
+    kmeans_counts_parallel,
+    matmul_program,
+    rowsums_program,
+)
+
+
+def soacs_in(body):
+    out = []
+    for bnd in body.bindings:
+        if A.is_soac(bnd.exp):
+            out.append(type(bnd.exp).__name__)
+    return out
+
+
+class TestVerticalMapMap:
+    def make(self):
+        return parse(
+            """
+            fun main (xs: [n]f32): [n]f32 =
+              let ys = map (\\(x: f32) -> x + 1.0f32) xs
+              in map (\\(y: f32) -> y * 2.0f32) ys
+            """
+        )
+
+    def test_fuses_to_one_map(self):
+        prog, stats = fuse_prog(self.make())
+        assert stats.vertical == 1
+        body = prog.fun("main").body
+        assert soacs_in(body) == ["MapExp"]
+
+    def test_semantics(self):
+        prog = self.make()
+        fused, _ = fuse_prog(prog)
+        check_program(fused)
+        args = [array_value([1.0, 2.0, 3.0], F32)]
+        assert values_equal(
+            run_program(prog, args)[0], run_program(fused, args)[0]
+        )
+        assert to_python(run_program(fused, args)[0]) == [4.0, 6.0, 8.0]
+
+    def test_multi_use_blocks_fusion(self):
+        prog = parse(
+            """
+            fun main (xs: [n]f32): ([n]f32, [n]f32) =
+              let ys = map (\\(x: f32) -> x + 1.0f32) xs
+              let zs = map (\\(y: f32) -> y * 2.0f32) ys
+              in {ys, zs}
+            """
+        )
+        fused, stats = fuse_prog(prog)
+        assert stats.vertical == 0
+
+    def test_shared_input_deduplicated(self):
+        prog = parse(
+            """
+            fun main (xs: [n]f32): [n]f32 =
+              let ys = map (\\(x: f32) -> x + 1.0f32) xs
+              in map (\\(y: f32) (x: f32) -> y * x) ys xs
+            """
+        )
+        fused, stats = fuse_prog(prog)
+        assert stats.vertical == 1
+        body = fused.fun("main").body
+        (m,) = [b.exp for b in body.bindings if A.is_soac(b.exp)]
+        assert isinstance(m, A.MapExp)
+        assert m.arrs == (A.Var("xs"),)
+        args = [array_value([2.0, 3.0], F32)]
+        assert to_python(run_program(fused, args)[0]) == [6.0, 12.0]
+
+
+class TestConsumptionPoint:
+    def test_update_blocks_fusion(self):
+        # The paper's example: let x = map(f, a) in let a[0] = 0
+        # in map(g, x) — the producer must not move past a's update.
+        pb = ProgBuilder()
+        with pb.function("main") as fb:
+            a = fb.param("a", array(F32, "n"), unique=True)
+            with fb.lam([("v", Prim(F32))]) as l1:
+                (v,) = l1.params
+                l1.ret(l1.add(v, l1.f32(1.0)))
+            x = fb.map(l1.fn, a)
+            a2 = fb.update(a, [fb.i32(0)], fb.f32(0.0))
+            with fb.lam([("w", Prim(F32))]) as l2:
+                (w,) = l2.params
+                l2.ret(l2.mul(w, l2.f32(2.0)))
+            y = fb.map(l2.fn, x)
+            fb.ret(a2, y)
+        prog = pb.build()
+        check_program(prog)
+        fused, stats = fuse_prog(prog)
+        assert stats.vertical == 0
+        # Order preserved; semantics unchanged.
+        args = [array_value([1.0, 2.0], F32)]
+        expected = run_program(prog, args, in_place=True)
+        got = run_program(fused, args, in_place=True)
+        for e, g in zip(expected, got):
+            assert values_equal(e, g)
+
+
+class TestMapIntoReduce:
+    def test_becomes_stream_red(self):
+        prog = parse(
+            """
+            fun main (xs: [n]f32): f32 =
+              let ys = map (\\(x: f32) -> x * x) xs
+              in reduce (\\(a: f32) (y: f32) -> a + y) 0.0f32 ys
+            """
+        )
+        fused, stats = fuse_prog(prog)
+        assert stats.vertical == 1
+        body = fused.fun("main").body
+        assert soacs_in(body) == ["StreamRedExp"]
+
+    def test_semantics(self):
+        prog = parse(
+            """
+            fun main (xs: [n]f32): f32 =
+              let ys = map (\\(x: f32) -> x * x) xs
+              in reduce (\\(a: f32) (y: f32) -> a + y) 0.0f32 ys
+            """
+        )
+        fused, _ = fuse_prog(prog)
+        check_program(fused)
+        data = np.arange(10, dtype=np.float32)
+        args = [array_value(data, F32)]
+        got = run_program(fused, args)[0]
+        assert abs(to_python(got) - float((data * data).sum())) < 1e-3
+
+    def test_kmeans_fig4b_fuses(self):
+        prog = kmeans_counts_parallel(k=4)
+        fused, stats = fuse_prog(prog)
+        assert stats.vertical == 1
+        rng = np.random.default_rng(0)
+        data = array_value(rng.integers(0, 4, 37).astype(np.int32), I32)
+        expected = run_program(prog, [data], in_place=True)
+        got = run_program(fused, [data], in_place=True)
+        assert to_python(expected[0]) == to_python(got[0])
+
+
+class TestStreamMapFusion:
+    def test_fig10_outer_fusion(self):
+        # Fig. 10a -> Fig. 10b: the stream_map fuses into the reduce,
+        # producing a single stream_red at the outer level.
+        prog = fig10_program()
+        fused, stats = fuse_prog(prog)
+        assert stats.vertical == 1
+        body = fused.fun("main").body
+        assert soacs_in(body) == ["StreamRedExp"]
+
+    def test_fig10_semantics(self):
+        prog = fig10_program()
+        fused, _ = fuse_prog(prog)
+        n = 17
+        args = [array_value(np.arange(n, dtype=np.int32), I32)]
+        expected = run_program(prog, args)
+        got = run_program(fused, args)
+        assert to_python(expected[0]) == to_python(got[0])
+
+
+class TestHorizontal:
+    def test_independent_maps_merge(self):
+        prog = parse(
+            """
+            fun main (xs: [n]f32): ([n]f32, [n]f32) =
+              let ys = map (\\(x: f32) -> x + 1.0f32) xs
+              let zs = map (\\(x: f32) -> x * 2.0f32) xs
+              in {ys, zs}
+            """
+        )
+        fused, stats = fuse_prog(prog)
+        assert stats.horizontal == 1
+        body = fused.fun("main").body
+        assert soacs_in(body) == ["MapExp"]
+        args = [array_value([1.0, 2.0], F32)]
+        outs = run_program(fused, args)
+        assert to_python(outs[0]) == [2.0, 3.0]
+        assert to_python(outs[1]) == [2.0, 4.0]
+
+    def test_banana_split_reduces(self):
+        prog = parse(
+            """
+            fun main (xs: [n]f32): (f32, f32) =
+              let s = reduce (\\(a: f32) (x: f32) -> a + x) 0.0f32 xs
+              let m = reduce (\\(a: f32) (x: f32) -> max a x) 0.0f32 xs
+              in {s, m}
+            """
+        )
+        fused, stats = fuse_prog(prog)
+        assert stats.horizontal == 1
+        body = fused.fun("main").body
+        assert soacs_in(body) == ["ReduceExp"]
+        args = [array_value([1.0, 5.0, 2.0], F32)]
+        outs = run_program(fused, args)
+        assert to_python(outs[0]) == 8.0
+        assert to_python(outs[1]) == 5.0
+
+    def test_dependent_maps_not_horizontal(self):
+        prog = parse(
+            """
+            fun main (xs: [n]f32): ([n]f32, [n]f32) =
+              let ys = map (\\(x: f32) -> x + 1.0f32) xs
+              let zs = map (\\(y: f32) -> y * 2.0f32) ys
+              in {ys, zs}
+            """
+        )
+        fused, stats = fuse_prog(prog)
+        assert stats.horizontal == 0
+
+
+class TestNestedFusion:
+    def test_fusion_inside_lambda(self):
+        # map-map chains inside an outer map fuse too (fusion at all
+        # nesting levels).
+        prog = parse(
+            """
+            fun main (m: [a][b]f32): [a][b]f32 =
+              map (\\(row: [b]f32) ->
+                let ys = map (\\(x: f32) -> x + 1.0f32) row
+                in map (\\(y: f32) -> y * y) ys) m
+            """
+        )
+        fused, stats = fuse_prog(prog)
+        assert stats.vertical == 1
+        args = [array_value([[1.0, 2.0]], F32)]
+        assert to_python(run_program(fused, args)[0]) == [[4.0, 9.0]]
+
+    @pytest.mark.parametrize(
+        "mk,args",
+        [
+            (rowsums_program, [array_value(np.ones((3, 4), np.float32), F32)]),
+            (
+                matmul_program,
+                [
+                    array_value(np.ones((3, 4), np.float32), F32),
+                    array_value(np.ones((4, 2), np.float32), F32),
+                ],
+            ),
+        ],
+        ids=["rowsums", "matmul"],
+    )
+    def test_fusion_preserves_helpers(self, mk, args):
+        prog = mk()
+        fused, _ = fuse_prog(prog)
+        check_program(fused)
+        expected = run_program(prog, args)
+        got = run_program(fused, args)
+        for e, g in zip(expected, got):
+            assert values_equal(e, g)

@@ -1,0 +1,174 @@
+"""Fusion engine edge cases: multi-output producers, width mismatches,
+results used in function results, nested-vs-top-level reduce fusion,
+and the horizontal stream_red merge (F6, x = ∅)."""
+
+import numpy as np
+import pytest
+
+from repro.core import array_value, to_python, values_equal
+from repro.core import ast as A
+from repro.core.prim import F32, I32
+from repro.frontend import parse
+from repro.fusion import fuse_prog
+from repro.interp import run_program
+
+
+def soacs(prog):
+    return [
+        type(b.exp).__name__
+        for b in prog.fun("main").body.bindings
+        if A.is_soac(b.exp)
+    ]
+
+
+class TestVerticalEdges:
+    def test_width_mismatch_blocks(self):
+        prog = parse(
+            """
+            fun main (xs: [n]f32) (ys: [m]f32): [m]f32 =
+              let a = map (\\(x: f32) -> x + 1.0f32) xs
+              in map (\\(y: f32) -> y * 2.0f32) ys
+            """
+        )
+        fused, stats = fuse_prog(prog)
+        assert stats.vertical == 0
+
+    def test_result_use_blocks(self):
+        # The producer's output escapes through the function result.
+        prog = parse(
+            """
+            fun main (xs: [n]f32): ([n]f32, [n]f32) =
+              let a = map (\\(x: f32) -> x + 1.0f32) xs
+              let b = map (\\(y: f32) -> y * 2.0f32) a
+              in {a, b}
+            """
+        )
+        fused, stats = fuse_prog(prog)
+        assert stats.vertical == 0
+
+    def test_multi_output_producer_fully_consumed(self):
+        prog = parse(
+            """
+            fun main (xs: [n]f32): [n]f32 =
+              let (a, b) = map (\\(x: f32) ->
+                  {x + 1.0f32, x * 2.0f32}) xs
+              in map (\\(u: f32) (v: f32) -> u - v) a b
+            """
+        )
+        fused, stats = fuse_prog(prog)
+        assert stats.vertical == 1
+        assert soacs(fused) == ["MapExp"]
+        out = run_program(fused, [array_value([3.0], F32)])
+        assert to_python(out[0]) == [-2.0]
+
+    def test_multi_output_producer_partially_used_blocks(self):
+        prog = parse(
+            """
+            fun main (xs: [n]f32): ([n]f32, [n]f32) =
+              let (a, b) = map (\\(x: f32) ->
+                  {x + 1.0f32, x * 2.0f32}) xs
+              let c = map (\\(u: f32) -> u - 1.0f32) a
+              in {b, c}
+            """
+        )
+        fused, stats = fuse_prog(prog)
+        assert stats.vertical == 0
+
+    def test_nested_map_reduce_not_fused_but_top_is(self):
+        # Nested: kept segmentable; top level: becomes stream_red.
+        prog = parse(
+            """
+            fun main (m: [a][b]f32): f32 =
+              let sums = map (\\(row: [b]f32) ->
+                  let sq = map (\\(x: f32) -> x * x) row
+                  in reduce (\\(p: f32) (q: f32) -> p + q) 0.0f32 sq) m
+              in reduce (\\(p: f32) (q: f32) -> p + q) 0.0f32 sums
+            """
+        )
+        fused, stats = fuse_prog(prog)
+        body = fused.fun("main").body
+        (sr,) = [
+            b.exp for b in body.bindings
+            if isinstance(b.exp, A.StreamRedExp)
+        ]
+        # Inside the fold, the inner map feeds an (unfused) reduce.
+        inner = [
+            type(b.exp).__name__
+            for b in sr.fold_lam.body.bindings
+            if A.is_soac(b.exp)
+        ]
+        assert "ReduceExp" in inner
+
+    def test_chain_of_three_maps(self):
+        prog = parse(
+            """
+            fun main (xs: [n]f32): [n]f32 =
+              let a = map (\\(x: f32) -> x + 1.0f32) xs
+              let b = map (\\(x: f32) -> x * 2.0f32) a
+              in map (\\(x: f32) -> x - 3.0f32) b
+            """
+        )
+        fused, stats = fuse_prog(prog)
+        assert stats.vertical == 2
+        assert soacs(fused) == ["MapExp"]
+
+
+class TestHorizontalStreamReds:
+    SRC = """
+    fun main (xs: [n]i32): (i32, i32) =
+      let s = reduce (\\(a: i32) (b: i32) -> a + b) 0 xs
+      let m = reduce (\\(a: i32) (b: i32) -> max a b) (0 - 1000000) xs
+      in {s, m}
+    """
+
+    def test_reduces_merge(self):
+        fused, stats = fuse_prog(parse(self.SRC))
+        assert stats.horizontal == 1
+        assert soacs(fused) == ["ReduceExp"]
+
+    def test_merged_semantics(self):
+        prog = parse(self.SRC)
+        fused, _ = fuse_prog(prog)
+        rng = np.random.default_rng(9)
+        data = rng.integers(-100, 100, 31).astype(np.int32)
+        args = [array_value(data, I32)]
+        expected = run_program(prog, args)
+        got = run_program(fused, args)
+        assert [to_python(v) for v in expected] == [
+            to_python(v) for v in got
+        ]
+        assert to_python(got[0]) == int(data.sum())
+        assert to_python(got[1]) == int(data.max())
+
+    def test_stream_red_pair_merges(self):
+        # Two stream_reds over the same input (the K-means pattern).
+        src = """
+        fun main (xs: [n]i32): (i32, i32) =
+          let a = stream_red (\\(p: i32) (q: i32) -> p + q)
+              (\\(c: i32) (acc: i32) (ch: [c]i32) ->
+                 loop (a2 = acc) for i < c do a2 + ch[i])
+              0 xs
+          let b = stream_red (\\(p: i32) (q: i32) -> max p q)
+              (\\(c: i32) (acc: i32) (ch: [c]i32) ->
+                 loop (a2 = acc) for i < c do max a2 ch[i])
+              (0 - 1000000) xs
+          in {a, b}
+        """
+        prog = parse(src)
+        fused, stats = fuse_prog(prog)
+        assert stats.horizontal >= 1
+        streams = [
+            b.exp for b in fused.fun("main").body.bindings
+            if isinstance(b.exp, A.StreamRedExp)
+        ]
+        assert len(streams) == 1
+        # Inputs deduplicated.
+        assert streams[0].arrs == (A.Var("xs"),)
+        rng = np.random.default_rng(4)
+        data = rng.integers(-50, 50, 23).astype(np.int32)
+        args = [array_value(data, I32)]
+        expected = run_program(prog, args)
+        got = run_program(fused, args)
+        assert [to_python(v) for v in expected] == [
+            to_python(v) for v in got
+        ]

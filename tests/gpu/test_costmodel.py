@@ -1,0 +1,183 @@
+"""Unit and property tests for the Count algebra and the kernel cost
+model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backend.kernel_ir import AccessInfo, Count, Kernel, TileInfo
+from repro.core import ast as A
+from repro.gpu.costmodel import _occupancy, kernel_cost
+from repro.gpu.device import AMD_W8100, NVIDIA_GTX780TI
+from repro.memory.index_fn import IndexFn
+
+
+class TestCount:
+    def test_of_constants(self):
+        assert Count.of(3.0).evaluate({}) == 3.0
+        assert Count.of(2.0, 5, "n").evaluate({"n": 7}) == 70.0
+
+    def test_zero(self):
+        assert Count.zero().evaluate({"n": 100}) == 0.0
+
+    def test_add(self):
+        c = Count.of(1.0, "n") + Count.of(2.0, "n")
+        assert c.evaluate({"n": 10}) == 30.0
+
+    def test_add_different_terms(self):
+        c = Count.of(1.0, "n") + Count.of(1.0, "m")
+        assert c.evaluate({"n": 3, "m": 4}) == 7.0
+
+    def test_scaled(self):
+        c = Count.of(2.0, "n").scaled(3.0, "m")
+        assert c.evaluate({"n": 2, "m": 5}) == 60.0
+
+    def test_missing_dim_defaults_to_one(self):
+        assert Count.of(1.0, "mystery").evaluate({}) == 1.0
+
+    def test_str(self):
+        assert str(Count.zero()) == "0"
+        assert "n" in str(Count.of(2.0, "n"))
+
+
+_counts = st.builds(
+    lambda c, dims: Count.of(c, *dims),
+    st.floats(0.0, 100.0, allow_nan=False),
+    st.lists(st.sampled_from(["n", "m", 3]), max_size=3),
+)
+
+
+class TestCountProperties:
+    @given(_counts, _counts)
+    @settings(max_examples=50, deadline=None)
+    def test_add_commutes(self, a, b):
+        env = {"n": 4, "m": 9}
+        assert (a + b).evaluate(env) == pytest.approx(
+            (b + a).evaluate(env)
+        )
+
+    @given(_counts, _counts, _counts)
+    @settings(max_examples=50, deadline=None)
+    def test_add_associates(self, a, b, c):
+        env = {"n": 2, "m": 7}
+        assert ((a + b) + c).evaluate(env) == pytest.approx(
+            (a + (b + c)).evaluate(env)
+        )
+
+    @given(_counts, st.integers(1, 10))
+    @settings(max_examples=50, deadline=None)
+    def test_scaling_is_linear(self, a, k):
+        env = {"n": 5, "m": 3}
+        assert a.scaled(float(k)).evaluate(env) == pytest.approx(
+            k * a.evaluate(env)
+        )
+
+
+def _kernel(accesses, grid=("n",), flops=Count.zero(), kind="map",
+            tiles=()):
+    return Kernel(
+        name="k",
+        kind=kind,
+        grid=tuple(A.Var(d) for d in grid),
+        seg_width=None,
+        exp=None,
+        pat=(),
+        accesses=list(accesses),
+        flops_per_thread=flops,
+        tiles=list(tiles),
+    )
+
+
+class TestKernelCost:
+    def test_launch_floor(self):
+        cost = kernel_cost(_kernel([]), {"n": 1}, NVIDIA_GTX780TI)
+        assert cost.time_us >= NVIDIA_GTX780TI.launch_overhead_us
+
+    def test_coalesced_vs_uncoalesced(self):
+        coal = AccessInfo("a", 4, Count.of(1.0), thread_dims=1)
+        uncoal = AccessInfo("a", 4, Count.of(1.0), thread_dims=1,
+                            seq_rank=1)
+        env = {"n": 10_000_000}
+        t1 = kernel_cost(_kernel([coal]), env, NVIDIA_GTX780TI)
+        t2 = kernel_cost(_kernel([uncoal]), env, NVIDIA_GTX780TI)
+        assert t2.bytes_effective == pytest.approx(
+            t1.bytes_effective * NVIDIA_GTX780TI.uncoalesced_penalty
+        )
+
+    def test_gather_penalty(self):
+        g = AccessInfo("a", 4, Count.of(1.0), thread_dims=1, gather=True)
+        env = {"n": 1_000_000}
+        cost = kernel_cost(_kernel([g]), env, NVIDIA_GTX780TI)
+        assert cost.bytes_effective == pytest.approx(
+            4e6 * NVIDIA_GTX780TI.gather_penalty
+        )
+
+    def test_tiled_invariant_cheaper_than_broadcast(self):
+        inv = AccessInfo("a", 4, Count.of(1.0, "n"), invariant=True)
+        env = {"n": 100_000}
+        plain = kernel_cost(_kernel([inv]), env, NVIDIA_GTX780TI)
+        tiled = kernel_cost(
+            _kernel([inv], tiles=[TileInfo("a", 4)]), env,
+            NVIDIA_GTX780TI,
+        )
+        assert tiled.bytes_effective < plain.bytes_effective
+
+    def test_layout_fixes_uncoalesced(self):
+        acc = AccessInfo("a", 4, Count.of(1.0, "m"), thread_dims=1,
+                         seq_rank=1)
+        k = _kernel([acc])
+        k.layouts["a"] = IndexFn((1, 0))
+        env = {"n": 1_000_000, "m": 64}
+        fixed = kernel_cost(k, env, NVIDIA_GTX780TI)
+        broken = kernel_cost(_kernel([acc]), env, NVIDIA_GTX780TI)
+        assert fixed.bytes_effective < broken.bytes_effective
+
+    def test_scan_kind_multipliers(self):
+        acc = AccessInfo("a", 4, Count.of(1.0), thread_dims=1)
+        env = {"n": 10_000_000}
+        scan = kernel_cost(_kernel([acc], kind="scan"), env,
+                           NVIDIA_GTX780TI)
+        mapk = kernel_cost(_kernel([acc], kind="map"), env,
+                           NVIDIA_GTX780TI)
+        assert scan.bytes_effective > mapk.bytes_effective
+        assert scan.launches > mapk.launches
+
+    def test_stencil_reads_deduplicated(self):
+        one = AccessInfo("t", 4, Count.of(1.0), thread_dims=1)
+        five = [
+            AccessInfo("t", 4, Count.of(1.0), thread_dims=1)
+            for _ in range(5)
+        ]
+        env = {"n": 1_000_000}
+        t1 = kernel_cost(_kernel([one]), env, NVIDIA_GTX780TI)
+        t5 = kernel_cost(_kernel(five), env, NVIDIA_GTX780TI)
+        # 1 + 4*0.25 = 2 effective passes, not 5.
+        assert t5.bytes_effective == pytest.approx(
+            t1.bytes_effective * 2.0
+        )
+
+
+class TestOccupancy:
+    def test_saturated(self):
+        assert _occupancy(1_000_000, NVIDIA_GTX780TI) == 1.0
+
+    def test_single_thread_is_slow_but_nonzero(self):
+        occ = _occupancy(1, NVIDIA_GTX780TI)
+        assert 0 < occ < 0.01
+
+    def test_monotone(self):
+        occs = [
+            _occupancy(t, NVIDIA_GTX780TI)
+            for t in (1, 10, 100, 1000, 10_000, 100_000)
+        ]
+        assert occs == sorted(occs)
+
+    def test_devices_differ(self):
+        assert (
+            AMD_W8100.launch_overhead_us
+            > NVIDIA_GTX780TI.launch_overhead_us
+        )
+        assert (
+            AMD_W8100.transpose_efficiency
+            < NVIDIA_GTX780TI.transpose_efficiency
+        )

@@ -1,0 +1,83 @@
+"""Tests of the analytic estimator over host programs: loop trip
+resolution, host-scalar propagation, branch handling, and the
+loop_trip_default fallback."""
+
+import pytest
+
+from repro.pipeline import compile_source
+
+
+class TestLoopTrips:
+    SRC = """
+    fun main (xs: [n]f32) (k: i32): [n]f32 =
+      loop (ys = xs) for i < k do
+        map (\\(y: f32) -> y * 2.0f32) ys
+    """
+
+    def test_resolved_trip_count_scales(self):
+        compiled = compile_source(self.SRC)
+        t10 = compiled.estimate({"n": 1_000_000, "k": 10}).total_us
+        t100 = compiled.estimate({"n": 1_000_000, "k": 100}).total_us
+        assert t100 == pytest.approx(t10 * 10, rel=0.05)
+
+    def test_unresolved_trip_uses_default(self):
+        compiled = compile_source(self.SRC)
+        default = compiled.estimate(
+            {"n": 1_000_000}, loop_trip_default=8
+        ).total_us
+        explicit = compiled.estimate({"n": 1_000_000, "k": 8}).total_us
+        assert default == pytest.approx(explicit, rel=0.01)
+
+
+class TestScalarPropagation:
+    def test_derived_size_is_priced(self):
+        # The reduce runs over a reshaped array of size r*c, computed
+        # by a host scalar: the estimator must resolve it.
+        src = """
+        fun main (m: [r][c]f32): f32 =
+          let rc = r * c
+          let flat = reshape (rc) m
+          in reduce (\\(a: f32) (b: f32) -> a + b) 0.0f32 flat
+        """
+        compiled = compile_source(src)
+        small = compiled.estimate({"r": 100, "c": 100})
+        large = compiled.estimate({"r": 4000, "c": 4000})
+        mem = lambda rep: sum(k.mem_us for k in rep.kernel_costs)
+        # 1600x the elements: memory time must scale accordingly
+        # (total time at the small size is launch-dominated).
+        assert mem(large) > mem(small) * 100
+
+
+class TestBranches:
+    def test_if_estimates_then_branch(self):
+        src = """
+        fun main (xs: [n]f32) (c: i32): f32 =
+          if c > 0
+          then reduce (\\(a: f32) (b: f32) -> a + b) 0.0f32 xs
+          else 0.0f32
+        """
+        compiled = compile_source(src)
+        est = compiled.estimate({"n": 10_000_000})
+        # The reduce kernel inside the branch is priced.
+        assert any(k.kind == "reduce" for k in est.kernel_costs)
+
+
+class TestManifestCosting:
+    def test_manifest_is_device_relative(self):
+        from repro.gpu.device import AMD_W8100, NVIDIA_GTX780TI
+
+        src = """
+        fun main (m: [a][b]f32): [a]f32 =
+          map (\\(row: [b]f32) ->
+            loop (acc = 0.0f32) for j < b do acc + row[j]) m
+        """
+        compiled = compile_source(src)
+        sizes = {"a": 4096, "b": 4096}
+        nv = compiled.estimate(sizes, NVIDIA_GTX780TI)
+        amd = compiled.estimate(sizes, AMD_W8100)
+        assert nv.manifest_us > 0
+        # Transpositions are relatively slower on the AMD profile.
+        assert (
+            amd.manifest_us / amd.total_us
+            > nv.manifest_us / nv.total_us
+        )

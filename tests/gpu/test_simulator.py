@@ -1,0 +1,113 @@
+"""Tests of the GPU simulator: correctness of host-program execution
+(loops, branches, manifests) and consistency between the simulator's
+runtime costing and the analytic estimator."""
+
+import numpy as np
+import pytest
+
+from repro.core import array_value, scalar, to_python, values_equal
+from repro.core.prim import F32, I32
+from repro.gpu import AMD_W8100, NVIDIA_GTX780TI, GpuSimulator
+from repro.interp import run_program
+from repro.frontend import parse
+from repro.pipeline import compile_source
+
+
+class TestExecution:
+    def test_host_loop(self):
+        src = """
+        fun main (xs: [n]f32) (k: i32): [n]f32 =
+          loop (ys = xs) for i < k do
+            map (\\(y: f32) -> y * 2.0f32) ys
+        """
+        compiled = compile_source(src)
+        args = [array_value([1.0, 2.0], F32), scalar(3, I32)]
+        (out,), report = compiled.run(args)
+        assert to_python(out) == [8.0, 16.0]
+        # 3 iterations → 3 launches (plus double-buffer copies).
+        assert report.launches == 3
+        assert report.copy_us > 0
+
+    def test_host_if(self):
+        src = """
+        fun main (xs: [n]f32) (flag: i32): [n]f32 =
+          if flag > 0
+          then map (\\(x: f32) -> x + 1.0f32) xs
+          else map (\\(x: f32) -> x - 1.0f32) xs
+        """
+        compiled = compile_source(src)
+        xs = array_value([1.0, 2.0], F32)
+        (out1,), _ = compiled.run([xs, scalar(1, I32)])
+        (out2,), _ = compiled.run([xs, scalar(-1, I32)])
+        assert to_python(out1) == [2.0, 3.0]
+        assert to_python(out2) == [0.0, 1.0]
+
+    def test_while_host_loop(self):
+        src = """
+        fun main (xs: [n]f32): [n]f32 =
+          let s0 = reduce (\\(a: f32) (b: f32) -> a + b) 0.0f32 xs
+          let (go, ys, it) =
+            loop (go = s0 < 100.0f32, ys = xs, it = 0)
+            while go do
+              let ys2 = map (\\(y: f32) -> y * 2.0f32) ys
+              let s = reduce (\\(a: f32) (b: f32) -> a + b) 0.0f32 ys2
+              in {s < 100.0f32, ys2, it + 1}
+          in ys
+        """
+        compiled = compile_source(src)
+        args = [array_value([1.0, 1.0], F32)]
+        expected = run_program(parse(src), args)
+        (out,), _ = compiled.run(args)
+        assert values_equal(expected[0], out)
+
+    def test_inputs_not_mutated(self):
+        src = """
+        fun main (xs: *[n]f32): [n]f32 =
+          xs with [0] <- 42.0f32
+        """
+        compiled = compile_source(src)
+        arg = array_value([1.0, 2.0], F32)
+        (out,), _ = compiled.run([arg])
+        assert to_python(out) == [42.0, 2.0]
+        assert to_python(arg) == [1.0, 2.0]  # caller's copy untouched
+
+    def test_arity_error(self):
+        compiled = compile_source(
+            "fun main (x: f32): f32 = x + 1.0f32"
+        )
+        from repro.interp import InterpError
+
+        with pytest.raises(InterpError, match="argument"):
+            compiled.run([])
+
+
+class TestCostConsistency:
+    def test_simulated_cost_matches_estimate(self):
+        """Running at size n and estimating at size n must agree (the
+        simulator uses the same cost model with concrete sizes)."""
+        src = """
+        fun main (m: [a][b]f32): [a]f32 =
+          map (\\(row: [b]f32) ->
+            reduce (\\(x: f32) (y: f32) -> x + y) 0.0f32 row) m
+        """
+        compiled = compile_source(src)
+        a, b = 32, 16
+        args = [array_value(np.ones((a, b), np.float32), F32)]
+        _, run_report = compiled.run(args)
+        est_report = compiled.estimate({"a": a, "b": b})
+        assert run_report.total_us == pytest.approx(
+            est_report.total_us, rel=0.05
+        )
+
+    def test_device_choice_affects_cost_not_results(self):
+        src = """
+        fun main (xs: [n]f32): f32 =
+          reduce (\\(a: f32) (b: f32) -> a + b) 0.0f32
+            (map (\\(x: f32) -> x * x) xs)
+        """
+        compiled = compile_source(src)
+        args = [array_value(np.ones(64, np.float32), F32)]
+        (r1,), c1 = compiled.run(args, device=NVIDIA_GTX780TI)
+        (r2,), c2 = compiled.run(args, device=AMD_W8100)
+        assert values_equal(r1, r2)
+        assert c1.total_us != c2.total_us

@@ -1,0 +1,86 @@
+"""Tests of the ``filter`` extension (a SOAC the paper mentions but
+keeps out of scope; see FilterExp's docstring)."""
+
+import numpy as np
+import pytest
+
+from repro.core import array_value, scalar, to_python
+from repro.core.prim import I32
+from repro.checker import TypeCheckError, check_program
+from repro.frontend import parse
+from repro.interp import run_program
+from repro.pipeline import compile_source
+
+SRC = """
+fun main (xs: [n]i32): (i32, [k]i32) =
+  let (k, evens) = filter (\\(x: i32) -> x % 2 == 0) xs
+  in {k, evens}
+"""
+
+
+class TestFilterSemantics:
+    def test_basic(self):
+        prog = parse(SRC)
+        check_program(prog)
+        out = run_program(prog, [array_value([1, 2, 3, 4, 6], I32)])
+        assert to_python(out[0]) == 3
+        assert to_python(out[1]) == [2, 4, 6]
+
+    def test_empty_result(self):
+        prog = parse(SRC)
+        out = run_program(prog, [array_value([1, 3, 5], I32)])
+        assert to_python(out[0]) == 0
+        assert to_python(out[1]) == []
+
+    def test_keeps_order(self):
+        prog = parse(SRC)
+        rng = np.random.default_rng(0)
+        data = rng.integers(-50, 50, 40).astype(np.int32)
+        out = run_program(prog, [array_value(data, I32)])
+        assert to_python(out[1]) == [int(x) for x in data if x % 2 == 0]
+
+    def test_result_usable_downstream(self):
+        src = """
+        fun main (xs: [n]i32): i32 =
+          let (k, pos) = filter (\\(x: i32) -> x > 0) xs
+          in reduce (\\(a: i32) (b: i32) -> a + b) 0 pos
+        """
+        prog = parse(src)
+        check_program(prog)
+        out = run_program(prog, [array_value([-1, 2, -3, 4], I32)])
+        assert to_python(out[0]) == 6
+
+    def test_predicate_must_return_bool(self):
+        bad = """
+        fun main (xs: [n]i32): (i32, [k]i32) =
+          let (k, ys) = filter (\\(x: i32) -> x + 1) xs
+          in {k, ys}
+        """
+        with pytest.raises(TypeCheckError, match="bool"):
+            check_program(parse(bad))
+
+
+class TestFilterCompilation:
+    def test_compiles_to_filter_kernel(self):
+        compiled = compile_source(SRC)
+        kinds = [k.kind for k in compiled.host.kernels()]
+        assert "filter" in kinds
+
+    def test_simulated_execution(self):
+        compiled = compile_source(SRC)
+        (k, ys), report = compiled.run(
+            [array_value([5, 10, 15, 20], I32)]
+        )
+        assert to_python(k) == 2
+        assert to_python(ys) == [10, 20]
+        # Priced as a multi-pass scan+compact.
+        (kernel_cost,) = [
+            c for c in report.kernel_costs if c.kind == "filter"
+        ]
+        assert kernel_cost.launches == 3
+
+    def test_estimate_scales(self):
+        compiled = compile_source(SRC)
+        small = compiled.estimate({"n": 1000}).total_us
+        large = compiled.estimate({"n": 50_000_000}).total_us
+        assert large > small * 10

@@ -1,0 +1,291 @@
+"""Tests of the reference interpreter on scalar code, loops, arrays and
+the dynamic checks of Section 2.2."""
+
+import numpy as np
+import pytest
+
+from repro.core import ProgBuilder, array, array_value, scalar, to_python
+from repro.core import ast as A
+from repro.core.prim import BOOL, F32, I32
+from repro.core.types import Array, Prim, TypeDecl
+from repro.interp import Interpreter, InterpError, run_program
+
+from tests.helpers import (
+    kmeans_counts_parallel,
+    kmeans_counts_sequential,
+    map_inc_program,
+    matmul_program,
+    rowsums_program,
+    sum_program,
+)
+
+
+def run1(prog, args, **kw):
+    results = run_program(prog, args, **kw)
+    assert len(results) == 1
+    return results[0]
+
+
+class TestScalarPrograms:
+    def test_arithmetic(self):
+        pb = ProgBuilder()
+        with pb.function("main") as fb:
+            x = fb.param("x", Prim(I32))
+            y = fb.mul(fb.add(x, 3), 2)
+            fb.ret(y)
+        out = run1(pb.build(), [scalar(5, I32)])
+        assert to_python(out) == 16
+
+    def test_if(self):
+        pb = ProgBuilder()
+        with pb.function("main") as fb:
+            x = fb.param("x", Prim(I32))
+            c = fb.cmpop("lt", x, fb.i32(0))
+            ib = fb.if_(c)
+            with ib.then_() as tb:
+                tb.ret(tb.unop("neg", x))
+            with ib.else_() as eb:
+                eb.ret(x)
+            fb.ret(ib.end())
+        prog = pb.build()
+        assert to_python(run1(prog, [scalar(-4, I32)])) == 4
+        assert to_python(run1(prog, [scalar(4, I32)])) == 4
+
+    def test_for_loop_sum(self):
+        pb = ProgBuilder()
+        with pb.function("main") as fb:
+            n = fb.param("n", Prim(I32))
+            with fb.loop(
+                [("acc", Prim(I32), fb.i32(0))], for_lt=("i", n)
+            ) as lp:
+                (acc,) = lp.merge_vars
+                lp.ret(lp.add(acc, lp.ivar))
+            fb.ret(lp.end())
+        out = run1(pb.build(), [scalar(10, I32)])
+        assert to_python(out) == 45
+
+    def test_while_loop(self):
+        # Collatz-ish: halve until <= 1, counting steps.
+        pb = ProgBuilder()
+        with pb.function("main") as fb:
+            n = fb.param("n", Prim(I32))
+            going0 = fb.cmpop("gt", n, fb.i32(1))
+            with fb.loop(
+                [
+                    ("going", Prim(BOOL), going0),
+                    ("x", Prim(I32), n),
+                    ("steps", Prim(I32), fb.i32(0)),
+                ],
+                while_="going",
+            ) as lp:
+                going, x, steps = lp.merge_vars
+                x2 = lp.binop("idiv", x, 2)
+                s2 = lp.add(steps, 1)
+                g2 = lp.cmpop("gt", x2, lp.i32(1))
+                lp.ret(g2, x2, s2)
+            _, _, steps = lp.end()
+            fb.ret(steps)
+        out = run1(pb.build(), [scalar(64, I32)])
+        assert to_python(out) == 6
+
+    def test_conversion(self):
+        pb = ProgBuilder()
+        with pb.function("main") as fb:
+            x = fb.param("x", Prim(I32))
+            f = fb.convert(F32, x)
+            g = fb.binop("div", f, fb.f32(2.0))
+            fb.ret(g)
+        out = run1(pb.build(), [scalar(5, I32)])
+        assert to_python(out) == 2.5
+
+    def test_function_call(self):
+        pb = ProgBuilder()
+        with pb.function("square") as sb:
+            x = sb.param("x", Prim(I32))
+            sb.ret(sb.mul(x, x))
+        with pb.function("main") as fb:
+            y = fb.param("y", Prim(I32))
+            a = fb.apply("square", y)
+            b = fb.apply("square", a)
+            fb.ret(b)
+        out = run1(pb.build(), [scalar(3, I32)])
+        assert to_python(out) == 81
+
+
+class TestArrayConstructs:
+    def test_iota_replicate(self):
+        pb = ProgBuilder()
+        with pb.function("main") as fb:
+            n = fb.param("n", Prim(I32))
+            xs = fb.iota(n)
+            ys = fb.replicate(n, fb.f32(2.5))
+            fb.ret(xs, ys)
+        outs = run_program(pb.build(), [scalar(4, I32)])
+        assert to_python(outs[0]) == [0, 1, 2, 3]
+        assert to_python(outs[1]) == [2.5] * 4
+
+    def test_index_and_slice(self):
+        pb = ProgBuilder()
+        with pb.function("main") as fb:
+            m = fb.param("m", array(I32, "n", "k"))
+            row = fb.index(m, fb.i32(1))
+            x = fb.index(m, fb.i32(0), fb.i32(2))
+            fb.ret(row, x)
+        outs = run_program(
+            pb.build(), [array_value([[1, 2, 3], [4, 5, 6]], I32)]
+        )
+        assert to_python(outs[0]) == [4, 5, 6]
+        assert to_python(outs[1]) == 3
+
+    def test_out_of_bounds(self):
+        pb = ProgBuilder()
+        with pb.function("main") as fb:
+            xs = fb.param("xs", array(I32, "n"))
+            v = fb.index(xs, fb.i32(10))
+            fb.ret(v)
+        with pytest.raises(InterpError, match="out of bounds"):
+            run_program(pb.build(), [array_value([1, 2, 3], I32)])
+
+    def test_update(self):
+        pb = ProgBuilder()
+        with pb.function("main") as fb:
+            xs = fb.param("xs", array(I32, "n"), unique=True)
+            ys = fb.update(xs, [fb.i32(1)], fb.i32(99))
+            fb.ret(ys)
+        out = run1(pb.build(), [array_value([1, 2, 3], I32)])
+        assert to_python(out) == [1, 99, 3]
+
+    def test_update_out_of_bounds(self):
+        pb = ProgBuilder()
+        with pb.function("main") as fb:
+            xs = fb.param("xs", array(I32, "n"), unique=True)
+            ys = fb.update(xs, [fb.i32(5)], fb.i32(0))
+            fb.ret(ys)
+        with pytest.raises(InterpError, match="out of bounds"):
+            run_program(pb.build(), [array_value([1, 2], I32)])
+
+    def test_rearrange(self):
+        pb = ProgBuilder()
+        with pb.function("main") as fb:
+            m = fb.param("m", array(I32, "n", "k"))
+            t = fb.transpose(m)
+            fb.ret(t)
+        out = run1(pb.build(), [array_value([[1, 2], [3, 4], [5, 6]], I32)])
+        assert to_python(out) == [[1, 3, 5], [2, 4, 6]]
+
+    def test_reshape(self):
+        pb = ProgBuilder()
+        with pb.function("main") as fb:
+            xs = fb.param("xs", array(I32, 6))
+            m = fb.reshape([fb.i32(2), fb.i32(3)], xs)
+            fb.ret(m)
+        out = run1(pb.build(), [array_value([0, 1, 2, 3, 4, 5], I32)])
+        assert to_python(out) == [[0, 1, 2], [3, 4, 5]]
+
+    def test_reshape_wrong_count(self):
+        pb = ProgBuilder()
+        with pb.function("main") as fb:
+            xs = fb.param("xs", array(I32, 6))
+            m = fb.reshape([fb.i32(4), fb.i32(2)], xs)
+            fb.ret(m)
+        with pytest.raises(InterpError, match="reshape"):
+            run_program(pb.build(), [array_value(list(range(6)), I32)])
+
+    def test_concat(self):
+        pb = ProgBuilder()
+        with pb.function("main") as fb:
+            a = fb.param("a", array(I32, "n"))
+            b = fb.param("b", array(I32, "m"))
+            c = fb.concat(a, b)
+            fb.ret(c)
+        out = run1(
+            pb.build(),
+            [array_value([1, 2], I32), array_value([3], I32)],
+        )
+        assert to_python(out) == [1, 2, 3]
+
+    def test_copy_is_deep(self):
+        pb = ProgBuilder()
+        with pb.function("main") as fb:
+            xs = fb.param("xs", array(I32, "n"))
+            ys = fb.copy(xs)
+            fb.ret(ys)
+        arg = array_value([1, 2, 3], I32)
+        out = run1(pb.build(), [arg], in_place=True)
+        assert to_python(out) == [1, 2, 3]
+        out.data[0] = 42
+        assert arg.data[0] == 1
+
+
+class TestShapeChecks:
+    def test_param_shape_mismatch(self):
+        prog = matmul_program()
+        a = array_value(np.ones((3, 4), np.float32), F32)
+        b = array_value(np.ones((5, 2), np.float32), F32)
+        with pytest.raises(InterpError, match="size"):
+            run_program(prog, [a, b])
+
+    def test_shape_postcondition_checked(self):
+        # A function declared to return [n]i32 but returning [n+1]i32.
+        pb = ProgBuilder()
+        with pb.function("main") as fb:
+            xs = fb.param("xs", array(I32, "n"))
+            n = fb.size_of(xs)
+            n1 = fb.add(n, 1)
+            ys = fb.iota(n1)
+            fb.returns(TypeDecl(array(I32, "n")))
+            fb.ret(ys)
+        with pytest.raises(InterpError, match="postcondition"):
+            run_program(pb.build(), [array_value([1, 2, 3], I32)])
+
+    def test_fixed_dim_checked(self):
+        pb = ProgBuilder()
+        with pb.function("main") as fb:
+            xs = fb.param("xs", array(I32, 4))
+            fb.ret(xs)
+        with pytest.raises(InterpError, match="mismatch"):
+            run_program(pb.build(), [array_value([1, 2, 3], I32)])
+
+
+class TestWorkCounting:
+    def test_sequential_counts_work_linear(self):
+        """Fig. 4a does O(n) work when updates are in-place..."""
+        prog = kmeans_counts_sequential(k=16)
+        membership = array_value(np.zeros(200, np.int32), I32)
+        interp = Interpreter(prog, in_place=True)
+        interp.run("main", [membership])
+        w_inplace = interp.metrics.work
+
+        interp2 = Interpreter(prog, in_place=False)
+        interp2.run("main", [membership])
+        w_copy = interp2.metrics.work
+
+        # ...and O(n*k) when every update copies.
+        assert w_copy > w_inplace * 4
+
+    def test_parallel_version_does_nk_work(self):
+        k = 16
+        n = 200
+        seq = kmeans_counts_sequential(k=k)
+        par = kmeans_counts_parallel(k=k)
+        membership = array_value(np.zeros(n, np.int32), I32)
+
+        i_seq = Interpreter(seq, in_place=True)
+        i_seq.run("main", [membership])
+        i_par = Interpreter(par, in_place=True)
+        i_par.run("main", [membership])
+        # The map-reduce formulation does at least k times more work.
+        assert i_par.metrics.work > i_seq.metrics.work * 4
+
+    def test_results_agree(self):
+        rng = np.random.default_rng(0)
+        membership = array_value(
+            rng.integers(0, 5, size=50).astype(np.int32), I32
+        )
+        seq = run_program(
+            kmeans_counts_sequential(), [membership], in_place=True
+        )
+        par = run_program(
+            kmeans_counts_parallel(), [membership], in_place=True
+        )
+        assert to_python(seq[0]) == to_python(par[0])

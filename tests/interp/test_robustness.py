@@ -1,0 +1,123 @@
+"""Interpreter robustness: dynamic-error paths, metrics bookkeeping,
+and chunk-policy validation."""
+
+import numpy as np
+import pytest
+
+from repro.core import ProgBuilder, array, array_value, scalar, to_python
+from repro.core import ast as A
+from repro.core.prim import BOOL, F32, I32
+from repro.core.types import Prim
+from repro.frontend import parse
+from repro.interp import Interpreter, InterpError, run_program
+
+
+class TestDynamicErrors:
+    def test_division_by_zero(self):
+        prog = parse("fun main (x: i32): i32 = x / 0")
+        with pytest.raises(ZeroDivisionError):
+            run_program(prog, [scalar(1, I32)])
+
+    def test_negative_iota(self):
+        prog = parse("fun main (n: i32): [n]i32 = iota n")
+        with pytest.raises(InterpError, match="negative"):
+            run_program(prog, [scalar(-1, I32)])
+
+    def test_negative_replicate(self):
+        prog = parse("fun main (n: i32): [n]f32 = replicate n 0.0f32")
+        with pytest.raises(InterpError, match="negative"):
+            run_program(prog, [scalar(-2, I32)])
+
+    def test_unknown_function_entry(self):
+        prog = parse("fun main (x: i32): i32 = x")
+        with pytest.raises(InterpError, match="no function"):
+            run_program(prog, [scalar(1, I32)], fname="nope")
+
+    def test_wrong_arity(self):
+        prog = parse("fun main (x: i32) (y: i32): i32 = x + y")
+        with pytest.raises(InterpError, match="argument"):
+            run_program(prog, [scalar(1, I32)])
+
+    def test_bad_chunk_policy_detected(self):
+        prog = parse(
+            """
+            fun main (xs: [n]i32): [n]i32 =
+              stream_map (\\(q: i32) (ch: [q]i32) ->
+                 map (\\(x: i32) -> x) ch) xs
+            """
+        )
+        interp = Interpreter(prog, chunk_policy=lambda n: [n + 1])
+        with pytest.raises(InterpError, match="chunk policy"):
+            interp.run("main", [array_value([1, 2, 3], I32)])
+
+    def test_scalar_where_array_expected(self):
+        prog = parse("fun main (xs: [n]i32): i32 = xs[0]")
+        with pytest.raises(InterpError, match="array"):
+            run_program(prog, [scalar(3, I32)])
+
+
+class TestMetrics:
+    def test_reset(self):
+        prog = parse("fun main (xs: [n]i32): [n]i32 = "
+                     "map (\\(x: i32) -> x + 1) xs")
+        interp = Interpreter(prog)
+        interp.run("main", [array_value([1, 2, 3], I32)])
+        assert interp.metrics.work > 0
+        interp.metrics.reset()
+        assert interp.metrics.work == 0
+        assert interp.metrics.copies == 0
+
+    def test_copy_counted(self):
+        prog = parse("fun main (xs: [n]i32): [n]i32 = copy xs")
+        interp = Interpreter(prog)
+        interp.run("main", [array_value([1, 2, 3, 4], I32)])
+        assert interp.metrics.copies == 1
+        assert interp.metrics.array_elems_touched >= 4
+
+    def test_update_copy_vs_inplace(self):
+        prog = parse(
+            "fun main (xs: *[n]i32): [n]i32 = xs with [0] <- 1"
+        )
+        data = array_value(np.zeros(100, np.int32), I32)
+        copying = Interpreter(prog, in_place=False)
+        copying.run("main", [data])
+        mutating = Interpreter(prog, in_place=True)
+        mutating.run("main", [data])
+        assert copying.metrics.array_elems_touched >= 100
+        assert mutating.metrics.array_elems_touched <= 2
+        assert copying.metrics.updates == mutating.metrics.updates == 1
+
+
+class TestMixedPrecision:
+    def test_f64_arithmetic(self):
+        prog = parse(
+            "fun main (x: f64): f64 = x * 2.0f64 + 1.0f64"
+        )
+        from repro.core.prim import F64
+
+        out = run_program(prog, [scalar(0.25, F64)])
+        assert to_python(out[0]) == 1.5
+
+    def test_i64_no_i32_overflow(self):
+        prog = parse(
+            "fun main (x: i64): i64 = x * 1000000i64"
+        )
+        from repro.core.prim import I64
+
+        out = run_program(prog, [scalar(10_000_000, I64)])
+        assert to_python(out[0]) == 10_000_000_000_000
+
+    def test_i32_wraparound(self):
+        prog = parse("fun main (x: i32): i32 = x + 1")
+        out = run_program(prog, [scalar(2**31 - 1, I32)])
+        assert to_python(out[0]) == -(2**31)
+
+    def test_bool_arrays(self):
+        prog = parse(
+            """
+            fun main (xs: [n]i32): [n]bool =
+              map (\\(x: i32) -> x > 0) xs
+            """
+        )
+        out = run_program(prog, [array_value([-1, 2, 0], I32)])
+        assert to_python(out[0]) == [False, True, False]

@@ -1,0 +1,239 @@
+"""Tests of SOAC semantics (Fig. 8), including the streaming operators
+and their partition-invariance obligations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import array, array_value, scalar, to_python
+from repro.core.prim import F32, I32
+from repro.core.types import Prim
+from repro.core import ProgBuilder
+from repro.interp import Interpreter, InterpError, run_program
+
+from tests.helpers import (
+    fig10_program,
+    kmeans_counts_stream,
+    kmeans_counts_sequential,
+    map_inc_program,
+    matmul_program,
+    rowsums_program,
+    sum_program,
+)
+
+
+class TestMap:
+    def test_map_inc(self):
+        out = run_program(
+            map_inc_program(), [array_value([1.0, 2.0, 3.0], F32)]
+        )
+        assert to_python(out[0]) == [2.0, 3.0, 4.0]
+
+    def test_map_empty(self):
+        out = run_program(map_inc_program(), [array_value(np.zeros(0, np.float32), F32)])
+        assert to_python(out[0]) == []
+
+    def test_multi_output_map(self):
+        outs = run_program(
+            rowsums_program(),
+            [array_value([[1.0, 2.0], [3.0, 4.0]], F32)],
+        )
+        assert to_python(outs[0]) == [[2.0, 3.0], [4.0, 5.0]]
+        assert to_python(outs[1]) == [3.0, 7.0]
+
+    def test_map_width_mismatch(self):
+        pb = ProgBuilder()
+        with pb.function("main") as fb:
+            a = fb.param("a", array(I32, "n"))
+            b = fb.param("b", array(I32, "n"))
+            with fb.lam([("x", Prim(I32)), ("y", Prim(I32))]) as lb:
+                x, y = lb.params
+                lb.ret(lb.add(x, y))
+            c = fb.map(lb.fn, a, b)
+            fb.ret(c)
+        with pytest.raises(InterpError, match="size"):
+            run_program(
+                pb.build(),
+                [array_value([1, 2], I32), array_value([1, 2, 3], I32)],
+            )
+
+
+class TestReduceScan:
+    def test_sum(self):
+        out = run_program(sum_program(), [array_value([1.0, 2.0, 3.5], F32)])
+        assert to_python(out[0]) == 6.5
+
+    def test_sum_empty(self):
+        out = run_program(
+            sum_program(), [array_value(np.zeros(0, np.float32), F32)]
+        )
+        assert to_python(out[0]) == 0.0
+
+    def test_scan(self):
+        pb = ProgBuilder()
+        with pb.function("main") as fb:
+            xs = fb.param("xs", array(I32, "n"))
+            with fb.lam([("a", Prim(I32)), ("x", Prim(I32))]) as lb:
+                a, x = lb.params
+                lb.ret(lb.add(a, x))
+            ys = fb.scan(lb.fn, [fb.i32(0)], xs)
+            fb.ret(ys)
+        out = run_program(pb.build(), [array_value([1, 2, 3, 4], I32)])
+        assert to_python(out[0]) == [1, 3, 6, 10]
+
+    def test_matmul(self):
+        a = np.arange(6, dtype=np.float32).reshape(2, 3)
+        b = np.arange(12, dtype=np.float32).reshape(3, 4)
+        out = run_program(
+            matmul_program(), [array_value(a, F32), array_value(b, F32)]
+        )
+        assert np.allclose(out[0].data, a @ b)
+
+
+class TestStreams:
+    def test_stream_kmeans_counts(self):
+        rng = np.random.default_rng(1)
+        membership = array_value(
+            rng.integers(0, 5, size=97).astype(np.int32), I32
+        )
+        expected = run_program(
+            kmeans_counts_sequential(), [membership], in_place=True
+        )
+        got = run_program(
+            kmeans_counts_stream(), [membership], in_place=True
+        )
+        assert to_python(got[0]) == to_python(expected[0])
+
+    def test_fig10_partition_invariance(self):
+        # The strength-reduction invariant holds for iota input: any
+        # partitioning computes the same prefix sums.
+        n = 24
+        iss = array_value(np.arange(n, dtype=np.int32), I32)
+        prog = fig10_program()
+        r1 = run_program(prog, [iss])
+
+        interp2 = Interpreter(prog, chunk_policy=lambda k: [k])
+        r2 = interp2.run("main", [iss])
+        assert to_python(r1[0]) == to_python(r2[0])
+
+        # And the value matches the closed form: sum_i sum_{j<=i} 2*j.
+        expected = sum(sum(2 * j for j in range(i + 1)) for i in range(n))
+        assert to_python(r1[0]) == expected
+
+    @given(st.integers(1, 30), st.integers(1, 7))
+    @settings(max_examples=25, deadline=None)
+    def test_stream_red_partition_invariance(self, n, chunk):
+        """The K-means stream_red satisfies the sFold well-definedness
+        obligation: any partitioning gives the same counts."""
+        rng = np.random.default_rng(n * 31 + chunk)
+        membership = array_value(
+            rng.integers(0, 5, size=n).astype(np.int32), I32
+        )
+        prog = kmeans_counts_stream()
+
+        def chunks_of(size):
+            def policy(total):
+                out = []
+                while total > 0:
+                    out.append(min(size, total))
+                    total -= out[-1]
+                return out
+
+            return policy
+
+        base = Interpreter(prog, in_place=True,
+                           chunk_policy=chunks_of(n)).run(
+            "main", [membership]
+        )
+        other = Interpreter(prog, in_place=True,
+                            chunk_policy=chunks_of(chunk)).run(
+            "main", [membership]
+        )
+        assert to_python(base[0]) == to_python(other[0])
+
+    def test_stream_seq_threads_accumulator(self):
+        # stream_seq computing a running sum and the +scan of the input.
+        pb = ProgBuilder()
+        with pb.function("main") as fb:
+            xs = fb.param("xs", array(I32, "n"))
+            with fb.lam(
+                [
+                    ("q", Prim(I32)),
+                    ("acc", Prim(I32)),
+                    ("chunk", array(I32, "q")),
+                ]
+            ) as cb:
+                q, acc, chunk = cb.params
+                with cb.lam([("a", Prim(I32)), ("x", Prim(I32))]) as sl:
+                    a, x = sl.params
+                    sl.ret(sl.add(a, x))
+                local = cb.scan(sl.fn, [cb.i32(0)], chunk)
+                with cb.lam([("v", Prim(I32))]) as ml:
+                    (v,) = ml.params
+                    ml.ret(ml.add(v, acc))
+                shifted = cb.map(ml.fn, local)
+                qm1 = cb.sub(q, 1)
+                last = cb.index(shifted, qm1)
+                cb.ret(last, shifted)
+            acc, ys = fb.stream_seq(cb.fn, [fb.i32(0)], xs)
+            fb.ret(acc, ys)
+        xs = list(range(1, 11))
+        outs = run_program(pb.build(), [array_value(xs, I32)])
+        assert to_python(outs[0]) == sum(xs)
+        assert to_python(outs[1]) == list(np.cumsum(xs))
+
+    def test_stream_map_chunk_concat(self):
+        # stream_map that adds 1 per element: identical to map (+1).
+        pb = ProgBuilder()
+        with pb.function("main") as fb:
+            xs = fb.param("xs", array(I32, "n"))
+            with fb.lam(
+                [("q", Prim(I32)), ("chunk", array(I32, "q"))]
+            ) as cb:
+                q, chunk = cb.params
+                with cb.lam([("x", Prim(I32))]) as ml:
+                    (x,) = ml.params
+                    ml.ret(ml.add(x, 1))
+                ys = cb.map(ml.fn, chunk)
+                cb.ret(ys)
+            ys = fb.stream_map(cb.fn, xs)
+            fb.ret(ys)
+        out = run_program(pb.build(), [array_value([5, 6, 7], I32)])
+        assert to_python(out[0]) == [6, 7, 8]
+
+
+class TestRegularity:
+    def test_irregular_map_rejected(self):
+        # map (\i -> iota i) (iota n) produces an irregular array.
+        pb = ProgBuilder()
+        with pb.function("main") as fb:
+            n = fb.param("n", Prim(I32))
+            idx = fb.iota(n)
+            with fb.lam([("i", Prim(I32))]) as lb:
+                (i,) = lb.params
+                lb.ret(lb.iota(i))
+            rows = fb.map(lb.fn, idx)
+            fb.ret(rows)
+        with pytest.raises(InterpError, match="irregular"):
+            run_program(pb.build(), [scalar(3, I32)])
+
+
+class TestScatter:
+    def test_scatter_basic(self):
+        pb = ProgBuilder()
+        with pb.function("main") as fb:
+            dest = fb.param("dest", array(I32, "n"), unique=True)
+            idx = fb.param("idx", array(I32, "m"))
+            vals = fb.param("vals", array(I32, "m"))
+            out = fb.scatter(dest, idx, vals)
+            fb.ret(out)
+        out = run_program(
+            pb.build(),
+            [
+                array_value([0, 0, 0, 0], I32),
+                array_value([3, 1, 9], I32),  # 9 is out of bounds: ignored
+                array_value([30, 10, 90], I32),
+            ],
+        )
+        assert to_python(out[0]) == [0, 10, 0, 30]

@@ -1,0 +1,79 @@
+"""Unit and property tests for symbolic index functions (layouts)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.index_fn import IndexFn
+
+
+class TestBasics:
+    def test_identity(self):
+        fn = IndexFn.identity(3)
+        assert fn.perm == (0, 1, 2)
+        assert fn.is_identity
+        assert fn.rank == 3
+        assert fn.innermost_logical_dim() == 2
+
+    def test_column_major(self):
+        fn = IndexFn((1, 0))
+        assert not fn.is_identity
+        assert fn.innermost_logical_dim() == 0
+
+    def test_strides_row_major(self):
+        fn = IndexFn.identity(3)
+        assert fn.strides((2, 3, 4)) == (12, 4, 1)
+
+    def test_strides_column_major(self):
+        fn = IndexFn((1, 0))
+        # logical dim 0 is stored innermost: stride 1.
+        assert fn.strides((2, 3)) == (1, 2)
+
+    def test_compose_view_identity(self):
+        fn = IndexFn.identity(2)
+        assert fn.compose_view((0, 1)) == fn
+
+    def test_compose_view_transpose(self):
+        # A transposed view of a row-major array is column-major.
+        fn = IndexFn.identity(2).compose_view((1, 0))
+        assert fn == IndexFn((1, 0))
+
+    def test_compose_view_involution(self):
+        fn = IndexFn.identity(2)
+        assert fn.compose_view((1, 0)).compose_view((1, 0)) == fn
+
+
+@st.composite
+def _perm_and_shape(draw):
+    rank = draw(st.integers(1, 4))
+    perm = draw(st.permutations(range(rank)))
+    shape = tuple(draw(st.integers(1, 5)) for _ in range(rank))
+    return tuple(perm), shape
+
+
+class TestStrideProperties:
+    @given(_perm_and_shape())
+    @settings(max_examples=60, deadline=None)
+    def test_strides_match_numpy(self, perm_shape):
+        """A layout's strides equal numpy's for the equivalently
+        permuted buffer."""
+        perm, shape = perm_shape
+        fn = IndexFn(perm)
+        phys_shape = tuple(shape[d] for d in perm)
+        buf = np.zeros(phys_shape, dtype=np.int32)
+        # View with logical dim order restored.
+        inverse = [0] * len(perm)
+        for pos, d in enumerate(perm):
+            inverse[d] = pos
+        logical = np.transpose(buf, inverse)
+        np_strides = tuple(s // 4 for s in logical.strides)
+        assert fn.strides(shape) == np_strides
+
+    @given(_perm_and_shape())
+    @settings(max_examples=60, deadline=None)
+    def test_innermost_has_stride_one(self, perm_shape):
+        perm, shape = perm_shape
+        fn = IndexFn(perm)
+        strides = fn.strides(shape)
+        assert strides[fn.innermost_logical_dim()] == 1

@@ -1,0 +1,79 @@
+"""Tests of multi-versioned compilation (§5.1's future-work direction:
+several code versions, discriminated by a size predicate)."""
+
+import numpy as np
+import pytest
+
+from repro.autotune import (
+    DEFAULT_STRATEGIES,
+    MultiVersioned,
+    compile_versions,
+)
+from repro.core import array_value, to_python, values_equal
+from repro.core.prim import F32
+from repro.frontend import parse
+from repro.interp import run_program
+
+SRC = """
+fun main (m: [a][b]f32): [a][b]f32 =
+  map (\\(row: [b]f32) ->
+    let s = reduce (\\(x: f32) (y: f32) -> x + y) 0.0f32 row
+    in map (\\(x: f32) -> x / (s + 1.0f32)) row) m
+"""
+
+
+class TestCompileVersions:
+    def test_all_strategies_compiled(self):
+        mv = compile_versions(parse(SRC))
+        assert set(mv.versions) == set(DEFAULT_STRATEGIES)
+
+    def test_versions_differ_structurally(self):
+        mv = compile_versions(parse(SRC))
+        full = mv.versions["full-flattening"]
+        outer = mv.versions["outer-parallelism"]
+        # Distribution splits the imperfect nest into two kernels
+        # (segmented reduce + map); outer-only keeps one kernel whose
+        # threads run the whole row computation.
+        assert len(full.host.kernels()) == 2
+        assert len(outer.host.kernels()) == 1
+
+
+class TestChoice:
+    def test_choose_picks_cheapest(self):
+        mv = compile_versions(parse(SRC))
+        sizes = {"a": 100_000, "b": 64}
+        name, report = mv.choose(sizes)
+        for other, compiled in mv.versions.items():
+            assert (
+                report.total_us
+                <= compiled.estimate(sizes).total_us + 1e-9
+            ), other
+
+    def test_choice_can_depend_on_size(self):
+        # Not asserting *which* version wins — only that the predicate
+        # is evaluated per size and selects a minimum each time.
+        mv = compile_versions(parse(SRC))
+        for sizes in ({"a": 8, "b": 4_000_000}, {"a": 4_000_000, "b": 8}):
+            name, report = mv.choose(sizes)
+            assert name in mv.versions
+
+
+class TestDispatchExecution:
+    def test_run_dispatches_and_is_correct(self):
+        mv = compile_versions(parse(SRC))
+        data = np.arange(24, dtype=np.float32).reshape(4, 6)
+        args = [array_value(data, F32)]
+        expected = run_program(parse(SRC), args)
+        results, report, chosen = mv.run(args)
+        assert chosen in mv.versions
+        assert values_equal(expected[0], results[0], rtol=1e-4)
+        assert report.total_us > 0
+
+    def test_every_version_is_individually_correct(self):
+        mv = compile_versions(parse(SRC))
+        data = np.arange(12, dtype=np.float32).reshape(3, 4)
+        args = [array_value(data, F32)]
+        expected = run_program(parse(SRC), args)
+        for name, compiled in mv.versions.items():
+            got, _ = compiled.run(args)
+            assert values_equal(expected[0], got[0]), name

@@ -1,0 +1,246 @@
+"""Property tests for the array-combinator calculus of Section 2.1.
+
+Each rewrite law the paper's equational theory relies on is tested as
+an executable property on randomly generated inputs and operators:
+
+* map fusion:      map f ∘ map g ≡ map (f ∘ g)
+* horizontal:      (map f x, map g y) ≡ map (λ(a,b).(f a, g b)) (x, y)
+* fold decomposition: fold (⊕, 0) g ≡ reduce (⊕, 0) ∘ map g
+* banana split:    fold ((⊕,0)×(⊗,0)) (f,g) ≡ (fold (⊕,0) f, fold (⊗,0) g)
+* flattening:      map (map f) ≅ map f over the product space
+  (the curry/uncurry isomorphism)
+* sFold well-definedness for chunk-invariant folds.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ProgBuilder, array, array_value, to_python
+from repro.core.prim import I32
+from repro.core.types import Prim
+from repro.interp import Interpreter, run_program
+
+_UNARY = {
+    "inc": lambda b, x: b.add(x, 1),
+    "dbl": lambda b, x: b.mul(x, 2),
+    "neg": lambda b, x: b.unop("neg", x),
+    "clamp": lambda b, x: b.binop("min", x, 50),
+}
+
+_ASSOC = {
+    "add": 0,
+    "min": 2**31 - 1,
+    "max": -(2**31),
+}
+
+vectors = st.lists(st.integers(-100, 100), min_size=0, max_size=24)
+unary_names = st.sampled_from(sorted(_UNARY))
+assoc_names = st.sampled_from(sorted(_ASSOC))
+
+
+def _unary_lambda(fb, name):
+    with fb.lam([("x", Prim(I32))]) as lb:
+        (x,) = lb.params
+        lb.ret(_UNARY[name](lb, x))
+    return lb.fn
+
+
+def _assoc_lambda(fb, name):
+    with fb.lam([("a", Prim(I32)), ("b", Prim(I32))]) as lb:
+        a, b = lb.params
+        lb.ret(lb.binop(name, a, b))
+    return lb.fn
+
+
+def _run(build, data):
+    pb = ProgBuilder()
+    with pb.function("main") as fb:
+        xs = fb.param("xs", array(I32, "n"))
+        build(fb, xs)
+    return [
+        to_python(v)
+        for v in run_program(
+            pb.build(), [array_value(np.array(data, np.int32), I32)]
+        )
+    ]
+
+
+class TestMapLaws:
+    @given(vectors, unary_names, unary_names)
+    @settings(max_examples=30, deadline=None)
+    def test_map_fusion_law(self, data, f, g):
+        def composed(fb, xs):
+            with fb.lam([("x", Prim(I32))]) as lb:
+                (x,) = lb.params
+                lb.ret(_UNARY[f](lb, _UNARY[g](lb, x)))
+            fb.ret(fb.map(lb.fn, xs))
+
+        def sequenced(fb, xs):
+            ys = fb.map(_unary_lambda(fb, g), xs)
+            fb.ret(fb.map(_unary_lambda(fb, f), ys))
+
+        assert _run(composed, data) == _run(sequenced, data)
+
+    @given(vectors, unary_names, unary_names)
+    @settings(max_examples=30, deadline=None)
+    def test_horizontal_fusion_law(self, data, f, g):
+        def pairwise(fb, xs):
+            with fb.lam([("x", Prim(I32))]) as lb:
+                (x,) = lb.params
+                lb.ret(_UNARY[f](lb, x), _UNARY[g](lb, x))
+            a, b = fb.map(lb.fn, xs)
+            fb.ret(a, b)
+
+        def separate(fb, xs):
+            a = fb.map(_unary_lambda(fb, f), xs)
+            b = fb.map(_unary_lambda(fb, g), xs)
+            fb.ret(a, b)
+
+        assert _run(pairwise, data) == _run(separate, data)
+
+
+class TestFoldLaws:
+    @given(vectors, assoc_names, unary_names)
+    @settings(max_examples=30, deadline=None)
+    def test_fold_decomposition(self, data, op, g):
+        """fold (⊕,0) g = reduce (⊕,0) ∘ map g."""
+
+        def fused(fb, xs):
+            with fb.lam([("a", Prim(I32)), ("x", Prim(I32))]) as lb:
+                a, x = lb.params
+                gx = _UNARY[g](lb, x)
+                lb.ret(lb.binop(op, a, gx))
+            fb.ret(fb.reduce(lb.fn, [fb.i32(_ASSOC[op])], xs))
+
+        def decomposed(fb, xs):
+            ys = fb.map(_unary_lambda(fb, g), xs)
+            fb.ret(
+                fb.reduce(_assoc_lambda(fb, op), [fb.i32(_ASSOC[op])], ys)
+            )
+
+        assert _run(fused, data) == _run(decomposed, data)
+
+    @given(vectors, assoc_names, assoc_names)
+    @settings(max_examples=30, deadline=None)
+    def test_banana_split(self, data, op1, op2):
+        def tupled(fb, xs):
+            with fb.lam(
+                [
+                    ("a", Prim(I32)),
+                    ("b", Prim(I32)),
+                    ("x", Prim(I32)),
+                    ("y", Prim(I32)),
+                ]
+            ) as lb:
+                a, b, x, y = lb.params
+                lb.ret(lb.binop(op1, a, x), lb.binop(op2, b, y))
+            r = fb.reduce(
+                lb.fn,
+                [fb.i32(_ASSOC[op1]), fb.i32(_ASSOC[op2])],
+                xs,
+                xs,
+            )
+            fb.ret(*r)
+
+        def split(fb, xs):
+            r1 = fb.reduce(
+                _assoc_lambda(fb, op1), [fb.i32(_ASSOC[op1])], xs
+            )
+            r2 = fb.reduce(
+                _assoc_lambda(fb, op2), [fb.i32(_ASSOC[op2])], xs
+            )
+            fb.ret(r1, r2)
+
+        assert _run(tupled, data) == _run(split, data)
+
+
+class TestIsomorphisms:
+    @given(
+        st.lists(st.integers(-50, 50), min_size=4, max_size=24),
+        unary_names,
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_curry_uncurry_flattening(self, data, f):
+        """map (map f) over [m][k] ≡ map f over the reshaped [m*k]."""
+        data = data[: len(data) - len(data) % 4]
+        m, k = len(data) // 4, 4
+        mat = np.array(data, np.int32).reshape(m, k)
+
+        pb = ProgBuilder()
+        with pb.function("main") as fb:
+            xss = fb.param("xss", array(I32, "m", "k"))
+            with fb.lam([("row", array(I32, "k"))]) as ob:
+                (row,) = ob.params
+                ob.ret(ob.map(_unary_lambda(ob, f), row))
+            fb.ret(fb.map(ob.fn, xss))
+        nested = run_program(pb.build(), [array_value(mat, I32)])
+
+        pb2 = ProgBuilder()
+        with pb2.function("main") as fb:
+            xs = fb.param("xs", array(I32, "n"))
+            fb.ret(fb.map(_unary_lambda(fb, f), xs))
+        flat = run_program(
+            pb2.build(), [array_value(mat.reshape(-1), I32)]
+        )
+        assert (
+            np.asarray(to_python(nested[0])).reshape(-1).tolist()
+            == to_python(flat[0])
+        )
+
+
+class TestSFoldObligation:
+    @given(
+        st.lists(st.integers(-100, 100), min_size=1, max_size=30),
+        assoc_names,
+        st.integers(1, 8),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_reduce_is_partition_invariant(self, data, op, chunk):
+        """reduce with an associative ⊕ gives the same result as
+        sFold over any partition (tested via stream_red chunking)."""
+        from repro.fusion.stream_rules import reduce_to_stream_red
+        from repro.core import ast as A
+        from repro.core.traversal import NameSource, bound_names_body
+
+        pb = ProgBuilder()
+        with pb.function("main") as fb:
+            xs = fb.param("xs", array(I32, "n"))
+            fb.ret(
+                fb.reduce(_assoc_lambda(fb, op), [fb.i32(_ASSOC[op])], xs)
+            )
+        prog = pb.build()
+        main = prog.fun("main")
+        (idx, bnd) = next(
+            (i, b)
+            for i, b in enumerate(main.body.bindings)
+            if isinstance(b.exp, A.ReduceExp)
+        )
+        ns = NameSource()
+        ns.declare(bound_names_body(main.body))
+        stream = reduce_to_stream_red(bnd.exp, ns)
+        bindings = list(main.body.bindings)
+        bindings[idx] = A.Binding(bnd.pat, stream)
+        streamed = prog.with_fun(
+            A.FunDef(
+                main.name,
+                main.params,
+                main.ret,
+                A.Body(tuple(bindings), main.body.result),
+            )
+        )
+
+        arr = array_value(np.array(data, np.int32), I32)
+        expected = run_program(prog, [arr])
+
+        def policy(total, c=chunk):
+            out = []
+            while total > 0:
+                out.append(min(c, total))
+                total -= out[-1]
+            return out
+
+        interp = Interpreter(streamed, chunk_policy=policy)
+        got = interp.run("main", [arr])
+        assert to_python(expected[0]) == to_python(got[0])

@@ -1,0 +1,275 @@
+"""Tests for the simplification engine: folding, copy propagation,
+CSE, DCE, hoisting, inlining — and that simplification preserves
+semantics on the helper programs."""
+
+import numpy as np
+import pytest
+
+from repro.core import ProgBuilder, array, array_value, scalar, to_python, values_equal
+from repro.core import ast as A
+from repro.core.prim import F32, I32
+from repro.core.types import Prim
+from repro.checker import check_program
+from repro.frontend import parse
+from repro.interp import run_program
+from repro.simplify import (
+    cse_body,
+    dce_body,
+    hoist_body,
+    inline_prog,
+    simplify_prog,
+)
+from repro.simplify.engine import simplify_body
+
+from tests.helpers import (
+    fig10_program,
+    kmeans_counts_parallel,
+    kmeans_counts_sequential,
+    kmeans_counts_stream,
+    map_inc_program,
+    matmul_program,
+    rowsums_program,
+    sum_program,
+)
+
+
+def main_body(prog):
+    return prog.fun("main").body
+
+
+def exps(body):
+    return [b.exp for b in body.bindings]
+
+
+class TestConstantFolding:
+    def test_fold_arithmetic(self):
+        prog = parse("fun main (x: i32): i32 = let a = 2 + 3 in a * 1")
+        prog2 = simplify_prog(prog)
+        body = main_body(prog2)
+        assert body.bindings == ()
+        assert body.result == (A.Const(5, I32),)
+
+    def test_fold_if(self):
+        prog = parse(
+            "fun main (x: i32): i32 = if true then x + 1 else x - 1"
+        )
+        body = main_body(simplify_prog(prog))
+        assert len(body.bindings) == 1
+        assert isinstance(body.bindings[0].exp, A.BinOpExp)
+        assert body.bindings[0].exp.op == "add"
+
+    def test_algebraic_identities(self):
+        prog = parse(
+            "fun main (x: i32): i32 = (x + 0) * 1 - 0"
+        )
+        body = main_body(simplify_prog(prog))
+        assert body.bindings == ()
+        assert body.result == (A.Var("x"),)
+
+    def test_div_by_zero_not_folded(self):
+        prog = parse("fun main (x: i32): i32 = 1 / 0")
+        body = main_body(simplify_prog(prog))
+        # The failing division must survive to run time.
+        assert len(body.bindings) == 1
+
+    def test_identity_rearrange_removed(self):
+        prog = parse(
+            "fun main (m: [a][b]i32): [a][b]i32 = "
+            "transpose (transpose m)"
+        )
+        body = main_body(simplify_prog(prog))
+        # transpose . transpose folds away only if we compose perms;
+        # at minimum the program still runs correctly.
+        out = run_program(
+            simplify_prog(prog), [array_value([[1, 2], [3, 4]], I32)]
+        )
+        assert to_python(out[0]) == [[1, 2], [3, 4]]
+
+    def test_zero_trip_loop(self):
+        prog = parse(
+            "fun main (x: i32): i32 = loop (acc = x) for i < 0 do acc + 1"
+        )
+        body = main_body(simplify_prog(prog))
+        assert body.bindings == ()
+        assert body.result == (A.Var("x"),)
+
+    def test_same_var_comparison(self):
+        prog = parse("fun main (x: i32): bool = x == x")
+        body = main_body(simplify_prog(prog))
+        assert body.result[0] == A.Const(True, A.Const(True, I32).type) or (
+            body.result[0].value is True
+        )
+
+
+class TestCSE:
+    def test_repeated_scalar_expression(self):
+        pb = ProgBuilder()
+        with pb.function("main") as fb:
+            x = fb.param("x", Prim(I32))
+            a = fb.mul(x, x)
+            b = fb.mul(x, x)
+            c = fb.add(a, b)
+            fb.ret(c)
+        body, changed = cse_body(main_body(pb.build()))
+        assert changed
+        muls = [e for e in exps(body) if isinstance(e, A.BinOpExp) and e.op == "mul"]
+        assert len(muls) == 1
+
+    def test_arrays_not_csed(self):
+        pb = ProgBuilder()
+        with pb.function("main") as fb:
+            n = fb.param("n", Prim(I32))
+            a = fb.iota(n)
+            b = fb.iota(n)
+            a2 = fb.update(a, [fb.i32(0)], fb.i32(1))
+            b2 = fb.update(b, [fb.i32(0)], fb.i32(2))
+            fb.ret(a2, b2)
+        body, changed = cse_body(main_body(pb.build()))
+        iotas = [e for e in exps(body) if isinstance(e, A.IotaExp)]
+        assert len(iotas) == 2  # must stay distinct buffers
+
+
+class TestDCE:
+    def test_unused_binding_removed(self):
+        prog = parse(
+            "fun main (x: i32): i32 = let dead = x * 1000 in x"
+        )
+        body, changed = dce_body(main_body(prog))
+        assert changed
+        assert body.bindings == ()
+
+    def test_used_bindings_kept(self):
+        prog = parse("fun main (x: i32): i32 = let a = x + 1 in a")
+        body, changed = dce_body(main_body(prog))
+        assert not changed
+        assert len(body.bindings) == 1
+
+    def test_size_variable_dependencies_kept(self):
+        # A binding used only as a size in a later pattern type.
+        pb = ProgBuilder()
+        with pb.function("main") as fb:
+            n = fb.param("n", Prim(I32))
+            m = fb.add(n, 1)
+            xs = fb.iota(m)
+            fb.ret(xs)
+        body, _ = dce_body(main_body(pb.build()))
+        assert len(body.bindings) == 2
+
+
+class TestHoisting:
+    def test_invariant_hoisted_from_loop(self):
+        src = """
+        fun main (x: i32) (n: i32): i32 =
+          loop (acc = 0) for i < n do
+            let inv = x * x
+            in acc + inv
+        """
+        prog = parse(src)
+        body, changed = hoist_body(main_body(prog))
+        assert changed
+        # The multiplication now precedes the loop.
+        assert isinstance(body.bindings[0].exp, A.BinOpExp)
+        assert isinstance(body.bindings[-1].exp, A.LoopExp)
+
+    def test_variant_not_hoisted(self):
+        src = """
+        fun main (x: i32) (n: i32): i32 =
+          loop (acc = 0) for i < n do
+            let v = i * x
+            in acc + v
+        """
+        body, changed = hoist_body(main_body(parse(src)))
+        assert not changed
+
+    def test_consumed_allocation_not_hoisted_from_map(self):
+        # Fig. 4b: the per-iteration zero vector must stay inside.
+        prog = kmeans_counts_parallel(k=3)
+        body, _ = hoist_body(main_body(prog))
+        check_program(A.Prog((A.FunDef(
+            "main",
+            prog.fun("main").params,
+            prog.fun("main").ret,
+            body,
+        ),)))
+
+    def test_invariant_hoisted_from_map_lambda(self):
+        src = """
+        fun main (xs: [n]i32) (k: i32): [n]i32 =
+          map (\\(x: i32) -> x + k * k) xs
+        """
+        body, changed = hoist_body(main_body(parse(src)))
+        assert changed
+        assert isinstance(body.bindings[0].exp, A.BinOpExp)
+
+
+class TestInlining:
+    def test_simple_inline(self):
+        src = """
+        fun square (x: i32): i32 = x * x
+        fun main (y: i32): i32 = square y + square (y + 1)
+        """
+        prog = inline_prog(parse(src))
+        assert [f.name for f in prog.funs] == ["main"]
+        out = run_program(prog, [scalar(3, I32)])
+        assert to_python(out[0]) == 25
+
+    def test_multi_result_inline(self):
+        src = """
+        fun divmod (a: i32) (b: i32): (i32, i32) = {a / b, a % b}
+        fun main (x: i32): i32 =
+          let (d, m) = divmod x 3 in d + m
+        """
+        prog = inline_prog(parse(src))
+        assert len(prog.funs) == 1
+        assert to_python(run_program(prog, [scalar(17, I32)])[0]) == 7
+
+    def test_inline_inside_map(self):
+        src = """
+        fun inc (x: i32): i32 = x + 1
+        fun main (xs: [n]i32): [n]i32 = map (\\(v: i32) -> inc v) xs
+        """
+        prog = inline_prog(parse(src))
+        assert len(prog.funs) == 1
+        out = run_program(prog, [array_value([1, 2], I32)])
+        assert to_python(out[0]) == [2, 3]
+
+    def test_nested_calls_inline_fully(self):
+        src = """
+        fun f (x: i32): i32 = x + 1
+        fun g (x: i32): i32 = f x * 2
+        fun main (y: i32): i32 = g (f y)
+        """
+        prog = inline_prog(parse(src))
+        assert len(prog.funs) == 1
+        assert to_python(run_program(prog, [scalar(1, I32)])[0]) == 6
+
+
+RNG = np.random.default_rng(3)
+
+SEMANTIC_CASES = [
+    (map_inc_program, [array_value(RNG.normal(size=6).astype(np.float32), F32)]),
+    (sum_program, [array_value(RNG.normal(size=6).astype(np.float32), F32)]),
+    (rowsums_program, [array_value(RNG.normal(size=(3, 4)).astype(np.float32), F32)]),
+    (kmeans_counts_sequential, [array_value(RNG.integers(0, 5, 40).astype(np.int32), I32)]),
+    (kmeans_counts_parallel, [array_value(RNG.integers(0, 5, 40).astype(np.int32), I32)]),
+    (kmeans_counts_stream, [array_value(RNG.integers(0, 5, 40).astype(np.int32), I32)]),
+    (fig10_program, [array_value(np.arange(11, dtype=np.int32), I32)]),
+    (matmul_program, [
+        array_value(RNG.normal(size=(3, 4)).astype(np.float32), F32),
+        array_value(RNG.normal(size=(4, 2)).astype(np.float32), F32),
+    ]),
+]
+
+
+class TestSemanticsPreserved:
+    @pytest.mark.parametrize(
+        "mk,args", SEMANTIC_CASES, ids=[mk.__name__ for mk, _ in SEMANTIC_CASES]
+    )
+    def test_simplified_program_agrees(self, mk, args):
+        prog = mk()
+        simplified = simplify_prog(inline_prog(prog))
+        check_program(simplified)
+        expected = run_program(prog, args, in_place=True)
+        got = run_program(simplified, args, in_place=True)
+        for e, g in zip(expected, got):
+            assert values_equal(e, g)

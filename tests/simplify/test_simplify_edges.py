@@ -1,0 +1,129 @@
+"""Simplifier edge cases: multi-value splices, identical branches,
+nested-scope propagation, and hoisting boundaries."""
+
+import numpy as np
+import pytest
+
+from repro.core import array_value, scalar, to_python
+from repro.core import ast as A
+from repro.core.prim import I32
+from repro.frontend import parse
+from repro.interp import run_program
+from repro.simplify import simplify_prog
+from repro.simplify.engine import simplify_body
+
+
+def main_body(prog):
+    return prog.fun("main").body
+
+
+class TestBranchSimplification:
+    def test_static_if_with_multiple_results(self):
+        src = """
+        fun main (x: i32): (i32, i32) =
+          let (a, b) = if true then {x + 1, x + 2} else {0, 0}
+          in {a, b}
+        """
+        prog = simplify_prog(parse(src))
+        body = main_body(prog)
+        assert not any(
+            isinstance(b.exp, A.IfExp) for b in body.bindings
+        )
+        out = run_program(prog, [scalar(10, I32)])
+        assert [to_python(v) for v in out] == [11, 12]
+
+    def test_identical_branches_collapse(self):
+        src = """
+        fun main (c: i32) (x: i32): i32 =
+          if c > 0 then x else x
+        """
+        prog = simplify_prog(parse(src))
+        body = main_body(prog)
+        assert not any(
+            isinstance(b.exp, A.IfExp) for b in body.bindings
+        )
+
+    def test_zero_trip_loop_multi_merge(self):
+        src = """
+        fun main (x: i32): (i32, i32) =
+          loop (a = x, b = x + 1) for i < 0 do {a + 1, b + 1}
+        """
+        prog = simplify_prog(parse(src))
+        out = run_program(prog, [scalar(5, I32)])
+        assert [to_python(v) for v in out] == [5, 6]
+
+
+class TestScopePropagation:
+    def test_constant_reaches_kernel_lambda(self):
+        # A constant bound at the top must propagate into free
+        # occurrences inside a nested lambda body.
+        src = """
+        fun main (xs: [n]i32): [n]i32 =
+          let k = 2 + 3
+          in map (\\(x: i32) -> x * k) xs
+        """
+        prog = simplify_prog(parse(src))
+        body = main_body(prog)
+        (m,) = [b.exp for b in body.bindings if isinstance(b.exp, A.MapExp)]
+        consts = [
+            bnd.exp.y
+            for bnd in m.lam.body.bindings
+            if isinstance(bnd.exp, A.BinOpExp)
+        ]
+        assert A.Const(5, I32) in consts
+
+    def test_rebinding_through_two_lambdas(self):
+        src = """
+        fun main (m: [a][b]i32): [a][b]i32 =
+          let one = 1
+          in map (\\(row: [b]i32) ->
+            map (\\(x: i32) -> x + one) row) m
+        """
+        prog = simplify_prog(parse(src))
+        out = run_program(prog, [array_value([[1, 2]], I32)])
+        assert to_python(out[0]) == [[2, 3]]
+
+
+class TestHoistingBoundaries:
+    def test_no_hoisting_out_of_if(self):
+        # A division guarded by a branch must not be hoisted above it.
+        src = """
+        fun main (x: i32) (d: i32): i32 =
+          if d == 0 then 0 else x / d
+        """
+        prog = simplify_prog(parse(src))
+        out = run_program(prog, [scalar(10, I32), scalar(0, I32)])
+        assert to_python(out[0]) == 0
+
+    def test_hoisted_allocation_stays_if_consumed(self):
+        src = """
+        fun main (xs: [n]i32) (t: i32): [n]i32 =
+          map (\\(x: i32) ->
+            let buf0 = replicate 4 0
+            let buf = buf0 with [0] <- x
+            in buf[0]) xs
+        """
+        prog = simplify_prog(parse(src))
+        from repro.checker import check_program
+
+        check_program(prog)  # would fail if the replicate escaped
+        out = run_program(prog, [array_value([7, 8], I32), scalar(1, I32)],
+                          in_place=True)
+        assert to_python(out[0]) == [7, 8]
+
+
+class TestFixpoint:
+    def test_engine_terminates_and_is_idempotent(self):
+        src = """
+        fun main (x: i32): i32 =
+          let a = x + 0
+          let b = a * 1
+          let c = if b == b then b else 0
+          let dead = c * 999
+          in c
+        """
+        prog = parse(src)
+        once = simplify_prog(prog)
+        twice = simplify_prog(once)
+        assert main_body(once) == main_body(twice)
+        assert main_body(once).bindings == ()
