@@ -11,11 +11,23 @@ Public API highlights
 - :func:`repro.compile_program` — the full Fig. 3 pipeline.
 - :mod:`repro.gpu` — the simulated GPU devices and cost model.
 - :mod:`repro.bench` — the 16-benchmark suite of Section 6.
+- :mod:`repro.errors` — the shared error taxonomy of the resilience
+  layer (:class:`ReproError` and friends).
+- :mod:`repro.runtime` — the resilient executor (retry, watchdog,
+  interpreter fallback) and its :class:`RunReport`.
 """
 
 __version__ = "1.0.0"
 
 from .core import ProgBuilder  # noqa: F401
+from .errors import (  # noqa: F401
+    ArgumentError,
+    CompilerBug,
+    DeviceFault,
+    KernelTimeout,
+    ReproError,
+    ValidationError,
+)
 from .interp import Interpreter, run_program  # noqa: F401
 
 

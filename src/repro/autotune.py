@@ -17,6 +17,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from .core import ast as A
 from .core.values import ScalarValue, Value
+from .errors import ArgumentError
 from .gpu.costmodel import CostReport
 from .gpu.device import DeviceProfile, NVIDIA_GTX780TI
 from .pipeline import CompiledProgram, CompilerOptions, compile_program
@@ -49,7 +50,10 @@ class MultiVersioned:
             report = compiled.estimate(size_env, device)
             if best_report is None or report.total_us < best_report.total_us:
                 best_name, best_report = name, report
-        assert best_name is not None and best_report is not None
+        if best_name is None or best_report is None:
+            raise ArgumentError(
+                "multi-versioned program has no compiled versions"
+            )
         return best_name, best_report
 
     def run(

@@ -17,9 +17,12 @@ from typing import Callable, Dict, List, Mapping, Optional, Tuple
 import numpy as np
 
 from ..core.values import values_equal
+from ..errors import ValidationError
 from ..gpu.device import AMD_W8100, NVIDIA_GTX780TI, DeviceProfile
+from ..gpu.faults import FaultPlan
 from ..interp import run_program
 from ..pipeline import CompilerOptions, compile_program
+from ..runtime import ExecutionPolicy, RunReport
 from .suite import BENCHMARKS, BenchmarkSpec
 
 __all__ = [
@@ -45,22 +48,42 @@ class Row:
         return self.ref_ms[device] / self.fut_ms[device]
 
 
-def validate_benchmark(name: str, seed: int = 0) -> None:
+def validate_benchmark(
+    name: str,
+    seed: int = 0,
+    fault_plan: Optional[FaultPlan] = None,
+    policy: Optional[ExecutionPolicy] = None,
+    options: Optional[CompilerOptions] = None,
+) -> RunReport:
     """Functional validation at reduced scale: the compiled program on
-    the simulated GPU must agree with the reference interpreter."""
+    the simulated GPU must agree with the reference interpreter.
+
+    With a ``fault_plan`` this doubles as the chaos harness: execution
+    goes through the resilient executor (retry / watchdog / fallback)
+    and must *still* agree with the interpreter.  Returns the
+    :class:`RunReport` so callers can assert on its counters."""
     spec = BENCHMARKS[name]
     rng = np.random.default_rng(seed)
     args = spec.small_args(rng)
     prog = spec.program()
     expected = run_program(prog, args, in_place=True)
-    compiled = compile_program(prog)
-    got, report = compiled.run(args)
-    assert len(got) == len(expected), name
-    for e, g in zip(expected, got):
-        assert values_equal(e, g, rtol=1e-4, atol=1e-4), (
-            f"{name}: simulated result differs from interpreter"
+    compiled = compile_program(prog, options)
+    got, cost, report = compiled.execute(
+        args, fault_plan=fault_plan, policy=policy
+    )
+    if len(got) != len(expected):
+        raise ValidationError(
+            f"{name}: expected {len(expected)} results, got {len(got)}"
         )
-    assert report.total_us > 0
+    for e, g in zip(expected, got):
+        if not values_equal(e, g, rtol=1e-4, atol=1e-4):
+            raise ValidationError(
+                f"{name}: simulated result differs from interpreter "
+                f"({report.summary()})"
+            )
+    if report.fallbacks == 0 and cost.total_us <= 0:
+        raise ValidationError(f"{name}: device run reported no time")
+    return report
 
 
 def _program_dims(compiled) -> set:

@@ -1,9 +1,15 @@
-"""Error hierarchy for static checking."""
+"""Error hierarchy for static checking.
+
+All static-checking failures are rooted at :class:`repro.errors.ReproError`
+so the resilience layer can classify them alongside runtime faults.
+"""
+
+from ..errors import ReproError
 
 __all__ = ["CheckError", "TypeCheckError", "AliasError", "UniquenessError"]
 
 
-class CheckError(Exception):
+class CheckError(ReproError):
     """Base class for all static-checking failures."""
 
 

@@ -1,0 +1,134 @@
+"""The shared error taxonomy of the resilience layer.
+
+Every failure the toolchain can produce is rooted at :class:`ReproError`
+and classified by *who is at fault and what can be done about it*:
+
+- :class:`CompilerBug` — an optimisation pass violated an internal
+  invariant or produced ill-typed IR.  Carries the pass name, the
+  pipeline phase and (when available) a pretty-print of the offending
+  IR.  The pass guard in :mod:`repro.pipeline` catches these, rolls the
+  IR back to the pre-pass state and keeps compiling.
+- :class:`DeviceFault` — the (simulated) device failed a launch or
+  corrupted a transfer.  ``transient`` faults are retryable; fatal ones
+  are not and force the interpreter fallback.
+- :class:`KernelTimeout` — a kernel exceeded its watchdog budget (the
+  budget is derived from the cost model's estimate for that kernel).
+  Treated as transient: the runaway condition may clear on retry.
+- :class:`ArgumentError` — the *caller* misused a host API (wrong
+  arity, bad option combination).  Never retried: retrying a usage
+  error cannot help.
+- :class:`ValidationError` — a result check failed (simulated device
+  disagreed with the reference interpreter).  Unlike a bare ``assert``
+  this survives ``python -O``.
+
+The pre-existing hierarchies are grafted onto the same root:
+``repro.interp.InterpError`` (dynamic semantic errors) and
+``repro.checker.CheckError`` (static checking failures) both subclass
+:class:`ReproError`, so ``except ReproError`` catches every
+toolchain-originated failure while letting genuine Python bugs
+(``TypeError`` et al.) propagate.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = [
+    "ReproError",
+    "CompilerBug",
+    "DeviceFault",
+    "KernelTimeout",
+    "ArgumentError",
+    "ValidationError",
+]
+
+
+class ReproError(Exception):
+    """Root of every failure originating in the repro toolchain."""
+
+
+class CompilerBug(ReproError):
+    """An optimisation pass broke an invariant or produced bad IR.
+
+    Parameters
+    ----------
+    pass_name:
+        The pass that misbehaved (``"fusion"``, ``"distribute"``, ...).
+    phase:
+        The pipeline phase the pass belongs to (``"simplify"``,
+        ``"flatten"``, ``"memory"``, ``"backend"``, ...).
+    message:
+        What went wrong.
+    ir:
+        Optional pretty-print of the offending IR fragment.
+    """
+
+    def __init__(
+        self,
+        pass_name: str,
+        phase: str,
+        message: str,
+        ir: Optional[str] = None,
+    ) -> None:
+        self.pass_name = pass_name
+        self.phase = phase
+        self.message = message
+        self.ir = ir
+        text = f"[{phase}/{pass_name}] {message}"
+        if ir:
+            text += f"\n--- offending IR ---\n{ir}"
+        super().__init__(text)
+
+
+class DeviceFault(ReproError):
+    """A (simulated) device failure.
+
+    ``kind`` classifies the failure surface (``"launch"`` — the kernel
+    launch itself failed; ``"memory"`` — a transfer or device buffer
+    was corrupted).  ``transient`` faults may clear on retry; fatal
+    ones will not.
+    """
+
+    def __init__(
+        self, kind: str, message: str, transient: bool = True
+    ) -> None:
+        self.kind = kind
+        self.transient = transient
+        flavour = "transient" if transient else "fatal"
+        super().__init__(f"{flavour} {kind} fault: {message}")
+
+
+class KernelTimeout(ReproError):
+    """A kernel exceeded its watchdog budget.
+
+    The budget is derived from the cost model's analytic estimate for
+    the kernel, so a runaway kernel (one whose actual behaviour departs
+    wildly from its static cost) is killed rather than wedging the
+    whole device.  Timeouts are treated as transient by the resilient
+    executor.
+    """
+
+    #: Retryable, like a transient :class:`DeviceFault`.
+    transient = True
+
+    def __init__(
+        self, kernel: str, budget_us: float, elapsed_us: float
+    ) -> None:
+        self.kernel = kernel
+        self.budget_us = budget_us
+        self.elapsed_us = elapsed_us
+        super().__init__(
+            f"kernel {kernel!r} exceeded its watchdog budget: "
+            f"{elapsed_us:.1f}us elapsed > {budget_us:.1f}us allowed"
+        )
+
+
+class ArgumentError(ReproError):
+    """A host-API usage error (wrong arity, bad options).  The caller
+    is at fault; retrying cannot help, so the resilient executor never
+    retries these."""
+
+
+class ValidationError(ReproError):
+    """A result-validation failure: the compiled program's output
+    disagrees with the reference interpreter."""

@@ -28,6 +28,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from ..core import ast as A
 from ..core.prim import I32
 from ..core.types import Array, Prim, Type, array_of
+from ..errors import CompilerBug
 from ..core.traversal import (
     NameSource,
     bound_names_body,
@@ -151,7 +152,11 @@ class _Distributor:
             t = array_of(t, width_dim(level.width))
             name = self.names.fresh(f"{hint}_rep")
             if not isinstance(atom, (A.Var, A.Const)):
-                raise AssertionError("replicate chain over non-atom")
+                raise CompilerBug(
+                    "distribute",
+                    "kernel-extraction",
+                    f"replicate chain over non-atom {atom!r}",
+                )
             top.append(
                 A.Binding(
                     (A.Param(name, t),),
@@ -159,7 +164,13 @@ class _Distributor:
                 )
             )
             atom = A.Var(name)
-        assert isinstance(atom, A.Var)
+        if not isinstance(atom, A.Var):
+            raise CompilerBug(
+                "distribute",
+                "kernel-extraction",
+                f"replicate chain for {hint!r} produced non-variable "
+                f"{atom!r} (empty map context over a constant?)",
+            )
         return atom
 
     # -- the main loop ---------------------------------------------------------

@@ -22,6 +22,7 @@ from ..core.traversal import (
     name_source,
     substitute_body,
 )
+from ..errors import CompilerBug
 from .graph import single_consumer, use_counts
 
 __all__ = [
@@ -428,7 +429,13 @@ def _find_stream_seq_producer(body: A.Body, ci: int) -> Optional[int]:
     the consumer at ``ci``, with matching width."""
     consumer = body.bindings[ci]
     cons_exp = consumer.exp
-    assert isinstance(cons_exp, A.StreamSeqExp)
+    if not isinstance(cons_exp, A.StreamSeqExp):
+        raise CompilerBug(
+            "stream-fusion",
+            "fusion",
+            f"consumer at binding {ci} is {type(cons_exp).__name__}, "
+            "expected StreamSeqExp",
+        )
     cons_inputs = {a.name for a in cons_exp.arrs}
     from .graph import consumption_between
 

@@ -10,4 +10,5 @@ accesses and flop counts.
 
 from .device import AMD_W8100, DeviceProfile, NVIDIA_GTX780TI  # noqa: F401
 from .costmodel import CostReport, KernelCost, estimate_program  # noqa: F401
+from .faults import FaultInjector, FaultPlan  # noqa: F401
 from .simulator import GpuSimulator  # noqa: F401

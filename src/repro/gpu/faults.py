@@ -1,0 +1,156 @@
+"""Seeded fault injection for the simulated GPU.
+
+A :class:`FaultPlan` is a frozen, seeded description of *how unreliable
+the device should be*: per-launch probabilities of launch failures,
+memory faults and watchdog timeouts, the odds that an injected device
+fault is fatal rather than transient, and how long a transient
+condition persists before it clears.
+
+The plan itself is pure configuration; :meth:`FaultPlan.injector`
+builds the stateful :class:`FaultInjector` the simulator consults at
+every kernel launch.  The injector is deterministic: the same plan
+always produces the same fault sequence, which is what makes chaos
+tests reproducible across CI runs.
+
+Transient conditions are modelled per *site* (kernel name): a site
+faults at most ``max_consecutive`` times, after which the condition is
+considered cleared and the site never faults again within that
+injector's lifetime.  This mirrors real transient faults (a thermal
+glitch, an evicted TLB entry) and guarantees that a retry loop with a
+sufficiently large budget — or the interpreter fallback behind it —
+always reaches a correct result.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import DeviceFault
+
+__all__ = ["FaultPlan", "FaultInjector"]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded description of injected device unreliability.
+
+    All rates are per kernel launch and drawn from one deterministic
+    stream seeded with ``seed``.
+    """
+
+    seed: int = 0
+    #: Probability a kernel launch fails outright.
+    launch_failure_rate: float = 0.0
+    #: Probability a launch suffers a memory fault (corrupted
+    #: transfer / device buffer).
+    memory_fault_rate: float = 0.0
+    #: Probability a kernel runs away and trips the watchdog.
+    timeout_rate: float = 0.0
+    #: Probability an injected device fault is fatal (not retryable)
+    #: rather than transient.
+    fatal_rate: float = 0.0
+    #: A transient condition at one site clears after this many
+    #: consecutive injections.
+    max_consecutive: int = 2
+    #: Simulated-time slowdown applied to a kernel chosen for a
+    #: watchdog timeout (must comfortably exceed the simulator's
+    #: watchdog factor *and* its floor, even for microsecond kernels).
+    timeout_slowdown: float = 1000.0
+
+    def injector(self) -> "FaultInjector":
+        """A fresh, deterministic injector for one resilient execution
+        (spanning all of its retry attempts)."""
+        return FaultInjector(self)
+
+    @property
+    def transient_only(self) -> bool:
+        return self.fatal_rate == 0.0
+
+
+@dataclass
+class FaultCounters:
+    """What an injector actually did — useful in tests and reports."""
+
+    launch_faults: int = 0
+    memory_faults: int = 0
+    timeouts: int = 0
+    fatal: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.launch_faults + self.memory_faults + self.timeouts
+
+
+class FaultInjector:
+    """The stateful half of a :class:`FaultPlan`.
+
+    One injector lives for one resilient execution, across all retry
+    attempts, so the fault stream advances between attempts and
+    transient conditions eventually clear.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._rng = random.Random(plan.seed)
+        #: Consecutive injections per (site, surface); ``-1`` marks a
+        #: transient condition that cleared for good.  Device faults
+        #: and watchdog timeouts are separate surfaces so each can
+        #: exercise its own recovery path.
+        self._burst: Dict[str, int] = {}
+        self.counters = FaultCounters()
+        self.log: List[str] = []
+
+    # -- site bookkeeping ---------------------------------------------------
+
+    def _may_fault(self, key: str) -> bool:
+        count = self._burst.get(key, 0)
+        if count < 0:  # cleared for good
+            return False
+        if count >= self.plan.max_consecutive:
+            self._burst[key] = -1  # the transient condition cleared
+            return False
+        return True
+
+    def _record(self, key: str, what: str) -> None:
+        self._burst[key] = self._burst.get(key, 0) + 1
+        self.log.append(f"{key}: {what}")
+
+    # -- the hooks the simulator calls --------------------------------------
+
+    def before_launch(self, site: str) -> None:
+        """Called before a kernel launch; raises :class:`DeviceFault`
+        when the plan injects a launch or memory fault here."""
+        plan = self.plan
+        draw = self._rng.random()
+        fatal_draw = self._rng.random()
+        key = f"{site}#device"
+        if not self._may_fault(key):
+            return
+        if draw < plan.launch_failure_rate:
+            kind, msg = "launch", f"injected launch failure at {site}"
+            self.counters.launch_faults += 1
+        elif draw < plan.launch_failure_rate + plan.memory_fault_rate:
+            kind, msg = "memory", f"injected memory fault at {site}"
+            self.counters.memory_faults += 1
+        else:
+            return
+        transient = fatal_draw >= plan.fatal_rate
+        if not transient:
+            self.counters.fatal += 1
+        self._record(key, f"{kind} fault (transient={transient})")
+        raise DeviceFault(kind, msg, transient=transient)
+
+    def slowdown(self, site: str) -> float:
+        """Simulated-time multiplier for this launch: > 1 when the plan
+        makes the kernel run away (tripping the watchdog)."""
+        draw = self._rng.random()
+        key = f"{site}#watchdog"
+        if not self._may_fault(key):
+            return 1.0
+        if draw < self.plan.timeout_rate:
+            self.counters.timeouts += 1
+            self._record(key, "watchdog timeout")
+            return self.plan.timeout_slowdown
+        return 1.0

@@ -25,31 +25,58 @@ from ..backend.kernel_ir import (
     ManifestStmt,
 )
 from ..core.types import Array
+from ..errors import ArgumentError, CompilerBug, KernelTimeout
 from .costmodel import CostReport, kernel_cost
 from .device import DeviceProfile
+from .faults import FaultInjector
 
 __all__ = ["GpuSimulator"]
+
+#: Watchdog defaults: a kernel may take this many times its analytic
+#: cost estimate (plus a floor for tiny kernels) before being killed.
+WATCHDOG_FACTOR = 8.0
+WATCHDOG_FLOOR_US = 100.0
 
 
 class GpuSimulator:
     """Executes a :class:`HostProgram`, producing both the result
-    values and a :class:`CostReport` of simulated device time."""
+    values and a :class:`CostReport` of simulated device time.
+
+    ``injector`` (a :class:`repro.gpu.faults.FaultInjector`) makes the
+    device unreliable: launches may raise :class:`DeviceFault`s and
+    kernels may run away.  Every launch is watched: its simulated time
+    budget is ``watchdog_factor`` times the cost model's estimate for
+    that kernel (with a ``watchdog_floor_us`` floor), and exceeding it
+    raises :class:`KernelTimeout` instead of wedging the device.
+    """
 
     def __init__(
         self,
         device: DeviceProfile,
         coalescing: bool = True,
         in_place: bool = True,
+        injector: Optional[FaultInjector] = None,
+        watchdog_factor: float = WATCHDOG_FACTOR,
+        watchdog_floor_us: float = WATCHDOG_FLOOR_US,
+        prog: Optional[A.Prog] = None,
     ) -> None:
         self.device = device
         self.coalescing = coalescing
-        self._interp = Interpreter(A.Prog(()), in_place=in_place)
+        self.injector = injector
+        self.watchdog_factor = watchdog_factor
+        self.watchdog_floor_us = watchdog_floor_us
+        # Kernels normally contain no function calls (inlining runs
+        # first), but when the pass guard rolls inlining back the
+        # remaining calls must still resolve.
+        self._interp = Interpreter(
+            prog if prog is not None else A.Prog(()), in_place=in_place
+        )
 
     def run(
         self, hp: HostProgram, args: Sequence[Value]
     ) -> Tuple[Tuple[Value, ...], CostReport]:
         if len(args) != len(hp.params):
-            raise InterpError(
+            raise ArgumentError(
                 f"{hp.name}: expected {len(hp.params)} arguments, "
                 f"got {len(args)}"
             )
@@ -89,17 +116,19 @@ class GpuSimulator:
         for s in stmts:
             if isinstance(s, LaunchStmt):
                 kernel = s.kernel
+                if self.injector is not None:
+                    self.injector.before_launch(kernel.name)
                 values = self._interp.eval_exp(kernel.exp, env)
+                cost = kernel_cost(
+                    kernel,
+                    self._size_env(env),
+                    self.device,
+                    coalescing=self.coalescing,
+                )
+                self._watchdog(kernel.name, cost.time_us)
                 for p, v in zip(kernel.pat, values):
                     self._interp.bind_param(env, p, v)
-                report.kernel_costs.append(
-                    kernel_cost(
-                        kernel,
-                        self._size_env(env),
-                        self.device,
-                        coalescing=self.coalescing,
-                    )
-                )
+                report.kernel_costs.append(cost)
             elif isinstance(s, HostEval):
                 values = self._interp.eval_exp(s.binding.exp, env)
                 for p, v in zip(s.binding.pat, values):
@@ -140,7 +169,23 @@ class GpuSimulator:
                         env, p, self._atom(inner_env, a)
                     )
             else:  # pragma: no cover
-                raise InterpError(f"unknown host statement {s!r}")
+                raise CompilerBug(
+                    "simulate", "execute", f"unknown host statement {s!r}"
+                )
+
+    def _watchdog(self, site: str, cost_us: float) -> None:
+        """Kill a runaway kernel: its (possibly fault-inflated)
+        simulated time must stay within a budget derived from the cost
+        model's own estimate."""
+        slowdown = (
+            self.injector.slowdown(site)
+            if self.injector is not None
+            else 1.0
+        )
+        elapsed = cost_us * slowdown
+        budget = self.watchdog_factor * cost_us + self.watchdog_floor_us
+        if elapsed > budget:
+            raise KernelTimeout(site, budget, elapsed)
 
     def _exec_loop(
         self,

@@ -37,6 +37,7 @@ from ..core.prim import (
     ConvOp,
 )
 from ..core.types import Array, Prim, Type
+from ..errors import ReproError
 from ..core.values import (
     ArrayValue,
     ScalarValue,
@@ -49,7 +50,7 @@ from ..core.values import (
 __all__ = ["Interpreter", "InterpError", "Metrics", "run_program"]
 
 
-class InterpError(Exception):
+class InterpError(ReproError):
     """A dynamic error: bounds, regularity, shape postcondition, ..."""
 
 

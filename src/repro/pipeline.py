@@ -1,4 +1,5 @@
-"""The compiler driver — the pipeline of Fig. 3.
+"""The compiler driver — the pipeline of Fig. 3, with a self-healing
+pass guard.
 
 ``compile_program`` takes a core-IR program through type checking,
 alias/uniqueness checking, inlining, simplification, fusion, kernel
@@ -6,30 +7,50 @@ extraction (flattening), locality optimisation (coalescing + tiling)
 and lowering to the kernel IR.  Every optimisation can be switched off
 through :class:`CompilerOptions`, which is how the §6.1.1 ablation
 benchmarks are produced.
+
+Every *optimisation* pass runs under a guard: the IR is re-typechecked
+after the pass, and if the pass raises or produces ill-typed IR the
+guard rolls back to the pre-pass program, records a
+:class:`PassDiagnostic`, and compilation continues — a buggy
+optimisation degrades performance instead of crashing the compile.
+Mandatory stages degrade along their own chains: flattening retries
+with the most conservative (fully sequentialising) options, and
+lowering failures surface as :class:`CompilerBug` with the offending
+IR attached.  ``CompilerOptions(strict=True)`` restores fail-fast
+behaviour for tests that want to *see* pass bugs.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from .core import ast as A
+from .core.pretty import pretty_prog
 from .core.values import Value
 from .backend.codegen import lower_program
 from .backend.kernel_ir import HostProgram
 from .backend.opencl_text import render_program
 from .checker import check_program
+from .errors import CompilerBug, ReproError
 from .flatten import FlattenOptions, flatten_prog
 from .fusion import fuse_prog
 from .fusion.fuse import FusionStats
 from .gpu.costmodel import CostReport, estimate_program
 from .gpu.device import DeviceProfile, NVIDIA_GTX780TI
-from .gpu.simulator import GpuSimulator
+from .gpu.faults import FaultPlan
 from .memory.coalescing import coalesce_program
 from .memory.tiling import tile_program
+from .runtime import ExecutionPolicy, RunReport, run_resilient
 from .simplify import inline_prog, simplify_prog
 
-__all__ = ["CompilerOptions", "CompiledProgram", "compile_program", "compile_source"]
+__all__ = [
+    "CompilerOptions",
+    "CompiledProgram",
+    "PassDiagnostic",
+    "compile_program",
+    "compile_source",
+]
 
 
 @dataclass(frozen=True)
@@ -48,6 +69,86 @@ class CompilerOptions:
     tiling: bool = True
     check: bool = True
     check_uniqueness: bool = True
+    #: Execute in-place updates by mutation on the simulated device
+    #: (sound only for uniqueness-checked programs).
+    in_place: bool = True
+    #: Fail fast on a broken optimisation pass instead of rolling the
+    #: IR back and continuing.
+    strict: bool = False
+
+
+@dataclass
+class PassDiagnostic:
+    """One pass-guard intervention: which pass failed, in which phase,
+    how, and what the guard did about it."""
+
+    pass_name: str
+    phase: str
+    error: str
+    action: str = "rolled back"
+
+    def __str__(self) -> str:
+        return f"[{self.phase}/{self.pass_name}] {self.action}: {self.error}"
+
+
+class _PassGuard:
+    """Runs passes; on failure rolls back and records a diagnostic."""
+
+    def __init__(
+        self, options: CompilerOptions, diagnostics: List[PassDiagnostic]
+    ) -> None:
+        self.options = options
+        self.diagnostics = diagnostics
+
+    def _note(
+        self, name: str, phase: str, exc: Exception, action: str
+    ) -> None:
+        self.diagnostics.append(
+            PassDiagnostic(
+                name, phase, f"{type(exc).__name__}: {exc}", action
+            )
+        )
+
+    def core(
+        self,
+        name: str,
+        phase: str,
+        fn: Callable[[A.Prog], A.Prog],
+        prog: A.Prog,
+    ) -> A.Prog:
+        """A guarded core-IR optimisation pass: run ``fn``, re-typecheck
+        the result, and roll back to ``prog`` on any failure."""
+        if self.options.strict:
+            return fn(prog)
+        try:
+            out = fn(prog)
+            self.revalidate(out)
+            return out
+        except Exception as e:
+            self._note(name, phase, e, "rolled back")
+            return prog
+
+    def host(
+        self,
+        name: str,
+        phase: str,
+        fn: Callable[[HostProgram], HostProgram],
+        hp: HostProgram,
+    ) -> HostProgram:
+        """A guarded host-program (kernel-IR) optimisation pass."""
+        if self.options.strict:
+            return fn(hp)
+        try:
+            return fn(hp)
+        except Exception as e:
+            self._note(name, phase, e, "rolled back")
+            return hp
+
+    def revalidate(self, prog: A.Prog) -> None:
+        """Re-typecheck the IR a pass just produced (uniqueness is a
+        front-end property and is not re-checked here)."""
+        if self.options.check:
+            check_program(prog, check_unique=False)
 
 
 @dataclass
@@ -58,6 +159,8 @@ class CompiledProgram:
     host: HostProgram
     options: CompilerOptions
     fusion_stats: Optional[FusionStats] = None
+    #: Pass-guard interventions (empty for a clean compile).
+    diagnostics: List[PassDiagnostic] = field(default_factory=list)
 
     def opencl(self) -> str:
         """Pseudo-OpenCL rendering of the generated code."""
@@ -67,11 +170,37 @@ class CompiledProgram:
         self,
         args: Sequence[Value],
         device: DeviceProfile = NVIDIA_GTX780TI,
+        fault_plan: Optional[FaultPlan] = None,
+        policy: Optional[ExecutionPolicy] = None,
     ) -> Tuple[Tuple[Value, ...], CostReport]:
         """Execute on the simulated device: returns result values and
-        the simulated-time cost report."""
-        sim = GpuSimulator(device, coalescing=self.options.coalescing)
-        return sim.run(self.host, args)
+        the simulated-time cost report.  Runs through the resilient
+        executor; use :meth:`execute` to also get the
+        :class:`RunReport` of retries/faults/fallbacks."""
+        values, cost, _ = self.execute(args, device, fault_plan, policy)
+        return values, cost
+
+    def execute(
+        self,
+        args: Sequence[Value],
+        device: DeviceProfile = NVIDIA_GTX780TI,
+        fault_plan: Optional[FaultPlan] = None,
+        policy: Optional[ExecutionPolicy] = None,
+    ) -> Tuple[Tuple[Value, ...], CostReport, RunReport]:
+        """Execute with full resilience semantics: bounded retry with
+        backoff on transient device faults, watchdog timeouts derived
+        from the cost model, and graceful degradation to the reference
+        interpreter.  Returns ``(values, cost_report, run_report)``."""
+        return run_resilient(
+            self.host,
+            self.core,
+            args,
+            device,
+            coalescing=self.options.coalescing,
+            in_place=self.options.in_place,
+            fault_plan=fault_plan,
+            policy=policy,
+        )
 
     def estimate(
         self,
@@ -90,6 +219,54 @@ class CompiledProgram:
         )
 
 
+#: The most conservative kernel-extraction strategy: exploit only the
+#: outermost parallelism and sequentialise everything nested.  This is
+#: the degradation target when full flattening fails.
+_CONSERVATIVE_FLATTEN = FlattenOptions(
+    distribute=False,
+    interchange=False,
+    reduce_map_interchange=False,
+    sequentialise_streams=True,
+)
+
+
+def _flatten_with_degradation(
+    prog: A.Prog,
+    options: CompilerOptions,
+    guard: _PassGuard,
+) -> A.Prog:
+    """Kernel extraction is mandatory, so a failure cannot simply be
+    rolled back; instead degrade to the conservative strategy, and only
+    if that also fails report a :class:`CompilerBug`."""
+    flat_opts = FlattenOptions(
+        distribute=options.distribute,
+        interchange=options.interchange,
+        reduce_map_interchange=options.reduce_map_interchange,
+        sequentialise_streams=options.sequentialise_streams,
+    )
+    if options.strict:
+        return flatten_prog(prog, flat_opts)
+    try:
+        out = flatten_prog(prog, flat_opts)
+        guard.revalidate(out)
+        return out
+    except Exception as e:
+        guard._note(
+            "flatten", "kernel-extraction", e, "degraded to conservative"
+        )
+    try:
+        out = flatten_prog(prog, _CONSERVATIVE_FLATTEN)
+        guard.revalidate(out)
+        return out
+    except Exception as e:
+        raise CompilerBug(
+            "flatten",
+            "kernel-extraction",
+            f"conservative flattening also failed: {e}",
+            ir=pretty_prog(prog),
+        ) from e
+
+
 def compile_program(
     prog: A.Prog,
     options: Optional[CompilerOptions] = None,
@@ -97,33 +274,69 @@ def compile_program(
 ) -> CompiledProgram:
     """Run the full Fig. 3 pipeline."""
     options = options or CompilerOptions()
+    diagnostics: List[PassDiagnostic] = []
+    guard = _PassGuard(options, diagnostics)
 
+    # The *initial* check is fail-fast even in resilient mode: a
+    # malformed input program is the caller's error, not a pass bug.
     if options.check:
         check_program(prog, check_unique=options.check_uniqueness)
 
-    prog = inline_prog(prog, keep=entry)
-    prog = simplify_prog(prog)
+    prog = guard.core(
+        "inline", "simplify", lambda p: inline_prog(p, keep=entry), prog
+    )
+    prog = guard.core("simplify", "simplify", simplify_prog, prog)
 
     stats: Optional[FusionStats] = None
     if options.fusion:
-        prog, stats = fuse_prog(prog)
-        prog = simplify_prog(prog)
 
-    flat_opts = FlattenOptions(
-        distribute=options.distribute,
-        interchange=options.interchange,
-        reduce_map_interchange=options.reduce_map_interchange,
-        sequentialise_streams=options.sequentialise_streams,
-    )
-    prog = flatten_prog(prog, flat_opts)
+        def _fuse(p: A.Prog) -> A.Prog:
+            nonlocal stats
+            fused, fstats = fuse_prog(p)
+            stats = fstats
+            return fused
+
+        prog = guard.core("fusion", "fusion", _fuse, prog)
+        prog = guard.core("post-fusion-simplify", "fusion", simplify_prog, prog)
+
+    prog = _flatten_with_degradation(prog, options, guard)
     # Post-flattening cleanup must not hoist: pulling bindings out of
     # lambda bodies could perturb the perfect nests just built.
-    prog = simplify_prog(prog, hoisting=False)
+    prog = guard.core(
+        "post-flatten-simplify",
+        "kernel-extraction",
+        lambda p: simplify_prog(p, hoisting=False),
+        prog,
+    )
 
-    host = lower_program(prog, fname=entry)
-    host = coalesce_program(host, enabled=options.coalescing)
-    host = tile_program(host, enabled=options.tiling)
-    return CompiledProgram(prog, host, options, stats)
+    host = _lower_with_context(prog, entry, options)
+    host = guard.host(
+        "coalescing",
+        "memory",
+        lambda h: coalesce_program(h, enabled=options.coalescing),
+        host,
+    )
+    host = guard.host(
+        "tiling", "memory", lambda h: tile_program(h, enabled=options.tiling), host
+    )
+    return CompiledProgram(prog, host, options, stats, diagnostics)
+
+
+def _lower_with_context(
+    prog: A.Prog, entry: str, options: CompilerOptions
+) -> HostProgram:
+    """Lowering is mandatory; a failure here is a genuine compiler bug
+    and is reported with the offending IR attached."""
+    if options.strict:
+        return lower_program(prog, fname=entry)
+    try:
+        return lower_program(prog, fname=entry)
+    except ReproError:
+        raise
+    except Exception as e:
+        raise CompilerBug(
+            "lower", "backend", str(e), ir=pretty_prog(prog)
+        ) from e
 
 
 def compile_source(

@@ -1,0 +1,194 @@
+"""The resilient executor: retries, watchdog budgets and graceful
+degradation around the simulated GPU.
+
+Real GPU stacks lose launches to transient driver faults, kill runaway
+kernels with a watchdog, and — when the device is truly gone — fall
+back to a slower but correct path.  This module implements that chain
+for the simulator:
+
+1. run the host program on the simulated device;
+2. on a *transient* :class:`DeviceFault` or a :class:`KernelTimeout`,
+   retry up to ``max_retries`` times with exponential backoff and
+   deterministic jitter (seeded, so runs are reproducible);
+3. on a fatal fault, or when the retry budget is exhausted, degrade
+   gracefully: re-execute the program on the reference interpreter,
+   which is slow but cannot suffer device faults.
+
+Every execution produces a :class:`RunReport` counting attempts,
+retries, faults, timeouts and fallbacks next to the usual
+:class:`CostReport`; chaos tests assert on those counters.
+
+:class:`ArgumentError` and other non-device errors are *never*
+retried — retrying a usage error or a compiler bug cannot help.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from .core import ast as A
+from .core.values import Value
+from .errors import DeviceFault, KernelTimeout, ReproError
+from .gpu.costmodel import CostReport
+from .gpu.device import DeviceProfile
+from .gpu.faults import FaultPlan
+from .gpu.simulator import (
+    WATCHDOG_FACTOR,
+    WATCHDOG_FLOOR_US,
+    GpuSimulator,
+)
+from .interp import run_program
+
+__all__ = ["ExecutionPolicy", "RunReport", "run_resilient"]
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """How hard to try before giving up on the device."""
+
+    #: Retry attempts after the first try (so ``max_retries + 1``
+    #: device attempts in total).
+    max_retries: int = 8
+    #: First backoff, microseconds of simulated wall time.
+    base_backoff_us: float = 50.0
+    #: Exponential growth factor between consecutive backoffs.
+    backoff_factor: float = 2.0
+    #: Backoff ceiling.
+    max_backoff_us: float = 5_000.0
+    #: Jitter amplitude as a fraction of the backoff (deterministic,
+    #: seeded from the fault plan, so runs are reproducible).
+    jitter: float = 0.25
+    #: When the device is hopeless, fall back to the reference
+    #: interpreter instead of failing the job.
+    fallback: bool = True
+    #: Watchdog budget: a kernel may take this many times its analytic
+    #: cost estimate before being killed...
+    watchdog_factor: float = WATCHDOG_FACTOR
+    #: ...with this floor so microsecond kernels aren't flaky.
+    watchdog_floor_us: float = WATCHDOG_FLOOR_US
+
+
+@dataclass
+class RunReport:
+    """What the resilient executor had to do to produce a result."""
+
+    device: str
+    #: Device attempts made (1 for a clean run).
+    attempts: int = 0
+    #: Retries after transient faults/timeouts.
+    retries: int = 0
+    transient_faults: int = 0
+    fatal_faults: int = 0
+    timeouts: int = 0
+    #: 1 when the interpreter fallback produced the result.
+    fallbacks: int = 0
+    #: Total simulated backoff time spent between retries.
+    backoff_us: float = 0.0
+    #: Human-readable trail of what went wrong, in order.
+    events: List[str] = field(default_factory=list)
+
+    @property
+    def faults(self) -> int:
+        """All observed fault events (transient + fatal + timeouts)."""
+        return self.transient_faults + self.fatal_faults + self.timeouts
+
+    @property
+    def degraded(self) -> bool:
+        """True when the result did not come from a clean device run."""
+        return self.fallbacks > 0 or self.retries > 0
+
+    def summary(self) -> str:
+        return (
+            f"attempts={self.attempts} retries={self.retries} "
+            f"faults={self.faults} (transient={self.transient_faults}, "
+            f"fatal={self.fatal_faults}, timeouts={self.timeouts}) "
+            f"fallbacks={self.fallbacks} backoff={self.backoff_us:.0f}us"
+        )
+
+
+def _backoff_us(
+    attempt: int, policy: ExecutionPolicy, rng: random.Random
+) -> float:
+    base = min(
+        policy.base_backoff_us * policy.backoff_factor**attempt,
+        policy.max_backoff_us,
+    )
+    jitter = policy.jitter * (2.0 * rng.random() - 1.0)
+    return base * (1.0 + jitter)
+
+
+def run_resilient(
+    host,
+    core: A.Prog,
+    args: Sequence[Value],
+    device: DeviceProfile,
+    coalescing: bool = True,
+    in_place: bool = True,
+    fault_plan: Optional[FaultPlan] = None,
+    policy: Optional[ExecutionPolicy] = None,
+    entry: Optional[str] = None,
+) -> Tuple[Tuple[Value, ...], CostReport, RunReport]:
+    """Execute ``host`` on the simulated device with retry, watchdog
+    and interpreter-fallback semantics.
+
+    ``core`` is the core-IR program the host program was lowered from;
+    it is the graceful-degradation path (the reference interpreter
+    computes the same values the simulator would have).
+    """
+    policy = policy or ExecutionPolicy()
+    report = RunReport(device.name)
+    injector = fault_plan.injector() if fault_plan is not None else None
+    backoff_rng = random.Random(
+        fault_plan.seed ^ 0x5DEECE66D if fault_plan is not None else 0
+    )
+    last_error: Optional[ReproError] = None
+
+    for attempt in range(policy.max_retries + 1):
+        report.attempts += 1
+        sim = GpuSimulator(
+            device,
+            coalescing=coalescing,
+            in_place=in_place,
+            injector=injector,
+            watchdog_factor=policy.watchdog_factor,
+            watchdog_floor_us=policy.watchdog_floor_us,
+            prog=core,
+        )
+        try:
+            values, cost = sim.run(host, args)
+            return values, cost, report
+        except KernelTimeout as e:
+            report.timeouts += 1
+            report.events.append(str(e))
+            last_error = e
+        except DeviceFault as e:
+            report.events.append(str(e))
+            if e.transient:
+                report.transient_faults += 1
+                last_error = e
+            else:
+                report.fatal_faults += 1
+                last_error = e
+                break  # a fatal fault will not clear: stop retrying
+        if attempt < policy.max_retries:
+            report.retries += 1
+            report.backoff_us += _backoff_us(attempt, policy, backoff_rng)
+
+    if policy.fallback:
+        report.fallbacks += 1
+        report.events.append(
+            f"falling back to the reference interpreter after: {last_error}"
+        )
+        values = run_program(
+            core, args, fname=entry or host.name, in_place=in_place
+        )
+        # The device never produced a result; the cost report carries
+        # only the wasted backoff time.
+        cost = CostReport(device.name)
+        return values, cost, report
+
+    if last_error is None:  # pragma: no cover
+        raise ReproError("resilient executor made no attempts")
+    raise last_error

@@ -75,9 +75,11 @@ class TestExecution:
         compiled = compile_source(
             "fun main (x: f32): f32 = x + 1.0f32"
         )
-        from repro.interp import InterpError
+        # A host-API usage error, not an interpretation error: the
+        # resilient executor must never retry it.
+        from repro.errors import ArgumentError
 
-        with pytest.raises(InterpError, match="argument"):
+        with pytest.raises(ArgumentError, match="argument"):
             compiled.run([])
 
 

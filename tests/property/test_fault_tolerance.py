@@ -1,0 +1,87 @@
+"""Property: transient faults never change results.
+
+For *any* seeded :class:`FaultPlan` containing only transient faults,
+executing through the resilient executor must return values
+bit-identical to a fault-free run — whether the result came from a
+clean attempt, a retry, or the interpreter fallback.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import array_value
+from repro.core.prim import F32, I32
+from repro.gpu.faults import FaultPlan
+from repro.pipeline import compile_source
+from repro.runtime import ExecutionPolicy
+
+# A program with several kernels (map, scan, reduce) so fault sites
+# are plentiful: more launches, more places to inject.
+SRC = """
+fun main (xs: [n]f32): ([n]f32, f32) =
+  let ys = map (\\(x: f32) -> x * 2.0f32 + 1.0f32) xs
+  let zs = scan (\\(a: f32) (b: f32) -> a + b) 0.0f32 ys
+  let s = reduce (\\(a: f32) (b: f32) -> a + b) 0.0f32 zs
+  in {zs, s}
+"""
+
+COMPILED = compile_source(SRC)
+ARGS = [array_value([float(i) for i in range(1, 17)], F32)]
+BASELINE = COMPILED.run([a.copy() for a in ARGS])[0]
+
+
+@st.composite
+def transient_plans(draw):
+    return FaultPlan(
+        seed=draw(st.integers(0, 2**16)),
+        launch_failure_rate=draw(st.floats(0.0, 0.9)),
+        memory_fault_rate=draw(st.floats(0.0, 0.5)),
+        timeout_rate=draw(st.floats(0.0, 0.5)),
+        fatal_rate=0.0,  # transient-only, by the property's premise
+        max_consecutive=draw(st.integers(1, 4)),
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(plan=transient_plans())
+def test_transient_faults_preserve_results_bit_identically(plan):
+    assert plan.transient_only
+    values, cost, report = COMPILED.execute(
+        ARGS, fault_plan=plan, policy=ExecutionPolicy(max_retries=6)
+    )
+    assert len(values) == len(BASELINE)
+    for got, want in zip(values, BASELINE):
+        got_arr = np.asarray(
+            got.data if hasattr(got, "data") else got.value
+        )
+        want_arr = np.asarray(
+            want.data if hasattr(want, "data") else want.value
+        )
+        assert got_arr.dtype == want_arr.dtype
+        assert np.array_equal(got_arr, want_arr)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 2**16),
+    rate=st.floats(0.1, 0.9),
+)
+def test_same_plan_same_report(seed, rate):
+    """Resilient execution is reproducible: identical plans produce
+    identical fault trails and counters."""
+    def once():
+        plan = FaultPlan(
+            seed=seed, launch_failure_rate=rate, timeout_rate=0.2
+        )
+        _, _, report = COMPILED.execute(ARGS, fault_plan=plan)
+        return report
+
+    r1, r2 = once(), once()
+    assert r1.events == r2.events
+    assert (r1.attempts, r1.retries, r1.faults, r1.fallbacks) == (
+        r2.attempts,
+        r2.retries,
+        r2.faults,
+        r2.fallbacks,
+    )
