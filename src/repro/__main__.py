@@ -13,8 +13,19 @@ run FILE [--size name=value ...]
     Compile FILE and price it analytically at the given sizes on both
     simulated devices.
 
-bench [table1|figure13|table2|impact <kind>] [--names A,B,...]
-    Regenerate the paper's evaluation artefacts.
+bench [table1|figure13|table2|impact <kind>|validate] [--names A,B,...]
+    Regenerate the paper's evaluation artefacts; ``validate`` runs the
+    named benchmarks on the simulated device against the interpreter
+    and prints each run's report and per-pass compile breakdown.
+
+Observability (``compile``, ``run`` and ``bench``)
+--------------------------------------------------
+``--trace-out trace.json`` records a Chrome trace (one span per
+optimisation pass with IR-size deltas, one span per simulated kernel
+launch with cycle/traffic attributes) loadable in chrome://tracing or
+https://ui.perfetto.dev; ``--metrics-out metrics.json`` dumps the
+counters/histograms; either flag also prints the terminal summary.
+``--verbose`` turns on the structured debug log.
 """
 
 from __future__ import annotations
@@ -39,6 +50,26 @@ def _add_opt_flags(p: argparse.ArgumentParser) -> None:
     p.add_argument("--no-coalescing", action="store_true")
     p.add_argument("--no-tiling", action="store_true")
     p.add_argument("--no-interchange", action="store_true")
+
+
+def _add_obs_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        default=None,
+        help="write a Chrome/Perfetto trace.json of the run",
+    )
+    p.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        default=None,
+        help="write a JSON dump of all runtime metrics",
+    )
+    p.add_argument(
+        "--verbose",
+        action="store_true",
+        help="enable the structured debug log (stderr)",
+    )
 
 
 def cmd_compile(args) -> int:
@@ -106,6 +137,29 @@ def cmd_bench(args) -> int:
 
     names = args.names.split(",") if args.names else None
     what = args.what
+    if what == "validate":
+        from .bench.runner import validate_benchmark
+        from .bench.suite import BENCHMARKS
+        from .gpu.faults import FaultPlan
+
+        fault_plan = (
+            FaultPlan(
+                seed=args.seed,
+                launch_failure_rate=0.3,
+                memory_fault_rate=0.1,
+                timeout_rate=0.2,
+            )
+            if args.chaos
+            else None
+        )
+        for name in names or list(BENCHMARKS.names()):
+            report = validate_benchmark(
+                name, seed=args.seed, fault_plan=fault_plan
+            )
+            print(f"{name}: OK  {report.summary()}")
+            for t in report.pass_timings:
+                print(f"  {t}")
+        return 0
     if what == "table2":
         for name, ds in TABLE2.items():
             print(f"{name:14s} {ds.description:45s} {ds.full}")
@@ -148,6 +202,7 @@ def main(argv=None) -> int:
     p.add_argument("file")
     p.add_argument("--emit", choices=("core", "opencl"), default="opencl")
     _add_opt_flags(p)
+    _add_obs_flags(p)
     p.set_defaults(fn=cmd_compile)
 
     p = sub.add_parser("check", help="static checking only")
@@ -158,11 +213,13 @@ def main(argv=None) -> int:
     p.add_argument("file")
     p.add_argument("--size", action="append", metavar="NAME=VALUE")
     _add_opt_flags(p)
+    _add_obs_flags(p)
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser("bench", help="regenerate evaluation artefacts")
     p.add_argument(
-        "what", choices=("table1", "table2", "figure13", "impact")
+        "what",
+        choices=("table1", "table2", "figure13", "impact", "validate"),
     )
     p.add_argument("--names", default=None)
     p.add_argument(
@@ -170,10 +227,51 @@ def main(argv=None) -> int:
         default="fusion",
         choices=("fusion", "coalescing", "tiling", "inplace"),
     )
+    p.add_argument(
+        "--seed", type=int, default=0,
+        help="dataset / fault-plan seed for bench validate",
+    )
+    p.add_argument(
+        "--chaos", action="store_true",
+        help="run bench validate under an injected-fault plan",
+    )
+    _add_obs_flags(p)
     p.set_defaults(fn=cmd_bench)
 
     args = parser.parse_args(argv)
-    return args.fn(args)
+    return _dispatch_observed(args)
+
+
+def _dispatch_observed(args) -> int:
+    """Run the selected command, wrapped in an observability session
+    when any of the ``--trace-out``/``--metrics-out``/``--verbose``
+    flags were given."""
+    from .obs import observe, set_verbose
+
+    if getattr(args, "verbose", False):
+        set_verbose(True)
+    trace_out = getattr(args, "trace_out", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    if not trace_out and not metrics_out:
+        return args.fn(args)
+
+    from .obs.export import summary, write_chrome_trace, write_metrics
+
+    with observe() as session:
+        session.tracer.metadata["argv"] = " ".join(sys.argv[1:])
+        rc = args.fn(args)
+    if trace_out:
+        write_chrome_trace(session.tracer, trace_out)
+        print(f"trace written to {trace_out}", file=sys.stderr)
+    if metrics_out:
+        write_metrics(
+            session.metrics,
+            metrics_out,
+            metadata={"argv": " ".join(sys.argv[1:])},
+        )
+        print(f"metrics written to {metrics_out}", file=sys.stderr)
+    print(summary(session.tracer, session.metrics), file=sys.stderr)
+    return rc
 
 
 if __name__ == "__main__":

@@ -20,7 +20,12 @@ from .core.values import ScalarValue, Value
 from .errors import ArgumentError
 from .gpu.costmodel import CostReport
 from .gpu.device import DeviceProfile, NVIDIA_GTX780TI
+from .obs import get_logger
 from .pipeline import CompiledProgram, CompilerOptions, compile_program
+
+#: Structured replacement for the ad-hoc debug prints this module used
+#: to accumulate: quiet by default, visible under ``--verbose``.
+_log = get_logger("autotune")
 
 __all__ = ["MultiVersioned", "compile_versions", "DEFAULT_STRATEGIES"]
 
@@ -48,12 +53,25 @@ class MultiVersioned:
         best_report: Optional[CostReport] = None
         for name, compiled in self.versions.items():
             report = compiled.estimate(size_env, device)
+            _log.debug(
+                "version-estimate",
+                version=name,
+                device=device.name,
+                total_us=report.total_us,
+                launches=report.launches,
+            )
             if best_report is None or report.total_us < best_report.total_us:
                 best_name, best_report = name, report
         if best_name is None or best_report is None:
             raise ArgumentError(
                 "multi-versioned program has no compiled versions"
             )
+        _log.debug(
+            "version-chosen",
+            version=best_name,
+            device=device.name,
+            total_us=best_report.total_us,
+        )
         return best_name, best_report
 
     def run(
@@ -67,6 +85,7 @@ class MultiVersioned:
             next(iter(self.versions.values())), args
         )
         name, _ = self.choose(size_env, device)
+        _log.debug("dispatch", version=name, sizes=str(size_env))
         results, report = self.versions[name].run(args, device)
         return results, report, name
 
@@ -92,9 +111,8 @@ def compile_versions(
 ) -> MultiVersioned:
     """Compile ``prog`` under every strategy."""
     strategies = strategies or DEFAULT_STRATEGIES
-    return MultiVersioned(
-        {
-            name: compile_program(prog, options, entry)
-            for name, options in strategies.items()
-        }
-    )
+    versions = {}
+    for name, options in strategies.items():
+        _log.debug("compile-version", version=name)
+        versions[name] = compile_program(prog, options, entry)
+    return MultiVersioned(versions)

@@ -21,6 +21,7 @@ from ..errors import ValidationError
 from ..gpu.device import AMD_W8100, NVIDIA_GTX780TI, DeviceProfile
 from ..gpu.faults import FaultPlan
 from ..interp import run_program
+from ..obs import get_logger, get_tracer
 from ..pipeline import CompilerOptions, compile_program
 from ..runtime import ExecutionPolicy, RunReport
 from .suite import BENCHMARKS, BenchmarkSpec
@@ -54,6 +55,7 @@ def validate_benchmark(
     fault_plan: Optional[FaultPlan] = None,
     policy: Optional[ExecutionPolicy] = None,
     options: Optional[CompilerOptions] = None,
+    run_id: Optional[str] = None,
 ) -> RunReport:
     """Functional validation at reduced scale: the compiled program on
     the simulated GPU must agree with the reference interpreter.
@@ -61,28 +63,53 @@ def validate_benchmark(
     With a ``fault_plan`` this doubles as the chaos harness: execution
     goes through the resilient executor (retry / watchdog / fallback)
     and must *still* agree with the interpreter.  Returns the
-    :class:`RunReport` so callers can assert on its counters."""
+    :class:`RunReport` so callers can assert on its counters; the
+    report also carries the compile's per-pass timing breakdown and a
+    ``run_id``/``seed`` that names the exact :class:`FaultPlan` used,
+    so a chaos failure is correlatable with its trace."""
+    logger = get_logger("bench")
     spec = BENCHMARKS[name]
     rng = np.random.default_rng(seed)
     args = spec.small_args(rng)
     prog = spec.program()
-    expected = run_program(prog, args, in_place=True)
-    compiled = compile_program(prog, options)
-    got, cost, report = compiled.execute(
-        args, fault_plan=fault_plan, policy=policy
-    )
-    if len(got) != len(expected):
-        raise ValidationError(
-            f"{name}: expected {len(expected)} results, got {len(got)}"
+    if run_id is None:
+        run_id = f"{name}/seed{seed}"
+        if fault_plan is not None:
+            run_id += f"/faultseed{fault_plan.seed}"
+    logger.debug("validate-start", benchmark=name, run_id=run_id)
+    with get_tracer().span(
+        "validate-benchmark", "bench", benchmark=name, run_id=run_id
+    ):
+        expected = run_program(prog, args, in_place=True)
+        compiled = compile_program(prog, options)
+        got, cost, report = compiled.execute(
+            args,
+            fault_plan=fault_plan,
+            policy=policy,
+            run_id=run_id,
+            seed=seed,
         )
-    for e, g in zip(expected, got):
-        if not values_equal(e, g, rtol=1e-4, atol=1e-4):
+        if len(got) != len(expected):
             raise ValidationError(
-                f"{name}: simulated result differs from interpreter "
-                f"({report.summary()})"
+                f"{name}: expected {len(expected)} results, got {len(got)}"
             )
-    if report.fallbacks == 0 and cost.total_us <= 0:
-        raise ValidationError(f"{name}: device run reported no time")
+        for e, g in zip(expected, got):
+            if not values_equal(e, g, rtol=1e-4, atol=1e-4):
+                raise ValidationError(
+                    f"{name}: simulated result differs from interpreter "
+                    f"({report.summary()})"
+                )
+        if report.fallbacks == 0 and cost.total_us <= 0:
+            raise ValidationError(f"{name}: device run reported no time")
+    logger.debug(
+        "validate-done",
+        benchmark=name,
+        run_id=run_id,
+        attempts=report.attempts,
+        fallbacks=report.fallbacks,
+        sim_us=cost.total_us,
+        compile_passes=len(report.pass_timings),
+    )
     return report
 
 
@@ -144,6 +171,7 @@ def table1_runtimes(
     devices: Tuple[DeviceProfile, ...] = _DEVICES,
 ) -> List[Row]:
     """Reference vs Futhark runtimes at paper scale (Table 1)."""
+    logger = get_logger("bench")
     names = names or list(BENCHMARKS.names())
     rows: List[Row] = []
     for name in names:
@@ -160,6 +188,13 @@ def table1_runtimes(
             row.ref_ms[device.name] = ref_impl.estimate(
                 sizes, device
             ).total_ms
+            logger.debug(
+                "table1-row",
+                benchmark=name,
+                device=device.name,
+                ref_ms=row.ref_ms[device.name],
+                fut_ms=row.fut_ms[device.name],
+            )
         rows.append(row)
     return rows
 

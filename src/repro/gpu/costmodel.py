@@ -54,6 +54,15 @@ class KernelCost:
     bytes_effective: float
     bytes_raw: float
     flops: float
+    #: Fraction of device throughput this kernel's thread count earns
+    #: (recorded for observability; 0.0 in legacy constructions).
+    occupancy: float = 0.0
+    #: Thread count the kernel was priced at.
+    threads: float = 0.0
+
+    def cycles(self, device: "DeviceProfile") -> float:
+        """Simulated core-clock cycles: time × clock (µs × MHz)."""
+        return self.time_us * device.clock_mhz
 
 
 @dataclass
@@ -94,6 +103,8 @@ class CostReport:
                 k.bytes_effective * factor,
                 k.bytes_raw * factor,
                 k.flops * factor,
+                k.occupancy,
+                k.threads,
             )
             for k in self.kernel_costs
         ]
@@ -215,6 +226,8 @@ def kernel_cost(
         bytes_effective=bytes_eff,
         bytes_raw=bytes_raw,
         flops=flops,
+        occupancy=occ,
+        threads=threads,
     )
 
 

@@ -51,6 +51,9 @@ class DeviceProfile:
     #: Cost of one host-side statement touching device state (driver
     #: round-trip / synchronisation), microseconds.
     host_sync_us: float = 3.0
+    #: Core clock, MHz — used by the observability layer to express
+    #: simulated time as simulated cycles.
+    clock_mhz: float = 1000.0
 
     def mem_us_per_byte(self) -> float:
         return 1e-3 / self.bandwidth_gbs  # us per byte
@@ -74,6 +77,7 @@ NVIDIA_GTX780TI = DeviceProfile(
     saturation_threads=30_000,
     time_tiling_efficiency=0.39,
     host_sync_us=3.0,
+    clock_mhz=928.0,  # boost clock of the GTX 780 Ti
 )
 
 AMD_W8100 = DeviceProfile(
@@ -91,4 +95,5 @@ AMD_W8100 = DeviceProfile(
     saturation_threads=40_000,
     time_tiling_efficiency=0.115,  # time tiling backfires (HotSpot §6.1)
     host_sync_us=30.0,  # slower host round-trips (cf. NN, §6.1)
+    clock_mhz=824.0,  # engine clock of the FirePro W8100
 )

@@ -26,6 +26,7 @@ from ..backend.kernel_ir import (
 )
 from ..core.types import Array
 from ..errors import ArgumentError, CompilerBug, KernelTimeout
+from ..obs import get_metrics, get_tracer
 from .costmodel import CostReport, kernel_cost
 from .device import DeviceProfile
 from .faults import FaultInjector
@@ -59,12 +60,16 @@ class GpuSimulator:
         watchdog_factor: float = WATCHDOG_FACTOR,
         watchdog_floor_us: float = WATCHDOG_FLOOR_US,
         prog: Optional[A.Prog] = None,
+        trace_track: str = "sim-gpu",
     ) -> None:
         self.device = device
         self.coalescing = coalescing
         self.injector = injector
         self.watchdog_factor = watchdog_factor
         self.watchdog_floor_us = watchdog_floor_us
+        #: Chrome-trace track this simulator's kernel spans land on;
+        #: the resilient executor gives each retry attempt its own.
+        self.trace_track = trace_track
         # Kernels normally contain no function calls (inlining runs
         # first), but when the pass guard rolls inlining back the
         # remaining calls must still resolve.
@@ -125,10 +130,13 @@ class GpuSimulator:
                     self.device,
                     coalescing=self.coalescing,
                 )
-                self._watchdog(kernel.name, cost.time_us)
+                consumed = self._watchdog(kernel.name, cost.time_us)
                 for p, v in zip(kernel.pat, values):
                     self._interp.bind_param(env, p, v)
+                # The simulated-clock cursor: everything accrued so far.
+                sim_ts = report.total_us
                 report.kernel_costs.append(cost)
+                self._observe_launch(cost, sim_ts, consumed)
             elif isinstance(s, HostEval):
                 values = self._interp.eval_exp(s.binding.exp, env)
                 for p, v in zip(s.binding.pat, values):
@@ -147,12 +155,28 @@ class GpuSimulator:
                 size_env = self._size_env(env)
                 elems = s.elems.evaluate(size_env)
                 bytes_moved = elems * s.elem_bytes * 2.0
-                report.manifest_us += (
+                manifest_us = (
                     self.device.launch_overhead_us
                     + bytes_moved
                     * self.device.mem_us_per_byte()
                     / self.device.transpose_efficiency
                 )
+                sim_ts = report.total_us
+                report.manifest_us += manifest_us
+                tracer = get_tracer()
+                if tracer.enabled:
+                    tracer.complete(
+                        f"manifest:{s.dst}",
+                        "manifest",
+                        ts_us=sim_ts,
+                        dur_us=manifest_us,
+                        track=self.trace_track,
+                        bytes_moved=bytes_moved,
+                    )
+                metrics = get_metrics()
+                if metrics.enabled:
+                    metrics.counter("gpu.manifests").inc()
+                    metrics.counter("gpu.manifest_bytes").inc(bytes_moved)
             elif isinstance(s, HostLoopStmt):
                 self._exec_loop(s, env, report)
             elif isinstance(s, HostIfStmt):
@@ -173,10 +197,11 @@ class GpuSimulator:
                     "simulate", "execute", f"unknown host statement {s!r}"
                 )
 
-    def _watchdog(self, site: str, cost_us: float) -> None:
+    def _watchdog(self, site: str, cost_us: float) -> float:
         """Kill a runaway kernel: its (possibly fault-inflated)
         simulated time must stay within a budget derived from the cost
-        model's own estimate."""
+        model's own estimate.  Returns the fraction of the watchdog
+        budget the kernel consumed (for the observability layer)."""
         slowdown = (
             self.injector.slowdown(site)
             if self.injector is not None
@@ -186,6 +211,53 @@ class GpuSimulator:
         budget = self.watchdog_factor * cost_us + self.watchdog_floor_us
         if elapsed > budget:
             raise KernelTimeout(site, budget, elapsed)
+        return elapsed / budget if budget > 0 else 0.0
+
+    def _observe_launch(
+        self, cost, sim_ts: float, watchdog_consumed: float
+    ) -> None:
+        """Record one kernel launch on the trace (a span on this
+        simulator's simulated-time track) and in the metrics registry.
+        With observability off this costs two guard checks."""
+        tracer = get_tracer()
+        cycles = cost.cycles(self.device)
+        if tracer.enabled:
+            tracer.complete(
+                f"kernel:{cost.name}",
+                "kernel",
+                ts_us=sim_ts,
+                dur_us=cost.time_us,
+                track=self.trace_track,
+                kind=cost.kind,
+                launches=cost.launches,
+                threads=cost.threads,
+                cycles=cycles,
+                mem_us=cost.mem_us,
+                compute_us=cost.compute_us,
+                bytes_effective=cost.bytes_effective,
+                bytes_raw=cost.bytes_raw,
+                flops=cost.flops,
+                occupancy=cost.occupancy,
+                watchdog_consumed=watchdog_consumed,
+            )
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter("gpu.launches", kind=cost.kind).inc(
+                cost.launches
+            )
+            metrics.counter("gpu.sim_time_us").inc(cost.time_us)
+            metrics.counter("gpu.cycles").inc(cycles)
+            metrics.counter("gpu.bytes_effective").inc(cost.bytes_effective)
+            metrics.counter("gpu.bytes_raw").inc(cost.bytes_raw)
+            metrics.counter("gpu.flops").inc(cost.flops)
+            metrics.histogram("gpu.kernel_time_us").observe(cost.time_us)
+            metrics.histogram(
+                "gpu.occupancy", buckets=(0.1, 0.25, 0.5, 0.75, 0.9, 1.0)
+            ).observe(cost.occupancy)
+            metrics.histogram(
+                "gpu.watchdog_consumed",
+                buckets=(0.05, 0.125, 0.25, 0.5, 0.75, 1.0),
+            ).observe(watchdog_consumed)
 
     def _exec_loop(
         self,

@@ -1,0 +1,58 @@
+"""IR size measurement for pass spans: how many bindings and SOACs a
+program holds, counted through every nested body (lambda bodies, if
+branches, loop bodies).  The pipeline records the before/after pair on
+each pass span, so a trace shows exactly how much IR each pass created
+or destroyed."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core import ast as A
+from ..core.traversal import exp_bodies, exp_lambdas
+
+__all__ = ["IRStats", "ir_stats"]
+
+
+@dataclass(frozen=True)
+class IRStats:
+    """Structural size of a core-IR program."""
+
+    bindings: int
+    soacs: int
+    funs: int
+
+    def __str__(self) -> str:
+        return (
+            f"{self.funs} funs, {self.bindings} bindings, "
+            f"{self.soacs} SOACs"
+        )
+
+
+def _body_counts(body: A.Body) -> tuple:
+    bindings = 0
+    soacs = 0
+    for b in body.bindings:
+        bindings += 1
+        if A.is_soac(b.exp):
+            soacs += 1
+        for sub in exp_bodies(b.exp):
+            nb, ns = _body_counts(sub)
+            bindings += nb
+            soacs += ns
+        for lam in exp_lambdas(b.exp):
+            nb, ns = _body_counts(lam.body)
+            bindings += nb
+            soacs += ns
+    return bindings, soacs
+
+
+def ir_stats(prog: A.Prog) -> IRStats:
+    """Count bindings and SOACs across the whole program."""
+    bindings = 0
+    soacs = 0
+    for f in prog.funs:
+        nb, ns = _body_counts(f.body)
+        bindings += nb
+        soacs += ns
+    return IRStats(bindings=bindings, soacs=soacs, funs=len(prog.funs))

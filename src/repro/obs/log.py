@@ -1,0 +1,84 @@
+"""A tiny structured logger: quiet by default, verbose on request.
+
+Replaces ad-hoc ``print`` debugging throughout the toolchain.  Events
+are a name plus key=value fields, written to stderr only when verbose
+mode is on (``--verbose`` on the CLI, :func:`set_verbose`, or the
+``REPRO_VERBOSE`` environment variable); warnings are always written.
+When a tracer is installed every emitted event is additionally
+recorded as an instant on the trace timeline, so log lines and spans
+correlate in Perfetto.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from typing import Any, Dict, Optional, TextIO
+
+from . import trace as _trace
+
+__all__ = ["StructuredLogger", "get_logger", "set_verbose", "verbose"]
+
+_VERBOSE = os.environ.get("REPRO_VERBOSE", "") not in ("", "0", "false")
+
+
+def set_verbose(flag: bool) -> None:
+    """Globally enable/disable debug- and info-level output."""
+    global _VERBOSE
+    _VERBOSE = bool(flag)
+
+
+def verbose() -> bool:
+    return _VERBOSE
+
+
+def _render(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    text = str(value)
+    return repr(text) if " " in text else text
+
+
+class StructuredLogger:
+    """One named logger; see module docstring for the output policy."""
+
+    def __init__(self, name: str, stream: Optional[TextIO] = None) -> None:
+        self.name = name
+        self._stream = stream
+
+    def _emit(self, level: str, event: str, fields: Dict[str, Any]) -> None:
+        tracer = _trace.get_tracer()
+        if tracer.enabled:
+            tracer.instant(f"log:{event}", "log", level=level, **fields)
+        if level != "warning" and not _VERBOSE:
+            return
+        stream = self._stream or sys.stderr
+        parts = [
+            time.strftime("%H:%M:%S"),
+            level.upper(),
+            self.name,
+            event,
+        ]
+        parts.extend(f"{k}={_render(v)}" for k, v in fields.items())
+        print(" ".join(parts), file=stream)
+
+    def debug(self, event: str, **fields: Any) -> None:
+        self._emit("debug", event, fields)
+
+    def info(self, event: str, **fields: Any) -> None:
+        self._emit("info", event, fields)
+
+    def warning(self, event: str, **fields: Any) -> None:
+        self._emit("warning", event, fields)
+
+
+_LOGGERS: Dict[str, StructuredLogger] = {}
+
+
+def get_logger(name: str) -> StructuredLogger:
+    """The (memoised) logger with the given name."""
+    logger = _LOGGERS.get(name)
+    if logger is None:
+        logger = _LOGGERS[name] = StructuredLogger(name)
+    return logger

@@ -1,0 +1,237 @@
+"""The metrics registry: counters, gauges and histograms with labels.
+
+Instruments are identified by ``(name, labels)`` and memoised, so
+``registry.counter("gpu.launches", kind="map").inc()`` is cheap to call
+from a hot loop.  The default ambient registry is
+:data:`NULL_METRICS`, whose accessors return shared no-op instruments —
+with metrics disabled the instrumented code allocates nothing.
+
+The snapshot format (:meth:`MetricsRegistry.snapshot`) is a flat,
+JSON-serialisable dict; ``repro.obs.export`` writes it to disk and the
+CI observability job validates it.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetrics",
+    "NULL_METRICS",
+    "get_metrics",
+    "set_metrics",
+    "metering",
+    "DEFAULT_BUCKETS",
+]
+
+#: Default histogram bucket upper bounds — log-spaced, suitable for
+#: microsecond timings from sub-microsecond kernels to second-scale
+#: compiles.  The implicit final bucket is +inf.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1.0,
+    10.0,
+    100.0,
+    1_000.0,
+    10_000.0,
+    100_000.0,
+    1_000_000.0,
+)
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, n: float = 1.0) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, v: float) -> None:
+        self.value = float(v)
+
+
+class Histogram:
+    """A bucketed distribution: ``counts[i]`` observations fell at or
+    below ``bounds[i]``; ``counts[-1]`` is the +inf overflow bucket."""
+
+    __slots__ = ("bounds", "counts", "sum", "count")
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        self.bounds: Tuple[float, ...] = tuple(sorted(float(b) for b in bounds))
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, v: float) -> None:
+        self.sum += v
+        self.count += 1
+        for i, bound in enumerate(self.bounds):
+            if v <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+def _key(name: str, labels: Dict[str, Any]) -> Tuple:
+    return (name,) + tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _render_key(key: Tuple) -> str:
+    name, *labels = key
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class MetricsRegistry:
+    """Holds every instrument created during one observed session."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: Dict[Tuple, Counter] = {}
+        self._gauges: Dict[Tuple, Gauge] = {}
+        self._histograms: Dict[Tuple, Histogram] = {}
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        key = _key(name, labels)
+        c = self._counters.get(key)
+        if c is None:
+            c = self._counters[key] = Counter()
+        return c
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        key = _key(name, labels)
+        g = self._gauges.get(key)
+        if g is None:
+            g = self._gauges[key] = Gauge()
+        return g
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Optional[Sequence[float]] = None,
+        **labels: Any,
+    ) -> Histogram:
+        key = _key(name, labels)
+        h = self._histograms.get(key)
+        if h is None:
+            h = self._histograms[key] = Histogram(buckets or DEFAULT_BUCKETS)
+        return h
+
+    # -- export -------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A flat JSON-serialisable dump of every instrument."""
+        return {
+            "counters": {
+                _render_key(k): c.value for k, c in sorted(self._counters.items())
+            },
+            "gauges": {
+                _render_key(k): g.value for k, g in sorted(self._gauges.items())
+            },
+            "histograms": {
+                _render_key(k): {
+                    "bounds": list(h.bounds),
+                    "counts": list(h.counts),
+                    "sum": h.sum,
+                    "count": h.count,
+                }
+                for k, h in sorted(self._histograms.items())
+            },
+        }
+
+
+class _NullInstrument:
+    """Shared do-nothing counter/gauge/histogram."""
+
+    __slots__ = ()
+    value = 0.0
+    sum = 0.0
+    count = 0
+
+    def inc(self, n: float = 1.0) -> None:
+        return None
+
+    def set(self, v: float) -> None:
+        return None
+
+    def observe(self, v: float) -> None:
+        return None
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetrics:
+    """The disabled registry: every accessor returns one shared no-op
+    instrument and nothing is recorded."""
+
+    enabled = False
+
+    def counter(self, name: str, **labels: Any) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, **labels: Any) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Optional[Sequence[float]] = None,
+        **labels: Any,
+    ) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+NULL_METRICS = NullMetrics()
+
+_CURRENT: Any = NULL_METRICS
+
+
+def get_metrics():
+    """The ambient registry (:data:`NULL_METRICS` unless installed)."""
+    return _CURRENT
+
+
+def set_metrics(registry) -> None:
+    """Install ``registry`` as the ambient registry (None resets)."""
+    global _CURRENT
+    _CURRENT = registry if registry is not None else NULL_METRICS
+
+
+@contextmanager
+def metering(registry: Optional[MetricsRegistry] = None):
+    """Install a metrics registry for the duration of the block."""
+    registry = registry if registry is not None else MetricsRegistry()
+    previous = _CURRENT
+    set_metrics(registry)
+    try:
+        yield registry
+    finally:
+        set_metrics(previous)

@@ -22,6 +22,7 @@ behaviour for tests that want to *see* pass bugs.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -41,6 +42,8 @@ from .gpu.device import DeviceProfile, NVIDIA_GTX780TI
 from .gpu.faults import FaultPlan
 from .memory.coalescing import coalesce_program
 from .memory.tiling import tile_program
+from .obs import PassTiming, get_logger, get_metrics, get_tracer
+from .obs.irstats import ir_stats
 from .runtime import ExecutionPolicy, RunReport, run_resilient
 from .simplify import inline_prog, simplify_prog
 
@@ -92,13 +95,27 @@ class PassDiagnostic:
 
 
 class _PassGuard:
-    """Runs passes; on failure rolls back and records a diagnostic."""
+    """Runs passes; on failure rolls back and records a diagnostic.
+
+    Every pass is also the observability layer's unit of account: the
+    guard opens a span per pass (with IR-size-delta attributes when a
+    tracer is installed), appends a :class:`PassTiming` to the compile's
+    timing breakdown, and emits rollback instants/counters when it has
+    to intervene.  Timing costs two monotonic-clock reads per pass and
+    is always on; IR statistics cost an IR walk and are computed only
+    when tracing is enabled.
+    """
 
     def __init__(
         self, options: CompilerOptions, diagnostics: List[PassDiagnostic]
     ) -> None:
         self.options = options
         self.diagnostics = diagnostics
+        self.timings: List[PassTiming] = []
+        #: The span of the most recent pass, for late attribute
+        #: attachment (e.g. fusion edge counts) — a no-op span when
+        #: tracing is off.
+        self.last_span = None
 
     def _note(
         self, name: str, phase: str, exc: Exception, action: str
@@ -108,6 +125,26 @@ class _PassGuard:
                 name, phase, f"{type(exc).__name__}: {exc}", action
             )
         )
+        get_metrics().counter(
+            "pipeline.rollbacks", pass_name=name, phase=phase
+        ).inc()
+        get_tracer().instant(
+            f"rollback:{name}",
+            "pipeline",
+            phase=phase,
+            action=action,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+        get_logger("pipeline").info(
+            "pass-guard", pass_name=name, phase=phase, action=action,
+            error=str(exc),
+        )
+
+    def annotate_last(self, **attrs) -> None:
+        """Attach attributes to the most recent pass span (no-op when
+        tracing is off)."""
+        if self.last_span is not None:
+            self.last_span.set(**attrs)
 
     def core(
         self,
@@ -118,15 +155,40 @@ class _PassGuard:
     ) -> A.Prog:
         """A guarded core-IR optimisation pass: run ``fn``, re-typecheck
         the result, and roll back to ``prog`` on any failure."""
-        if self.options.strict:
-            return fn(prog)
-        try:
-            out = fn(prog)
-            self.revalidate(out)
-            return out
-        except Exception as e:
-            self._note(name, phase, e, "rolled back")
-            return prog
+        tracer = get_tracer()
+        before = ir_stats(prog) if tracer.enabled else None
+        rolled = False
+        t0 = time.perf_counter()
+        with tracer.span(f"pass:{name}", "pipeline", phase=phase) as span:
+            self.last_span = span
+            if self.options.strict:
+                out = fn(prog)
+            else:
+                try:
+                    out = fn(prog)
+                    self.revalidate(out)
+                except Exception as e:
+                    self._note(name, phase, e, "rolled back")
+                    out = prog
+                    rolled = True
+            dur_us = (time.perf_counter() - t0) * 1e6
+            timing = PassTiming(name, phase, dur_us, rolled_back=rolled)
+            if before is not None:
+                after = ir_stats(out)
+                timing.bindings_before = before.bindings
+                timing.bindings_after = after.bindings
+                timing.soacs_before = before.soacs
+                timing.soacs_after = after.soacs
+                span.set(
+                    bindings_before=before.bindings,
+                    bindings_after=after.bindings,
+                    soacs_before=before.soacs,
+                    soacs_after=after.soacs,
+                    rolled_back=rolled,
+                )
+            self.timings.append(timing)
+        get_metrics().counter("pipeline.passes", phase=phase).inc()
+        return out
 
     def host(
         self,
@@ -136,13 +198,33 @@ class _PassGuard:
         hp: HostProgram,
     ) -> HostProgram:
         """A guarded host-program (kernel-IR) optimisation pass."""
-        if self.options.strict:
-            return fn(hp)
-        try:
-            return fn(hp)
-        except Exception as e:
-            self._note(name, phase, e, "rolled back")
-            return hp
+        tracer = get_tracer()
+        kernels_before = len(hp.kernels()) if tracer.enabled else None
+        rolled = False
+        t0 = time.perf_counter()
+        with tracer.span(f"pass:{name}", "pipeline", phase=phase) as span:
+            self.last_span = span
+            if self.options.strict:
+                out = fn(hp)
+            else:
+                try:
+                    out = fn(hp)
+                except Exception as e:
+                    self._note(name, phase, e, "rolled back")
+                    out = hp
+                    rolled = True
+            dur_us = (time.perf_counter() - t0) * 1e6
+            self.timings.append(
+                PassTiming(name, phase, dur_us, rolled_back=rolled)
+            )
+            if kernels_before is not None:
+                span.set(
+                    kernels_before=kernels_before,
+                    kernels_after=len(out.kernels()),
+                    rolled_back=rolled,
+                )
+        get_metrics().counter("pipeline.passes", phase=phase).inc()
+        return out
 
     def revalidate(self, prog: A.Prog) -> None:
         """Re-typecheck the IR a pass just produced (uniqueness is a
@@ -161,6 +243,8 @@ class CompiledProgram:
     fusion_stats: Optional[FusionStats] = None
     #: Pass-guard interventions (empty for a clean compile).
     diagnostics: List[PassDiagnostic] = field(default_factory=list)
+    #: Per-pass wall-clock (and, when traced, IR-size) breakdown.
+    pass_timings: List[PassTiming] = field(default_factory=list)
 
     def opencl(self) -> str:
         """Pseudo-OpenCL rendering of the generated code."""
@@ -186,11 +270,15 @@ class CompiledProgram:
         device: DeviceProfile = NVIDIA_GTX780TI,
         fault_plan: Optional[FaultPlan] = None,
         policy: Optional[ExecutionPolicy] = None,
+        run_id: Optional[str] = None,
+        seed: Optional[int] = None,
     ) -> Tuple[Tuple[Value, ...], CostReport, RunReport]:
         """Execute with full resilience semantics: bounded retry with
         backoff on transient device faults, watchdog timeouts derived
         from the cost model, and graceful degradation to the reference
-        interpreter.  Returns ``(values, cost_report, run_report)``."""
+        interpreter.  Returns ``(values, cost_report, run_report)``;
+        the run report carries this compile's per-pass timing breakdown
+        plus the ``run_id``/``seed`` identifying the execution."""
         return run_resilient(
             self.host,
             self.core,
@@ -200,6 +288,9 @@ class CompiledProgram:
             in_place=self.options.in_place,
             fault_plan=fault_plan,
             policy=policy,
+            run_id=run_id,
+            seed=seed,
+            pass_timings=self.pass_timings,
         )
 
     def estimate(
@@ -244,27 +335,60 @@ def _flatten_with_degradation(
         reduce_map_interchange=options.reduce_map_interchange,
         sequentialise_streams=options.sequentialise_streams,
     )
-    if options.strict:
-        return flatten_prog(prog, flat_opts)
-    try:
-        out = flatten_prog(prog, flat_opts)
-        guard.revalidate(out)
-        return out
-    except Exception as e:
-        guard._note(
-            "flatten", "kernel-extraction", e, "degraded to conservative"
+    tracer = get_tracer()
+    before = ir_stats(prog) if tracer.enabled else None
+    t0 = time.perf_counter()
+    with tracer.span(
+        "pass:flatten", "pipeline", phase="kernel-extraction"
+    ) as span:
+        guard.last_span = span
+        degraded = False
+        if options.strict:
+            out = flatten_prog(prog, flat_opts)
+        else:
+            try:
+                out = flatten_prog(prog, flat_opts)
+                guard.revalidate(out)
+            except Exception as e:
+                guard._note(
+                    "flatten",
+                    "kernel-extraction",
+                    e,
+                    "degraded to conservative",
+                )
+                degraded = True
+                try:
+                    out = flatten_prog(prog, _CONSERVATIVE_FLATTEN)
+                    guard.revalidate(out)
+                except Exception as e:
+                    raise CompilerBug(
+                        "flatten",
+                        "kernel-extraction",
+                        f"conservative flattening also failed: {e}",
+                        ir=pretty_prog(prog),
+                    ) from e
+        dur_us = (time.perf_counter() - t0) * 1e6
+        timing = PassTiming(
+            "flatten", "kernel-extraction", dur_us, rolled_back=degraded
         )
-    try:
-        out = flatten_prog(prog, _CONSERVATIVE_FLATTEN)
-        guard.revalidate(out)
-        return out
-    except Exception as e:
-        raise CompilerBug(
-            "flatten",
-            "kernel-extraction",
-            f"conservative flattening also failed: {e}",
-            ir=pretty_prog(prog),
-        ) from e
+        if before is not None:
+            after = ir_stats(out)
+            timing.bindings_before = before.bindings
+            timing.bindings_after = after.bindings
+            timing.soacs_before = before.soacs
+            timing.soacs_after = after.soacs
+            span.set(
+                bindings_before=before.bindings,
+                bindings_after=after.bindings,
+                soacs_before=before.soacs,
+                soacs_after=after.soacs,
+                degraded=degraded,
+            )
+        guard.timings.append(timing)
+    get_metrics().counter(
+        "pipeline.passes", phase="kernel-extraction"
+    ).inc()
+    return out
 
 
 def compile_program(
@@ -276,67 +400,108 @@ def compile_program(
     options = options or CompilerOptions()
     diagnostics: List[PassDiagnostic] = []
     guard = _PassGuard(options, diagnostics)
+    tracer = get_tracer()
 
-    # The *initial* check is fail-fast even in resilient mode: a
-    # malformed input program is the caller's error, not a pass bug.
-    if options.check:
-        check_program(prog, check_unique=options.check_uniqueness)
+    with tracer.span("compile", "pipeline", entry=entry) as compile_span:
+        # The *initial* check is fail-fast even in resilient mode: a
+        # malformed input program is the caller's error, not a pass bug.
+        if options.check:
+            with tracer.span("pass:check", "pipeline", phase="frontend"):
+                check_program(prog, check_unique=options.check_uniqueness)
 
-    prog = guard.core(
-        "inline", "simplify", lambda p: inline_prog(p, keep=entry), prog
+        prog = guard.core(
+            "inline", "simplify", lambda p: inline_prog(p, keep=entry), prog
+        )
+        prog = guard.core("simplify", "simplify", simplify_prog, prog)
+
+        stats: Optional[FusionStats] = None
+        if options.fusion:
+
+            def _fuse(p: A.Prog) -> A.Prog:
+                nonlocal stats
+                fused, fstats = fuse_prog(p)
+                stats = fstats
+                return fused
+
+            prog = guard.core("fusion", "fusion", _fuse, prog)
+            if stats is not None:
+                # Fusion edge counts onto the fusion pass span + metrics.
+                guard.annotate_last(
+                    fused_vertical=stats.vertical,
+                    fused_horizontal=stats.horizontal,
+                )
+                metrics = get_metrics()
+                metrics.counter("fusion.vertical").inc(stats.vertical)
+                metrics.counter("fusion.horizontal").inc(stats.horizontal)
+            prog = guard.core(
+                "post-fusion-simplify", "fusion", simplify_prog, prog
+            )
+
+        prog = _flatten_with_degradation(prog, options, guard)
+        # Post-flattening cleanup must not hoist: pulling bindings out of
+        # lambda bodies could perturb the perfect nests just built.
+        prog = guard.core(
+            "post-flatten-simplify",
+            "kernel-extraction",
+            lambda p: simplify_prog(p, hoisting=False),
+            prog,
+        )
+
+        host = _lower_with_context(prog, entry, options, guard)
+        host = guard.host(
+            "coalescing",
+            "memory",
+            lambda h: coalesce_program(h, enabled=options.coalescing),
+            host,
+        )
+        host = guard.host(
+            "tiling",
+            "memory",
+            lambda h: tile_program(h, enabled=options.tiling),
+            host,
+        )
+        compile_span.set(
+            passes=len(guard.timings), rollbacks=len(diagnostics)
+        )
+    get_metrics().counter("pipeline.compiles").inc()
+    return CompiledProgram(
+        prog, host, options, stats, diagnostics, guard.timings
     )
-    prog = guard.core("simplify", "simplify", simplify_prog, prog)
-
-    stats: Optional[FusionStats] = None
-    if options.fusion:
-
-        def _fuse(p: A.Prog) -> A.Prog:
-            nonlocal stats
-            fused, fstats = fuse_prog(p)
-            stats = fstats
-            return fused
-
-        prog = guard.core("fusion", "fusion", _fuse, prog)
-        prog = guard.core("post-fusion-simplify", "fusion", simplify_prog, prog)
-
-    prog = _flatten_with_degradation(prog, options, guard)
-    # Post-flattening cleanup must not hoist: pulling bindings out of
-    # lambda bodies could perturb the perfect nests just built.
-    prog = guard.core(
-        "post-flatten-simplify",
-        "kernel-extraction",
-        lambda p: simplify_prog(p, hoisting=False),
-        prog,
-    )
-
-    host = _lower_with_context(prog, entry, options)
-    host = guard.host(
-        "coalescing",
-        "memory",
-        lambda h: coalesce_program(h, enabled=options.coalescing),
-        host,
-    )
-    host = guard.host(
-        "tiling", "memory", lambda h: tile_program(h, enabled=options.tiling), host
-    )
-    return CompiledProgram(prog, host, options, stats, diagnostics)
 
 
 def _lower_with_context(
-    prog: A.Prog, entry: str, options: CompilerOptions
+    prog: A.Prog,
+    entry: str,
+    options: CompilerOptions,
+    guard: Optional[_PassGuard] = None,
 ) -> HostProgram:
     """Lowering is mandatory; a failure here is a genuine compiler bug
     and is reported with the offending IR attached."""
-    if options.strict:
-        return lower_program(prog, fname=entry)
-    try:
-        return lower_program(prog, fname=entry)
-    except ReproError:
-        raise
-    except Exception as e:
-        raise CompilerBug(
-            "lower", "backend", str(e), ir=pretty_prog(prog)
-        ) from e
+    tracer = get_tracer()
+    t0 = time.perf_counter()
+    with tracer.span("pass:lower", "pipeline", phase="backend") as span:
+        if options.strict:
+            out = lower_program(prog, fname=entry)
+        else:
+            try:
+                out = lower_program(prog, fname=entry)
+            except ReproError:
+                raise
+            except Exception as e:
+                raise CompilerBug(
+                    "lower", "backend", str(e), ir=pretty_prog(prog)
+                ) from e
+        if tracer.enabled:
+            span.set(kernels=len(out.kernels()))
+        if guard is not None:
+            guard.timings.append(
+                PassTiming(
+                    "lower",
+                    "backend",
+                    (time.perf_counter() - t0) * 1e6,
+                )
+            )
+    return out
 
 
 def compile_source(

@@ -40,6 +40,7 @@ from .gpu.simulator import (
     GpuSimulator,
 )
 from .interp import run_program
+from .obs import PassTiming, get_logger, get_metrics, get_tracer
 
 __all__ = ["ExecutionPolicy", "RunReport", "run_resilient"]
 
@@ -88,6 +89,16 @@ class RunReport:
     backoff_us: float = 0.0
     #: Human-readable trail of what went wrong, in order.
     events: List[str] = field(default_factory=list)
+    #: Identifies this execution in traces and logs; derived from the
+    #: program/device/seed when not supplied, so a chaos-suite failure
+    #: can be traced back to the exact :class:`FaultPlan` that caused
+    #: it.
+    run_id: str = ""
+    #: The fault-plan / dataset seed behind this run (None = unseeded).
+    seed: Optional[int] = None
+    #: The compile-time per-pass breakdown of the program that ran
+    #: (copied from :class:`repro.pipeline.CompiledProgram`).
+    pass_timings: List[PassTiming] = field(default_factory=list)
 
     @property
     def faults(self) -> int:
@@ -100,12 +111,19 @@ class RunReport:
         return self.fallbacks > 0 or self.retries > 0
 
     def summary(self) -> str:
+        prefix = f"[{self.run_id}] " if self.run_id else ""
         return (
-            f"attempts={self.attempts} retries={self.retries} "
+            f"{prefix}attempts={self.attempts} retries={self.retries} "
             f"faults={self.faults} (transient={self.transient_faults}, "
             f"fatal={self.fatal_faults}, timeouts={self.timeouts}) "
             f"fallbacks={self.fallbacks} backoff={self.backoff_us:.0f}us"
         )
+
+    def timing_breakdown(self) -> str:
+        """The per-pass compile breakdown as an aligned text block."""
+        if not self.pass_timings:
+            return "(no pass timings recorded)"
+        return "\n".join(str(t) for t in self.pass_timings)
 
 
 def _backoff_us(
@@ -129,6 +147,9 @@ def run_resilient(
     fault_plan: Optional[FaultPlan] = None,
     policy: Optional[ExecutionPolicy] = None,
     entry: Optional[str] = None,
+    run_id: Optional[str] = None,
+    seed: Optional[int] = None,
+    pass_timings: Optional[List[PassTiming]] = None,
 ) -> Tuple[Tuple[Value, ...], CostReport, RunReport]:
     """Execute ``host`` on the simulated device with retry, watchdog
     and interpreter-fallback semantics.
@@ -136,59 +157,130 @@ def run_resilient(
     ``core`` is the core-IR program the host program was lowered from;
     it is the graceful-degradation path (the reference interpreter
     computes the same values the simulator would have).
+
+    ``run_id``/``seed`` identify the execution in the RunReport, the
+    trace and the logs; when omitted they are derived from the fault
+    plan, so a chaos failure names the exact plan that produced it.
     """
     policy = policy or ExecutionPolicy()
-    report = RunReport(device.name)
+    if seed is None and fault_plan is not None:
+        seed = fault_plan.seed
+    if run_id is None:
+        run_id = f"{host.name}@{device.name}"
+        if seed is not None:
+            run_id += f"#seed={seed}"
+    report = RunReport(device.name, run_id=run_id, seed=seed)
+    if pass_timings:
+        report.pass_timings = list(pass_timings)
     injector = fault_plan.injector() if fault_plan is not None else None
     backoff_rng = random.Random(
         fault_plan.seed ^ 0x5DEECE66D if fault_plan is not None else 0
     )
     last_error: Optional[ReproError] = None
+    tracer = get_tracer()
+    metrics = get_metrics()
+    logger = get_logger("runtime")
 
-    for attempt in range(policy.max_retries + 1):
-        report.attempts += 1
-        sim = GpuSimulator(
-            device,
-            coalescing=coalescing,
-            in_place=in_place,
-            injector=injector,
-            watchdog_factor=policy.watchdog_factor,
-            watchdog_floor_us=policy.watchdog_floor_us,
-            prog=core,
-        )
-        try:
-            values, cost = sim.run(host, args)
+    with tracer.span(
+        "execute",
+        "runtime",
+        run_id=run_id,
+        device=device.name,
+        program=host.name,
+        seed=seed,
+        fault_plan=repr(fault_plan) if fault_plan is not None else None,
+    ) as exec_span:
+        for attempt in range(policy.max_retries + 1):
+            report.attempts += 1
+            track = (
+                "sim-gpu"
+                if attempt == 0
+                else f"sim-gpu (attempt {attempt + 1})"
+            )
+            sim = GpuSimulator(
+                device,
+                coalescing=coalescing,
+                in_place=in_place,
+                injector=injector,
+                watchdog_factor=policy.watchdog_factor,
+                watchdog_floor_us=policy.watchdog_floor_us,
+                prog=core,
+                trace_track=track,
+            )
+            with tracer.span(
+                f"attempt#{attempt + 1}", "runtime", run_id=run_id
+            ) as attempt_span:
+                try:
+                    values, cost = sim.run(host, args)
+                    attempt_span.set(outcome="ok")
+                    exec_span.set(
+                        attempts=report.attempts, retries=report.retries
+                    )
+                    return values, cost, report
+                except KernelTimeout as e:
+                    report.timeouts += 1
+                    report.events.append(str(e))
+                    last_error = e
+                    attempt_span.set(outcome="timeout")
+                    tracer.instant(
+                        "fault:timeout",
+                        "runtime",
+                        site=e.kernel,
+                        run_id=run_id,
+                    )
+                    metrics.counter("runtime.faults", kind="timeout").inc()
+                    logger.debug(
+                        "kernel-timeout", run_id=run_id, site=e.kernel
+                    )
+                except DeviceFault as e:
+                    report.events.append(str(e))
+                    kind = "transient" if e.transient else "fatal"
+                    attempt_span.set(outcome=f"{kind}-fault")
+                    tracer.instant(
+                        f"fault:{kind}", "runtime", error=str(e), run_id=run_id
+                    )
+                    metrics.counter("runtime.faults", kind=kind).inc()
+                    logger.debug(
+                        "device-fault", run_id=run_id, kind=kind, error=str(e)
+                    )
+                    last_error = e
+                    if e.transient:
+                        report.transient_faults += 1
+                    else:
+                        report.fatal_faults += 1
+                        break  # a fatal fault will not clear: stop retrying
+            if attempt < policy.max_retries:
+                report.retries += 1
+                backoff = _backoff_us(attempt, policy, backoff_rng)
+                report.backoff_us += backoff
+                metrics.counter("runtime.retries").inc()
+                metrics.counter("runtime.backoff_us").inc(backoff)
+                tracer.instant(
+                    "backoff", "runtime", us=backoff, run_id=run_id
+                )
+
+        exec_span.set(attempts=report.attempts, retries=report.retries)
+        if policy.fallback:
+            report.fallbacks += 1
+            report.events.append(
+                f"falling back to the reference interpreter after: "
+                f"{last_error}"
+            )
+            metrics.counter("runtime.fallbacks").inc()
+            logger.info(
+                "interpreter-fallback", run_id=run_id, after=str(last_error)
+            )
+            with tracer.span(
+                "interpreter-fallback", "runtime", run_id=run_id
+            ):
+                values = run_program(
+                    core, args, fname=entry or host.name, in_place=in_place
+                )
+            # The device never produced a result; the cost report
+            # carries only the wasted backoff time.
+            cost = CostReport(device.name)
             return values, cost, report
-        except KernelTimeout as e:
-            report.timeouts += 1
-            report.events.append(str(e))
-            last_error = e
-        except DeviceFault as e:
-            report.events.append(str(e))
-            if e.transient:
-                report.transient_faults += 1
-                last_error = e
-            else:
-                report.fatal_faults += 1
-                last_error = e
-                break  # a fatal fault will not clear: stop retrying
-        if attempt < policy.max_retries:
-            report.retries += 1
-            report.backoff_us += _backoff_us(attempt, policy, backoff_rng)
 
-    if policy.fallback:
-        report.fallbacks += 1
-        report.events.append(
-            f"falling back to the reference interpreter after: {last_error}"
-        )
-        values = run_program(
-            core, args, fname=entry or host.name, in_place=in_place
-        )
-        # The device never produced a result; the cost report carries
-        # only the wasted backoff time.
-        cost = CostReport(device.name)
-        return values, cost, report
-
-    if last_error is None:  # pragma: no cover
-        raise ReproError("resilient executor made no attempts")
-    raise last_error
+        if last_error is None:  # pragma: no cover
+            raise ReproError("resilient executor made no attempts")
+        raise last_error

@@ -1,0 +1,149 @@
+"""Exporter tests: Chrome trace structure, schema validation (golden
+file), metrics dumps, and the terminal summary."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs.export import (
+    chrome_trace,
+    metrics_dump,
+    summary,
+    validate_chrome_trace,
+    validate_metrics_dump,
+    write_chrome_trace,
+    write_metrics,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+GOLDEN = os.path.join(os.path.dirname(__file__), "data", "golden_trace.json")
+
+
+def _golden_tracer() -> Tracer:
+    """A deterministic trace: only explicit-clock events, so the export
+    is byte-stable across runs."""
+    tr = Tracer()
+    tr.complete(
+        "pass:fusion", "pipeline", ts_us=0.0, dur_us=120.0,
+        bindings_before=30, bindings_after=24, soacs_before=5,
+        soacs_after=3,
+    )
+    tr.complete(
+        "kernel:map_1", "kernel", ts_us=10.0, dur_us=35.5,
+        track="sim-gpu", kind="map", cycles=32944.0,
+        bytes_effective=1024.0, occupancy=0.01,
+    )
+    tr.complete(
+        "kernel:redomap_2", "kernel", ts_us=45.5, dur_us=70.0,
+        track="sim-gpu", kind="reduce", cycles=64960.0,
+        bytes_effective=2048.0, occupancy=0.02,
+    )
+    tr.metadata["run_id"] = "golden/seed0"
+    return tr
+
+
+def test_chrome_trace_structure():
+    trace = chrome_trace(_golden_tracer())
+    assert validate_chrome_trace(trace) == []
+    events = trace["traceEvents"]
+    # Process + two thread metadata events, then the three completes.
+    phases = [e["ph"] for e in events]
+    assert phases.count("M") == 3
+    assert phases.count("X") == 3
+    names = {e["name"] for e in events if e["ph"] == "M"}
+    assert names == {"process_name", "thread_name"}
+    kernel = next(e for e in events if e["name"] == "kernel:map_1")
+    assert kernel["ts"] == 10.0
+    assert kernel["dur"] == 35.5
+    assert kernel["args"]["cycles"] == 32944.0
+    # Kernel events sit on the sim-gpu track, pass events on main.
+    pass_ev = next(e for e in events if e["name"] == "pass:fusion")
+    assert kernel["tid"] != pass_ev["tid"]
+    assert trace["otherData"]["run_id"] == "golden/seed0"
+
+
+def test_golden_trace_file_matches_and_validates():
+    """The committed golden file is exactly what the exporter produces
+    for the deterministic trace, and passes the schema check."""
+    with open(GOLDEN) as f:
+        golden = json.load(f)
+    assert validate_chrome_trace(golden) == []
+    assert chrome_trace(_golden_tracer()) == golden
+
+
+def test_write_chrome_trace_roundtrip(tmp_path):
+    path = tmp_path / "trace.json"
+    write_chrome_trace(_golden_tracer(), str(path))
+    with open(path) as f:
+        loaded = json.load(f)
+    assert validate_chrome_trace(loaded) == []
+
+
+def test_validator_rejects_malformed_traces():
+    assert validate_chrome_trace([]) != []
+    assert validate_chrome_trace({}) != []
+    assert validate_chrome_trace({"traceEvents": []}) != []
+    bad_phase = {"traceEvents": [
+        {"name": "x", "ph": "Q", "pid": 1, "tid": 0}
+    ]}
+    assert any("phase" in e for e in validate_chrome_trace(bad_phase))
+    missing_dur = {"traceEvents": [
+        {"name": "x", "ph": "X", "ts": 1.0, "pid": 1, "tid": 0}
+    ]}
+    assert any("dur" in e for e in validate_chrome_trace(missing_dur))
+    negative_ts = {"traceEvents": [
+        {"name": "x", "ph": "i", "ts": -5.0, "pid": 1, "tid": 0}
+    ]}
+    assert any("ts" in e for e in validate_chrome_trace(negative_ts))
+
+
+def test_instants_export_as_thread_scoped_markers():
+    tr = Tracer()
+    tr.instant("rollback:fusion", "pipeline", error="bug")
+    trace = chrome_trace(tr)
+    assert validate_chrome_trace(trace) == []
+    ev = next(e for e in trace["traceEvents"] if e["ph"] == "i")
+    assert ev["s"] == "t"
+    assert ev["args"]["error"] == "bug"
+
+
+def test_non_json_attribute_values_are_stringified():
+    tr = Tracer()
+    tr.complete("x", "t", ts_us=0.0, dur_us=1.0, obj=object())
+    trace = chrome_trace(tr)
+    json.dumps(trace)  # must not raise
+    assert validate_chrome_trace(trace) == []
+
+
+def test_metrics_dump_and_validation(tmp_path):
+    m = MetricsRegistry()
+    m.counter("runtime.retries").inc(2)
+    m.histogram("gpu.kernel_time_us", buckets=(10.0, 100.0)).observe(42.0)
+    dump = metrics_dump(m, metadata={"run_id": "golden/seed0"})
+    assert validate_metrics_dump(dump) == []
+    assert dump["schema"] == "repro.metrics/v1"
+    assert dump["metadata"]["run_id"] == "golden/seed0"
+    path = tmp_path / "metrics.json"
+    write_metrics(m, str(path))
+    with open(path) as f:
+        assert validate_metrics_dump(json.load(f)) == []
+    # Malformed dumps are rejected.
+    assert validate_metrics_dump({"schema": "nope"}) != []
+    broken = metrics_dump(m)
+    broken["histograms"]["gpu.kernel_time_us"]["counts"] = [1]
+    assert validate_metrics_dump(broken) != []
+
+
+def test_summary_renders_passes_kernels_and_counters():
+    tr = _golden_tracer()
+    m = MetricsRegistry()
+    m.counter("runtime.retries").inc(4)
+    m.histogram("gpu.kernel_time_us").observe(35.5)
+    text = summary(tr, m)
+    assert "pass:fusion" in text
+    assert "kernel:map_1" in text
+    assert "runtime.retries" in text
+    assert "gpu.kernel_time_us" in text
+    assert summary(None, None) == "(no observability data recorded)"

@@ -1,0 +1,97 @@
+"""Metrics registry unit tests: counters/gauges/histograms, label
+identity, bucketing, snapshots and the no-op registry."""
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    NULL_METRICS,
+    get_metrics,
+    metering,
+    set_metrics,
+)
+
+
+def test_counter_is_memoised_by_name_and_labels():
+    m = MetricsRegistry()
+    a = m.counter("gpu.launches", kind="map")
+    b = m.counter("gpu.launches", kind="map")
+    c = m.counter("gpu.launches", kind="reduce")
+    assert a is b and a is not c
+    a.inc()
+    a.inc(2.5)
+    assert a.value == 3.5
+    assert c.value == 0.0
+
+
+def test_gauge_last_write_wins():
+    m = MetricsRegistry()
+    g = m.gauge("occupancy")
+    g.set(0.25)
+    g.set(0.75)
+    assert g.value == 0.75
+
+
+def test_histogram_bucketing():
+    h = Histogram(bounds=(1.0, 10.0, 100.0))
+    for v in (0.5, 5.0, 50.0, 500.0, 5000.0):
+        h.observe(v)
+    assert h.counts == [1, 1, 1, 2]  # last bucket is +inf overflow
+    assert h.count == 5
+    assert h.sum == 5555.5
+    assert h.mean == 5555.5 / 5
+
+
+def test_histogram_boundary_values_fall_in_lower_bucket():
+    h = Histogram(bounds=(1.0, 10.0))
+    h.observe(1.0)
+    h.observe(10.0)
+    assert h.counts == [1, 1, 0]
+
+
+def test_snapshot_shape_and_label_rendering():
+    m = MetricsRegistry()
+    m.counter("runtime.retries").inc(3)
+    m.counter("gpu.launches", kind="map").inc()
+    m.gauge("x").set(1.5)
+    m.histogram("t", buckets=(1.0,)).observe(0.5)
+    snap = m.snapshot()
+    assert snap["counters"]["runtime.retries"] == 3
+    assert snap["counters"]["gpu.launches{kind=map}"] == 1
+    assert snap["gauges"]["x"] == 1.5
+    h = snap["histograms"]["t"]
+    assert h["bounds"] == [1.0]
+    assert h["counts"] == [1, 0]
+    assert h["count"] == 1
+
+
+def test_default_buckets_are_sorted():
+    assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+    h = Histogram()
+    h.observe(2_000_000.0)
+    assert h.counts[-1] == 1
+
+
+def test_null_registry_is_inert_and_shared():
+    a = NULL_METRICS.counter("x")
+    b = NULL_METRICS.histogram("y")
+    assert a is b  # one shared no-op instrument
+    a.inc(100)
+    b.observe(5)
+    assert a.value == 0.0
+    assert NULL_METRICS.snapshot() == {
+        "counters": {},
+        "gauges": {},
+        "histograms": {},
+    }
+    assert not NULL_METRICS.enabled
+
+
+def test_ambient_registry_install_and_restore():
+    assert get_metrics() is NULL_METRICS
+    with metering() as m:
+        assert get_metrics() is m
+        m.counter("c").inc()
+    assert get_metrics() is NULL_METRICS
+    set_metrics(None)
+    assert get_metrics() is NULL_METRICS

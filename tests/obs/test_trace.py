@@ -1,0 +1,122 @@
+"""Tracer unit tests: span nesting/ordering, attributes, explicit
+completes, instants, and the no-op path's zero-allocation guarantee."""
+
+import pytest
+
+from repro.obs import trace as T
+from repro.obs.trace import (
+    NULL_TRACER,
+    PassTiming,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    tracing,
+)
+
+
+def test_span_nesting_and_finish_order():
+    tr = Tracer()
+    with tr.span("outer", "test") as outer:
+        with tr.span("inner", "test") as inner:
+            pass
+        with tr.span("inner2", "test"):
+            pass
+    # Finish order: children before parents.
+    assert [s.name for s in tr.spans] == ["inner", "inner2", "outer"]
+    assert outer.depth == 0
+    assert inner.depth == 1
+    # The parent's interval covers the children's.
+    assert outer.ts_us <= inner.ts_us
+    assert outer.dur_us >= inner.dur_us
+    assert all(s.finished for s in tr.spans)
+
+
+def test_span_attributes_and_set():
+    tr = Tracer()
+    with tr.span("p", "cat", phase="simplify") as s:
+        s.set(bindings_before=10, bindings_after=7)
+    assert s.attrs == {
+        "phase": "simplify",
+        "bindings_before": 10,
+        "bindings_after": 7,
+    }
+    assert tr.find("p")[0] is s
+
+
+def test_exception_finishes_span_and_records_error():
+    tr = Tracer()
+    with pytest.raises(ValueError):
+        with tr.span("boom", "test"):
+            raise ValueError("no")
+    (s,) = tr.spans
+    assert s.finished
+    assert "ValueError" in s.attrs["error"]
+    # The stack unwound: a new span starts at depth 0 again.
+    with tr.span("after", "test") as s2:
+        assert s2.depth == 0
+
+
+def test_instants_are_zero_duration_markers():
+    tr = Tracer()
+    tr.instant("rollback:fusion", "pipeline", error="bug")
+    (i,) = tr.instants
+    assert i.dur_us == 0.0
+    assert i.attrs["error"] == "bug"
+
+
+def test_complete_uses_explicit_simulated_clock_and_track():
+    tr = Tracer()
+    tr.complete(
+        "kernel:map_1", "kernel", ts_us=100.0, dur_us=35.5,
+        track="sim-gpu", cycles=123.0,
+    )
+    (s,) = tr.spans
+    assert s.ts_us == 100.0
+    assert s.dur_us == 35.5
+    assert s.track == "sim-gpu"
+    assert tr.tracks() == ["main", "sim-gpu"]
+
+
+def test_ambient_tracer_install_and_restore():
+    assert get_tracer() is NULL_TRACER
+    with tracing() as tr:
+        assert get_tracer() is tr
+        with tracing(Tracer()) as tr2:
+            assert get_tracer() is tr2
+        assert get_tracer() is tr
+    assert get_tracer() is NULL_TRACER
+    set_tracer(None)
+    assert get_tracer() is NULL_TRACER
+
+
+def test_null_tracer_allocates_no_spans():
+    before = T.span_allocations()
+    with NULL_TRACER.span("x", "cat", a=1) as s:
+        s.set(b=2)
+    NULL_TRACER.instant("y")
+    NULL_TRACER.complete("z", ts_us=1.0, dur_us=2.0)
+    assert T.span_allocations() == before
+    assert NULL_TRACER.find("x") == []
+    assert not NULL_TRACER.enabled
+
+
+def test_null_tracer_span_is_shared_singleton():
+    a = NULL_TRACER.span("a")
+    b = NULL_TRACER.span("b")
+    assert a is b
+
+
+def test_pass_timing_deltas_and_rendering():
+    t = PassTiming(
+        "fusion", "fusion", 123.0,
+        bindings_before=30, bindings_after=24,
+        soacs_before=5, soacs_after=3,
+    )
+    assert t.bindings_delta == -6
+    assert t.soacs_delta == -2
+    assert "fusion" in str(t) and "30->24" in str(t)
+    bare = PassTiming("lower", "backend", 10.0)
+    assert bare.bindings_delta is None
+    assert "lower" in str(bare)
+    rolled = PassTiming("x", "y", 1.0, rolled_back=True)
+    assert "rolled back" in str(rolled)
