@@ -13,10 +13,12 @@ run FILE [--size name=value ...]
     Compile FILE and price it analytically at the given sizes on both
     simulated devices.
 
-bench [table1|figure13|table2|impact <kind>|validate] [--names A,B,...]
+bench [table1|figure13|table2|impact <kind>|validate|perf] [--names ...]
     Regenerate the paper's evaluation artefacts; ``validate`` runs the
     named benchmarks on the simulated device against the interpreter
-    and prints each run's report and per-pass compile breakdown.
+    and prints each run's report and per-pass compile breakdown;
+    ``perf`` wall-clocks the scalar interpreter against the vectorized
+    engine (``--executor vector``) and writes ``BENCH_vm.json``.
 
 Observability (``compile``, ``run`` and ``bench``)
 --------------------------------------------------
@@ -42,6 +44,7 @@ def _options_from_flags(args) -> "CompilerOptions":
         coalescing=not args.no_coalescing,
         tiling=not args.no_tiling,
         interchange=not args.no_interchange,
+        executor=args.executor,
     )
 
 
@@ -50,6 +53,13 @@ def _add_opt_flags(p: argparse.ArgumentParser) -> None:
     p.add_argument("--no-coalescing", action="store_true")
     p.add_argument("--no-tiling", action="store_true")
     p.add_argument("--no-interchange", action="store_true")
+    p.add_argument(
+        "--executor",
+        choices=("sim", "vector"),
+        default="sim",
+        help="kernel engine: scalar interpreter per launch (sim) or "
+        "the vectorized NumPy engine (vector)",
+    )
 
 
 def _add_obs_flags(p: argparse.ArgumentParser) -> None:
@@ -154,11 +164,32 @@ def cmd_bench(args) -> int:
         )
         for name in names or list(BENCHMARKS.names()):
             report = validate_benchmark(
-                name, seed=args.seed, fault_plan=fault_plan
+                name,
+                seed=args.seed,
+                fault_plan=fault_plan,
+                options=_options_from_flags(args),
             )
             print(f"{name}: OK  {report.summary()}")
             for t in report.pass_timings:
                 print(f"  {t}")
+        return 0
+    if what == "perf":
+        import json
+
+        from .bench.runner import perf_suite
+
+        results = perf_suite(
+            names=names, seed=args.seed, repeats=args.repeats
+        )
+        for name, row in results["benchmarks"].items():
+            print(
+                f"{name:14s} interp {row['interp_s']:8.3f}s  "
+                f"vm {row['vm_s']:8.3f}s  x{row['speedup']:.1f}"
+            )
+        print(f"{'geomean':14s} x{results['geomean_speedup']:.1f}")
+        with open(args.out, "w") as f:
+            json.dump(results, f, indent=2)
+        print(f"wrote {args.out}", file=sys.stderr)
         return 0
     if what == "table2":
         for name, ds in TABLE2.items():
@@ -219,7 +250,8 @@ def main(argv=None) -> int:
     p = sub.add_parser("bench", help="regenerate evaluation artefacts")
     p.add_argument(
         "what",
-        choices=("table1", "table2", "figure13", "impact", "validate"),
+        choices=("table1", "table2", "figure13", "impact", "validate",
+                 "perf"),
     )
     p.add_argument("--names", default=None)
     p.add_argument(
@@ -229,12 +261,21 @@ def main(argv=None) -> int:
     )
     p.add_argument(
         "--seed", type=int, default=0,
-        help="dataset / fault-plan seed for bench validate",
+        help="dataset / fault-plan seed for bench validate/perf",
     )
     p.add_argument(
         "--chaos", action="store_true",
         help="run bench validate under an injected-fault plan",
     )
+    p.add_argument(
+        "--out", default="BENCH_vm.json",
+        help="output file for bench perf",
+    )
+    p.add_argument(
+        "--repeats", type=int, default=1,
+        help="best-of repeats for bench perf timing",
+    )
+    _add_opt_flags(p)
     _add_obs_flags(p)
     p.set_defaults(fn=cmd_bench)
 

@@ -26,6 +26,10 @@ class Dataset:
     full: Dict[str, int]
     #: Size bindings at validation scale.
     small: Dict[str, int]
+    #: Size bindings at performance-measurement scale: large enough
+    #: that execution time dominates compile time, small enough that
+    #: the scalar interpreter baseline still finishes in seconds.
+    perf: Dict[str, int] = None
 
 
 TABLE2: Dict[str, Dataset] = {
@@ -33,80 +37,96 @@ TABLE2: Dict[str, Dataset] = {
         description="Input layer size equal to 2^20",
         full={"n": 1 << 20, "h": 16},
         small={"n": 64, "h": 4},
+        perf={"n": 8192, "h": 8},
     ),
     "CFD": Dataset(
         description="fvcorr.domn.193K",
         full={"n": 193_536, "iters": 2000},
         small={"n": 24, "iters": 3},
+        perf={"n": 2048, "iters": 3},
     ),
     "HotSpot": Dataset(
         description="1024 x 1024; 360 iterations",
         full={"r": 1024, "c": 1024, "iters": 360},
         small={"r": 8, "c": 8, "iters": 4},
+        perf={"r": 64, "c": 64, "iters": 5},
     ),
     "K-means": Dataset(
         description="kdd_cup",
         full={"n": 494_019, "d": 34, "k": 5, "iters": 20},
         small={"n": 40, "d": 3, "k": 4, "iters": 3},
+        perf={"n": 2048, "d": 4, "k": 5, "iters": 3},
     ),
     "LavaMD": Dataset(
         description="boxes1d=10",
         full={"nb": 1000, "par": 100, "nn": 27},
         small={"nb": 4, "par": 6, "nn": 3},
+        perf={"nb": 24, "par": 16, "nn": 8},
     ),
     "Myocyte": Dataset(
         description="workload=65536, xmax=3",
         full={"w": 65_536, "eq": 91, "steps": 5000},
         small={"w": 6, "eq": 8, "steps": 5},
+        perf={"w": 64, "eq": 16, "steps": 10},
     ),
     "NN": Dataset(
         description="Default Rodinia dataset duplicated 20 times",
         full={"n": 855_280, "q": 100},
         small={"n": 50, "q": 4},
+        perf={"n": 16384, "q": 4},
     ),
     "Pathfinder": Dataset(
         description="Array of size 10^5",
         full={"cols": 100_000, "rows": 100},
         small={"cols": 32, "rows": 5},
+        perf={"cols": 4096, "rows": 10},
     ),
     "SRAD": Dataset(
         description="502 x 458; 100 iterations",
         full={"r": 502, "c": 458, "iters": 100},
         small={"r": 8, "c": 6, "iters": 3},
+        perf={"r": 64, "c": 48, "iters": 4},
     ),
     "LocVolCalib": Dataset(
         description="large dataset",
         full={"outer": 256, "nx": 256, "ny": 256, "numT": 128},
         small={"outer": 4, "nx": 6, "ny": 6, "numT": 3},
+        perf={"outer": 8, "nx": 16, "ny": 16, "numT": 4},
     ),
     "OptionPricing": Dataset(
         description="large dataset",
         full={"paths": 2_097_152, "steps": 256},
         small={"paths": 32, "steps": 6},
+        perf={"paths": 1024, "steps": 12},
     ),
     "MRI-Q": Dataset(
         description="large dataset",
         full={"x": 262_144, "k": 2048},
         small={"x": 24, "k": 12},
+        perf={"x": 1024, "k": 64},
     ),
     "Crystal": Dataset(
         description="Size 2000, degree 50",
         full={"side": 2000, "degree": 50},
         small={"side": 10, "degree": 4},
+        perf={"side": 64, "degree": 8},
     ),
     "Fluid": Dataset(
         description="3000 x 3000; 20 iterations",
         full={"side": 3000, "iters": 20, "solver": 10},
         small={"side": 8, "iters": 2, "solver": 3},
+        perf={"side": 24, "iters": 2, "solver": 3},
     ),
     "Mandelbrot": Dataset(
         description="4000 x 4000; 255 limit",
         full={"w": 4000, "h": 4000, "limit": 255},
         small={"w": 12, "h": 8, "limit": 20},
+        perf={"w": 96, "h": 48, "limit": 30},
     ),
     "N-body": Dataset(
         description="N = 10^5",
         full={"n": 100_000, "steps": 1},
         small={"n": 16, "steps": 1},
+        perf={"n": 256, "steps": 1},
     ),
 }

@@ -28,6 +28,7 @@ from .suite import BENCHMARKS, BenchmarkSpec
 
 __all__ = [
     "validate_benchmark",
+    "perf_suite",
     "table1_runtimes",
     "figure13_speedups",
     "run_impact",
@@ -111,6 +112,82 @@ def validate_benchmark(
         compile_passes=len(report.pass_timings),
     )
     return report
+
+
+def perf_suite(
+    names: Optional[List[str]] = None,
+    seed: int = 0,
+    repeats: int = 1,
+    device: DeviceProfile = NVIDIA_GTX780TI,
+) -> Dict:
+    """Wall-clock the scalar interpreter against the vectorized engine
+    (:mod:`repro.vm`) on every benchmark at ``perf`` scale.
+
+    Each program runs on both executors with identical inputs, the
+    results are checked for agreement, and the best-of-``repeats``
+    times feed per-program speedups and their geometric mean.  The
+    returned dict is the ``BENCH_vm.json`` payload."""
+    import time
+
+    from ..obs import metering
+
+    logger = get_logger("bench")
+    names = names or list(BENCHMARKS.names())
+    policy = ExecutionPolicy(executor="vector")
+    benchmarks: Dict[str, Dict] = {}
+    for name in names:
+        spec = BENCHMARKS[name]
+        prog = spec.program()
+        compiled = compile_program(prog)
+        interp_s = vm_s = float("inf")
+        fallbacks = 0.0
+        for _ in range(max(1, repeats)):
+            args = spec.perf_args(np.random.default_rng(seed))
+            t0 = time.perf_counter()
+            expected = run_program(prog, args, in_place=True)
+            interp_s = min(interp_s, time.perf_counter() - t0)
+            with metering() as m:
+                t0 = time.perf_counter()
+                got, _, report = compiled.execute(args, policy=policy)
+                vm_s = min(vm_s, time.perf_counter() - t0)
+            counters = m.snapshot()["counters"]
+            fallbacks = sum(
+                v for k, v in counters.items() if k.startswith("vm.fallback")
+            )
+            if report.fallbacks:
+                raise ValidationError(
+                    f"{name}: perf run degraded to the interpreter "
+                    f"({report.summary()})"
+                )
+            if len(got) != len(expected) or not all(
+                values_equal(e, g, rtol=1e-4, atol=1e-4)
+                for e, g in zip(expected, got)
+            ):
+                raise ValidationError(
+                    f"{name}: vector result differs from interpreter"
+                )
+        speedup = interp_s / vm_s if vm_s > 0 else float("inf")
+        benchmarks[name] = {
+            "sizes": dict(spec.dataset.perf),
+            "interp_s": interp_s,
+            "vm_s": vm_s,
+            "speedup": speedup,
+            "kernel_fallbacks": fallbacks,
+        }
+        logger.debug(
+            "perf-row", benchmark=name, interp_s=interp_s, vm_s=vm_s,
+            speedup=speedup,
+        )
+    speedups = [b["speedup"] for b in benchmarks.values()]
+    geomean = float(np.exp(np.mean(np.log(speedups)))) if speedups else 0.0
+    return {
+        "schema": "repro.bench_vm/v1",
+        "device": device.name,
+        "seed": seed,
+        "repeats": repeats,
+        "benchmarks": benchmarks,
+        "geomean_speedup": geomean,
+    }
 
 
 def _program_dims(compiled) -> set:

@@ -29,6 +29,9 @@ class BenchmarkSpec:
     def small_args(self, rng):
         return self.module.small_args(rng, self.dataset.small)
 
+    def perf_args(self, rng):
+        return self.module.small_args(rng, self.dataset.perf)
+
     def reference(self):
         return self.module.reference()
 

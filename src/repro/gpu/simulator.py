@@ -97,6 +97,17 @@ class GpuSimulator:
 
     # -- execution ----------------------------------------------------------
 
+    def _eval_kernel(
+        self, kernel, env: Dict[str, Value]
+    ) -> Tuple[Value, ...]:
+        """Compute the values a kernel launch produces.
+
+        The base simulator hands the kernel's core-IR expression to the
+        scalar reference interpreter; execution engines with a faster
+        substrate (``repro.vm.VectorEngine``) override this hook and
+        must produce the same values."""
+        return self._interp.eval_exp(kernel.exp, env)
+
     def _atom(self, env: Dict[str, Value], a: A.Atom) -> Value:
         if isinstance(a, A.Const):
             return scalar(a.value, a.type)
@@ -123,7 +134,7 @@ class GpuSimulator:
                 kernel = s.kernel
                 if self.injector is not None:
                     self.injector.before_launch(kernel.name)
-                values = self._interp.eval_exp(kernel.exp, env)
+                values = self._eval_kernel(kernel, env)
                 cost = kernel_cost(
                     kernel,
                     self._size_env(env),

@@ -78,6 +78,11 @@ class CompilerOptions:
     #: Fail fast on a broken optimisation pass instead of rolling the
     #: IR back and continuing.
     strict: bool = False
+    #: Which execution engine :meth:`CompiledProgram.execute` uses when
+    #: no explicit :class:`ExecutionPolicy` is given: ``"sim"`` (the
+    #: scalar interpreter behind the simulated device) or ``"vector"``
+    #: (the vectorized NumPy engine, :mod:`repro.vm`).
+    executor: str = "sim"
 
 
 @dataclass
@@ -279,6 +284,8 @@ class CompiledProgram:
         interpreter.  Returns ``(values, cost_report, run_report)``;
         the run report carries this compile's per-pass timing breakdown
         plus the ``run_id``/``seed`` identifying the execution."""
+        if policy is None:
+            policy = ExecutionPolicy(executor=self.options.executor)
         return run_resilient(
             self.host,
             self.core,

@@ -30,7 +30,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from .core import ast as A
 from .core.values import Value
-from .errors import DeviceFault, KernelTimeout, ReproError
+from .errors import ArgumentError, DeviceFault, KernelTimeout, ReproError
 from .gpu.costmodel import CostReport
 from .gpu.device import DeviceProfile
 from .gpu.faults import FaultPlan
@@ -69,6 +69,12 @@ class ExecutionPolicy:
     watchdog_factor: float = WATCHDOG_FACTOR
     #: ...with this floor so microsecond kernels aren't flaky.
     watchdog_floor_us: float = WATCHDOG_FLOOR_US
+    #: Which engine computes kernel values: ``"sim"`` evaluates every
+    #: launch on the scalar reference interpreter; ``"vector"`` runs
+    #: kernels on the vectorized NumPy engine (:mod:`repro.vm`), with
+    #: per-kernel interpreter fallback.  Retry/watchdog/fault semantics
+    #: are identical for both.
+    executor: str = "sim"
 
 
 @dataclass
@@ -163,6 +169,17 @@ def run_resilient(
     plan, so a chaos failure names the exact plan that produced it.
     """
     policy = policy or ExecutionPolicy()
+    if policy.executor == "sim":
+        engine_cls, base_track = GpuSimulator, "sim-gpu"
+    elif policy.executor == "vector":
+        from .vm import VectorEngine
+
+        engine_cls, base_track = VectorEngine, "vm-vector"
+    else:
+        raise ArgumentError(
+            f"unknown executor {policy.executor!r} "
+            f"(expected 'sim' or 'vector')"
+        )
     if seed is None and fault_plan is not None:
         seed = fault_plan.seed
     if run_id is None:
@@ -193,11 +210,11 @@ def run_resilient(
         for attempt in range(policy.max_retries + 1):
             report.attempts += 1
             track = (
-                "sim-gpu"
+                base_track
                 if attempt == 0
-                else f"sim-gpu (attempt {attempt + 1})"
+                else f"{base_track} (attempt {attempt + 1})"
             )
-            sim = GpuSimulator(
+            sim = engine_cls(
                 device,
                 coalescing=coalescing,
                 in_place=in_place,

@@ -1,0 +1,17 @@
+"""repro.vm — vectorized NumPy execution of the kernel IR.
+
+The scalar reference interpreter defines the semantics; this package
+makes the same kernels fast by evaluating them over whole NumPy batches
+(one ufunc application per scalar operation, for the entire flat index
+space at once).  Select it with ``executor="vector"`` on
+:class:`repro.pipeline.CompilerOptions` or
+:class:`repro.runtime.ExecutionPolicy`, or ``--executor vector`` on the
+CLI.  Kernels outside the vectorizable subset fall back to the
+interpreter (counted on the ``vm.fallback`` metric), so results are
+always interpreter-identical.
+"""
+
+from .engine import VectorEngine
+from .vectorize import BValue, VectorEvaluator, VmFallback
+
+__all__ = ["VectorEngine", "VectorEvaluator", "BValue", "VmFallback"]

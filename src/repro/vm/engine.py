@@ -1,0 +1,100 @@
+"""The vectorized execution engine: a drop-in GpuSimulator.
+
+:class:`VectorEngine` inherits everything about the simulated device —
+the cost-model clock, the watchdog, fault injection, and the
+observability spans — and overrides only *how kernel values are
+computed*: through :class:`repro.vm.vectorize.VectorEvaluator` instead
+of the scalar interpreter.  A kernel the evaluator cannot vectorize is
+transparently re-run on the interpreter, counted on the
+``vm.fallback`` metric and marked on the trace.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..core import ast as A
+from ..core.values import Value
+from ..errors import ReproError
+from ..gpu.device import DeviceProfile
+from ..gpu.faults import FaultInjector
+from ..gpu.simulator import (
+    GpuSimulator,
+    WATCHDOG_FACTOR,
+    WATCHDOG_FLOOR_US,
+)
+from ..obs import get_logger, get_metrics, get_tracer
+from .vectorize import VectorEvaluator, VmFallback
+
+__all__ = ["VectorEngine"]
+
+_log = get_logger("vm")
+
+
+class VectorEngine(GpuSimulator):
+    """A :class:`GpuSimulator` whose kernels run on vectorized NumPy."""
+
+    def __init__(
+        self,
+        device: DeviceProfile,
+        coalescing: bool = True,
+        in_place: bool = True,
+        injector: Optional[FaultInjector] = None,
+        watchdog_factor: float = WATCHDOG_FACTOR,
+        watchdog_floor_us: float = WATCHDOG_FLOOR_US,
+        prog: Optional[A.Prog] = None,
+        trace_track: str = "vm-vector",
+    ) -> None:
+        super().__init__(
+            device,
+            coalescing=coalescing,
+            in_place=in_place,
+            injector=injector,
+            watchdog_factor=watchdog_factor,
+            watchdog_floor_us=watchdog_floor_us,
+            prog=prog,
+            trace_track=trace_track,
+        )
+        self._vec = VectorEvaluator(
+            prog if prog is not None else A.Prog(()), in_place=in_place
+        )
+
+    def _eval_kernel(self, kernel, env: Dict[str, Value]) -> Tuple[Value, ...]:
+        try:
+            values = self._vec.eval_kernel(kernel, env)
+        except VmFallback as ex:
+            self._note_fallback(kernel, ex.reason)
+        except ReproError:
+            # A genuine program error (bad index, unbound name, ...):
+            # identical on either engine, so let it propagate.
+            raise
+        except Exception as ex:  # unexpected: never fail, fall back
+            self._note_fallback(kernel, f"{type(ex).__name__}: {ex}")
+        else:
+            metrics = get_metrics()
+            if metrics.enabled:
+                metrics.counter("vm.kernels", kind=kernel.kind).inc()
+            return values
+        # The evaluator never mutates arrays it did not allocate, so
+        # the environment is exactly as the launch found it.
+        return self._interp.eval_exp(kernel.exp, env)
+
+    def _note_fallback(self, kernel, reason: str) -> None:
+        _log.debug(
+            "vm-fallback", kernel=kernel.name, kind=kernel.kind,
+            reason=reason,
+        )
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter(
+                "vm.fallback", kernel=kernel.name, kind=kernel.kind
+            ).inc()
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.instant(
+                f"vm.fallback:{kernel.name}",
+                "vm",
+                track=self.trace_track,
+                kind=kernel.kind,
+                reason=reason,
+            )

@@ -1,0 +1,56 @@
+// host program for 'main'
+// ---- kernels --------------------------------------------------
+__kernel void iotaexp_1(__global int *is_0_out, ...) {
+    const int gtid_0 = get_global_id(0);  // < r
+    // iota r
+}
+
+__kernel void iotaexp_2(__global int *is_1_out, ...) {
+    const int gtid_0 = get_global_id(0);  // < c
+    // iota c
+}
+
+__kernel void map_3(__global float *t_30_lifted_1_out, ...) {
+    const int gtid_0 = get_global_id(0);  // < r
+    const int gtid_1 = get_global_id(1);  // < c
+    // map (\(i_4: i32): ([c]f32) ->
+    //     let t_30_lifted_0: [c]f32 = map (\(j_5: i32): (f32) ->
+    //       let t_6: i32 = i_4 - 1
+    //       let t_7: i32 = max@i32(t_6, 0)
+    //       let t_8: i32 = i_4 + 1
+    //       let t_10: i32 = min@i32(t_8, t_9)
+    //       let t_11: i32 = j_5 - 1
+    //       let t_12: i32 = max@i32(t_11, 0)
+    //       let t_13: i32 = j_5 + 1
+    //       let t_15: i32 = min@i32(t_13, t_14)
+    //       let x_16: f32 = t_2[i_4, j_5]
+    //       let x_17: f32 = t_2[t_7, j_5]
+    //       let x_18: f32 = t_2[t_10, j_5]
+    //       let x_19: f32 = t_2[i_4, t_15]
+    //       let x_20: f32 = t_2[i_4, t_12]
+    //       let t_21: f32 = x_17 + x_18
+    //       let t_22: f32 = t_21 + x_19
+    //       let t_23: f32 = t_22 + x_20
+    //       let t_24: f32 = 4.0f32 * x_16
+    //       let t_25: f32 = t_23 - t_24
+    //       let t_26: f32 = 0.1f32 * t_25
+    //       let t_27: f32 = x_16 + t_26
+    //       let x_28: f32 = power[i_4, j_5]
+    //       let t_29: f32 = 0.0156f32 * x_28
+    //       let t_30: f32 = t_27 + t_29
+    //       in {t_30}) is_1
+    //     in {t_30_lifted_0}) is_0
+}
+
+// ---- host driver ----------------------------------------------
+void main(__global float *temp, __global float *power, intiters) {
+    is_0 = launch iotaexp_1<<<r>>>();
+    is_1 = launch iotaexp_2<<<c>>>();
+    t_9 = r - 1;  // host
+    t_14 = c - 1;  // host
+    loop (t_2 = temp) for (it_3 < iters) {
+        t_30_lifted_1 = launch map_3<<<r, c>>>();
+        // double-buffer copies: t_2
+    }
+    return loop_33;
+}

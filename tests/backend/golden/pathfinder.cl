@@ -1,0 +1,45 @@
+// host program for 'main'
+// ---- kernels --------------------------------------------------
+__kernel void iotaexp_1(__global int *is_0_out, ...) {
+    const int gtid_0 = get_global_id(0);  // < cols
+    // iota cols
+}
+
+__kernel void map_2(__global int *x_2_lifted_0_out, ...) {
+    const int gtid_0 = get_global_id(0);  // < cols
+    // map (\(j_1: i32): (i32) ->
+    //     let x_2: i32 = wall[0, j_1]
+    //     in {x_2}) is_0
+}
+
+__kernel void map_3(__global int *t_21_lifted_1_out, ...) {
+    const int gtid_0 = get_global_id(0);  // < cols
+    // map (\(j_6: i32): (i32) ->
+    //     let t_7: i32 = j_6 - 1
+    //     let t_8: i32 = max@i32(t_7, 0)
+    //     let t_9: i32 = j_6 + 1
+    //     let t_11: i32 = min@i32(t_9, t_10)
+    //     let x_12: i32 = cur_4[t_8]
+    //     let x_13: i32 = cur_4[j_6]
+    //     let t_14: i32 = min@i32(x_12, x_13)
+    //     let x_15: i32 = cur_4[t_11]
+    //     let t_16: i32 = min@i32(t_14, x_15)
+    //     let x_20: i32 = wall[t_19, j_6]
+    //     let t_21: i32 = t_16 + x_20
+    //     in {t_21}) is_0
+}
+
+// ---- host driver ----------------------------------------------
+void main(__global int *wall) {
+    is_0 = launch iotaexp_1<<<cols>>>();
+    x_2_lifted_0 = launch map_2<<<cols>>>();
+    t_10 = cols - 1;  // host
+    t_18 = rows - 1;  // host
+    loop (cur_4 = x_2_lifted_0) for (t_5 < rows) {
+        t_17 = t_5 + 1;  // host
+        t_19 = min@i32(t_17, t_18);  // host
+        t_21_lifted_1 = launch map_3<<<cols>>>();
+        // double-buffer copies: cur_4
+    }
+    return loop_23;
+}

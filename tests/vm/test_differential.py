@@ -1,0 +1,72 @@
+"""The differential suite: the vectorized engine (:mod:`repro.vm`)
+must be observationally identical to the reference interpreter.
+
+Every paper benchmark runs under ``executor="vector"`` at reduced
+scale, for several dataset seeds, and the results are checked against
+the interpreter (bit-exact for integers, tolerance for floats) by
+:func:`repro.bench.runner.validate_benchmark`.  On top of value
+equality the suite asserts the quality bar the engine claims:
+
+* *full vectorization* — no kernel silently degrades to the
+  per-element interpreter (``vm.fallback`` stays at zero across the
+  whole suite);
+* *clock semantics* — the cost-model clock still advances (the
+  validate harness rejects a zero-cost device run), and kernel-launch
+  spans land on the ``vm-vector`` trace track;
+* *export* — a traced vector run produces a valid Chrome trace.
+"""
+
+import os
+
+import pytest
+
+from repro.bench.runner import validate_benchmark
+from repro.bench.suite import BENCHMARKS
+from repro.obs import metering, observe
+from repro.obs.export import validate_chrome_trace, write_chrome_trace
+from repro.pipeline import CompilerOptions
+
+SEEDS = [
+    int(s) for s in os.environ.get("VM_SEEDS", "0,1,2").split(",")
+]
+NAMES = list(BENCHMARKS.names())
+VECTOR = CompilerOptions(executor="vector")
+
+
+@pytest.mark.parametrize("name", NAMES)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_vector_matches_interpreter(name, seed):
+    with metering() as m:
+        report = validate_benchmark(name, seed=seed, options=VECTOR)
+    assert report.fallbacks == 0, f"{name}: {report.summary()}"
+    counters = m.snapshot()["counters"]
+    fallbacks = {
+        k: v for k, v in counters.items() if k.startswith("vm.fallback")
+    }
+    assert not fallbacks, (
+        f"{name}/seed{seed}: kernels fell back to the interpreter: "
+        f"{fallbacks}"
+    )
+    vectorized = sum(
+        v for k, v in counters.items() if k.startswith("vm.kernels")
+    )
+    assert vectorized > 0, f"{name}/seed{seed}: no kernel ran vectorized"
+
+
+def test_vector_run_is_traceable(tmp_path):
+    """A vector-executor run emits kernel spans on the ``vm-vector``
+    track and exports a schema-valid Chrome trace."""
+    with observe() as session:
+        validate_benchmark("HotSpot", options=VECTOR)
+    assert "vm-vector" in session.tracer.tracks()
+    vm_spans = [
+        s for s in session.tracer.spans
+        if s.track == "vm-vector" and s.category == "kernel"
+    ]
+    assert vm_spans, "no kernel spans on the vm-vector track"
+    out = tmp_path / "trace.json"
+    write_chrome_trace(session.tracer, str(out))
+    import json
+
+    problems = validate_chrome_trace(json.load(open(out)))
+    assert problems == [], problems
