@@ -13,12 +13,14 @@ run FILE [--size name=value ...]
     Compile FILE and price it analytically at the given sizes on both
     simulated devices.
 
-bench [table1|figure13|table2|impact <kind>|validate|perf] [--names ...]
+bench [table1|figure13|table2|impact <kind>|validate|perf|mem] [--names ...]
     Regenerate the paper's evaluation artefacts; ``validate`` runs the
     named benchmarks on the simulated device against the interpreter
     and prints each run's report and per-pass compile breakdown;
     ``perf`` wall-clocks the scalar interpreter against the vectorized
-    engine (``--executor vector``) and writes ``BENCH_vm.json``.
+    engine (``--executor vector``) and writes ``BENCH_vm.json``;
+    ``mem`` compares peak device-memory footprint with the liveness
+    planner on vs off and writes ``BENCH_mem.json``.
 
 Observability (``compile``, ``run`` and ``bench``)
 --------------------------------------------------
@@ -44,6 +46,7 @@ def _options_from_flags(args) -> "CompilerOptions":
         coalescing=not args.no_coalescing,
         tiling=not args.no_tiling,
         interchange=not args.no_interchange,
+        memory_planning=not args.no_memory_planning,
         executor=args.executor,
     )
 
@@ -53,6 +56,12 @@ def _add_opt_flags(p: argparse.ArgumentParser) -> None:
     p.add_argument("--no-coalescing", action="store_true")
     p.add_argument("--no-tiling", action="store_true")
     p.add_argument("--no-interchange", action="store_true")
+    p.add_argument(
+        "--no-memory-planning",
+        action="store_true",
+        help="ablation: keep the naive never-free allocation behaviour "
+        "(no liveness frees, no block reuse, no copy elision)",
+    )
     p.add_argument(
         "--executor",
         choices=("sim", "vector"),
@@ -191,6 +200,30 @@ def cmd_bench(args) -> int:
             json.dump(results, f, indent=2)
         print(f"wrote {args.out}", file=sys.stderr)
         return 0
+    if what == "mem":
+        import json
+
+        from .bench.runner import mem_suite
+
+        results = mem_suite(names=names)
+        for name, row in results["benchmarks"].items():
+            print(
+                f"{name:14s} naive {row['naive_peak_bytes'] / 1e6:10.2f} MB"
+                f"  planned {row['planned_peak_bytes'] / 1e6:10.2f} MB"
+                f"  ({row['peak_ratio'] * 100:5.1f}%,"
+                f" {row['reuse_count']} reuses)"
+            )
+        print(
+            f"{'geomean':14s} peak reduced by "
+            f"{results['geomean_reduction'] * 100:.1f}% "
+            f"({results['improved_count']}/"
+            f"{len(results['benchmarks'])} benchmarks improved)"
+        )
+        out = args.out if args.out != "BENCH_vm.json" else "BENCH_mem.json"
+        with open(out, "w") as f:
+            json.dump(results, f, indent=2)
+        print(f"wrote {out}", file=sys.stderr)
+        return 0
     if what == "table2":
         for name, ds in TABLE2.items():
             print(f"{name:14s} {ds.description:45s} {ds.full}")
@@ -251,7 +284,7 @@ def main(argv=None) -> int:
     p.add_argument(
         "what",
         choices=("table1", "table2", "figure13", "impact", "validate",
-                 "perf"),
+                 "perf", "mem"),
     )
     p.add_argument("--names", default=None)
     p.add_argument(

@@ -22,6 +22,7 @@ from ..flatten.nests import NestInfo, nest_of
 from ..memory.index_fn import IndexFn
 from .kernel_ir import (
     AccessInfo,
+    AllocStmt,
     Count,
     HostEval,
     HostIfStmt,
@@ -29,6 +30,7 @@ from .kernel_ir import (
     HostProgram,
     Kernel,
     LaunchStmt,
+    MemBlock,
     TileInfo,
 )
 
@@ -56,11 +58,31 @@ def lower_program(prog: A.Prog, fname: str = "main") -> HostProgram:
     )
     for p in fun.params:
         if isinstance(p.type, Array):
-            hp.layouts[p.name] = IndexFn.identity(len(p.type.shape))
+            hp.blocks[p.name] = MemBlock(
+                name=p.name,
+                elem_bytes=_elem_bytes(p.type),
+                elems=Count.of(1.0, *p.type.shape),
+                layout=IndexFn.identity(len(p.type.shape)),
+                shape=p.type.shape,
+                space="param",
+                tracked=True,
+            )
     for name, t in type_env.items():
         if isinstance(t, Array):
             hp.array_shapes[name] = t.shape
+    _register_blocks(hp, hp.stmts)
     return hp
+
+
+def _register_blocks(hp: HostProgram, stmts: Sequence) -> None:
+    for s in stmts:
+        if isinstance(s, AllocStmt):
+            hp.blocks.setdefault(s.block.name, s.block)
+        elif isinstance(s, HostLoopStmt):
+            _register_blocks(hp, s.body)
+        elif isinstance(s, HostIfStmt):
+            _register_blocks(hp, s.then_body)
+            _register_blocks(hp, s.else_body)
 
 
 def lower_body(
@@ -86,6 +108,7 @@ def _lower_body(
             iota_names.add(bnd.pat[0].name)
         info = nest_of(e)
         if info is not None:
+            stmts.extend(_allocs_for(bnd.pat))
             stmts.append(
                 LaunchStmt(
                     _make_kernel(bnd, info, type_env, counter, iota_names)
@@ -138,6 +161,7 @@ def _lower_body(
             )
             continue
         if isinstance(e, _BUILTIN_PARALLEL):
+            stmts.extend(_allocs_for(bnd.pat))
             stmts.append(
                 LaunchStmt(_builtin_kernel(bnd, type_env, counter))
             )
@@ -145,6 +169,26 @@ def _lower_body(
         # Scalar code, rearrange views, indexing, host updates.
         stmts.append(HostEval(bnd))
     return stmts
+
+
+def _allocs_for(pat: Sequence[A.Param]) -> List[AllocStmt]:
+    """Device allocations for the array results of one kernel launch."""
+    out: List[AllocStmt] = []
+    for p in pat:
+        if not isinstance(p.type, Array):
+            continue
+        out.append(
+            AllocStmt(
+                MemBlock(
+                    name=p.name,
+                    elem_bytes=_elem_bytes(p.type),
+                    elems=Count.of(1.0, *p.type.shape),
+                    layout=IndexFn.identity(len(p.type.shape)),
+                    shape=p.type.shape,
+                )
+            )
+        )
+    return out
 
 
 def _fresh_kernel_name(counter: List[int], base: str) -> str:

@@ -2,15 +2,25 @@
 
 A lowered program is a *host program*: a sequence of host statements —
 kernel launches, host-side scalar evaluation, sequential host loops and
-branches, and layout manifestations (transpositions) — over
-device-resident arrays.  Each kernel retains the core-IR expression it
-computes (used both to execute it for correctness and to cost it), plus
-the metadata the cost model needs: grid, per-thread work, and the
-classified global-memory accesses of Section 5.2.
+branches, device-memory allocation and release, and layout
+manifestations (transpositions) — over device-resident arrays.  Each
+kernel retains the core-IR expression it computes (used both to execute
+it for correctness and to cost it), plus the metadata the cost model
+needs: grid, per-thread work, and the classified global-memory accesses
+of Section 5.2.
+
+Memory is explicit: every device-resident array is backed by a
+:class:`MemBlock` (element size, symbolic element count, physical
+layout), brought live by an :class:`AllocStmt` and released by a
+:class:`FreeStmt`.  The per-array layout table of earlier revisions is
+folded into the blocks; :attr:`HostProgram.layouts` remains as a
+mutable view over them for the passes (and tests) that speak in terms
+of layouts.
 """
 
 from __future__ import annotations
 
+from collections.abc import MutableMapping
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
@@ -23,6 +33,9 @@ __all__ = [
     "AccessInfo",
     "TileInfo",
     "Kernel",
+    "MemBlock",
+    "AllocStmt",
+    "FreeStmt",
     "LaunchStmt",
     "HostEval",
     "HostLoopStmt",
@@ -177,8 +190,60 @@ class Kernel:
 
 
 @dataclass
+class MemBlock:
+    """A device-memory block backing one array.
+
+    ``elems`` is symbolic (a :class:`Count` over the program's size
+    variables) so footprints can be priced without running the program;
+    ``layout`` is the physical layout of the data inside the block.
+    ``space`` distinguishes blocks the program must allocate
+    (``device``) from blocks backing entry-point parameters
+    (``param``).  ``tracked`` marks blocks whose layout belongs in the
+    legacy :attr:`HostProgram.layouts` view (parameters and arrays the
+    coalescing pass assigned a layout).
+    """
+
+    name: str
+    elem_bytes: int
+    elems: Count
+    layout: IndexFn
+    shape: Tuple[Dim, ...] = ()
+    space: str = "device"  # device | param
+    tracked: bool = False
+
+    def size_bytes(self, env: Mapping[str, int]) -> int:
+        return int(self.elems.evaluate(env)) * self.elem_bytes
+
+
+@dataclass
+class AllocStmt:
+    """Bring ``block`` live on the device.  When the memory planner
+    recycles a dead block of the same extent, ``reuse_of`` records the
+    donor's name (the heap then charges no new bytes).  ``recycle``
+    marks a loop-body allocation whose previous generation is provably
+    dead at re-execution (a carried result consumed by the iteration's
+    double-buffer copy): the heap releases the old generation instead
+    of leaking it."""
+
+    block: MemBlock
+    reuse_of: Optional[str] = None
+    recycle: bool = False
+
+
+@dataclass
+class FreeStmt:
+    """Release a block; inserted by the memory planner at last use."""
+
+    block: str
+
+
+@dataclass
 class LaunchStmt:
     kernel: Kernel
+    #: Set by the memory planner when this launch is a ``copy`` whose
+    #: source dies here: the copy is elided and the destination aliases
+    #: the named source block instead.
+    elide_copy: Optional[str] = None
 
 
 @dataclass
@@ -222,9 +287,75 @@ class ManifestStmt:
     layout: IndexFn
     elem_bytes: int
     elems: Count
+    #: The block materialised into (filled by the coalescing pass once
+    #: blocks exist; rendered and honoured by the heap).
+    block: Optional[MemBlock] = None
 
 
-HostStmt = Union[LaunchStmt, HostEval, HostLoopStmt, HostIfStmt, ManifestStmt]
+HostStmt = Union[
+    LaunchStmt,
+    HostEval,
+    HostLoopStmt,
+    HostIfStmt,
+    ManifestStmt,
+    AllocStmt,
+    FreeStmt,
+]
+
+
+class _LayoutView(MutableMapping):
+    """The legacy per-array layout table, as a live view over the
+    tracked memory blocks of a :class:`HostProgram`."""
+
+    def __init__(self, hp: "HostProgram") -> None:
+        self._hp = hp
+
+    def _tracked(self) -> Dict[str, "MemBlock"]:
+        return {
+            name: b for name, b in self._hp.blocks.items() if b.tracked
+        }
+
+    def __getitem__(self, name: str) -> IndexFn:
+        block = self._hp.blocks.get(name)
+        if block is None or not block.tracked:
+            raise KeyError(name)
+        return block.layout
+
+    def __setitem__(self, name: str, layout: IndexFn) -> None:
+        block = self._hp.blocks.get(name)
+        if block is None:
+            shape = self._hp.array_shapes.get(name, ())
+            block = MemBlock(
+                name=name,
+                elem_bytes=4,
+                elems=Count.of(1.0, *shape) if shape else Count.of(1.0),
+                layout=layout,
+                shape=tuple(shape),
+            )
+            self._hp.blocks[name] = block
+        block.layout = layout
+        block.tracked = True
+
+    def __delitem__(self, name: str) -> None:
+        block = self._hp.blocks.get(name)
+        if block is None or not block.tracked:
+            raise KeyError(name)
+        block.tracked = False
+
+    def __iter__(self):
+        return iter(self._tracked())
+
+    def __len__(self) -> int:
+        return len(self._tracked())
+
+    def __repr__(self) -> str:
+        return repr({n: b.layout for n, b in self._tracked().items()})
+
+    def __eq__(self, other: object) -> bool:
+        return {n: b.layout for n, b in self._tracked().items()} == other
+
+    def __ne__(self, other: object) -> bool:
+        return not self.__eq__(other)
 
 
 @dataclass
@@ -235,11 +366,27 @@ class HostProgram:
     params: Tuple[A.Param, ...]
     stmts: List[HostStmt]
     result: Tuple[A.Atom, ...]
-    #: Current physical layout of every array (default: row-major).
-    layouts: Dict[str, IndexFn] = field(default_factory=dict)
+    #: Every device-memory block of the program, by name — parameters,
+    #: kernel outputs and manifestation targets alike.
+    blocks: Dict[str, MemBlock] = field(default_factory=dict)
     #: Logical shape of every array (symbolic dims), for sizing
     #: manifestation traffic.
     array_shapes: Dict[str, Tuple[Dim, ...]] = field(default_factory=dict)
+
+    @property
+    def layouts(self) -> _LayoutView:
+        """Current physical layout of every array (default: row-major),
+        as a mutable view over the tracked blocks."""
+        return _LayoutView(self)
+
+    @layouts.setter
+    def layouts(self, value: Mapping[str, IndexFn]) -> None:
+        view = _LayoutView(self)
+        for name in [n for n, b in self.blocks.items() if b.tracked]:
+            if name not in value:
+                del view[name]
+        for name, layout in value.items():
+            view[name] = layout
 
     def kernels(self) -> List[Kernel]:
         out: List[Kernel] = []

@@ -15,6 +15,8 @@ from ..core import ast as A
 from ..core.pretty import pretty_exp
 from ..core.types import Prim, Type
 from .kernel_ir import (
+    AllocStmt,
+    FreeStmt,
     HostEval,
     HostIfStmt,
     HostLoopStmt,
@@ -99,13 +101,33 @@ def render_program(hp: HostProgram) -> str:
 def _render_stmts(stmts, out: List[str], depth: int) -> None:
     ind = "    " * depth
     for s in stmts:
-        if isinstance(s, LaunchStmt):
+        if isinstance(s, AllocStmt):
+            b = s.block
+            note = (
+                f"  // reuses {s.reuse_of}" if s.reuse_of is not None
+                else ""
+            )
+            if s.recycle:
+                note += "  // recycles previous generation"
+            out.append(
+                f"{ind}{b.name} = alloc({b.elems} * {b.elem_bytes}B);"
+                f"{note}"
+            )
+        elif isinstance(s, FreeStmt):
+            out.append(f"{ind}free({s.block});")
+        elif isinstance(s, LaunchStmt):
             k = s.kernel
             grid = ", ".join(str(w) for w in k.grid)
             outs = ", ".join(p.name for p in k.pat)
-            out.append(
-                f"{ind}{outs} = launch {k.name}<<<{grid}>>>();"
-            )
+            if s.elide_copy is not None:
+                out.append(
+                    f"{ind}{outs} = {s.elide_copy};"
+                    f"  // copy elided (unique consumption)"
+                )
+            else:
+                out.append(
+                    f"{ind}{outs} = launch {k.name}<<<{grid}>>>();"
+                )
         elif isinstance(s, HostEval):
             pat = ", ".join(p.name for p in s.binding.pat)
             out.append(
@@ -113,9 +135,12 @@ def _render_stmts(stmts, out: List[str], depth: int) -> None:
                 f"  // host"
             )
         elif isinstance(s, ManifestStmt):
+            into = (
+                f" in {s.block.name}" if s.block is not None else ""
+            )
             out.append(
-                f"{ind}manifest({s.src} -> {s.dst}, layout {s.layout});"
-                f"  // transposition"
+                f"{ind}manifest({s.src} -> {s.dst}{into}, "
+                f"layout {s.layout});  // transposition"
             )
         elif isinstance(s, HostLoopStmt):
             merge = ", ".join(

@@ -29,6 +29,7 @@ from .suite import BENCHMARKS, BenchmarkSpec
 __all__ = [
     "validate_benchmark",
     "perf_suite",
+    "mem_suite",
     "table1_runtimes",
     "figure13_speedups",
     "run_impact",
@@ -187,6 +188,78 @@ def perf_suite(
         "repeats": repeats,
         "benchmarks": benchmarks,
         "geomean_speedup": geomean,
+    }
+
+
+def mem_suite(
+    names: Optional[List[str]] = None,
+    device: DeviceProfile = NVIDIA_GTX780TI,
+) -> Dict:
+    """Device-memory footprint of every benchmark at paper-scale sizes,
+    with the memory planner on versus off (the ``--no-memory-planning``
+    ablation).
+
+    Peaks come from the static heap walk in
+    :func:`repro.gpu.costmodel.estimate_program`: both variants replay
+    their alloc/free schedules through a :class:`~repro.gpu.heap.DeviceHeap`
+    with the benchmark's full dataset bound, so the numbers are exact
+    for that schedule, deterministic, and independent of simulated
+    execution time.  The returned dict is the ``BENCH_mem.json``
+    payload."""
+    logger = get_logger("bench")
+    names = names or list(BENCHMARKS.names())
+    planned_opts = CompilerOptions()
+    naive_opts = CompilerOptions(memory_planning=False)
+    benchmarks: Dict[str, Dict] = {}
+    ratios: List[float] = []
+    for name in names:
+        spec = BENCHMARKS[name]
+        sizes = spec.dataset.full
+        planned = compile_program(spec.program(), planned_opts).estimate(
+            sizes, device
+        )
+        naive = compile_program(spec.program(), naive_opts).estimate(
+            sizes, device
+        )
+        if planned.mem_peak_bytes > naive.mem_peak_bytes:
+            raise ValidationError(
+                f"{name}: planned peak {planned.mem_peak_bytes} B exceeds "
+                f"naive peak {naive.mem_peak_bytes} B"
+            )
+        ratio = (
+            planned.mem_peak_bytes / naive.mem_peak_bytes
+            if naive.mem_peak_bytes > 0
+            else 1.0
+        )
+        ratios.append(ratio)
+        benchmarks[name] = {
+            "sizes": dict(sizes),
+            "naive_peak_bytes": naive.mem_peak_bytes,
+            "planned_peak_bytes": planned.mem_peak_bytes,
+            "naive_alloc_count": naive.mem_alloc_count,
+            "planned_alloc_count": planned.mem_alloc_count,
+            "reuse_count": planned.mem_reuse_count,
+            "peak_ratio": ratio,
+        }
+        logger.debug(
+            "mem-row", benchmark=name,
+            naive=naive.mem_peak_bytes, planned=planned.mem_peak_bytes,
+        )
+    geomean_ratio = (
+        float(np.exp(np.mean(np.log(ratios)))) if ratios else 1.0
+    )
+    improved = sum(
+        1
+        for b in benchmarks.values()
+        if b["planned_peak_bytes"] < b["naive_peak_bytes"]
+    )
+    return {
+        "schema": "repro.bench_mem/v1",
+        "device": device.name,
+        "benchmarks": benchmarks,
+        "geomean_peak_ratio": geomean_ratio,
+        "geomean_reduction": 1.0 - geomean_ratio,
+        "improved_count": improved,
     }
 
 

@@ -37,6 +37,7 @@ __all__ = [
     "ReproError",
     "CompilerBug",
     "DeviceFault",
+    "DeviceOOM",
     "KernelTimeout",
     "ArgumentError",
     "ValidationError",
@@ -96,6 +97,36 @@ class DeviceFault(ReproError):
         self.transient = transient
         flavour = "transient" if transient else "fatal"
         super().__init__(f"{flavour} {kind} fault: {message}")
+
+
+class DeviceOOM(ReproError):
+    """An allocation did not fit in device memory.
+
+    Unlike a transient :class:`DeviceFault`, running out of memory is
+    deterministic: retrying the same program on the same device cannot
+    help, so the resilient executor falls straight back to the host
+    interpreter instead of burning retries.
+    """
+
+    #: Never retryable — the same allocation will fail the same way.
+    transient = False
+
+    def __init__(
+        self,
+        block: str,
+        requested_bytes: int,
+        live_bytes: int,
+        capacity_bytes: int,
+    ) -> None:
+        self.block = block
+        self.requested_bytes = requested_bytes
+        self.live_bytes = live_bytes
+        self.capacity_bytes = capacity_bytes
+        super().__init__(
+            f"device out of memory allocating block {block!r}: "
+            f"requested {requested_bytes} B with {live_bytes} B live "
+            f"of {capacity_bytes} B capacity"
+        )
 
 
 class KernelTimeout(ReproError):

@@ -27,7 +27,9 @@ from ..core.types import Array
 from ..memory.index_fn import IndexFn
 from ..backend.kernel_ir import (
     AccessInfo,
+    AllocStmt,
     Count,
+    FreeStmt,
     HostEval,
     HostIfStmt,
     HostLoopStmt,
@@ -72,6 +74,16 @@ class CostReport:
     host_us: float = 0.0
     manifest_us: float = 0.0
     copy_us: float = 0.0
+    #: Peak device-memory footprint (bytes) and allocation accounting;
+    #: filled from the :class:`repro.gpu.heap.DeviceHeap` by the
+    #: simulator, or statically by :func:`estimate_program`.
+    mem_peak_bytes: int = 0
+    mem_alloc_count: int = 0
+    mem_reuse_count: int = 0
+
+    @property
+    def mem_peak_mb(self) -> float:
+        return self.mem_peak_bytes / (1024.0**2)
 
     @property
     def total_us(self) -> float:
@@ -111,6 +123,11 @@ class CostReport:
         report.host_us = self.host_us * factor
         report.manifest_us = self.manifest_us * factor
         report.copy_us = self.copy_us * factor
+        # Footprint is a high-water mark, not a rate: repeating the
+        # work does not change the peak.
+        report.mem_peak_bytes = self.mem_peak_bytes
+        report.mem_alloc_count = self.mem_alloc_count
+        report.mem_reuse_count = self.mem_reuse_count
         return report
 
     def merge(self, other: "CostReport") -> None:
@@ -118,6 +135,11 @@ class CostReport:
         self.host_us += other.host_us
         self.manifest_us += other.manifest_us
         self.copy_us += other.copy_us
+        self.mem_peak_bytes = max(
+            self.mem_peak_bytes, other.mem_peak_bytes
+        )
+        self.mem_alloc_count += other.mem_alloc_count
+        self.mem_reuse_count += other.mem_reuse_count
 
 
 #: Traffic and launch multipliers per kernel kind: a scan is a
@@ -322,13 +344,56 @@ def estimate_program(
     """Price a host program analytically at the given sizes, without
     executing it.  Host loops multiply their body's cost by the trip
     count (``loop_trip_default`` when it cannot be resolved)."""
+    from .heap import DeviceHeap
+
     report = CostReport(device.name)
     env = dict(size_env)
+    heap = DeviceHeap(capacity_bytes=None)  # accounting only
+    for p in hp.params:
+        block = hp.blocks.get(p.name)
+        if block is not None and isinstance(p.type, Array):
+            heap.alloc(block.name, block.size_bytes(env))
     _estimate_stmts(
         hp.stmts, env, device, hp.layouts, report, coalescing,
-        loop_trip_default,
+        loop_trip_default, heap,
     )
+    report.mem_peak_bytes = heap.stats.peak_bytes
+    report.mem_alloc_count = heap.stats.alloc_count
+    report.mem_reuse_count = heap.stats.reuse_count
     return report
+
+
+#: Backstop on per-loop heap replay iterations; every paper-scale
+#: dataset is far below it (max trip count is 5000), so in practice the
+#: replay is exact.
+_REPLAY_CAP = 100_000
+
+
+def _replay_heap(
+    stmts, size_env: Mapping[str, int], heap, loop_trip_default: int
+) -> None:
+    """Apply only the heap effects of one execution of ``stmts``
+    (nested loops replay their own trip count)."""
+    for s in stmts:
+        if isinstance(s, AllocStmt):
+            heap.alloc(
+                s.block.name,
+                s.block.size_bytes(size_env),
+                reuse_of=s.reuse_of,
+                recycle=s.recycle,
+            )
+        elif isinstance(s, FreeStmt):
+            heap.free(s.block)
+        elif isinstance(s, HostLoopStmt):
+            trips = loop_trip_default
+            if isinstance(s.form, A.ForLoop):
+                resolved = _atom_value(s.form.bound, size_env)
+                if resolved is not None:
+                    trips = resolved
+            for _ in range(max(1, min(int(trips), _REPLAY_CAP))):
+                _replay_heap(s.body, size_env, heap, loop_trip_default)
+        elif isinstance(s, HostIfStmt):
+            _replay_heap(s.then_body, size_env, heap, loop_trip_default)
 
 
 def _estimate_stmts(
@@ -339,14 +404,28 @@ def _estimate_stmts(
     report: CostReport,
     coalescing: bool,
     loop_trip_default: int,
+    heap=None,
 ) -> None:
     for s in stmts:
         if isinstance(s, LaunchStmt):
+            if s.elide_copy is not None:
+                continue  # planner removed this copy outright
             report.kernel_costs.append(
                 kernel_cost(
                     s.kernel, size_env, device, layouts, coalescing
                 )
             )
+        elif isinstance(s, AllocStmt):
+            if heap is not None:
+                heap.alloc(
+                    s.block.name,
+                    s.block.size_bytes(size_env),
+                    reuse_of=s.reuse_of,
+                    recycle=s.recycle,
+                )
+        elif isinstance(s, FreeStmt):
+            if heap is not None:
+                heap.free(s.block)
         elif isinstance(s, HostEval):
             report.host_us += (
                 device.host_sync_us
@@ -372,7 +451,7 @@ def _estimate_stmts(
             inner = CostReport(device.name)
             _estimate_stmts(
                 s.body, size_env, device, layouts, inner, coalescing,
-                loop_trip_default,
+                loop_trip_default, heap,
             )
             # Double-buffer copies of array-typed merge state.
             copy_us = 0.0
@@ -386,10 +465,17 @@ def _estimate_stmts(
                     ) * device.mem_us_per_byte()
             inner.copy_us += copy_us
             report.merge(inner.scaled(trips))
+            # The walk above charged the heap for one iteration; the
+            # remaining trips replay the body's alloc/free schedule so
+            # the peak reflects what actually accumulates across
+            # iterations (the naive never-free schedule leaks there).
+            if heap is not None:
+                for _ in range(max(0, min(int(trips), _REPLAY_CAP) - 1)):
+                    _replay_heap(s.body, size_env, heap, loop_trip_default)
         elif isinstance(s, HostIfStmt):
             inner = CostReport(device.name)
             _estimate_stmts(
                 s.then_body, size_env, device, layouts, inner,
-                coalescing, loop_trip_default,
+                coalescing, loop_trip_default, heap,
             )
             report.merge(inner)

@@ -54,6 +54,9 @@ class DeviceProfile:
     #: Core clock, MHz — used by the observability layer to express
     #: simulated time as simulated cycles.
     clock_mhz: float = 1000.0
+    #: Device-memory capacity, bytes; allocations past this raise
+    #: :class:`repro.errors.DeviceOOM`.
+    memory_bytes: int = 3 * 1024**3
 
     def mem_us_per_byte(self) -> float:
         return 1e-3 / self.bandwidth_gbs  # us per byte
@@ -78,6 +81,7 @@ NVIDIA_GTX780TI = DeviceProfile(
     time_tiling_efficiency=0.39,
     host_sync_us=3.0,
     clock_mhz=928.0,  # boost clock of the GTX 780 Ti
+    memory_bytes=3 * 1024**3,  # 3 GB GDDR5
 )
 
 AMD_W8100 = DeviceProfile(
@@ -96,4 +100,5 @@ AMD_W8100 = DeviceProfile(
     time_tiling_efficiency=0.115,  # time tiling backfires (HotSpot §6.1)
     host_sync_us=30.0,  # slower host round-trips (cf. NN, §6.1)
     clock_mhz=824.0,  # engine clock of the FirePro W8100
+    memory_bytes=8 * 1024**3,  # 8 GB GDDR5
 )

@@ -16,7 +16,9 @@ from ..core.values import ArrayValue, ScalarValue, Value, scalar
 from ..core.prim import BOOL, I32
 from ..interp.interpreter import Interpreter, InterpError
 from ..backend.kernel_ir import (
+    AllocStmt,
     Count,
+    FreeStmt,
     HostEval,
     HostIfStmt,
     HostLoopStmt,
@@ -30,6 +32,7 @@ from ..obs import get_metrics, get_tracer
 from .costmodel import CostReport, kernel_cost
 from .device import DeviceProfile
 from .faults import FaultInjector
+from .heap import DeviceHeap
 
 __all__ = ["GpuSimulator"]
 
@@ -76,6 +79,8 @@ class GpuSimulator:
         self._interp = Interpreter(
             prog if prog is not None else A.Prog(()), in_place=in_place
         )
+        #: Replaced with a fresh heap at the start of every run.
+        self.heap = DeviceHeap(device.memory_bytes)
 
     def run(
         self, hp: HostProgram, args: Sequence[Value]
@@ -91,8 +96,28 @@ class GpuSimulator:
                 arg = arg.copy()
             self._interp.bind_param(env, p, arg)
         report = CostReport(self.device.name)
+        #: Fresh per run: byte accounting against the device capacity.
+        self.heap = DeviceHeap(self.device.memory_bytes)
+        size_env = self._size_env(env)
+        for p in hp.params:
+            block = hp.blocks.get(p.name)
+            if block is not None and isinstance(p.type, Array):
+                self.heap.alloc(block.name, block.size_bytes(size_env))
         self._exec_stmts(hp.stmts, env, report)
         results = tuple(self._atom(env, a) for a in hp.result)
+        stats = self.heap.stats
+        report.mem_peak_bytes = stats.peak_bytes
+        report.mem_alloc_count = stats.alloc_count
+        report.mem_reuse_count = stats.reuse_count
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.gauge("gpu.mem.peak_bytes").set(stats.peak_bytes)
+            metrics.counter("gpu.mem.allocs").inc(stats.alloc_count)
+            metrics.counter("gpu.mem.frees").inc(stats.free_count)
+            metrics.counter("gpu.mem.reuses").inc(stats.reuse_count)
+            metrics.counter("gpu.mem.alloc_bytes").inc(
+                stats.total_alloc_bytes
+            )
         return results, report
 
     # -- execution ----------------------------------------------------------
@@ -132,6 +157,13 @@ class GpuSimulator:
         for s in stmts:
             if isinstance(s, LaunchStmt):
                 kernel = s.kernel
+                if s.elide_copy is not None and s.elide_copy in env:
+                    # The memory planner proved the source dies here:
+                    # the copy is a no-op and the result aliases it.
+                    src_val = env[s.elide_copy]
+                    for p in kernel.pat:
+                        self._interp.bind_param(env, p, src_val)
+                    continue
                 if self.injector is not None:
                     self.injector.before_launch(kernel.name)
                 values = self._eval_kernel(kernel, env)
@@ -188,6 +220,16 @@ class GpuSimulator:
                 if metrics.enabled:
                     metrics.counter("gpu.manifests").inc()
                     metrics.counter("gpu.manifest_bytes").inc(bytes_moved)
+            elif isinstance(s, AllocStmt):
+                size = s.block.size_bytes(self._size_env(env))
+                self.heap.alloc(
+                    s.block.name, size,
+                    reuse_of=s.reuse_of, recycle=s.recycle,
+                )
+                self._observe_mem(report)
+            elif isinstance(s, FreeStmt):
+                self.heap.free(s.block)
+                self._observe_mem(report)
             elif isinstance(s, HostLoopStmt):
                 self._exec_loop(s, env, report)
             elif isinstance(s, HostIfStmt):
@@ -207,6 +249,18 @@ class GpuSimulator:
                 raise CompilerBug(
                     "simulate", "execute", f"unknown host statement {s!r}"
                 )
+
+    def _observe_mem(self, report: CostReport) -> None:
+        """Sample the heap onto the Chrome-trace memory counter track
+        (one counter event per alloc/free, at the simulated clock)."""
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.counter(
+                "gpu.mem.live_bytes",
+                float(self.heap.live_bytes),
+                ts_us=report.total_us,
+                track=self.trace_track,
+            )
 
     def _watchdog(self, site: str, cost_us: float) -> float:
         """Kill a runaway kernel: its (possibly fault-inflated)

@@ -1,15 +1,16 @@
-"""Memory representation and locality optimisations (Section 5.2):
-symbolic index functions, transposition-based coalescing, and block
-tiling in fast (local) memory.
+"""Memory representation, locality optimisations (Section 5.2) and
+device-memory planning: symbolic index functions, transposition-based
+coalescing, block tiling in fast (local) memory, and liveness-based
+allocation planning.
 
-``coalesce_program``/``tile_program`` are exported lazily: they operate
-on the kernel IR, which itself uses :class:`IndexFn`, and an eager
-import would be circular.
+``coalesce_program``/``tile_program``/``plan_memory`` are exported
+lazily: they operate on the kernel IR, which itself uses
+:class:`IndexFn`, and an eager import would be circular.
 """
 
 from .index_fn import IndexFn  # noqa: F401
 
-__all__ = ["IndexFn", "coalesce_program", "tile_program"]
+__all__ = ["IndexFn", "coalesce_program", "tile_program", "plan_memory"]
 
 
 def __getattr__(name):
@@ -21,4 +22,8 @@ def __getattr__(name):
         from .tiling import tile_program
 
         return tile_program
+    if name == "plan_memory":
+        from .plan import plan_memory
+
+        return plan_memory
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

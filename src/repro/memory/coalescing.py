@@ -26,6 +26,7 @@ from typing import Dict, List, Sequence, Set
 
 from ..backend.kernel_ir import (
     AccessInfo,
+    AllocStmt,
     Count,
     HostEval,
     HostIfStmt,
@@ -34,6 +35,7 @@ from ..backend.kernel_ir import (
     Kernel,
     LaunchStmt,
     ManifestStmt,
+    MemBlock,
 )
 from .index_fn import IndexFn
 
@@ -58,7 +60,8 @@ def coalesce_program(hp: HostProgram, enabled: bool = True) -> HostProgram:
         return hp
     layouts: Dict[str, IndexFn] = dict(hp.layouts)
     produced_by: Dict[str, Kernel] = {}
-    hp.stmts = _walk(hp.stmts, layouts, produced_by, hp)
+    counter = [0]
+    hp.stmts = _walk(hp.stmts, layouts, produced_by, hp, counter)
     hp.layouts = layouts
     return hp
 
@@ -68,6 +71,7 @@ def _walk(
     layouts: Dict[str, IndexFn],
     produced_by: Dict[str, Kernel],
     hp: HostProgram,
+    counter: List[int],
 ) -> List:
     out: List = []
     for s in stmts:
@@ -112,6 +116,19 @@ def _walk(
                     elems = Count.of(1.0, *shape)
                 else:
                     elems = acc.trips.scaled(1.0, *kernel.grid_dims())
+                # The transposed copy lives in a fresh block; the array
+                # is rebound onto it and the old backing becomes dead
+                # (the memory planner will free it).
+                counter[0] += 1
+                block = MemBlock(
+                    name=f"{acc.array}_mem{counter[0]}",
+                    elem_bytes=elem_bytes,
+                    elems=elems,
+                    layout=desired,
+                    shape=tuple(shape) if shape is not None else (),
+                )
+                hp.blocks[block.name] = block
+                out.append(AllocStmt(block))
                 out.append(
                     ManifestStmt(
                         src=acc.array,
@@ -119,6 +136,7 @@ def _walk(
                         layout=desired,
                         elem_bytes=elem_bytes,
                         elems=elems,
+                        block=block,
                     )
                 )
                 layouts[acc.array] = desired
@@ -131,11 +149,15 @@ def _walk(
             # different layout; conservatively process the body with
             # the current tables (manifests inside loops repeat every
             # iteration, as in LocVolCalib).
-            s.body = _walk(s.body, layouts, produced_by, hp)
+            s.body = _walk(s.body, layouts, produced_by, hp, counter)
             out.append(s)
         elif isinstance(s, HostIfStmt):
-            s.then_body = _walk(s.then_body, layouts, produced_by, hp)
-            s.else_body = _walk(s.else_body, layouts, produced_by, hp)
+            s.then_body = _walk(
+                s.then_body, layouts, produced_by, hp, counter
+            )
+            s.else_body = _walk(
+                s.else_body, layouts, produced_by, hp, counter
+            )
             out.append(s)
         else:
             out.append(s)

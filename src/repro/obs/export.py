@@ -59,6 +59,9 @@ def _event(span: Span, ph: str, tid: int) -> Dict[str, Any]:
         ev["dur"] = round(span.dur_us or 0.0, 3)
     if ph == "i":
         ev["s"] = "t"  # thread-scoped instant
+    if ph == "C":
+        # Counter events carry their series value in args.
+        ev["args"] = {span.name: _json_safe(span.attrs.get("value", 0))}
     return ev
 
 
@@ -91,6 +94,10 @@ def chrome_trace(
         events.append(_event(span, "X", tids.get(span.track, 0)))
     for inst in tracer.instants:
         events.append(_event(inst, "i", tids.get(inst.track, 0)))
+    for c in sorted(
+        getattr(tracer, "counters", []), key=lambda s: s.ts_us
+    ):
+        events.append(_event(c, "C", tids.get(c.track, 0)))
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
@@ -162,6 +169,16 @@ def validate_chrome_trace(obj: Any) -> List[str]:
             dur = ev.get("dur")
             if not isinstance(dur, (int, float)) or dur < 0:
                 errors.append(f"{where}: bad dur {dur!r}")
+        if ph == "C":
+            args = ev.get("args")
+            if not isinstance(args, dict) or not args:
+                errors.append(
+                    f"{where}: counter event needs a non-empty args object"
+                )
+            elif not all(
+                isinstance(v, (int, float)) for v in args.values()
+            ):
+                errors.append(f"{where}: counter values must be numeric")
     return errors
 
 

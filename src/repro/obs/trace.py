@@ -158,6 +158,8 @@ class Tracer:
         self.spans: List[Span] = []
         #: Instant events, in emission order.
         self.instants: List[Span] = []
+        #: Counter samples (memory tracks etc.), in emission order.
+        self.counters: List[Span] = []
         self._stack: List[Span] = []
         #: Trace-level metadata (run id, seed, ...) carried into exports.
         self.metadata: Dict[str, Any] = {}
@@ -229,20 +231,47 @@ class Tracer:
         self.spans.append(s)
         return s
 
+    def counter(
+        self,
+        name: str,
+        value: float,
+        ts_us: Optional[float] = None,
+        track: str = MAIN_TRACK,
+        **attrs: Any,
+    ) -> Span:
+        """Sample a counter series (exported as a Chrome ``"C"`` event
+        — e.g. the live device-memory track of the GPU simulator)."""
+        s = Span(
+            None,
+            name,
+            "counter",
+            track,
+            self.now_us() if ts_us is None else ts_us,
+            time.time(),
+            0,
+            attrs,
+        )
+        s.dur_us = 0.0
+        s.attrs["value"] = value
+        self.counters.append(s)
+        return s
+
     # -- inspection ---------------------------------------------------------
 
     def find(self, name: str) -> List[Span]:
         """All finished spans/instants with the given name."""
         return [
             s
-            for s in list(self.spans) + list(self.instants)
+            for s in list(self.spans)
+            + list(self.instants)
+            + list(self.counters)
             if s.name == name
         ]
 
     def tracks(self) -> List[str]:
         """All track names, main track first."""
         seen = [MAIN_TRACK]
-        for s in self.spans:
+        for s in list(self.spans) + list(self.counters):
             if s.track not in seen:
                 seen.append(s.track)
         return seen
@@ -270,6 +299,16 @@ class NullTracer:
         category: str = "",
         ts_us: float = 0.0,
         dur_us: float = 0.0,
+        track: str = MAIN_TRACK,
+        **attrs: Any,
+    ) -> _NullSpan:
+        return _NULL_SPAN
+
+    def counter(
+        self,
+        name: str,
+        value: float,
+        ts_us: Optional[float] = None,
         track: str = MAIN_TRACK,
         **attrs: Any,
     ) -> _NullSpan:

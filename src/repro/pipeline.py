@@ -40,7 +40,9 @@ from .fusion.fuse import FusionStats
 from .gpu.costmodel import CostReport, estimate_program
 from .gpu.device import DeviceProfile, NVIDIA_GTX780TI
 from .gpu.faults import FaultPlan
+from .backend.validate import validate_host_program
 from .memory.coalescing import coalesce_program
+from .memory.plan import plan_memory
 from .memory.tiling import tile_program
 from .obs import PassTiming, get_logger, get_metrics, get_tracer
 from .obs.irstats import ir_stats
@@ -70,6 +72,10 @@ class CompilerOptions:
     sequentialise_streams: bool = True
     coalescing: bool = True
     tiling: bool = True
+    #: Liveness-based device-memory planning (frees at last use, block
+    #: reuse, copy elision); off = the naive never-free allocation
+    #: behaviour, the ``--no-memory-planning`` ablation.
+    memory_planning: bool = True
     check: bool = True
     check_uniqueness: bool = True
     #: Execute in-place updates by mutation on the simulated device
@@ -151,6 +157,71 @@ class _PassGuard:
         if self.last_span is not None:
             self.last_span.set(**attrs)
 
+    def _guarded(
+        self,
+        name: str,
+        phase: str,
+        fn: Callable,
+        arg,
+        revalidate: Optional[Callable] = None,
+        stats_of: Optional[Callable] = None,
+        fallback: Optional[Callable] = None,
+        fallback_action: str = "rolled back",
+    ):
+        """The shared pass-guard machinery: run ``fn`` inside a span,
+        validate its output, recover on failure, and record one
+        :class:`PassTiming` with optional IR-size attributes.
+
+        ``revalidate(out)`` raises when the pass produced bad IR;
+        ``stats_of(ir)`` (called only when tracing) returns a dict of
+        size figures attached as ``<key>_before``/``<key>_after`` span
+        attributes; ``fallback()`` produces the recovery value (default:
+        roll back to ``arg``) and may itself raise to escalate.
+        """
+        tracer = get_tracer()
+        before = (
+            stats_of(arg) if stats_of is not None and tracer.enabled
+            else None
+        )
+        rolled = False
+        t0 = time.perf_counter()
+        with tracer.span(f"pass:{name}", "pipeline", phase=phase) as span:
+            self.last_span = span
+            if self.options.strict:
+                out = fn(arg)
+            else:
+                try:
+                    out = fn(arg)
+                    if revalidate is not None:
+                        revalidate(out)
+                except Exception as e:
+                    self._note(name, phase, e, fallback_action)
+                    rolled = True
+                    out = arg if fallback is None else fallback()
+            dur_us = (time.perf_counter() - t0) * 1e6
+            timing = PassTiming(name, phase, dur_us, rolled_back=rolled)
+            if before is not None:
+                after = stats_of(out)
+                timing.bindings_before = before.get("bindings")
+                timing.bindings_after = after.get("bindings")
+                timing.soacs_before = before.get("soacs")
+                timing.soacs_after = after.get("soacs")
+                attrs = {f"{k}_before": v for k, v in before.items()}
+                attrs.update({f"{k}_after": v for k, v in after.items()})
+                span.set(rolled_back=rolled, **attrs)
+            self.timings.append(timing)
+        get_metrics().counter("pipeline.passes", phase=phase).inc()
+        return out
+
+    @staticmethod
+    def _core_stats(prog: A.Prog) -> Dict[str, int]:
+        stats = ir_stats(prog)
+        return {"bindings": stats.bindings, "soacs": stats.soacs}
+
+    @staticmethod
+    def _host_stats(hp: HostProgram) -> Dict[str, int]:
+        return {"kernels": len(hp.kernels())}
+
     def core(
         self,
         name: str,
@@ -160,40 +231,11 @@ class _PassGuard:
     ) -> A.Prog:
         """A guarded core-IR optimisation pass: run ``fn``, re-typecheck
         the result, and roll back to ``prog`` on any failure."""
-        tracer = get_tracer()
-        before = ir_stats(prog) if tracer.enabled else None
-        rolled = False
-        t0 = time.perf_counter()
-        with tracer.span(f"pass:{name}", "pipeline", phase=phase) as span:
-            self.last_span = span
-            if self.options.strict:
-                out = fn(prog)
-            else:
-                try:
-                    out = fn(prog)
-                    self.revalidate(out)
-                except Exception as e:
-                    self._note(name, phase, e, "rolled back")
-                    out = prog
-                    rolled = True
-            dur_us = (time.perf_counter() - t0) * 1e6
-            timing = PassTiming(name, phase, dur_us, rolled_back=rolled)
-            if before is not None:
-                after = ir_stats(out)
-                timing.bindings_before = before.bindings
-                timing.bindings_after = after.bindings
-                timing.soacs_before = before.soacs
-                timing.soacs_after = after.soacs
-                span.set(
-                    bindings_before=before.bindings,
-                    bindings_after=after.bindings,
-                    soacs_before=before.soacs,
-                    soacs_after=after.soacs,
-                    rolled_back=rolled,
-                )
-            self.timings.append(timing)
-        get_metrics().counter("pipeline.passes", phase=phase).inc()
-        return out
+        return self._guarded(
+            name, phase, fn, prog,
+            revalidate=self.revalidate,
+            stats_of=self._core_stats,
+        )
 
     def host(
         self,
@@ -202,40 +244,34 @@ class _PassGuard:
         fn: Callable[[HostProgram], HostProgram],
         hp: HostProgram,
     ) -> HostProgram:
-        """A guarded host-program (kernel-IR) optimisation pass."""
-        tracer = get_tracer()
-        kernels_before = len(hp.kernels()) if tracer.enabled else None
-        rolled = False
-        t0 = time.perf_counter()
-        with tracer.span(f"pass:{name}", "pipeline", phase=phase) as span:
-            self.last_span = span
-            if self.options.strict:
-                out = fn(hp)
-            else:
-                try:
-                    out = fn(hp)
-                except Exception as e:
-                    self._note(name, phase, e, "rolled back")
-                    out = hp
-                    rolled = True
-            dur_us = (time.perf_counter() - t0) * 1e6
-            self.timings.append(
-                PassTiming(name, phase, dur_us, rolled_back=rolled)
-            )
-            if kernels_before is not None:
-                span.set(
-                    kernels_before=kernels_before,
-                    kernels_after=len(out.kernels()),
-                    rolled_back=rolled,
-                )
-        get_metrics().counter("pipeline.passes", phase=phase).inc()
-        return out
+        """A guarded host-program (kernel-IR) optimisation pass: the
+        result is checked with :func:`validate_host_program` (the
+        memory analogue of re-typechecking), rolling back on any
+        violation."""
+        return self._guarded(
+            name, phase, fn, hp,
+            revalidate=self.revalidate_host,
+            stats_of=self._host_stats,
+        )
 
     def revalidate(self, prog: A.Prog) -> None:
         """Re-typecheck the IR a pass just produced (uniqueness is a
         front-end property and is not re-checked here)."""
         if self.options.check:
             check_program(prog, check_unique=False)
+
+    def revalidate_host(self, hp: HostProgram) -> None:
+        """Check memory well-formedness of the host program a pass just
+        produced (every referenced block allocated, no use-after-free,
+        layout ranks consistent)."""
+        if self.options.check:
+            problems = validate_host_program(hp)
+            if problems:
+                raise CompilerBug(
+                    "validate-host",
+                    "memory",
+                    "; ".join(problems[:5]),
+                )
 
 
 @dataclass
@@ -342,60 +378,30 @@ def _flatten_with_degradation(
         reduce_map_interchange=options.reduce_map_interchange,
         sequentialise_streams=options.sequentialise_streams,
     )
-    tracer = get_tracer()
-    before = ir_stats(prog) if tracer.enabled else None
-    t0 = time.perf_counter()
-    with tracer.span(
-        "pass:flatten", "pipeline", phase="kernel-extraction"
-    ) as span:
-        guard.last_span = span
-        degraded = False
-        if options.strict:
-            out = flatten_prog(prog, flat_opts)
-        else:
-            try:
-                out = flatten_prog(prog, flat_opts)
-                guard.revalidate(out)
-            except Exception as e:
-                guard._note(
-                    "flatten",
-                    "kernel-extraction",
-                    e,
-                    "degraded to conservative",
-                )
-                degraded = True
-                try:
-                    out = flatten_prog(prog, _CONSERVATIVE_FLATTEN)
-                    guard.revalidate(out)
-                except Exception as e:
-                    raise CompilerBug(
-                        "flatten",
-                        "kernel-extraction",
-                        f"conservative flattening also failed: {e}",
-                        ir=pretty_prog(prog),
-                    ) from e
-        dur_us = (time.perf_counter() - t0) * 1e6
-        timing = PassTiming(
-            "flatten", "kernel-extraction", dur_us, rolled_back=degraded
-        )
-        if before is not None:
-            after = ir_stats(out)
-            timing.bindings_before = before.bindings
-            timing.bindings_after = after.bindings
-            timing.soacs_before = before.soacs
-            timing.soacs_after = after.soacs
-            span.set(
-                bindings_before=before.bindings,
-                bindings_after=after.bindings,
-                soacs_before=before.soacs,
-                soacs_after=after.soacs,
-                degraded=degraded,
-            )
-        guard.timings.append(timing)
-    get_metrics().counter(
-        "pipeline.passes", phase="kernel-extraction"
-    ).inc()
-    return out
+
+    def _conservative() -> A.Prog:
+        try:
+            out = flatten_prog(prog, _CONSERVATIVE_FLATTEN)
+            guard.revalidate(out)
+            return out
+        except Exception as e:
+            raise CompilerBug(
+                "flatten",
+                "kernel-extraction",
+                f"conservative flattening also failed: {e}",
+                ir=pretty_prog(prog),
+            ) from e
+
+    return guard._guarded(
+        "flatten",
+        "kernel-extraction",
+        lambda p: flatten_prog(p, flat_opts),
+        prog,
+        revalidate=guard.revalidate,
+        stats_of=guard._core_stats,
+        fallback=_conservative,
+        fallback_action="degraded to conservative",
+    )
 
 
 def compile_program(
@@ -465,6 +471,16 @@ def compile_program(
             "tiling",
             "memory",
             lambda h: tile_program(h, enabled=options.tiling),
+            host,
+        )
+        host = guard.host(
+            "memory-plan",
+            "memory",
+            lambda h: plan_memory(
+                h,
+                enabled=options.memory_planning,
+                allow_elision=options.in_place,
+            ),
             host,
         )
         compile_span.set(

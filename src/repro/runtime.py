@@ -30,7 +30,13 @@ from typing import List, Optional, Sequence, Tuple
 
 from .core import ast as A
 from .core.values import Value
-from .errors import ArgumentError, DeviceFault, KernelTimeout, ReproError
+from .errors import (
+    ArgumentError,
+    DeviceFault,
+    DeviceOOM,
+    KernelTimeout,
+    ReproError,
+)
 from .gpu.costmodel import CostReport
 from .gpu.device import DeviceProfile
 from .gpu.faults import FaultPlan
@@ -91,6 +97,8 @@ class RunReport:
     timeouts: int = 0
     #: 1 when the interpreter fallback produced the result.
     fallbacks: int = 0
+    #: Out-of-memory aborts (deterministic: never retried).
+    ooms: int = 0
     #: Total simulated backoff time spent between retries.
     backoff_us: float = 0.0
     #: Human-readable trail of what went wrong, in order.
@@ -108,8 +116,14 @@ class RunReport:
 
     @property
     def faults(self) -> int:
-        """All observed fault events (transient + fatal + timeouts)."""
-        return self.transient_faults + self.fatal_faults + self.timeouts
+        """All observed fault events (transient + fatal + timeouts +
+        out-of-memory aborts)."""
+        return (
+            self.transient_faults
+            + self.fatal_faults
+            + self.timeouts
+            + self.ooms
+        )
 
     @property
     def degraded(self) -> bool:
@@ -121,7 +135,8 @@ class RunReport:
         return (
             f"{prefix}attempts={self.attempts} retries={self.retries} "
             f"faults={self.faults} (transient={self.transient_faults}, "
-            f"fatal={self.fatal_faults}, timeouts={self.timeouts}) "
+            f"fatal={self.fatal_faults}, timeouts={self.timeouts}, "
+            f"ooms={self.ooms}) "
             f"fallbacks={self.fallbacks} backoff={self.backoff_us:.0f}us"
         )
 
@@ -249,6 +264,28 @@ def run_resilient(
                     logger.debug(
                         "kernel-timeout", run_id=run_id, site=e.kernel
                     )
+                except DeviceOOM as e:
+                    # Deterministic: the same allocation fails the same
+                    # way on every retry, so go straight to fallback.
+                    report.ooms += 1
+                    report.events.append(str(e))
+                    last_error = e
+                    attempt_span.set(outcome="oom")
+                    tracer.instant(
+                        "fault:oom",
+                        "runtime",
+                        block=e.block,
+                        requested_bytes=e.requested_bytes,
+                        run_id=run_id,
+                    )
+                    metrics.counter("runtime.faults", kind="oom").inc()
+                    logger.info(
+                        "device-oom",
+                        run_id=run_id,
+                        block=e.block,
+                        requested=e.requested_bytes,
+                    )
+                    break
                 except DeviceFault as e:
                     report.events.append(str(e))
                     kind = "transient" if e.transient else "fatal"

@@ -44,13 +44,20 @@ __kernel void map_3(__global float *t_30_lifted_1_out, ...) {
 
 // ---- host driver ----------------------------------------------
 void main(__global float *temp, __global float *power, intiters) {
+    is_0 = alloc(1*r * 4B);
     is_0 = launch iotaexp_1<<<r>>>();
+    is_1 = alloc(1*c * 4B);
     is_1 = launch iotaexp_2<<<c>>>();
     t_9 = r - 1;  // host
     t_14 = c - 1;  // host
     loop (t_2 = temp) for (it_3 < iters) {
+        t_30_lifted_1 = alloc(1*c*r * 4B);  // recycles previous generation
         t_30_lifted_1 = launch map_3<<<r, c>>>();
         // double-buffer copies: t_2
     }
+    free(is_0);
+    free(is_1);
+    free(power);
+    free(temp);
     return loop_33;
 }

@@ -1,0 +1,85 @@
+// host program for 'main'
+// ---- kernels --------------------------------------------------
+__kernel void map_1(__global float *loop_26_lifted_2_out, ...) {
+    const int gtid_0 = get_global_id(0);  // < outer
+    const int gtid_1 = get_global_id(1);  // < ny
+    // c_5 accessed with layout perm(2, 0, 1)
+    // g_1_outer_0 accessed with layout perm(2, 0, 1)
+    // loop_12 accessed with layout perm(2, 0, 1)
+    // loop_26_lifted_2 accessed with layout perm(2, 0, 1)
+    // y_15 accessed with layout perm(2, 0, 1)
+    // map (\(g_1: *[ny][nx]f32): ([ny][nx]f32) ->
+    //     let loop_26_lifted_1: [ny][nx]f32 = map (\(row_3: [nx]f32): ([nx]f32) ->
+    //       let rep_4: [nx]f32 = replicate nx 0.0f32
+    //       let (loop_12: [nx]f32, loop_13: f32) = loop (c_5: *[nx]f32 = rep_4, prev_6: f32 = 0.0f32) for j_7 < nx do
+    //         let t_8: f32 = 0.5f32 * prev_6
+    //         let t_9: f32 = 2.2f32 - t_8
+    //         let t_10: f32 = 0.5f32 / t_9
+    //         let c_11: [nx]f32 = c_5 with [j_7] <- t_10
+    //         in {c_11, t_10}
+    //       let rep_14: [nx]f32 = replicate nx 0.0f32
+    //       let (loop_26: [nx]f32, loop_27: f32) = loop (y_15: *[nx]f32 = rep_14, carry_16: f32 = 0.0f32) for j_17 < nx do
+    //         let x_18: f32 = loop_12[j_17]
+    //         let t_19: f32 = 0.5f32 * x_18
+    //         let t_20: f32 = 2.2f32 - t_19
+    //         let x_21: f32 = row_3[j_17]
+    //         let t_22: f32 = 0.5f32 * carry_16
+    //         let t_23: f32 = x_21 + t_22
+    //         let t_24: f32 = t_23 / t_20
+    //         let y_25: [nx]f32 = y_15 with [j_17] <- t_24
+    //         in {y_25, t_24}
+    //       in {loop_26}) g_1
+    //     in {loop_26_lifted_1}) g_1_outer_0
+}
+
+__kernel void map_2(__global float *loop_53_lifted_6_out, ...) {
+    const int gtid_0 = get_global_id(0);  // < outer
+    const int gtid_1 = get_global_id(1);  // < nx
+    // c_32 accessed with layout perm(2, 0, 1)
+    // loop_39 accessed with layout perm(2, 0, 1)
+    // loop_53_lifted_6 accessed with layout perm(2, 0, 1)
+    // tr_29_lifted_4 accessed with layout perm(2, 0, 1)
+    // y_42 accessed with layout perm(2, 0, 1)
+    // map (\(tr_29: [nx][ny]f32): ([nx][ny]f32) ->
+    //     let loop_53_lifted_5: [nx][ny]f32 = map (\(row_30: [ny]f32): ([ny]f32) ->
+    //       let rep_31: [ny]f32 = replicate ny 0.0f32
+    //       let (loop_39: [ny]f32, loop_40: f32) = loop (c_32: *[ny]f32 = rep_31, prev_33: f32 = 0.0f32) for j_34 < ny do
+    //         let t_35: f32 = 0.5f32 * prev_33
+    //         let t_36: f32 = 2.2f32 - t_35
+    //         let t_37: f32 = 0.5f32 / t_36
+    //         let c_38: [ny]f32 = c_32 with [j_34] <- t_37
+    //         in {c_38, t_37}
+    //       let rep_41: [ny]f32 = replicate ny 0.0f32
+    //       let (loop_53: [ny]f32, loop_54: f32) = loop (y_42: *[ny]f32 = rep_41, carry_43: f32 = 0.0f32) for j_44 < ny do
+    //         let x_45: f32 = loop_39[j_44]
+    //         let t_46: f32 = 0.5f32 * x_45
+    //         let t_47: f32 = 2.2f32 - t_46
+    //         let x_48: f32 = row_30[j_44]
+    //         let t_49: f32 = 0.5f32 * carry_43
+    //         let t_50: f32 = x_48 + t_49
+    //         let t_51: f32 = t_50 / t_47
+    //         let y_52: [ny]f32 = y_42 with [j_44] <- t_51
+    //         in {y_52, t_51}
+    //       in {loop_53}) tr_29
+    //     in {loop_53_lifted_5}) tr_29_lifted_4
+}
+
+// ---- host driver ----------------------------------------------
+void main(__global float *grids, intnumT) {
+    loop (g_1_outer_0 = grids) for (t_2 < numT) {
+        loop_26_lifted_2 = alloc(1*nx*ny*outer * 4B);
+        g_1_outer_0_mem1 = alloc(1*nx*ny*outer * 4B);
+        manifest(g_1_outer_0 -> g_1_outer_0 in g_1_outer_0_mem1, layout perm(2, 0, 1));  // transposition
+        loop_26_lifted_2 = launch map_1<<<outer, ny>>>();
+        tr_29_lifted_4 = rearrange (0, 2, 1) loop_26_lifted_2;  // host
+        loop_53_lifted_6 = alloc(1*nx*ny*outer * 4B);  // reuses g_1_outer_0_mem1  // recycles previous generation
+        tr_29_lifted_4_mem2 = alloc(1*nx*ny*outer * 4B);  // reuses loop_26_lifted_2
+        manifest(tr_29_lifted_4 -> tr_29_lifted_4 in tr_29_lifted_4_mem2, layout perm(2, 0, 1));  // transposition
+        loop_53_lifted_6 = launch map_2<<<outer, nx>>>();
+        free(tr_29_lifted_4_mem2);
+        tr_56_lifted_8 = rearrange (0, 2, 1) loop_53_lifted_6;  // host
+        // double-buffer copies: g_1_outer_0
+    }
+    free(grids);
+    return loop_57_lifted_9;
+}

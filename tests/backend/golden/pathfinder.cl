@@ -31,15 +31,21 @@ __kernel void map_3(__global int *t_21_lifted_1_out, ...) {
 
 // ---- host driver ----------------------------------------------
 void main(__global int *wall) {
+    is_0 = alloc(1*cols * 4B);
     is_0 = launch iotaexp_1<<<cols>>>();
+    x_2_lifted_0 = alloc(1*cols * 4B);
     x_2_lifted_0 = launch map_2<<<cols>>>();
     t_10 = cols - 1;  // host
     t_18 = rows - 1;  // host
     loop (cur_4 = x_2_lifted_0) for (t_5 < rows) {
         t_17 = t_5 + 1;  // host
         t_19 = min@i32(t_17, t_18);  // host
+        t_21_lifted_1 = alloc(1*cols * 4B);  // recycles previous generation
         t_21_lifted_1 = launch map_3<<<cols>>>();
         // double-buffer copies: cur_4
     }
+    free(is_0);
+    free(wall);
+    free(x_2_lifted_0);
     return loop_23;
 }

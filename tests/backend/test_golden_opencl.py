@@ -27,9 +27,12 @@ from repro.pipeline import compile_program
 GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
 
 #: benchmark name -> golden file.  One single-kernel scan-free program
-#: (Pathfinder) and one with a sequentialised inner map (HotSpot).
+#: (Pathfinder), one with a sequentialised inner map (HotSpot), and one
+#: allocation-heavy multi-kernel program (LocVolCalib) that pins the
+#: memory plan: alloc/free statements, block reuse and copy elision.
 CASES = {
     "HotSpot": "hotspot.cl",
+    "LocVolCalib": "locvolcalib.cl",
     "Pathfinder": "pathfinder.cl",
 }
 

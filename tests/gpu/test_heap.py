@@ -1,0 +1,116 @@
+"""Unit tests of the footprint-tracking device heap."""
+
+import pytest
+
+from repro.errors import DeviceOOM
+from repro.gpu.heap import DeviceHeap
+
+
+class TestAccounting:
+    def test_alloc_free_round_trip(self):
+        h = DeviceHeap()
+        h.alloc("a", 100)
+        h.alloc("b", 50)
+        assert h.live_bytes == 150
+        assert h.peak_bytes == 150
+        h.free("a")
+        assert h.live_bytes == 50
+        assert h.peak_bytes == 150  # high-water mark sticks
+        assert h.stats.alloc_count == 2
+        assert h.stats.free_count == 1
+
+    def test_free_is_idempotent(self):
+        h = DeviceHeap()
+        h.alloc("a", 10)
+        h.free("a")
+        h.free("a")  # no-op, not an error
+        assert h.live_bytes == 0
+        assert h.stats.free_count == 1
+
+    def test_peak_tracks_interleaving(self):
+        h = DeviceHeap()
+        h.alloc("a", 100)
+        h.free("a")
+        h.alloc("b", 60)
+        h.alloc("c", 30)
+        assert h.peak_bytes == 100
+        h.alloc("d", 20)
+        assert h.peak_bytes == 110
+
+
+class TestGenerations:
+    def test_realloc_without_recycle_leaks(self):
+        """The naive never-free schedule: re-running a loop body's
+        alloc makes a fresh value; the old generation stays charged."""
+        h = DeviceHeap()
+        for _ in range(4):
+            h.alloc("body", 100)
+        assert h.live_bytes == 400
+        assert h.stats.leaked_bytes == 300
+
+    def test_realloc_with_recycle_is_steady_state(self):
+        h = DeviceHeap()
+        for _ in range(4):
+            h.alloc("body", 100, recycle=True)
+        assert h.live_bytes == 100
+        assert h.peak_bytes == 100
+        assert h.stats.leaked_bytes == 0
+
+    def test_free_releases_only_current_generation(self):
+        h = DeviceHeap()
+        h.alloc("a", 100)
+        h.alloc("a", 100)  # leaks the first generation
+        h.free("a")
+        assert h.live_bytes == 100  # the leaked generation remains
+
+
+class TestReuse:
+    def test_reuse_renames_donor_bytes(self):
+        h = DeviceHeap()
+        h.alloc("a", 100)
+        h.alloc("b", 100, reuse_of="a")
+        assert h.live_bytes == 100
+        assert h.peak_bytes == 100
+        assert h.stats.reuse_count == 1
+        assert not h.is_live("a")
+        assert h.size_of("b") == 100
+
+    def test_reuse_of_dead_donor_falls_back_to_fresh(self):
+        h = DeviceHeap()
+        h.alloc("b", 100, reuse_of="never-allocated")
+        assert h.live_bytes == 100
+        assert h.stats.reuse_count == 0
+
+    def test_undersized_donor_released_and_fresh_charged(self):
+        h = DeviceHeap()
+        h.alloc("small", 10)
+        h.alloc("big", 100, reuse_of="small")
+        assert h.live_bytes == 100
+        assert h.stats.reuse_count == 0
+        assert not h.is_live("small")
+
+
+class TestCapacity:
+    def test_oom_raises_with_context(self):
+        h = DeviceHeap(capacity_bytes=150)
+        h.alloc("a", 100)
+        with pytest.raises(DeviceOOM) as exc:
+            h.alloc("b", 100)
+        e = exc.value
+        assert e.block == "b"
+        assert e.requested_bytes == 100
+        assert e.live_bytes == 100
+        assert e.capacity_bytes == 150
+        assert not e.transient  # deterministic: never retried
+
+    def test_free_makes_room(self):
+        h = DeviceHeap(capacity_bytes=150)
+        h.alloc("a", 100)
+        h.free("a")
+        h.alloc("b", 100)  # fits now
+        assert h.live_bytes == 100
+
+    def test_unbounded_heap_never_ooms(self):
+        h = DeviceHeap(capacity_bytes=None)
+        h.alloc("a", 10**15)
+        assert h.live_bytes == 10**15

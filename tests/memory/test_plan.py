@@ -1,0 +1,262 @@
+"""Unit tests of the liveness-based memory planner and the host-program
+validator it is guarded by."""
+
+import numpy as np
+import pytest
+
+from repro.backend.kernel_ir import (
+    AllocStmt,
+    FreeStmt,
+    HostLoopStmt,
+    LaunchStmt,
+)
+from repro.backend.validate import validate_host_program
+from repro.core import array_value, scalar
+from repro.core.prim import F32, I32
+from repro.pipeline import CompilerOptions, compile_source
+
+CHAIN = """
+fun main (xs: [n]f32): [n]f32 =
+  let a = map (\\(x: f32) -> x + 1.0f32) xs
+  let b = map (\\(x: f32) -> x * 2.0f32) a
+  in map (\\(x: f32) -> x - 3.0f32) b
+"""
+
+COPY_CHAIN = """
+fun main (xs: [n]f32): [n]f32 =
+  let a = map (\\(x: f32) -> x + 1.0f32) xs
+  let b = copy a
+  in map (\\(x: f32) -> x * 2.0f32) b
+"""
+
+LOOP = """
+fun main (xs: [n]f32) (iters: i32): [n]f32 =
+  let ys = map (\\(x: f32) -> x + 1.0f32) xs
+  in loop (t = ys) for it < iters do
+       map (\\(x: f32) -> x * 0.5f32) t
+"""
+
+
+def _stmts_of(src, **opts):
+    compiled = compile_source(src, CompilerOptions(**opts))
+    return compiled, compiled.host.stmts
+
+
+def _flat(stmts):
+    for s in stmts:
+        yield s
+        if isinstance(s, HostLoopStmt):
+            yield from _flat(s.body)
+
+
+class TestFrees:
+    def test_naive_schedule_never_frees(self):
+        _, stmts = _stmts_of(CHAIN, memory_planning=False)
+        assert not [s for s in _flat(stmts) if isinstance(s, FreeStmt)]
+
+    def test_planned_chain_frees_dead_intermediates(self):
+        compiled, stmts = _stmts_of(CHAIN)
+        frees = [s.block for s in stmts if isinstance(s, FreeStmt)]
+        assert frees, "chain of dead intermediates must be freed"
+        # The program result's block is never freed.
+        result = compiled.host.result[0].name
+        assert result not in frees
+        assert validate_host_program(compiled.host) == []
+
+    def test_free_comes_after_last_use(self):
+        compiled, stmts = _stmts_of(CHAIN)
+        for i, s in enumerate(stmts):
+            if not isinstance(s, FreeStmt):
+                continue
+            for later in stmts[i + 1:]:
+                if isinstance(later, LaunchStmt):
+                    from repro.memory.plan import _stmt_refs
+
+                    assert s.block not in _stmt_refs(later)
+
+    def test_planned_peak_not_above_naive(self):
+        planned, _ = _stmts_of(CHAIN)
+        naive, _ = _stmts_of(CHAIN, memory_planning=False)
+        sizes = {"n": 4096}
+        assert (
+            planned.estimate(sizes).mem_peak_bytes
+            <= naive.estimate(sizes).mem_peak_bytes
+        )
+
+
+class TestLoopLiveness:
+    def test_loop_carried_array_not_freed_in_body(self):
+        """Liveness across host loops: the carried array and anything
+        the body reads from the enclosing scope must survive every
+        iteration."""
+        compiled, stmts = _stmts_of(LOOP)
+        loop = next(s for s in stmts if isinstance(s, HostLoopStmt))
+        body_frees = {
+            s.block for s in _flat(loop.body) if isinstance(s, FreeStmt)
+        }
+        carried = {
+            a.name for a in loop.body_result if hasattr(a, "name")
+        }
+        assert not (body_frees & carried)
+        assert validate_host_program(compiled.host) == []
+
+    def test_outer_array_not_freed_inside_loop(self):
+        _, stmts = _stmts_of(LOOP)
+        loop = next(s for s in stmts if isinstance(s, HostLoopStmt))
+        outer_allocs = {
+            s.block.name for s in stmts if isinstance(s, AllocStmt)
+        }
+        body_frees = {
+            s.block for s in _flat(loop.body) if isinstance(s, FreeStmt)
+        }
+        assert not (body_frees & outer_allocs)
+
+    def test_double_buffered_result_alloc_is_recycled(self):
+        """The body re-runs its result allocation every iteration; the
+        previous generation was consumed by the double-buffer copy, so
+        the planner marks the alloc ``recycle`` (bounded footprint)."""
+        _, stmts = _stmts_of(LOOP)
+        loop = next(s for s in stmts if isinstance(s, HostLoopStmt))
+        assert loop.double_buffered
+        body_allocs = [
+            s for s in loop.body if isinstance(s, AllocStmt)
+        ]
+        assert any(s.recycle for s in body_allocs)
+
+    def test_naive_loop_footprint_grows_with_trip_count(self):
+        naive, _ = _stmts_of(LOOP, memory_planning=False)
+        planned, _ = _stmts_of(LOOP)
+        few = {"n": 1024, "iters": 2}
+        many = {"n": 1024, "iters": 64}
+        assert (
+            naive.estimate(many).mem_peak_bytes
+            > naive.estimate(few).mem_peak_bytes
+        )
+        # Planning holds the loop at steady state.
+        assert (
+            planned.estimate(many).mem_peak_bytes
+            == planned.estimate(few).mem_peak_bytes
+        )
+
+
+class TestElisionAndReuse:
+    def test_dead_source_copy_is_elided(self):
+        compiled, stmts = _stmts_of(COPY_CHAIN)
+        elided = [
+            s
+            for s in stmts
+            if isinstance(s, LaunchStmt) and s.elide_copy is not None
+        ]
+        assert elided, "copy of a dead unique source must be elided"
+        assert validate_host_program(compiled.host) == []
+
+    def test_elision_respects_in_place_ablation(self):
+        _, stmts = _stmts_of(COPY_CHAIN, in_place=False)
+        assert not [
+            s
+            for s in stmts
+            if isinstance(s, LaunchStmt) and s.elide_copy is not None
+        ]
+
+    def test_elided_copy_is_bit_identical(self):
+        compiled, _ = _stmts_of(COPY_CHAIN)
+        naive, _ = _stmts_of(COPY_CHAIN, memory_planning=False)
+        xs = array_value(
+            np.arange(16, dtype=np.float32), F32
+        )
+        got, _, rep = compiled.execute([xs])
+        want, _, rep2 = naive.execute([xs])
+        assert rep.fallbacks == 0 and rep2.fallbacks == 0
+        assert np.array_equal(got[0].data, want[0].data)
+
+    def test_same_extent_alloc_reuses_freed_block(self):
+        # Fusion would collapse the chain into one kernel; disable it
+        # so the same-extent intermediates actually exist.
+        _, stmts = _stmts_of(CHAIN, fusion=False)
+        reused = [
+            s
+            for s in stmts
+            if isinstance(s, AllocStmt) and s.reuse_of is not None
+        ]
+        assert reused, "same-extent chain should recycle a dead block"
+
+
+class TestValidator:
+    def _program(self, src=CHAIN, **opts):
+        # Keep the unfused three-kernel chain: its schedule has frees
+        # and a reuse alloc to corrupt.
+        opts.setdefault("fusion", False)
+        return compile_source(src, CompilerOptions(**opts)).host
+
+    def test_clean_programs_validate(self):
+        for src in (CHAIN, COPY_CHAIN, LOOP):
+            for planning in (True, False):
+                hp = self._program(src, memory_planning=planning)
+                assert validate_host_program(hp) == []
+
+    def test_use_after_free_detected(self):
+        hp = self._program()
+        first_free = next(
+            i for i, s in enumerate(hp.stmts) if isinstance(s, FreeStmt)
+        )
+        # Hoist the free above every use of its block.
+        hp.stmts.insert(0, hp.stmts.pop(first_free))
+        problems = validate_host_program(hp)
+        assert any("after free" in p for p in problems)
+
+    def test_double_free_detected(self):
+        hp = self._program()
+        free = next(s for s in hp.stmts if isinstance(s, FreeStmt))
+        hp.stmts.append(FreeStmt(free.block))
+        problems = validate_host_program(hp)
+        assert any("double free" in p for p in problems)
+
+    def test_missing_alloc_detected(self):
+        hp = self._program()
+        # Delete the allocation that a later reuse alloc recycles: the
+        # reuse now names a block that was never brought live.
+        donors = {
+            s.reuse_of
+            for s in hp.stmts
+            if isinstance(s, AllocStmt) and s.reuse_of is not None
+        }
+        idx = next(
+            i
+            for i, s in enumerate(hp.stmts)
+            if isinstance(s, AllocStmt) and s.block.name in donors
+        )
+        del hp.stmts[idx]
+        problems = validate_host_program(hp)
+        assert any("unallocated" in p for p in problems)
+
+    def test_reuse_of_freed_block_detected(self):
+        hp = self._program()
+        reuse = next(
+            s
+            for s in hp.stmts
+            if isinstance(s, AllocStmt) and s.reuse_of is not None
+        )
+        idx = hp.stmts.index(reuse)
+        hp.stmts.insert(idx, FreeStmt(reuse.reuse_of))
+        problems = validate_host_program(hp)
+        assert any("reuse of freed" in p for p in problems)
+
+    def test_result_backed_by_freed_block_detected(self):
+        hp = self._program()
+        result = hp.result[0].name
+        hp.stmts.append(FreeStmt(result))
+        problems = validate_host_program(hp)
+        assert any("result" in p for p in problems)
+
+
+class TestExecutionAccounting:
+    def test_simulator_reports_lower_peak_with_planning(self):
+        planned, _ = _stmts_of(LOOP)
+        naive, _ = _stmts_of(LOOP, memory_planning=False)
+        xs = array_value(np.ones(256, dtype=np.float32), F32)
+        it = scalar(16, I32)
+        _, cost_p, rep_p = planned.execute([xs, it])
+        _, cost_n, rep_n = naive.execute([xs, it])
+        assert rep_p.fallbacks == 0 and rep_n.fallbacks == 0
+        assert cost_p.mem_peak_bytes < cost_n.mem_peak_bytes
+        assert cost_p.mem_alloc_count > 0
