@@ -22,6 +22,19 @@ bench [table1|figure13|table2|impact <kind>|validate|perf|mem] [--names ...]
     ``mem`` compares peak device-memory footprint with the liveness
     planner on vs off and writes ``BENCH_mem.json``.
 
+serve-bench [--clients N --deadline-ms MS --chaos ...]
+    Drive the resilient serving layer (:mod:`repro.serve`) with N
+    concurrent clients over the benchmark suite and print the health
+    report: accepted/shed/deadline counts, breaker states and per-lane
+    latency percentiles.
+
+Exit codes
+----------
+Failures exit with a code naming the failure class: ``2`` caller
+misuse (:class:`~repro.errors.ArgumentError`), ``3`` compiler bug,
+``4`` device fault or OOM, ``5`` kernel timeout or missed deadline,
+``6`` load shed, ``1`` any other toolchain error.
+
 Observability (``compile``, ``run`` and ``bench``)
 --------------------------------------------------
 ``--trace-out trace.json`` records a Chrome trace (one span per
@@ -160,15 +173,27 @@ def cmd_bench(args) -> int:
         from .bench.runner import validate_benchmark
         from .bench.suite import BENCHMARKS
         from .gpu.faults import FaultPlan
+        from .runtime import ExecutionPolicy
 
-        fault_plan = (
-            FaultPlan(
-                seed=args.seed,
+        profiles = {
+            "mixed": dict(
                 launch_failure_rate=0.3,
                 memory_fault_rate=0.1,
                 timeout_rate=0.2,
-            )
+            ),
+            "fatal": dict(launch_failure_rate=1.0, fatal_rate=1.0),
+            "timeout": dict(
+                timeout_rate=1.0, max_consecutive=1_000_000_000
+            ),
+        }
+        fault_plan = (
+            FaultPlan(seed=args.seed, **profiles[args.chaos_profile])
             if args.chaos
+            else None
+        )
+        policy = (
+            ExecutionPolicy(fallback=False, executor=args.executor)
+            if args.no_fallback
             else None
         )
         for name in names or list(BENCHMARKS.names()):
@@ -176,6 +201,7 @@ def cmd_bench(args) -> int:
                 name,
                 seed=args.seed,
                 fault_plan=fault_plan,
+                policy=policy,
                 options=_options_from_flags(args),
             )
             print(f"{name}: OK  {report.summary()}")
@@ -245,14 +271,108 @@ def cmd_bench(args) -> int:
         return 0
     if what == "impact":
         if not names:
-            print("impact requires --names", file=sys.stderr)
-            return 1
+            from .errors import ArgumentError
+
+            raise ArgumentError("bench impact requires --names")
         factors = run_impact(args.kind, names.split(",") if isinstance(names, str) else names)
         for name, f in factors.items():
             print(f"{name:14s} x{f:.2f}")
         return 0
     print(f"unknown bench artefact {what!r}", file=sys.stderr)
     return 1
+
+
+def cmd_serve_bench(args) -> int:
+    """Hammer the serving layer with concurrent clients and print the
+    health report — the CLI face of the service chaos/saturation
+    suites in ``tests/serve/``."""
+    import json
+    import threading
+
+    import numpy as np
+
+    from .bench.suite import BENCHMARKS
+    from .gpu.faults import ServiceFaultPlan
+    from .serve import Server, ServeRequest
+
+    names = args.names.split(",") if args.names else list(BENCHMARKS.names())
+    fault_plans = (
+        ServiceFaultPlan.chaos(seed=args.seed) if args.chaos else None
+    )
+    server = Server(
+        workers=args.workers,
+        queue_capacity=args.queue_capacity,
+        options=_options_from_flags(args),
+        fault_plans=fault_plans,
+    )
+    specs = []
+    with server:
+        for name in names:
+            prog = BENCHMARKS[name].program()
+            server.warm(prog)
+            specs.append((name, prog))
+
+        outcomes = {"ok": 0, "shed": 0, "deadline": 0, "error": 0}
+        backends = {}
+        lock = threading.Lock()
+
+        def client(cid: int) -> None:
+            rng = np.random.default_rng(args.seed * 10_007 + cid)
+            handles = []
+            for k in range(args.requests_per_client):
+                name, prog = specs[(cid + k) % len(specs)]
+                bargs = BENCHMARKS[name].small_args(rng)
+                handles.append(
+                    server.submit(
+                        ServeRequest(
+                            prog,
+                            bargs,
+                            deadline_ms=args.deadline_ms,
+                            request_id=f"c{cid}-r{k}-{name}",
+                        )
+                    )
+                )
+            for h in handles:
+                r = h.result(timeout=120)
+                with lock:
+                    outcomes[r.status] += 1
+                    if r.backend:
+                        backends[r.backend] = backends.get(r.backend, 0) + 1
+
+        threads = [
+            threading.Thread(target=client, args=(cid,))
+            for cid in range(args.clients)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        health = server.health()
+
+    total = sum(outcomes.values())
+    print(
+        f"{total} requests from {args.clients} clients: "
+        f"{outcomes['ok']} ok, {outcomes['shed']} shed, "
+        f"{outcomes['deadline']} deadline, {outcomes['error']} error"
+    )
+    print(f"backends: {backends}")
+    for lane, stats in health["lanes"].items():
+        if stats["count"]:
+            print(
+                f"{lane:12s} p50 {stats['p50_ms']:8.1f} ms   "
+                f"p95 {stats['p95_ms']:8.1f} ms   "
+                f"p99 {stats['p99_ms']:8.1f} ms   (n={stats['count']})"
+            )
+    for rung, b in health["breakers"].items():
+        print(
+            f"breaker {rung}: {b['state']} "
+            f"({b['trips']} trips, {b['refusals']} refusals)"
+        )
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump({"outcomes": outcomes, "health": health}, f, indent=2)
+        print(f"wrote {args.out}", file=sys.stderr)
+    return 0 if outcomes["error"] == 0 else 1
 
 
 def main(argv=None) -> int:
@@ -301,6 +421,20 @@ def main(argv=None) -> int:
         help="run bench validate under an injected-fault plan",
     )
     p.add_argument(
+        "--chaos-profile",
+        choices=("mixed", "fatal", "timeout"),
+        default="mixed",
+        help="which fault mix --chaos injects: mixed transient faults, "
+        "every launch a fatal fault, or every launch a watchdog "
+        "timeout that never clears",
+    )
+    p.add_argument(
+        "--no-fallback",
+        action="store_true",
+        help="disable the interpreter fallback so device failures "
+        "surface as typed errors (and exit codes) instead",
+    )
+    p.add_argument(
         "--out", default="BENCH_vm.json",
         help="output file for bench perf",
     )
@@ -312,8 +446,55 @@ def main(argv=None) -> int:
     _add_obs_flags(p)
     p.set_defaults(fn=cmd_bench)
 
+    p = sub.add_parser(
+        "serve-bench",
+        help="hammer the resilient serving layer with concurrent clients",
+    )
+    p.add_argument(
+        "--clients", type=int, default=8,
+        help="number of concurrent client threads",
+    )
+    p.add_argument(
+        "--requests-per-client", type=int, default=4,
+        help="requests each client submits",
+    )
+    p.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="per-request wall-clock deadline (default: none)",
+    )
+    p.add_argument(
+        "--workers", type=int, default=4,
+        help="server worker threads",
+    )
+    p.add_argument(
+        "--queue-capacity", type=int, default=32,
+        help="admission queue bound (beyond it, requests are shed)",
+    )
+    p.add_argument(
+        "--chaos", action="store_true",
+        help="inject seeded per-backend device faults",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--names", default=None,
+        help="comma-separated benchmark subset (default: all)",
+    )
+    p.add_argument(
+        "--out", default=None,
+        help="write outcome counts and the health report as JSON",
+    )
+    _add_opt_flags(p)
+    _add_obs_flags(p)
+    p.set_defaults(fn=cmd_serve_bench)
+
     args = parser.parse_args(argv)
-    return _dispatch_observed(args)
+    from .errors import ReproError, exit_code_for
+
+    try:
+        return _dispatch_observed(args)
+    except ReproError as ex:
+        print(f"error: {ex}", file=sys.stderr)
+        return exit_code_for(ex)
 
 
 def _dispatch_observed(args) -> int:

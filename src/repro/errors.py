@@ -41,6 +41,9 @@ __all__ = [
     "KernelTimeout",
     "ArgumentError",
     "ValidationError",
+    "DeadlineExceeded",
+    "ServiceOverloaded",
+    "exit_code_for",
 ]
 
 
@@ -163,3 +166,71 @@ class ArgumentError(ReproError):
 class ValidationError(ReproError):
     """A result-validation failure: the compiled program's output
     disagrees with the reference interpreter."""
+
+
+class DeadlineExceeded(ReproError):
+    """A request ran out of its wall-clock budget.
+
+    Deadlines propagate end-to-end: the serving layer stamps one on
+    each request, the resilient executor stops retrying (and skips the
+    interpreter fallback) once it expires, and the simulated device
+    refuses to launch further kernels past it.  Never retryable: the
+    time is gone.
+    """
+
+    transient = False
+
+    def __init__(self, where: str, detail: str = "") -> None:
+        self.where = where
+        self.detail = detail
+        text = f"deadline exceeded at {where}"
+        if detail:
+            text += f" ({detail})"
+        super().__init__(text)
+
+
+class ServiceOverloaded(ReproError):
+    """The serving layer shed this request: the bounded admission
+    queue was full (or the server was shutting down).  Load shedding is
+    deliberate backpressure, not a fault — the caller should slow down
+    or retry elsewhere, so this is never retried locally."""
+
+    transient = False
+
+    def __init__(
+        self, reason: str, queue_depth: int = 0, capacity: int = 0
+    ) -> None:
+        self.reason = reason
+        self.queue_depth = queue_depth
+        self.capacity = capacity
+        text = f"service overloaded: {reason}"
+        if capacity:
+            text += f" (queue {queue_depth}/{capacity})"
+        super().__init__(text)
+
+
+#: Process exit codes by failure class, most specific class first.
+#: The CLI maps every toolchain failure through this table so scripts
+#: and CI can branch on *why* a run failed, not just that it did.
+EXIT_CODES = (
+    (ArgumentError, 2),
+    (CompilerBug, 3),
+    (DeviceOOM, 4),
+    (DeviceFault, 4),
+    (KernelTimeout, 5),
+    (DeadlineExceeded, 5),
+    (ServiceOverloaded, 6),
+)
+
+
+def exit_code_for(error: BaseException) -> int:
+    """The process exit code for a toolchain failure.
+
+    ``2`` caller misuse, ``3`` compiler bug, ``4`` device fault/OOM,
+    ``5`` timeout or missed deadline, ``6`` load shed, ``1`` any other
+    :class:`ReproError`.
+    """
+    for cls, code in EXIT_CODES:
+        if isinstance(error, cls):
+            return code
+    return 1

@@ -25,11 +25,11 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Mapping, Optional
 
 from ..errors import DeviceFault
 
-__all__ = ["FaultPlan", "FaultInjector"]
+__all__ = ["FaultPlan", "FaultInjector", "ServiceFaultPlan"]
 
 
 @dataclass(frozen=True)
@@ -67,6 +67,66 @@ class FaultPlan:
     @property
     def transient_only(self) -> bool:
         return self.fatal_rate == 0.0
+
+
+@dataclass(frozen=True, eq=False)
+class ServiceFaultPlan:
+    """Service-level chaos: one :class:`FaultPlan` per execution
+    backend (degradation-ladder rung).
+
+    Where a :class:`FaultPlan` makes *one run* unreliable, a
+    ``ServiceFaultPlan`` makes specific *backends* of a multi-backend
+    server unreliable — e.g. a 100%-fatal plan on ``"vector"`` with a
+    healthy ``"sim"`` exercises the circuit breaker's routing around a
+    sick executor.  Backends without an entry run fault-free.
+    """
+
+    plans: Mapping[str, FaultPlan] = field(default_factory=dict)
+
+    def for_backend(self, backend: str) -> Optional[FaultPlan]:
+        return self.plans.get(backend)
+
+    @classmethod
+    def chaos(
+        cls,
+        seed: int = 0,
+        backends: tuple = ("vector", "sim"),
+        launch_failure_rate: float = 0.3,
+        memory_fault_rate: float = 0.1,
+        timeout_rate: float = 0.2,
+        fatal_rate: float = 0.0,
+    ) -> "ServiceFaultPlan":
+        """The standard service-chaos recipe: every backend gets the
+        same rates but a distinct derived seed, so the two rungs fault
+        on different launches."""
+        return cls(
+            {
+                backend: FaultPlan(
+                    seed=seed + 1_000_003 * i,
+                    launch_failure_rate=launch_failure_rate,
+                    memory_fault_rate=memory_fault_rate,
+                    timeout_rate=timeout_rate,
+                    fatal_rate=fatal_rate,
+                )
+                for i, backend in enumerate(backends)
+            }
+        )
+
+    @classmethod
+    def broken_backend(
+        cls, backend: str, seed: int = 0
+    ) -> "ServiceFaultPlan":
+        """A backend forced to a 100% fault rate that never clears —
+        the breaker-routing acceptance scenario."""
+        return cls(
+            {
+                backend: FaultPlan(
+                    seed=seed,
+                    launch_failure_rate=1.0,
+                    max_consecutive=1_000_000_000,
+                )
+            }
+        )
 
 
 @dataclass

@@ -52,6 +52,13 @@ class GpuSimulator:
     budget is ``watchdog_factor`` times the cost model's estimate for
     that kernel (with a ``watchdog_floor_us`` floor), and exceeding it
     raises :class:`KernelTimeout` instead of wedging the device.
+
+    ``deadline`` (a :class:`repro.serve.Deadline`, duck-typed) is an
+    externally supplied wall-clock watchdog on the *whole run*: it is
+    checked before every kernel launch, and once expired the simulator
+    raises :class:`repro.errors.DeadlineExceeded` instead of starting
+    more work — the serving layer's per-request budget propagated all
+    the way down to the device.
     """
 
     def __init__(
@@ -64,12 +71,16 @@ class GpuSimulator:
         watchdog_floor_us: float = WATCHDOG_FLOOR_US,
         prog: Optional[A.Prog] = None,
         trace_track: str = "sim-gpu",
+        deadline=None,
     ) -> None:
         self.device = device
         self.coalescing = coalescing
         self.injector = injector
         self.watchdog_factor = watchdog_factor
         self.watchdog_floor_us = watchdog_floor_us
+        #: Optional per-request wall-clock budget (``.expired`` /
+        #: ``.check()``), consulted before every kernel launch.
+        self.deadline = deadline
         #: Chrome-trace track this simulator's kernel spans land on;
         #: the resilient executor gives each retry attempt its own.
         self.trace_track = trace_track
@@ -164,6 +175,8 @@ class GpuSimulator:
                     for p in kernel.pat:
                         self._interp.bind_param(env, p, src_val)
                     continue
+                if self.deadline is not None:
+                    self.deadline.check(f"launch of {kernel.name}")
                 if self.injector is not None:
                     self.injector.before_launch(kernel.name)
                 values = self._eval_kernel(kernel, env)

@@ -9,10 +9,18 @@ with metrics disabled the instrumented code allocates nothing.
 The snapshot format (:meth:`MetricsRegistry.snapshot`) is a flat,
 JSON-serialisable dict; ``repro.obs.export`` writes it to disk and the
 CI observability job validates it.
+
+The registry and every instrument are thread-safe: instrument creation
+is serialised by a registry lock and each counter/gauge/histogram
+guards its mutation with its own lock (``+=`` on an attribute is a
+read-modify-write and loses updates under concurrency), so the serving
+layer's worker pool can share one ambient registry.  The hammer test
+in ``tests/obs/test_thread_safety.py`` asserts no update is lost.
 """
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -46,47 +54,53 @@ DEFAULT_BUCKETS: Tuple[float, ...] = (
 class Counter:
     """A monotonically increasing value."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def inc(self, n: float = 1.0) -> None:
-        self.value += n
+        with self._lock:
+            self.value += n
 
 
 class Gauge:
     """A point-in-time value (last write wins)."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, v: float) -> None:
-        self.value = float(v)
+        with self._lock:
+            self.value = float(v)
 
 
 class Histogram:
     """A bucketed distribution: ``counts[i]`` observations fell at or
     below ``bounds[i]``; ``counts[-1]`` is the +inf overflow bucket."""
 
-    __slots__ = ("bounds", "counts", "sum", "count")
+    __slots__ = ("bounds", "counts", "sum", "count", "_lock")
 
     def __init__(self, bounds: Sequence[float] = DEFAULT_BUCKETS) -> None:
         self.bounds: Tuple[float, ...] = tuple(sorted(float(b) for b in bounds))
         self.counts: List[int] = [0] * (len(self.bounds) + 1)
         self.sum = 0.0
         self.count = 0
+        self._lock = threading.Lock()
 
     def observe(self, v: float) -> None:
-        self.sum += v
-        self.count += 1
-        for i, bound in enumerate(self.bounds):
-            if v <= bound:
-                self.counts[i] += 1
-                return
-        self.counts[-1] += 1
+        with self._lock:
+            self.sum += v
+            self.count += 1
+            for i, bound in enumerate(self.bounds):
+                if v <= bound:
+                    self.counts[i] += 1
+                    return
+            self.counts[-1] += 1
 
     @property
     def mean(self) -> float:
@@ -114,19 +128,25 @@ class MetricsRegistry:
         self._counters: Dict[Tuple, Counter] = {}
         self._gauges: Dict[Tuple, Gauge] = {}
         self._histograms: Dict[Tuple, Histogram] = {}
+        #: Serialises instrument creation (two threads racing on the
+        #: same new key must receive the *same* instrument, or one of
+        #: their update streams would be lost with it).
+        self._lock = threading.Lock()
 
     def counter(self, name: str, **labels: Any) -> Counter:
         key = _key(name, labels)
         c = self._counters.get(key)
         if c is None:
-            c = self._counters[key] = Counter()
+            with self._lock:
+                c = self._counters.setdefault(key, Counter())
         return c
 
     def gauge(self, name: str, **labels: Any) -> Gauge:
         key = _key(name, labels)
         g = self._gauges.get(key)
         if g is None:
-            g = self._gauges[key] = Gauge()
+            with self._lock:
+                g = self._gauges.setdefault(key, Gauge())
         return g
 
     def histogram(
@@ -138,20 +158,23 @@ class MetricsRegistry:
         key = _key(name, labels)
         h = self._histograms.get(key)
         if h is None:
-            h = self._histograms[key] = Histogram(buckets or DEFAULT_BUCKETS)
+            with self._lock:
+                h = self._histograms.setdefault(
+                    key, Histogram(buckets or DEFAULT_BUCKETS)
+                )
         return h
 
     # -- export -------------------------------------------------------------
 
     def snapshot(self) -> Dict[str, Any]:
         """A flat JSON-serialisable dump of every instrument."""
+        with self._lock:
+            counters = sorted(self._counters.items())
+            gauges = sorted(self._gauges.items())
+            histograms = sorted(self._histograms.items())
         return {
-            "counters": {
-                _render_key(k): c.value for k, c in sorted(self._counters.items())
-            },
-            "gauges": {
-                _render_key(k): g.value for k, g in sorted(self._gauges.items())
-            },
+            "counters": {_render_key(k): c.value for k, c in counters},
+            "gauges": {_render_key(k): g.value for k, g in gauges},
             "histograms": {
                 _render_key(k): {
                     "bounds": list(h.bounds),
@@ -159,7 +182,7 @@ class MetricsRegistry:
                     "sum": h.sum,
                     "count": h.count,
                 }
-                for k, h in sorted(self._histograms.items())
+                for k, h in histograms
             },
         }
 

@@ -25,6 +25,7 @@ Usage::
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -144,8 +145,12 @@ _NULL_SPAN = _NullSpan()
 
 
 class Tracer:
-    """Records spans and instants; single-threaded by design (the
-    whole toolchain is)."""
+    """Records spans and instants.  Emission is thread-safe (span
+    lists and the nesting stack are lock-protected) so the serving
+    layer's worker pool can share one ambient tracer; note the nesting
+    *stack* is still one global — concurrent workers should prefer
+    :meth:`complete` with explicit timestamps on per-worker tracks
+    over deeply interleaved ``span()`` nesting."""
 
     #: Cheap guard for callers that want to skip attribute computation
     #: entirely when tracing is off.
@@ -163,6 +168,10 @@ class Tracer:
         self._stack: List[Span] = []
         #: Trace-level metadata (run id, seed, ...) carried into exports.
         self.metadata: Dict[str, Any] = {}
+        #: Guards every mutation of the lists above (reentrant: a
+        #: span's ``__exit__`` may fire while the lock is already held
+        #: by an exception unwinding through nested spans).
+        self._lock = threading.RLock()
 
     # -- clocks -------------------------------------------------------------
 
@@ -174,29 +183,32 @@ class Tracer:
 
     def span(self, name: str, category: str = "", **attrs: Any) -> Span:
         """Open a nested span (use as a context manager)."""
-        s = Span(
-            self,
-            name,
-            category,
-            MAIN_TRACK,
-            self.now_us(),
-            time.time(),
-            len(self._stack),
-            attrs,
-        )
-        self._stack.append(s)
+        with self._lock:
+            s = Span(
+                self,
+                name,
+                category,
+                MAIN_TRACK,
+                self.now_us(),
+                time.time(),
+                len(self._stack),
+                attrs,
+            )
+            self._stack.append(s)
         return s
 
     def _finish(self, s: Span) -> None:
-        s.dur_us = self.now_us() - s.ts_us
-        # Tolerate out-of-order exits (an exception unwinding through
-        # several spans finishes them innermost-first).
-        if s in self._stack:
-            while self._stack and self._stack[-1] is not s:
-                self._stack.pop()
-            if self._stack:
-                self._stack.pop()
-        self.spans.append(s)
+        with self._lock:
+            s.dur_us = self.now_us() - s.ts_us
+            # Tolerate out-of-order exits (an exception unwinding
+            # through several spans finishes them innermost-first, and
+            # concurrent threads interleave their pushes).
+            if s in self._stack:
+                while self._stack and self._stack[-1] is not s:
+                    self._stack.pop()
+                if self._stack:
+                    self._stack.pop()
+            self.spans.append(s)
 
     def instant(self, name: str, category: str = "", **attrs: Any) -> Span:
         """A zero-duration marker event."""
@@ -211,7 +223,8 @@ class Tracer:
             attrs,
         )
         s.dur_us = 0.0
-        self.instants.append(s)
+        with self._lock:
+            self.instants.append(s)
         return s
 
     def complete(
@@ -228,7 +241,8 @@ class Tracer:
         microseconds on a dedicated track."""
         s = Span(None, name, category, track, ts_us, time.time(), 0, attrs)
         s.dur_us = dur_us
-        self.spans.append(s)
+        with self._lock:
+            self.spans.append(s)
         return s
 
     def counter(
@@ -253,25 +267,26 @@ class Tracer:
         )
         s.dur_us = 0.0
         s.attrs["value"] = value
-        self.counters.append(s)
+        with self._lock:
+            self.counters.append(s)
         return s
 
     # -- inspection ---------------------------------------------------------
 
     def find(self, name: str) -> List[Span]:
         """All finished spans/instants with the given name."""
-        return [
-            s
-            for s in list(self.spans)
-            + list(self.instants)
-            + list(self.counters)
-            if s.name == name
-        ]
+        with self._lock:
+            everything = (
+                list(self.spans) + list(self.instants) + list(self.counters)
+            )
+        return [s for s in everything if s.name == name]
 
     def tracks(self) -> List[str]:
         """All track names, main track first."""
+        with self._lock:
+            spans = list(self.spans) + list(self.counters)
         seen = [MAIN_TRACK]
-        for s in list(self.spans) + list(self.counters):
+        for s in spans:
             if s.track not in seen:
                 seen.append(s.track)
         return seen

@@ -22,6 +22,7 @@ behaviour for tests that want to *see* pass bugs.
 
 from __future__ import annotations
 
+import hashlib
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
@@ -55,6 +56,8 @@ __all__ = [
     "PassDiagnostic",
     "compile_program",
     "compile_source",
+    "compile_cache_key",
+    "source_cache_key",
 ]
 
 
@@ -536,3 +539,38 @@ def compile_source(
     from .frontend import parse
 
     return compile_program(parse(text), options, entry)
+
+
+def _cache_key(body: str, options: Optional[CompilerOptions], entry: str) -> str:
+    """Compilation is deterministic in (program text, options, entry),
+    so that triple *is* the cache identity.  ``CompilerOptions`` is a
+    frozen dataclass whose repr enumerates every switch, which makes
+    the key automatically sensitive to any option added later."""
+    h = hashlib.sha256()
+    h.update(body.encode())
+    h.update(b"\x00")
+    h.update(repr(options or CompilerOptions()).encode())
+    h.update(b"\x00")
+    h.update(entry.encode())
+    return h.hexdigest()
+
+
+def compile_cache_key(
+    prog: A.Prog,
+    options: Optional[CompilerOptions] = None,
+    entry: str = "main",
+) -> str:
+    """A stable cache key for compiling ``prog`` — used by the serving
+    layer's single-flight compile cache (:mod:`repro.serve.cache`) so
+    N concurrent requests for the same program compile once."""
+    return _cache_key(pretty_prog(prog), options, entry)
+
+
+def source_cache_key(
+    text: str,
+    options: Optional[CompilerOptions] = None,
+    entry: str = "main",
+) -> str:
+    """Like :func:`compile_cache_key` but keyed on concrete syntax
+    (no parse needed to look up a cached compile)."""
+    return _cache_key(text, options, entry)

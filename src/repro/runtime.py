@@ -32,6 +32,7 @@ from .core import ast as A
 from .core.values import Value
 from .errors import (
     ArgumentError,
+    DeadlineExceeded,
     DeviceFault,
     DeviceOOM,
     KernelTimeout,
@@ -47,6 +48,7 @@ from .gpu.simulator import (
 )
 from .interp import run_program
 from .obs import PassTiming, get_logger, get_metrics, get_tracer
+from .serve.deadline import Deadline
 
 __all__ = ["ExecutionPolicy", "RunReport", "run_resilient"]
 
@@ -81,6 +83,12 @@ class ExecutionPolicy:
     #: per-kernel interpreter fallback.  Retry/watchdog/fault semantics
     #: are identical for both.
     executor: str = "sim"
+    #: Cap on the *cumulative* backoff spent across all retries,
+    #: microseconds (None = unlimited).  When a deadline is supplied to
+    #: :func:`run_resilient` the effective cap is further clamped to
+    #: the deadline's remaining budget, so retries never outlive the
+    #: request.
+    retry_budget_us: Optional[float] = None
 
 
 @dataclass
@@ -110,6 +118,13 @@ class RunReport:
     run_id: str = ""
     #: The fault-plan / dataset seed behind this run (None = unseeded).
     seed: Optional[int] = None
+    #: True when the request's deadline expired during execution (the
+    #: executor stops retrying and skips the interpreter fallback).
+    deadline_exceeded: bool = False
+    #: Why the device path was abandoned (None for a clean device run):
+    #: ``"fatal fault"``, ``"device OOM"``, ``"retries exhausted"``,
+    #: ``"retry budget exhausted"`` or ``"deadline exceeded"``.
+    gave_up_reason: Optional[str] = None
     #: The compile-time per-pass breakdown of the program that ran
     #: (copied from :class:`repro.pipeline.CompiledProgram`).
     pass_timings: List[PassTiming] = field(default_factory=list)
@@ -171,6 +186,7 @@ def run_resilient(
     run_id: Optional[str] = None,
     seed: Optional[int] = None,
     pass_timings: Optional[List[PassTiming]] = None,
+    deadline: Optional[Deadline] = None,
 ) -> Tuple[Tuple[Value, ...], CostReport, RunReport]:
     """Execute ``host`` on the simulated device with retry, watchdog
     and interpreter-fallback semantics.
@@ -182,6 +198,14 @@ def run_resilient(
     ``run_id``/``seed`` identify the execution in the RunReport, the
     trace and the logs; when omitted they are derived from the fault
     plan, so a chaos failure names the exact plan that produced it.
+
+    ``deadline`` (a :class:`repro.serve.Deadline`) bounds the whole
+    execution in wall time: it is checked before every attempt and
+    every kernel launch, retry backoff is clamped to its remaining
+    budget, and once it expires the executor raises
+    :class:`DeadlineExceeded` instead of falling back (the fallback
+    would arrive too late to matter).  On failure paths the
+    :class:`RunReport` is attached to the raised error as ``.report``.
     """
     policy = policy or ExecutionPolicy()
     if policy.executor == "sim":
@@ -223,6 +247,20 @@ def run_resilient(
         fault_plan=repr(fault_plan) if fault_plan is not None else None,
     ) as exec_span:
         for attempt in range(policy.max_retries + 1):
+            if deadline is not None and deadline.expired:
+                report.deadline_exceeded = True
+                report.gave_up_reason = "deadline exceeded"
+                report.events.append(
+                    f"deadline expired before attempt {attempt + 1}"
+                )
+                last_error = DeadlineExceeded(
+                    f"attempt {attempt + 1} of {host.name}"
+                )
+                tracer.instant(
+                    "fault:deadline", "runtime", run_id=run_id
+                )
+                metrics.counter("runtime.faults", kind="deadline").inc()
+                break
             report.attempts += 1
             track = (
                 base_track
@@ -238,6 +276,7 @@ def run_resilient(
                 watchdog_floor_us=policy.watchdog_floor_us,
                 prog=core,
                 trace_track=track,
+                deadline=deadline,
             )
             with tracer.span(
                 f"attempt#{attempt + 1}", "runtime", run_id=run_id
@@ -249,6 +288,24 @@ def run_resilient(
                         attempts=report.attempts, retries=report.retries
                     )
                     return values, cost, report
+                except DeadlineExceeded as e:
+                    # The device watchdog hit the request's wall-clock
+                    # budget mid-run: no retry can finish in time.
+                    report.deadline_exceeded = True
+                    report.gave_up_reason = "deadline exceeded"
+                    report.events.append(str(e))
+                    last_error = e
+                    attempt_span.set(outcome="deadline")
+                    tracer.instant(
+                        "fault:deadline", "runtime", run_id=run_id
+                    )
+                    metrics.counter(
+                        "runtime.faults", kind="deadline"
+                    ).inc()
+                    logger.info(
+                        "deadline-exceeded", run_id=run_id, where=e.where
+                    )
+                    break
                 except KernelTimeout as e:
                     report.timeouts += 1
                     report.events.append(str(e))
@@ -304,8 +361,24 @@ def run_resilient(
                         report.fatal_faults += 1
                         break  # a fatal fault will not clear: stop retrying
             if attempt < policy.max_retries:
+                # The remaining backoff budget: the policy's cumulative
+                # cap and (tighter) the deadline's remaining wall time.
+                budget = float("inf")
+                if policy.retry_budget_us is not None:
+                    budget = policy.retry_budget_us - report.backoff_us
+                if deadline is not None:
+                    budget = min(budget, deadline.remaining_us())
+                if budget <= 0.0:
+                    report.gave_up_reason = "retry budget exhausted"
+                    report.events.append(
+                        "retry budget exhausted: stopped retrying after "
+                        f"{report.backoff_us:.0f}us of backoff"
+                    )
+                    break
                 report.retries += 1
-                backoff = _backoff_us(attempt, policy, backoff_rng)
+                backoff = min(
+                    _backoff_us(attempt, policy, backoff_rng), budget
+                )
                 report.backoff_us += backoff
                 metrics.counter("runtime.retries").inc()
                 metrics.counter("runtime.backoff_us").inc(backoff)
@@ -314,6 +387,24 @@ def run_resilient(
                 )
 
         exec_span.set(attempts=report.attempts, retries=report.retries)
+        if report.gave_up_reason is None:
+            if report.ooms:
+                report.gave_up_reason = "device OOM"
+            elif report.fatal_faults:
+                report.gave_up_reason = "fatal fault"
+            else:
+                report.gave_up_reason = "retries exhausted"
+        if report.deadline_exceeded:
+            # Too late for the fallback to matter: surface the typed
+            # error with the report attached.
+            exec_span.set(outcome="deadline")
+            error = (
+                last_error
+                if isinstance(last_error, DeadlineExceeded)
+                else DeadlineExceeded(host.name)
+            )
+            error.report = report
+            raise error
         if policy.fallback:
             report.fallbacks += 1
             report.events.append(
@@ -337,4 +428,5 @@ def run_resilient(
 
         if last_error is None:  # pragma: no cover
             raise ReproError("resilient executor made no attempts")
+        last_error.report = report
         raise last_error

@@ -1,0 +1,58 @@
+"""repro.serve: the resilient concurrent serving layer.
+
+Fronts the compiler/runtime stack with a thread-based execution
+service: bounded admission with priority lanes and load shedding,
+end-to-end request deadlines, per-backend circuit breakers over the
+degradation ladder (``vector`` → ``sim`` → ``interp``) and a
+single-flight compile cache.  See :mod:`repro.serve.server` for the
+full tour.
+
+The building blocks (:class:`Deadline`, :class:`CircuitBreaker`,
+:class:`AdmissionQueue`, :class:`CompileCache`) are importable eagerly
+and dependency-free; :class:`Server` itself is loaded lazily because
+it pulls in the whole compiler/runtime stack (which in turn imports
+:mod:`repro.serve.deadline`).
+"""
+
+from __future__ import annotations
+
+from .breaker import BreakerState, CircuitBreaker
+from .cache import CacheStats, CompileCache
+from .deadline import Deadline
+from .queue import BATCH_LANE, INTERACTIVE_LANE, AdmissionQueue
+
+__all__ = [
+    "AdmissionQueue",
+    "BATCH_LANE",
+    "BreakerState",
+    "CacheStats",
+    "CircuitBreaker",
+    "CompileCache",
+    "Deadline",
+    "DEGRADATION_LADDER",
+    "INTERACTIVE_LANE",
+    "ResultHandle",
+    "Server",
+    "ServeRequest",
+    "ServeResult",
+]
+
+_SERVER_SYMBOLS = (
+    "Server",
+    "ServeRequest",
+    "ServeResult",
+    "ResultHandle",
+    "DEGRADATION_LADDER",
+)
+
+
+def __getattr__(name: str):
+    if name in _SERVER_SYMBOLS:
+        from . import server
+
+        return getattr(server, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(__all__)

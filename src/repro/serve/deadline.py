@@ -1,0 +1,81 @@
+"""Per-request deadlines: one wall-clock budget, propagated end-to-end.
+
+A :class:`Deadline` is created once per request (``Deadline.after_ms``)
+and then *threaded down* the execution stack rather than re-derived at
+each layer:
+
+1. the serving layer refuses to start work on a request whose deadline
+   already expired while it queued;
+2. the resilient executor (:func:`repro.runtime.run_resilient`) checks
+   it before every attempt and clamps retry backoff to the remaining
+   budget, so a request never burns retries past its deadline;
+3. the simulated device checks it before every kernel launch, acting
+   as an externally supplied watchdog budget on top of the per-kernel
+   cost-model watchdog.
+
+The clock is injectable (``time.monotonic`` by default) so tests can
+drive expiry deterministically.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+from ..errors import DeadlineExceeded
+
+__all__ = ["Deadline"]
+
+
+class Deadline:
+    """A wall-clock point in time after which work must stop."""
+
+    __slots__ = ("_expires_at", "budget_s", "_clock")
+
+    def __init__(
+        self,
+        budget_s: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._clock = clock
+        self.budget_s = float(budget_s)
+        self._expires_at = clock() + self.budget_s
+
+    @classmethod
+    def after_ms(
+        cls,
+        budget_ms: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> "Deadline":
+        return cls(budget_ms / 1000.0, clock=clock)
+
+    # -- queries ------------------------------------------------------------
+
+    def remaining_s(self) -> float:
+        """Seconds left (negative once expired)."""
+        return self._expires_at - self._clock()
+
+    def remaining_us(self) -> float:
+        """Microseconds left (negative once expired) — the unit the
+        retry-backoff and watchdog budgets are denominated in."""
+        return self.remaining_s() * 1e6
+
+    @property
+    def expired(self) -> bool:
+        return self.remaining_s() <= 0.0
+
+    def check(self, where: str) -> None:
+        """Raise :class:`DeadlineExceeded` if the budget is gone."""
+        remaining = self.remaining_s()
+        if remaining <= 0.0:
+            raise DeadlineExceeded(
+                where,
+                f"{-remaining * 1000.0:.1f}ms over a "
+                f"{self.budget_s * 1000.0:.1f}ms budget",
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Deadline(budget={self.budget_s * 1000.0:.1f}ms, "
+            f"remaining={self.remaining_s() * 1000.0:.1f}ms)"
+        )

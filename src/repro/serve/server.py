@@ -1,0 +1,616 @@
+"""The resilient execution service fronting the compiler and runtime.
+
+:class:`Server` turns the single-run toolchain into a concurrent
+service: a pool of worker threads executes :class:`ServeRequest`s
+drawn from a bounded :class:`~repro.serve.queue.AdmissionQueue`, with
+the full robustness ladder wired in:
+
+- **admission control** — a full queue sheds the request immediately
+  with a typed :class:`ServiceOverloaded`; small requests (by the cost
+  model's analytic estimate) ride the interactive priority lane;
+- **single-flight compilation** — N concurrent requests for the same
+  program compile once (:class:`~repro.serve.cache.CompileCache`,
+  keyed by :func:`repro.pipeline.compile_cache_key`), and a compile
+  failure is cached negatively so it cannot cause a retry storm;
+- **deadlines** — each request's wall-clock budget is checked at
+  dequeue, before every retry attempt, and before every simulated
+  kernel launch (see :mod:`repro.serve.deadline`);
+- **circuit breakers + degradation ladder** — each device-backed rung
+  (``vector``, ``sim``) has a breaker that trips on consecutive
+  device-class failures; tripped or faulting rungs are skipped and the
+  request degrades down the ladder, ending at the reference
+  interpreter, which cannot suffer device faults.  A request therefore
+  only fails outright on a *program* error (or its own deadline).
+
+Results are delivered through :class:`ResultHandle` (event-based, no
+executor framework), and ``Server.health()``/``repro.obs`` metrics
+expose queue depth, shed counts, breaker states and per-lane latency
+percentiles.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..core import ast as A
+from ..core.values import Value
+from ..errors import (
+    DeadlineExceeded,
+    DeviceFault,
+    DeviceOOM,
+    KernelTimeout,
+    ReproError,
+    ServiceOverloaded,
+)
+from ..gpu.costmodel import estimate_program
+from ..gpu.device import DeviceProfile, NVIDIA_GTX780TI
+from ..gpu.faults import ServiceFaultPlan
+from ..interp import run_program
+from ..obs import get_logger, get_metrics, get_tracer
+from ..pipeline import (
+    CompiledProgram,
+    CompilerOptions,
+    compile_cache_key,
+    compile_program,
+)
+from ..runtime import ExecutionPolicy, RunReport, run_resilient
+from .breaker import CircuitBreaker
+from .cache import CompileCache
+from .deadline import Deadline
+from .queue import BATCH_LANE, INTERACTIVE_LANE, AdmissionQueue
+
+__all__ = [
+    "DEGRADATION_LADDER",
+    "ServeRequest",
+    "ServeResult",
+    "ResultHandle",
+    "Server",
+]
+
+#: The full degradation ladder, fastest first.  The interpreter is the
+#: floor: it has no breaker because it cannot suffer device faults.
+DEGRADATION_LADDER: Tuple[str, ...] = ("vector", "sim", "interp")
+
+_log = get_logger("serve")
+
+_request_ids = itertools.count(1)
+
+
+@dataclass
+class ServeRequest:
+    """One unit of client work: a program, its arguments, a budget."""
+
+    program: A.Prog
+    args: Sequence[Value]
+    entry: str = "main"
+    #: Wall-clock budget for the whole request (None = no deadline).
+    deadline_ms: Optional[float] = None
+    #: Preferred top rung of the degradation ladder (None = the
+    #: server's default executor).
+    executor: Optional[str] = None
+    #: Compile-cache key override; derived from the program text,
+    #: options and entry when omitted.
+    key: Optional[str] = None
+    request_id: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.request_id:
+            self.request_id = f"req-{next(_request_ids)}"
+
+
+@dataclass
+class ServeResult:
+    """What came back: values on success, a typed error otherwise."""
+
+    request_id: str
+    #: ``"ok"``, ``"shed"``, ``"deadline"`` or ``"error"``.
+    status: str
+    values: Optional[Tuple[Value, ...]] = None
+    error: Optional[BaseException] = None
+    #: Which ladder rung produced the values (``"vector"``, ``"sim"``,
+    #: ``"interp"``; None when nothing did).
+    backend: Optional[str] = None
+    lane: str = BATCH_LANE
+    #: Submit-to-completion wall time.
+    latency_s: float = 0.0
+    #: The resilient executor's report for the successful rung (None
+    #: for interp-rung or failed requests).
+    run_report: Optional[RunReport] = None
+    #: Rungs that were tried and failed (or were skipped open).
+    degraded_from: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def raise_for_status(self) -> "ServeResult":
+        if self.error is not None:
+            raise self.error
+        return self
+
+
+class ResultHandle:
+    """A waitable slot for one request's :class:`ServeResult`."""
+
+    def __init__(self, request_id: str) -> None:
+        self.request_id = request_id
+        self._event = threading.Event()
+        self._result: Optional[ServeResult] = None
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> ServeResult:
+        if not self._event.wait(timeout=timeout):
+            raise TimeoutError(
+                f"{self.request_id}: no result within {timeout}s"
+            )
+        assert self._result is not None
+        return self._result
+
+    def _complete(self, result: ServeResult) -> None:
+        self._result = result
+        self._event.set()
+
+
+@dataclass
+class _Work:
+    """A request after admission: compiled, classified, deadlined."""
+
+    request: ServeRequest
+    handle: ResultHandle
+    compiled: CompiledProgram
+    deadline: Optional[Deadline]
+    lane: str
+    submitted_at: float
+
+
+class Server:
+    """A thread-based execution service over the simulated devices.
+
+    Use as a context manager (``with Server() as s: ...``) or call
+    :meth:`start`/:meth:`stop` explicitly.  ``submit`` never blocks on
+    execution: it returns a :class:`ResultHandle` immediately, already
+    completed with :class:`ServiceOverloaded` if the request was shed.
+    """
+
+    def __init__(
+        self,
+        workers: int = 4,
+        queue_capacity: int = 16,
+        device: DeviceProfile = NVIDIA_GTX780TI,
+        options: Optional[CompilerOptions] = None,
+        default_executor: str = "vector",
+        ladder: Sequence[str] = DEGRADATION_LADDER,
+        fault_plans: Optional[ServiceFaultPlan] = None,
+        breaker_threshold: int = 3,
+        breaker_recovery_s: float = 0.25,
+        retries_per_rung: int = 2,
+        #: Requests whose analytic cost estimate is at or below this
+        #: ride the interactive priority lane.
+        interactive_threshold_us: float = 50_000.0,
+        negative_compile_ttl_s: float = 5.0,
+        #: Per-lane latency samples retained for the percentile
+        #: surfaces in :meth:`health`.
+        latency_window: int = 2048,
+    ) -> None:
+        if default_executor not in ladder:
+            raise ValueError(
+                f"default executor {default_executor!r} not on the "
+                f"ladder {tuple(ladder)}"
+            )
+        self.device = device
+        self.options = options or CompilerOptions()
+        self.default_executor = default_executor
+        self.ladder: Tuple[str, ...] = tuple(ladder)
+        self.fault_plans = fault_plans or ServiceFaultPlan()
+        self.retries_per_rung = retries_per_rung
+        self.interactive_threshold_us = interactive_threshold_us
+        self.queue = AdmissionQueue(queue_capacity)
+        self.cache = CompileCache(negative_ttl_s=negative_compile_ttl_s)
+        self.breakers: Dict[str, CircuitBreaker] = {
+            rung: CircuitBreaker(
+                rung,
+                failure_threshold=breaker_threshold,
+                recovery_s=breaker_recovery_s,
+            )
+            for rung in self.ladder
+            if rung != "interp"
+        }
+        self._n_workers = workers
+        self._threads: List[threading.Thread] = []
+        self._stopping = threading.Event()
+        self._started = False
+        self._lock = threading.Lock()
+        self._latency_window = latency_window
+        self._latencies: Dict[str, deque] = {
+            INTERACTIVE_LANE: deque(maxlen=latency_window),
+            BATCH_LANE: deque(maxlen=latency_window),
+        }
+        self._counts: Dict[str, int] = {
+            "admitted": 0,
+            "shed": 0,
+            "completed": 0,
+            "deadline_exceeded": 0,
+            "errors": 0,
+        }
+        self._per_backend: Dict[str, int] = {}
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> "Server":
+        with self._lock:
+            if self._started:
+                return self
+            self._started = True
+        for i in range(self._n_workers):
+            t = threading.Thread(
+                target=self._worker_loop,
+                name=f"repro-serve-worker-{i}",
+                daemon=True,
+            )
+            t.start()
+            self._threads.append(t)
+        _log.info("server-start", workers=self._n_workers)
+        return self
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Stop admitting, fail everything still queued with
+        :class:`ServiceOverloaded`, and join the workers."""
+        self._stopping.set()
+        self.queue.close()
+        for item in self.queue.drain():
+            self._complete_shed(item.handle, "server shutting down")
+        for t in self._threads:
+            t.join(timeout=timeout)
+        stuck = [t.name for t in self._threads if t.is_alive()]
+        if stuck:  # pragma: no cover - would be a worker deadlock bug
+            raise RuntimeError(f"worker threads failed to exit: {stuck}")
+        self._threads.clear()
+        _log.info("server-stop")
+
+    def __enter__(self) -> "Server":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # -- the client surface -------------------------------------------------
+
+    def warm(self, program: A.Prog, entry: str = "main") -> str:
+        """Pre-compile a program into the cache (e.g. at deploy time)
+        so first requests don't spend their deadline compiling.
+        Returns the cache key."""
+        key = compile_cache_key(program, self.options, entry)
+        self.cache.get_or_compile(
+            key, lambda: compile_program(program, self.options, entry)
+        )
+        return key
+
+    def submit(self, request: ServeRequest) -> ResultHandle:
+        """Admit (or shed) one request; never blocks on execution."""
+        handle = ResultHandle(request.request_id)
+        submitted_at = time.monotonic()
+        if self._stopping.is_set():
+            self._complete_shed(handle, "server shutting down")
+            return handle
+        deadline = (
+            Deadline.after_ms(request.deadline_ms)
+            if request.deadline_ms is not None
+            else None
+        )
+        key = request.key or compile_cache_key(
+            request.program, self.options, request.entry
+        )
+        try:
+            compiled = self.cache.get_or_compile(
+                key,
+                lambda: compile_program(
+                    request.program, self.options, request.entry
+                ),
+            )
+        except ReproError as e:
+            # A (possibly negatively cached) compile failure: the
+            # request is unservable, typed error straight back.
+            self._finish(
+                handle,
+                ServeResult(
+                    request.request_id, "error", error=e, lane=BATCH_LANE,
+                    latency_s=time.monotonic() - submitted_at,
+                ),
+            )
+            return handle
+        lane = self._classify(compiled, request.args)
+        work = _Work(request, handle, compiled, deadline, lane, submitted_at)
+        if not self.queue.offer(work, lane):
+            self._complete_shed(handle, "admission queue full", lane)
+            return handle
+        with self._lock:
+            self._counts["admitted"] += 1
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter("serve.admitted", lane=lane).inc()
+            metrics.gauge("serve.queue_depth").set(len(self.queue))
+        return handle
+
+    def call(
+        self, request: ServeRequest, timeout: Optional[float] = None
+    ) -> ServeResult:
+        """Synchronous convenience: submit and wait."""
+        return self.submit(request).result(timeout=timeout)
+
+    # -- admission ----------------------------------------------------------
+
+    def _classify(
+        self, compiled: CompiledProgram, args: Sequence[Value]
+    ) -> str:
+        """Priority lane from the cost model: price the program at the
+        request's actual scalar sizes; cheap requests go interactive."""
+        try:
+            size_env = {}
+            for p, v in zip(compiled.host.params, args):
+                value = getattr(v, "value", None)
+                if value is not None and getattr(
+                    getattr(v, "type", None), "is_integral", False
+                ):
+                    size_env[p.name] = int(value)
+            est = estimate_program(
+                compiled.host, size_env, self.device,
+                coalescing=self.options.coalescing,
+            )
+            lane = (
+                INTERACTIVE_LANE
+                if est.total_us <= self.interactive_threshold_us
+                else BATCH_LANE
+            )
+        except Exception:
+            # An unpriceable program is not an error — it just doesn't
+            # get priority treatment.
+            lane = BATCH_LANE
+        return lane
+
+    # -- completion bookkeeping ---------------------------------------------
+
+    def _complete_shed(
+        self, handle: ResultHandle, reason: str, lane: str = BATCH_LANE
+    ) -> None:
+        with self._lock:
+            self._counts["shed"] += 1
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter("serve.shed").inc()
+        error = ServiceOverloaded(
+            reason, queue_depth=len(self.queue), capacity=self.queue.capacity
+        )
+        handle._complete(
+            ServeResult(handle.request_id, "shed", error=error, lane=lane)
+        )
+
+    def _finish(self, handle: ResultHandle, result: ServeResult) -> None:
+        with self._lock:
+            if result.status == "ok":
+                self._counts["completed"] += 1
+                if result.backend is not None:
+                    self._per_backend[result.backend] = (
+                        self._per_backend.get(result.backend, 0) + 1
+                    )
+            elif result.status == "deadline":
+                self._counts["deadline_exceeded"] += 1
+            else:
+                self._counts["errors"] += 1
+            self._latencies[result.lane].append(result.latency_s)
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter(
+                "serve.requests", status=result.status,
+                backend=result.backend or "none",
+            ).inc()
+            metrics.histogram(
+                "serve.latency_us", lane=result.lane
+            ).observe(result.latency_s * 1e6)
+            metrics.gauge("serve.queue_depth").set(len(self.queue))
+        handle._complete(result)
+
+    # -- the worker pool ----------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            work = self.queue.take(timeout=0.05)
+            if work is None:
+                if self._stopping.is_set():
+                    return
+                continue
+            try:
+                self._process(work)
+            except BaseException as e:  # pragma: no cover - backstop
+                # A worker must never die with a request in hand.
+                self._finish(
+                    work.handle,
+                    ServeResult(
+                        work.request.request_id, "error", error=e,
+                        lane=work.lane,
+                        latency_s=time.monotonic() - work.submitted_at,
+                    ),
+                )
+
+    def _ladder_for(self, request: ServeRequest) -> Tuple[str, ...]:
+        """The rungs to try, starting from the request's preferred
+        executor (or the server default) and descending."""
+        top = request.executor or self.default_executor
+        if top not in self.ladder:
+            return self.ladder
+        return self.ladder[self.ladder.index(top):]
+
+    def _process(self, work: _Work) -> None:
+        request, handle = work.request, work.handle
+        tracer = get_tracer()
+        t0 = time.monotonic()
+        queued_s = t0 - work.submitted_at
+        result = self._execute_ladder(work)
+        result.latency_s = time.monotonic() - work.submitted_at
+        if tracer.enabled:
+            tracer.complete(
+                f"request:{request.request_id}",
+                "serve",
+                ts_us=tracer.now_us() - result.latency_s * 1e6,
+                dur_us=result.latency_s * 1e6,
+                track="serve",
+                status=result.status,
+                backend=result.backend,
+                lane=result.lane,
+                queued_ms=queued_s * 1e3,
+                degraded_from=",".join(result.degraded_from) or None,
+            )
+        self._finish(handle, result)
+
+    def _execute_ladder(self, work: _Work) -> ServeResult:
+        request, compiled, deadline = work.request, work.compiled, work.deadline
+        degraded_from: List[str] = []
+        last_error: Optional[BaseException] = None
+        if deadline is not None and deadline.expired:
+            # Expired while queued: don't waste a device on it.
+            return ServeResult(
+                request.request_id, "deadline", lane=work.lane,
+                error=DeadlineExceeded(
+                    f"{request.request_id} while queued"
+                ),
+            )
+        for rung in self._ladder_for(request):
+            if rung == "interp":
+                try:
+                    if deadline is not None:
+                        deadline.check(f"{request.request_id} interp rung")
+                    values = run_program(
+                        compiled.core,
+                        request.args,
+                        fname=request.entry,
+                        in_place=self.options.in_place,
+                    )
+                except DeadlineExceeded as e:
+                    return ServeResult(
+                        request.request_id, "deadline", error=e,
+                        lane=work.lane, degraded_from=degraded_from,
+                    )
+                except ReproError as e:
+                    return ServeResult(
+                        request.request_id, "error", error=e,
+                        lane=work.lane, degraded_from=degraded_from,
+                    )
+                return ServeResult(
+                    request.request_id, "ok", values=tuple(values),
+                    backend=rung, lane=work.lane,
+                    degraded_from=degraded_from,
+                )
+            breaker = self.breakers[rung]
+            if not breaker.allow():
+                degraded_from.append(f"{rung}:open")
+                metrics = get_metrics()
+                if metrics.enabled:
+                    metrics.counter("serve.breaker_refusals", backend=rung).inc()
+                continue
+            policy = ExecutionPolicy(
+                executor=rung,
+                fallback=False,  # the *ladder* is the fallback here
+                max_retries=self.retries_per_rung,
+            )
+            try:
+                values, _cost, run_report = run_resilient(
+                    compiled.host,
+                    compiled.core,
+                    request.args,
+                    self.device,
+                    coalescing=self.options.coalescing,
+                    in_place=self.options.in_place,
+                    fault_plan=self.fault_plans.for_backend(rung),
+                    policy=policy,
+                    entry=request.entry,
+                    run_id=f"{request.request_id}@{rung}",
+                    pass_timings=compiled.pass_timings,
+                    deadline=deadline,
+                )
+            except DeadlineExceeded as e:
+                # No rung further down could finish in time either.
+                return ServeResult(
+                    request.request_id, "deadline", error=e,
+                    lane=work.lane, degraded_from=degraded_from,
+                )
+            except (DeviceFault, DeviceOOM, KernelTimeout) as e:
+                breaker.record_failure()
+                degraded_from.append(f"{rung}:{type(e).__name__}")
+                last_error = e
+                _log.debug(
+                    "rung-failed", request_id=request.request_id,
+                    backend=rung, error=str(e),
+                )
+                continue
+            except ReproError as e:
+                # A program error is identical on every backend: not
+                # the backend's fault, don't trip its breaker.
+                return ServeResult(
+                    request.request_id, "error", error=e,
+                    lane=work.lane, degraded_from=degraded_from,
+                )
+            breaker.record_success()
+            return ServeResult(
+                request.request_id, "ok", values=tuple(values),
+                backend=rung, lane=work.lane, run_report=run_report,
+                degraded_from=degraded_from,
+            )
+        # Every rung refused or failed and "interp" was not on the
+        # ladder (custom configurations only).
+        return ServeResult(
+            request.request_id, "error",
+            error=last_error
+            or ServiceOverloaded("no backend available"),
+            lane=work.lane, degraded_from=degraded_from,
+        )
+
+    # -- health / stats -----------------------------------------------------
+
+    @staticmethod
+    def _percentile(samples: List[float], q: float) -> float:
+        if not samples:
+            return 0.0
+        ordered = sorted(samples)
+        idx = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+        return ordered[idx]
+
+    def health(self) -> Dict[str, Any]:
+        """A point-in-time JSON-serialisable view of the service."""
+        with self._lock:
+            counts = dict(self._counts)
+            per_backend = dict(self._per_backend)
+            lane_samples = {
+                lane: list(samples)
+                for lane, samples in self._latencies.items()
+            }
+        lanes = {}
+        for lane, samples in lane_samples.items():
+            lanes[lane] = {
+                "count": len(samples),
+                "p50_ms": self._percentile(samples, 0.50) * 1e3,
+                "p95_ms": self._percentile(samples, 0.95) * 1e3,
+                "p99_ms": self._percentile(samples, 0.99) * 1e3,
+            }
+        return {
+            "workers": sum(1 for t in self._threads if t.is_alive()),
+            "queue_depth": len(self.queue),
+            "queue_capacity": self.queue.capacity,
+            "queue_depths": self.queue.depths(),
+            "breakers": {
+                rung: {
+                    "state": b.state.value,
+                    "trips": b.trips,
+                    "refusals": b.refusals,
+                }
+                for rung, b in self.breakers.items()
+            },
+            "compile_cache": self.cache.stats.snapshot(),
+            "lanes": lanes,
+            **counts,
+        }

@@ -44,6 +44,7 @@ class VectorEngine(GpuSimulator):
         watchdog_floor_us: float = WATCHDOG_FLOOR_US,
         prog: Optional[A.Prog] = None,
         trace_track: str = "vm-vector",
+        deadline=None,
     ) -> None:
         super().__init__(
             device,
@@ -54,6 +55,7 @@ class VectorEngine(GpuSimulator):
             watchdog_floor_us=watchdog_floor_us,
             prog=prog,
             trace_track=trace_track,
+            deadline=deadline,
         )
         self._vec = VectorEvaluator(
             prog if prog is not None else A.Prog(()), in_place=in_place

@@ -1,0 +1,127 @@
+"""CLI error hygiene: failures exit with a code naming their class.
+
+Each test invokes ``python -m repro`` as a real subprocess, so the
+assertions cover the argparse wiring, the error-mapping layer in
+``__main__`` and the taxonomy in :mod:`repro.errors` end-to-end —
+exactly the interface shell scripts and CI branch on.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.errors import (
+    ArgumentError,
+    CompilerBug,
+    DeadlineExceeded,
+    DeviceFault,
+    DeviceOOM,
+    KernelTimeout,
+    ReproError,
+    ServiceOverloaded,
+    ValidationError,
+    exit_code_for,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def run_cli(*argv, timeout=300):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+        timeout=timeout,
+    )
+
+
+class TestExitCodeMapping:
+    """The pure mapping, including subclass precedence."""
+
+    @pytest.mark.parametrize(
+        "error, code",
+        [
+            (ArgumentError("bad arity"), 2),
+            (CompilerBug("fusion", "simplify", "boom"), 3),
+            (DeviceFault("launch", "boom"), 4),
+            (DeviceOOM("b", 8, 0, 4), 4),
+            (KernelTimeout("k", 1.0, 99.0), 5),
+            (DeadlineExceeded("submit"), 5),
+            (ServiceOverloaded("queue full"), 6),
+            (ValidationError("mismatch"), 1),
+            (ReproError("generic"), 1),
+        ],
+    )
+    def test_mapping(self, error, code):
+        assert exit_code_for(error) == code
+
+
+class TestCliExitCodes:
+    def test_success_exits_zero(self):
+        r = run_cli("bench", "table2")
+        assert r.returncode == 0, r.stderr
+
+    def test_argument_error_exits_2(self):
+        # bench impact without --names is caller misuse.
+        r = run_cli("bench", "impact")
+        assert r.returncode == 2, r.stderr
+        assert "error:" in r.stderr
+        assert "--names" in r.stderr
+
+    def test_device_fault_exits_4(self):
+        # Every launch a fatal fault, no interpreter fallback: the
+        # typed DeviceFault must surface as exit code 4.
+        r = run_cli(
+            "bench", "validate", "--names", "NN",
+            "--chaos", "--chaos-profile", "fatal", "--no-fallback",
+        )
+        assert r.returncode == 4, (r.returncode, r.stderr)
+        assert "fault" in r.stderr
+
+    def test_kernel_timeout_exits_5(self):
+        # Every launch a never-clearing watchdog timeout, no fallback.
+        r = run_cli(
+            "bench", "validate", "--names", "NN",
+            "--chaos", "--chaos-profile", "timeout", "--no-fallback",
+        )
+        assert r.returncode == 5, (r.returncode, r.stderr)
+        assert "watchdog" in r.stderr
+
+    def test_error_message_goes_to_stderr_not_stdout(self):
+        r = run_cli("bench", "impact")
+        assert "error:" in r.stderr
+        assert "error:" not in r.stdout
+
+    def test_chaos_with_fallback_still_succeeds(self):
+        # The same fatal plan *with* the interpreter fallback active
+        # must be survivable — that asymmetry is the point of the flag.
+        r = run_cli(
+            "bench", "validate", "--names", "NN",
+            "--chaos", "--chaos-profile", "fatal",
+        )
+        assert r.returncode == 0, r.stderr
+
+
+class TestServeBenchCli:
+    def test_serve_bench_smoke(self, tmp_path):
+        out = tmp_path / "serve.json"
+        r = run_cli(
+            "serve-bench",
+            "--clients", "2", "--requests-per-client", "2",
+            "--names", "NN", "--deadline-ms", "10000",
+            "--out", str(out),
+        )
+        assert r.returncode == 0, r.stderr
+        assert "requests from 2 clients" in r.stdout
+        import json
+
+        report = json.loads(out.read_text())
+        assert report["outcomes"]["ok"] == 4
+        assert report["health"]["queue_capacity"] == 32

@@ -1,0 +1,133 @@
+"""Concurrent hammer tests: the observability layer under threads.
+
+The serving layer's worker pool shares one ambient registry/tracer, so
+counter increments, histogram observations, instrument creation and
+span emission must not lose updates or corrupt internal state under
+concurrency.  These tests drive enough iterations that the unlocked
+read-modify-write implementations reliably fail them.
+"""
+
+import threading
+
+from repro.obs import MetricsRegistry, Tracer
+
+THREADS = 8
+ITERS = 4_000
+
+
+def _hammer(n_threads, fn):
+    barrier = threading.Barrier(n_threads)
+    errors = []
+
+    def run(i):
+        barrier.wait()
+        try:
+            fn(i)
+        except Exception as e:  # surfaced below; threads swallow otherwise
+            errors.append(e)
+
+    threads = [
+        threading.Thread(target=run, args=(i,)) for i in range(n_threads)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors, errors
+
+
+class TestMetricsThreadSafety:
+    def test_counter_increments_are_not_lost(self):
+        registry = MetricsRegistry()
+
+        def work(_):
+            for _ in range(ITERS):
+                registry.counter("hammer.count").inc()
+
+        _hammer(THREADS, work)
+        assert registry.counter("hammer.count").value == THREADS * ITERS
+
+    def test_racing_instrument_creation_yields_one_instrument(self):
+        registry = MetricsRegistry()
+
+        def work(i):
+            # Everyone creates-or-gets the same labelled counter.
+            for _ in range(ITERS):
+                registry.counter("hammer.labelled", lane="x").inc()
+
+        _hammer(THREADS, work)
+        snap = registry.snapshot()
+        assert snap["counters"]["hammer.labelled{lane=x}"] == THREADS * ITERS
+
+    def test_histogram_observations_are_not_lost(self):
+        registry = MetricsRegistry()
+
+        def work(i):
+            h = registry.histogram("hammer.hist")
+            for k in range(ITERS):
+                h.observe(float(k % 100))
+
+        _hammer(THREADS, work)
+        h = registry.histogram("hammer.hist")
+        assert h.count == THREADS * ITERS
+        assert sum(h.counts) == THREADS * ITERS
+
+    def test_snapshot_during_mutation_does_not_crash(self):
+        registry = MetricsRegistry()
+        stop = threading.Event()
+
+        def mutate(i):
+            k = 0
+            while not stop.is_set():
+                registry.counter(f"hammer.dynamic{k % 64}", t=i).inc()
+                k += 1
+
+        def snapshot(_):
+            for _ in range(200):
+                registry.snapshot()
+            stop.set()
+
+        threads = [
+            threading.Thread(target=mutate, args=(i,)) for i in range(4)
+        ] + [threading.Thread(target=snapshot, args=(0,))]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+
+class TestTracerThreadSafety:
+    def test_concurrent_span_emission_keeps_every_span(self):
+        tracer = Tracer()
+        per_thread = 500
+
+        def work(i):
+            for k in range(per_thread):
+                with tracer.span(f"work-{i}", "hammer"):
+                    pass
+
+        _hammer(THREADS, work)
+        assert len(tracer.spans) == THREADS * per_thread
+        assert all(s.finished for s in tracer.spans)
+
+    def test_concurrent_complete_instant_counter(self):
+        tracer = Tracer()
+        per_thread = 500
+
+        def work(i):
+            for k in range(per_thread):
+                tracer.complete(
+                    f"c-{i}", "hammer", ts_us=k, dur_us=1.0,
+                    track=f"worker-{i}",
+                )
+                tracer.instant(f"i-{i}", "hammer")
+                tracer.counter(f"n-{i}", float(k), track=f"worker-{i}")
+
+        _hammer(THREADS, work)
+        assert len(tracer.spans) == THREADS * per_thread
+        assert len(tracer.instants) == THREADS * per_thread
+        assert len(tracer.counters) == THREADS * per_thread
+        # Every per-worker track is visible.
+        tracks = tracer.tracks()
+        for i in range(THREADS):
+            assert f"worker-{i}" in tracks

@@ -1,0 +1,149 @@
+"""Property tests for the circuit breaker's state machine.
+
+Random interleavings of failures, successes and clock advances must
+never violate the breaker's two core guarantees:
+
+1. **trip safety** — the breaker never serves traffic once it has seen
+   ``failure_threshold`` consecutive failures, until a recovery window
+   has elapsed;
+2. **single probe** — in the half-open state exactly one request is
+   allowed through until its outcome is recorded.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.serve import BreakerState, CircuitBreaker
+
+#: One step of a random schedule.  ``advance`` moves the fake clock by
+#: the given fraction of the recovery window.
+STEP = st.one_of(
+    st.just(("fail",)),
+    st.just(("success",)),
+    st.just(("allow",)),
+    st.tuples(st.just("advance"), st.floats(0.0, 2.0)),
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+class BreakerModel:
+    """Reference interpretation of the schedule, tracking only what
+    the properties need: consecutive failures and open windows."""
+
+    def __init__(self, threshold, recovery, clock):
+        self.threshold = threshold
+        self.recovery = recovery
+        self.clock = clock
+        self.consecutive = 0
+        self.opened_at = None  # None = not in an open window
+
+    def cooled_down(self):
+        return (
+            self.opened_at is not None
+            and self.clock() - self.opened_at >= self.recovery
+        )
+
+    def fail(self):
+        if self.opened_at is not None:
+            if self.cooled_down():
+                # Half-open probe failing re-opens a fresh window.
+                self.opened_at = self.clock()
+            return
+        self.consecutive += 1
+        if self.consecutive >= self.threshold:
+            self.opened_at = self.clock()
+            self.consecutive = 0
+
+    def success(self):
+        self.consecutive = 0
+        self.opened_at = None
+
+
+@given(
+    threshold=st.integers(1, 5),
+    steps=st.lists(STEP, max_size=60),
+)
+@settings(max_examples=200, deadline=None)
+def test_never_serves_past_trip_threshold(threshold, steps):
+    """After tripping, allow() must refuse until a full recovery
+    window has elapsed — under any schedule."""
+    clock = FakeClock()
+    recovery = 1.0
+    b = CircuitBreaker(
+        failure_threshold=threshold, recovery_s=recovery, clock=clock
+    )
+    model = BreakerModel(threshold, recovery, clock)
+    for step in steps:
+        if step[0] == "fail":
+            b.record_failure()
+            model.fail()
+        elif step[0] == "success":
+            b.record_success()
+            model.success()
+        elif step[0] == "advance":
+            clock.t += step[1] * recovery
+        else:  # allow
+            allowed = b.allow()
+            if model.opened_at is not None and not model.cooled_down():
+                assert not allowed, (
+                    f"breaker served inside an open window "
+                    f"(t={clock.t}, opened_at={model.opened_at})"
+                )
+            if model.opened_at is None:
+                # Fully closed per the model: traffic must flow.  (The
+                # real breaker may additionally be refusing only when
+                # it is inside an open/half-open window.)
+                assert allowed
+
+
+@given(
+    threshold=st.integers(1, 4),
+    extra_calls=st.integers(1, 10),
+    advance_frac=st.floats(1.0, 3.0),
+)
+@settings(max_examples=200, deadline=None)
+def test_half_open_probes_exactly_one_request(
+    threshold, extra_calls, advance_frac
+):
+    """Once the cooldown elapses, the first allow() wins the probe
+    slot and every further allow() is refused until the probe's
+    outcome is recorded."""
+    clock = FakeClock()
+    b = CircuitBreaker(
+        failure_threshold=threshold, recovery_s=1.0, clock=clock
+    )
+    for _ in range(threshold):
+        b.record_failure()
+    assert b.state is BreakerState.OPEN
+    clock.t += advance_frac  # >= recovery window
+    grants = sum(1 for _ in range(1 + extra_calls) if b.allow())
+    assert grants == 1
+    # Recording the probe's outcome resolves the state.
+    b.record_success()
+    assert b.state is BreakerState.CLOSED
+    assert b.allow()
+
+
+@given(
+    threshold=st.integers(1, 4),
+    failures=st.integers(0, 12),
+)
+@settings(max_examples=200, deadline=None)
+def test_trip_count_matches_failure_runs(threshold, failures):
+    """N uninterrupted failures trip the breaker exactly
+    ``N // threshold`` times... as long as it never cools down."""
+    clock = FakeClock()  # never advances: no half-open transitions
+    b = CircuitBreaker(
+        failure_threshold=threshold, recovery_s=1.0, clock=clock
+    )
+    for _ in range(failures):
+        b.record_failure()
+    assert b.trips == (1 if failures >= threshold else 0)
+    # Consecutive failures beyond the threshold are absorbed by the
+    # already-open breaker, not double-counted.

@@ -1,0 +1,157 @@
+"""Compile cache: single-flight dedup and negative TTL."""
+
+import threading
+
+import pytest
+
+from repro.errors import CompilerBug
+from repro.serve import CompileCache
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+class TestBasics:
+    def test_builds_once_then_hits(self):
+        cache = CompileCache()
+        calls = []
+        build = lambda: calls.append(1) or "compiled"
+        assert cache.get_or_compile("k", build) == "compiled"
+        assert cache.get_or_compile("k", build) == "compiled"
+        assert len(calls) == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+
+    def test_distinct_keys_build_separately(self):
+        cache = CompileCache()
+        assert cache.get_or_compile("a", lambda: 1) == 1
+        assert cache.get_or_compile("b", lambda: 2) == 2
+        assert len(cache) == 2
+
+    def test_peek_never_builds(self):
+        cache = CompileCache()
+        assert cache.peek("k") is None
+        cache.get_or_compile("k", lambda: "v")
+        assert cache.peek("k") == "v"
+
+    def test_invalidate(self):
+        cache = CompileCache()
+        cache.get_or_compile("k", lambda: "v1")
+        cache.invalidate("k")
+        assert cache.get_or_compile("k", lambda: "v2") == "v2"
+
+
+class TestNegativeCaching:
+    def test_failure_is_cached_inside_ttl(self):
+        clock = FakeClock()
+        cache = CompileCache(negative_ttl_s=5.0, clock=clock)
+        calls = []
+
+        def build():
+            calls.append(1)
+            raise CompilerBug("fusion", "simplify", "boom")
+
+        with pytest.raises(CompilerBug):
+            cache.get_or_compile("k", build)
+        clock.advance(1.0)
+        with pytest.raises(CompilerBug):
+            cache.get_or_compile("k", build)
+        assert len(calls) == 1  # second caller served the cached error
+        assert cache.stats.negative_hits == 1
+
+    def test_failure_retried_after_ttl(self):
+        clock = FakeClock()
+        cache = CompileCache(negative_ttl_s=5.0, clock=clock)
+        calls = []
+
+        def build():
+            calls.append(1)
+            if len(calls) == 1:
+                raise CompilerBug("fusion", "simplify", "boom")
+            return "fixed"
+
+        with pytest.raises(CompilerBug):
+            cache.get_or_compile("k", build)
+        clock.advance(5.0)
+        assert cache.get_or_compile("k", build) == "fixed"
+        assert len(calls) == 2
+        assert cache.stats.expirations == 1
+
+    def test_peek_hides_failures(self):
+        cache = CompileCache()
+        with pytest.raises(CompilerBug):
+            cache.get_or_compile(
+                "k", lambda: (_ for _ in ()).throw(
+                    CompilerBug("p", "ph", "x")
+                )
+            )
+        assert cache.peek("k") is None
+
+
+class TestSingleFlight:
+    def test_concurrent_same_key_builds_once(self):
+        cache = CompileCache()
+        n = 8
+        barrier = threading.Barrier(n)
+        release = threading.Event()
+        build_calls = []
+        results = []
+
+        def build():
+            build_calls.append(1)
+            release.wait(timeout=10)  # hold every waiter in-flight
+            return "compiled"
+
+        def work():
+            barrier.wait()
+            results.append(cache.get_or_compile("k", build))
+
+        threads = [threading.Thread(target=work) for _ in range(n)]
+        for t in threads:
+            t.start()
+        # Give the leader time to enter build and the rest to pile up,
+        # then release the build.
+        while not build_calls:
+            pass
+        release.set()
+        for t in threads:
+            t.join(timeout=10)
+        assert not any(t.is_alive() for t in threads)
+        assert len(build_calls) == 1
+        assert results == ["compiled"] * n
+        assert cache.stats.misses == 1
+        assert cache.stats.waits + cache.stats.hits == n - 1
+
+    def test_waiters_share_the_leaders_error(self):
+        cache = CompileCache()
+        n = 6
+        barrier = threading.Barrier(n)
+        release = threading.Event()
+        outcomes = []
+
+        def build():
+            release.wait(timeout=10)
+            raise CompilerBug("fusion", "simplify", "boom")
+
+        def work():
+            barrier.wait()
+            try:
+                cache.get_or_compile("k", build)
+            except CompilerBug:
+                outcomes.append("raised")
+
+        threads = [threading.Thread(target=work) for _ in range(n)]
+        for t in threads:
+            t.start()
+        release.set()
+        for t in threads:
+            t.join(timeout=10)
+        assert outcomes == ["raised"] * n

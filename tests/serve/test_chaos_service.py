@@ -1,0 +1,165 @@
+"""The service chaos suite (acceptance harness for the serving layer).
+
+32 concurrent clients hammer the server across the full benchmark
+suite under seeded per-backend fault injection.  The contract:
+
+- every *accepted* request completes with values identical to the
+  reference interpreter (within the suite's standard float tolerance);
+- every *rejected* request carries a typed error
+  (:class:`ServiceOverloaded` or :class:`DeadlineExceeded`) — nothing
+  is silently dropped and no untyped exception escapes;
+- with one backend at a 100% fault rate the breaker trips and requests
+  route down the degradation ladder with zero outright failures.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.values import values_equal
+from repro.bench.suite import BENCHMARKS
+from repro.errors import DeadlineExceeded, ServiceOverloaded
+from repro.gpu.faults import ServiceFaultPlan
+from repro.interp import run_program
+from repro.serve import Server, ServeRequest
+
+CLIENTS = 32
+ALL_NAMES = list(BENCHMARKS.names())
+
+
+def _expected(name, seed):
+    spec = BENCHMARKS[name]
+    rng = np.random.default_rng(seed)
+    args = spec.small_args(rng)
+    return args, run_program(spec.program(), args, in_place=True)
+
+
+class TestServiceChaos:
+    def test_32_clients_under_chaos_all_benchmarks(self):
+        """The headline run: every accepted request is correct, every
+        rejected one is typed, under per-backend injected faults."""
+        plans = ServiceFaultPlan.chaos(seed=1234)
+        # Precompute per-(client) benchmark, args and expected values;
+        # one benchmark per client, covering all 16 twice over.
+        cases = []
+        for cid in range(CLIENTS):
+            name = ALL_NAMES[cid % len(ALL_NAMES)]
+            args, expected = _expected(name, seed=cid)
+            cases.append((name, args, expected))
+
+        results = [None] * CLIENTS
+        with Server(
+            workers=4,
+            queue_capacity=CLIENTS,
+            fault_plans=plans,
+            retries_per_rung=1,
+        ) as server:
+            for name in ALL_NAMES:
+                server.warm(BENCHMARKS[name].program())
+            barrier = threading.Barrier(CLIENTS)
+
+            def client(cid):
+                name, args, _ = cases[cid]
+                barrier.wait()
+                handle = server.submit(
+                    ServeRequest(
+                        BENCHMARKS[name].program(),
+                        args,
+                        request_id=f"chaos-c{cid}-{name}",
+                    )
+                )
+                results[cid] = handle.result(timeout=300)
+
+            threads = [
+                threading.Thread(target=client, args=(cid,))
+                for cid in range(CLIENTS)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=300)
+            assert not any(t.is_alive() for t in threads)
+            health = server.health()
+
+        for cid, r in enumerate(results):
+            name, _, expected = cases[cid]
+            assert r is not None, f"client {cid} got no result"
+            if r.status == "ok":
+                assert len(r.values) == len(expected)
+                for got, want in zip(r.values, expected):
+                    assert values_equal(
+                        got, want, rtol=1e-4, atol=1e-4
+                    ), f"{name}: served values diverge from interpreter"
+            else:
+                # Under chaos with no deadline and an interp floor,
+                # nothing should outright fail; tolerate only typed
+                # rejections, never untyped errors.
+                assert isinstance(
+                    r.error, (ServiceOverloaded, DeadlineExceeded)
+                ), f"{name}: untyped failure {r.error!r}"
+        ok = sum(1 for r in results if r.status == "ok")
+        assert ok == CLIENTS  # capacity == CLIENTS: nothing shed
+        assert health["completed"] == CLIENTS
+
+    def test_breaker_routes_around_dead_backend_zero_failures(self):
+        """With the vector backend 100% faulty, the breaker trips and
+        every request still succeeds further down the ladder."""
+        plans = ServiceFaultPlan.broken_backend("vector", seed=7)
+        names = ALL_NAMES[:6]
+        cases = [(n,) + _expected(n, seed=i) for i, n in enumerate(names)]
+        with Server(
+            workers=2,
+            queue_capacity=32,
+            fault_plans=plans,
+            retries_per_rung=1,
+            breaker_threshold=2,
+            breaker_recovery_s=300.0,  # stays open for the whole test
+        ) as server:
+            for n in names:
+                server.warm(BENCHMARKS[n].program())
+            handles = [
+                server.submit(
+                    ServeRequest(BENCHMARKS[n].program(), args)
+                )
+                for n, args, _ in cases
+            ]
+            results = [h.result(timeout=300) for h in handles]
+            health = server.health()
+
+        for (name, _, expected), r in zip(cases, results):
+            assert r.ok, f"{name}: {r.error}"
+            assert r.backend in ("sim", "interp")
+            for got, want in zip(r.values, expected):
+                assert values_equal(got, want, rtol=1e-4, atol=1e-4)
+        assert health["breakers"]["vector"]["state"] == "open"
+        assert health["breakers"]["vector"]["trips"] >= 1
+        assert health["errors"] == 0
+
+    def test_rejections_are_typed(self):
+        """Shed and expired requests surface the right error class."""
+        name = "NN"
+        args, _ = _expected(name, seed=0)
+        prog = BENCHMARKS[name].program()
+        # Shed: no workers draining a tiny queue.
+        server = Server(workers=0, queue_capacity=1)
+        server.start()
+        try:
+            server.warm(prog)
+            handles = [
+                server.submit(ServeRequest(prog, args)) for _ in range(3)
+            ]
+            sheds = [h.result(timeout=10) for h in handles[1:]]
+            for r in sheds:
+                assert r.status == "shed"
+                assert isinstance(r.error, ServiceOverloaded)
+        finally:
+            server.stop()
+        # Deadline: a budget no benchmark can meet.
+        with Server(workers=1, queue_capacity=4) as server:
+            server.warm(prog)
+            r = server.call(
+                ServeRequest(prog, args, deadline_ms=0.0), timeout=60
+            )
+            assert r.status == "deadline"
+            assert isinstance(r.error, DeadlineExceeded)

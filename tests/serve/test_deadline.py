@@ -1,0 +1,69 @@
+"""Deadline semantics under an injectable clock."""
+
+import pytest
+
+from repro.errors import DeadlineExceeded
+from repro.serve import Deadline
+
+
+class FakeClock:
+    def __init__(self, t=0.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+class TestDeadline:
+    def test_remaining_counts_down(self):
+        clock = FakeClock()
+        d = Deadline(1.0, clock=clock)
+        assert d.remaining_s() == pytest.approx(1.0)
+        clock.advance(0.4)
+        assert d.remaining_s() == pytest.approx(0.6)
+        assert not d.expired
+
+    def test_expires_exactly_at_budget(self):
+        clock = FakeClock()
+        d = Deadline(1.0, clock=clock)
+        clock.advance(1.0)
+        assert d.expired
+        assert d.remaining_s() == pytest.approx(0.0)
+
+    def test_remaining_goes_negative(self):
+        clock = FakeClock()
+        d = Deadline(0.5, clock=clock)
+        clock.advance(2.0)
+        assert d.remaining_s() == pytest.approx(-1.5)
+        assert d.remaining_us() == pytest.approx(-1.5e6)
+
+    def test_after_ms(self):
+        clock = FakeClock()
+        d = Deadline.after_ms(250.0, clock=clock)
+        assert d.budget_s == pytest.approx(0.25)
+        clock.advance(0.2)
+        assert not d.expired
+        clock.advance(0.1)
+        assert d.expired
+
+    def test_check_passes_then_raises(self):
+        clock = FakeClock()
+        d = Deadline(1.0, clock=clock)
+        d.check("early")  # no raise
+        clock.advance(1.5)
+        with pytest.raises(DeadlineExceeded) as exc:
+            d.check("launch of k0")
+        assert exc.value.where == "launch of k0"
+        # The overrun is reported in the detail.
+        assert "500.0ms over" in exc.value.detail
+
+    def test_error_is_not_transient(self):
+        clock = FakeClock()
+        d = Deadline(0.0, clock=clock)
+        clock.advance(0.1)
+        with pytest.raises(DeadlineExceeded) as exc:
+            d.check("x")
+        assert exc.value.transient is False
