@@ -369,11 +369,29 @@ def run_resilient(
                 if deadline is not None:
                     budget = min(budget, deadline.remaining_us())
                 if budget <= 0.0:
-                    report.gave_up_reason = "retry budget exhausted"
-                    report.events.append(
-                        "retry budget exhausted: stopped retrying after "
-                        f"{report.backoff_us:.0f}us of backoff"
-                    )
+                    if deadline is not None and deadline.expired:
+                        # The deadline ran out between the failed
+                        # attempt and the backoff: same contract as an
+                        # in-run expiry — a typed DeadlineExceeded, no
+                        # interpreter fallback (it would arrive late).
+                        report.deadline_exceeded = True
+                        report.gave_up_reason = "deadline exceeded"
+                        report.events.append(
+                            "deadline expired before retry "
+                            f"#{report.retries + 1}"
+                        )
+                        tracer.instant(
+                            "fault:deadline", "runtime", run_id=run_id
+                        )
+                        metrics.counter(
+                            "runtime.faults", kind="deadline"
+                        ).inc()
+                    else:
+                        report.gave_up_reason = "retry budget exhausted"
+                        report.events.append(
+                            "retry budget exhausted: stopped retrying "
+                            f"after {report.backoff_us:.0f}us of backoff"
+                        )
                     break
                 report.retries += 1
                 backoff = min(
@@ -387,6 +405,19 @@ def run_resilient(
                 )
 
         exec_span.set(attempts=report.attempts, retries=report.retries)
+        if (
+            not report.deadline_exceeded
+            and deadline is not None
+            and deadline.expired
+        ):
+            # The deadline expired somewhere between the final device
+            # attempt and here (e.g. the retry loop exhausted itself
+            # right as the budget ran out): the fallback below would
+            # produce an answer too late to matter, so honour the
+            # deadline contract instead of falling back.
+            report.deadline_exceeded = True
+            report.gave_up_reason = "deadline exceeded"
+            report.events.append("deadline expired after the final attempt")
         if report.gave_up_reason is None:
             if report.ooms:
                 report.gave_up_reason = "device OOM"

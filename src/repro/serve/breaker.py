@@ -102,6 +102,19 @@ class CircuitBreaker:
                 self._state = BreakerState.CLOSED
             self._probe_inflight = False
 
+    def record_neutral(self) -> None:
+        """Release a granted slot without judging the backend.
+
+        For requests that ``allow()`` let through but whose outcome
+        says nothing about backend health — the request's own deadline
+        expired mid-run, or the program itself was broken.  In
+        half-open state this frees the single probe slot so the next
+        request can probe (otherwise the breaker would wedge with the
+        slot held forever); in any other state it is a no-op.
+        """
+        with self._lock:
+            self._probe_inflight = False
+
     def record_failure(self) -> None:
         with self._lock:
             state = self._state_locked()

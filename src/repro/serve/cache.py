@@ -22,6 +22,28 @@ from typing import Any, Callable, Dict, Optional
 __all__ = ["CompileCache", "CacheStats"]
 
 
+def _replay(error: BaseException) -> BaseException:
+    """A fresh exception object for one caller's raise.
+
+    The cached instance is shared by every thread that hits a negative
+    entry; raising it directly would let concurrent raises race on its
+    mutable ``__traceback__`` (and on attributes callers attach, e.g.
+    ``error.report``).  Clone it per raise — bypassing ``__init__``,
+    whose signature need not round-trip through ``args`` — and chain
+    the original as ``__cause__`` so the first failure stays visible.
+    """
+    cls = type(error)
+    try:
+        clone = cls.__new__(cls)
+        clone.__dict__.update(error.__dict__)
+        clone.args = error.args
+    except Exception:  # pragma: no cover - exotic __new__ signatures
+        return error
+    clone.__traceback__ = None
+    clone.__cause__ = error
+    return clone
+
+
 class _Entry:
     __slots__ = ("event", "value", "error", "expires_at")
 
@@ -80,8 +102,9 @@ class CompileCache:
 
     def get_or_compile(self, key: str, build: Callable[[], Any]) -> Any:
         """Return the cached result for ``key``, building it (once,
-        globally) if absent.  Re-raises the leader's exception for
-        every caller inside the negative-TTL window."""
+        globally) if absent.  Every caller inside the negative-TTL
+        window gets a per-caller clone of the leader's exception (with
+        the original chained as ``__cause__``)."""
         while True:
             leader = False
             with self._lock:
@@ -104,11 +127,11 @@ class CompileCache:
             if leader:
                 return self._build_locked_entry(key, e, build)
             e.event.wait()
-            # The entry may have negatively expired between our lookup
-            # and the leader finishing; retry the loop only if someone
-            # already evicted it, otherwise serve what the leader made.
+            # Waiters (and negative hitters) serve whatever the leader
+            # produced; an expired negative entry is evicted by the
+            # next *lookup*, whose caller then becomes the new leader.
             if e.error is not None:
-                raise e.error
+                raise _replay(e.error)
             return e.value
 
     def _build_locked_entry(

@@ -175,8 +175,12 @@ class Server:
 
     Use as a context manager (``with Server() as s: ...``) or call
     :meth:`start`/:meth:`stop` explicitly.  ``submit`` never blocks on
-    execution: it returns a :class:`ResultHandle` immediately, already
-    completed with :class:`ServiceOverloaded` if the request was shed.
+    *execution*: it returns a :class:`ResultHandle` immediately,
+    already completed with :class:`ServiceOverloaded` if the request
+    was shed.  It may, however, block for the duration of one compile
+    on a cache miss (single-flight: concurrent misses for the same key
+    wait on one build) — :meth:`warm` the cache at deploy time to keep
+    the submit path non-blocking.
     """
 
     def __init__(
@@ -293,11 +297,23 @@ class Server:
         return key
 
     def submit(self, request: ServeRequest) -> ResultHandle:
-        """Admit (or shed) one request; never blocks on execution."""
+        """Admit (or shed) one request.
+
+        Never blocks on execution; may block for one (single-flight,
+        cached) compile on a cache miss.  Shed checks run *before* the
+        compile, so an overloaded or stopping server does not burn
+        caller time building a program it is about to refuse.
+        """
         handle = ResultHandle(request.request_id)
         submitted_at = time.monotonic()
         if self._stopping.is_set():
             self._complete_shed(handle, "server shutting down")
+            return handle
+        if len(self.queue) >= self.queue.capacity:
+            # Already saturated: refuse before paying the compile cost.
+            # (The post-compile offer() below still re-checks, so a
+            # queue that fills *during* the compile sheds too.)
+            self._complete_shed(handle, "admission queue full")
             return handle
         deadline = (
             Deadline.after_ms(request.deadline_ms)
@@ -518,6 +534,7 @@ class Server:
                 fallback=False,  # the *ladder* is the fallback here
                 max_retries=self.retries_per_rung,
             )
+            recorded = False
             try:
                 values, _cost, run_report = run_resilient(
                     compiled.host,
@@ -541,6 +558,7 @@ class Server:
                 )
             except (DeviceFault, DeviceOOM, KernelTimeout) as e:
                 breaker.record_failure()
+                recorded = True
                 degraded_from.append(f"{rung}:{type(e).__name__}")
                 last_error = e
                 _log.debug(
@@ -555,12 +573,22 @@ class Server:
                     request.request_id, "error", error=e,
                     lane=work.lane, degraded_from=degraded_from,
                 )
-            breaker.record_success()
-            return ServeResult(
-                request.request_id, "ok", values=tuple(values),
-                backend=rung, lane=work.lane, run_report=run_report,
-                degraded_from=degraded_from,
-            )
+            else:
+                breaker.record_success()
+                recorded = True
+                return ServeResult(
+                    request.request_id, "ok", values=tuple(values),
+                    backend=rung, lane=work.lane, run_report=run_report,
+                    degraded_from=degraded_from,
+                )
+            finally:
+                if not recorded:
+                    # A deadline expiry or program error mid-request
+                    # says nothing about this backend's health, but if
+                    # allow() granted the half-open probe slot it must
+                    # still be released — otherwise the breaker wedges
+                    # with the probe held forever.
+                    breaker.record_neutral()
         # Every rung refused or failed and "interp" was not on the
         # ladder (custom configurations only).
         return ServeResult(

@@ -91,6 +91,48 @@ class TestExpiredDeadline:
         assert exc.value.report.deadline_exceeded
 
 
+class ExpireAfterReads:
+    """Returns 0.0 for the first ``n`` reads, then jumps past any
+    budget — sliding the expiry point through the executor's clock
+    checks one read at a time."""
+
+    def __init__(self, n):
+        self.n = n
+        self.reads = 0
+
+    def __call__(self):
+        self.reads += 1
+        return 0.0 if self.reads <= self.n else 100.0
+
+
+class TestExpiryDuringRetries:
+    ALWAYS_FAIL = FaultPlan(
+        seed=5, launch_failure_rate=1.0, max_consecutive=1_000_000_000
+    )
+
+    @pytest.mark.parametrize("reads", range(1, 12))
+    def test_expiry_anywhere_never_falls_back(self, compiled, reads):
+        # Regression: a deadline expiring *between* a failed attempt
+        # and the backoff computation used to take the plain
+        # 'retry budget exhausted' branch and then run the interpreter
+        # fallback past the expired deadline.  Wherever the expiry
+        # lands — before an attempt, mid-run, or in the backoff
+        # window — the contract is one typed DeadlineExceeded and no
+        # fallback.
+        deadline = Deadline(1.0, clock=ExpireAfterReads(reads))
+        with pytest.raises(DeadlineExceeded) as exc:
+            _run(
+                compiled,
+                fault_plan=self.ALWAYS_FAIL,
+                deadline=deadline,
+                policy=ExecutionPolicy(fallback=True, max_retries=4),
+            )
+        report = exc.value.report
+        assert report.deadline_exceeded
+        assert report.gave_up_reason == "deadline exceeded"
+        assert report.fallbacks == 0
+
+
 class TestGenerousDeadline:
     @pytest.mark.parametrize("executor", ["sim", "vector"])
     def test_run_completes_within_budget(self, compiled, executor):

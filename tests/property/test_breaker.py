@@ -20,6 +20,7 @@ STEP = st.one_of(
     st.just(("fail",)),
     st.just(("success",)),
     st.just(("allow",)),
+    st.just(("neutral",)),
     st.tuples(st.just("advance"), st.floats(0.0, 2.0)),
 )
 
@@ -86,6 +87,10 @@ def test_never_serves_past_trip_threshold(threshold, steps):
         elif step[0] == "success":
             b.record_success()
             model.success()
+        elif step[0] == "neutral":
+            # Releases a probe slot, never moves the state machine:
+            # the model is untouched.
+            b.record_neutral()
         elif step[0] == "advance":
             clock.t += step[1] * recovery
         else:  # allow
@@ -128,6 +133,36 @@ def test_half_open_probes_exactly_one_request(
     b.record_success()
     assert b.state is BreakerState.CLOSED
     assert b.allow()
+
+
+@given(
+    threshold=st.integers(1, 4),
+    neutrals=st.integers(1, 5),
+    extra_calls=st.integers(1, 10),
+    advance_frac=st.floats(1.0, 3.0),
+)
+@settings(max_examples=200, deadline=None)
+def test_neutral_outcomes_never_wedge_the_probe_slot(
+    threshold, neutrals, extra_calls, advance_frac
+):
+    """A probe that ends neutrally (deadline expiry, program error)
+    must release the slot: the breaker stays half-open and grants
+    exactly one fresh probe — it never wedges refusing forever."""
+    clock = FakeClock()
+    b = CircuitBreaker(
+        failure_threshold=threshold, recovery_s=1.0, clock=clock
+    )
+    for _ in range(threshold):
+        b.record_failure()
+    clock.t += advance_frac  # >= recovery window: half-open
+    for _ in range(neutrals):
+        assert b.allow(), "probe slot not released after a neutral"
+        b.record_neutral()
+        assert b.state is BreakerState.HALF_OPEN
+    grants = sum(1 for _ in range(1 + extra_calls) if b.allow())
+    assert grants == 1  # still exactly one probe at a time
+    b.record_success()
+    assert b.state is BreakerState.CLOSED
 
 
 @given(

@@ -121,6 +121,61 @@ class TestHalfOpen:
         assert b.allow()
 
 
+class TestNeutralOutcomes:
+    """A granted request whose outcome says nothing about backend
+    health (deadline expiry, program error) must release the probe
+    slot without moving the state machine."""
+
+    def test_neutral_frees_the_probe_slot(self):
+        b, clock = make(threshold=1)
+        b.record_failure()
+        clock.advance(b.recovery_s)
+        assert b.allow()       # the probe slot
+        assert not b.allow()   # held
+        b.record_neutral()
+        assert b.state is BreakerState.HALF_OPEN  # no verdict yet
+        assert b.allow()       # a fresh probe, not a wedged breaker
+        assert not b.allow()
+
+    def test_neutral_probe_then_failure_reopens(self):
+        b, clock = make(threshold=1, recovery=1.0)
+        b.record_failure()
+        clock.advance(1.0)
+        assert b.allow()
+        b.record_neutral()
+        assert b.allow()
+        b.record_failure()  # the re-probe's real verdict
+        assert b.state is BreakerState.OPEN
+        assert b.trips == 2
+
+    def test_neutral_probe_then_success_closes(self):
+        b, clock = make(threshold=1)
+        b.record_failure()
+        clock.advance(b.recovery_s)
+        assert b.allow()
+        b.record_neutral()
+        assert b.allow()
+        b.record_success()
+        assert b.state is BreakerState.CLOSED
+
+    def test_neutral_is_noop_when_closed(self):
+        b, _ = make(threshold=2)
+        b.record_failure()
+        b.record_neutral()
+        assert b.state is BreakerState.CLOSED
+        # Not a success: the consecutive-failure count survives.
+        b.record_failure()
+        assert b.state is BreakerState.OPEN
+
+    def test_neutral_is_noop_when_open(self):
+        b, clock = make(threshold=1, recovery=1.0)
+        b.record_failure()
+        b.record_neutral()
+        assert b.state is BreakerState.OPEN
+        clock.advance(0.5)
+        assert not b.allow()  # still inside the recovery window
+
+
 class TestConcurrency:
     def test_concurrent_probe_race_grants_one(self):
         b, clock = make(threshold=1)

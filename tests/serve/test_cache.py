@@ -85,6 +85,35 @@ class TestNegativeCaching:
         assert len(calls) == 2
         assert cache.stats.expirations == 1
 
+    def test_cached_error_is_cloned_per_caller(self):
+        # The shared cached instance must never be raised directly:
+        # concurrent raises would race on its mutable __traceback__,
+        # and attributes one caller attaches (e.g. error.report) would
+        # leak to every other caller.
+        cache = CompileCache(negative_ttl_s=60.0)
+        original = CompilerBug("fusion", "simplify", "boom")
+
+        def build():
+            raise original
+
+        with pytest.raises(CompilerBug):  # the leader
+            cache.get_or_compile("k", build)
+        with pytest.raises(CompilerBug) as exc1:
+            cache.get_or_compile("k", build)
+        with pytest.raises(CompilerBug) as exc2:
+            cache.get_or_compile("k", build)
+        assert exc1.value is not original
+        assert exc2.value is not original
+        assert exc1.value is not exc2.value
+        # Same type and payload, original chained for provenance.
+        assert exc1.value.__cause__ is original
+        assert exc1.value.pass_name == "fusion"
+        assert str(exc1.value) == str(original)
+        # Attribute attachment stays private to one caller's clone.
+        exc1.value.report = "mine"
+        assert not hasattr(exc2.value, "report")
+        assert not hasattr(original, "report")
+
     def test_peek_hides_failures(self):
         cache = CompileCache()
         with pytest.raises(CompilerBug):

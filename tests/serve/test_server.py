@@ -95,6 +95,27 @@ class TestShedding:
         finally:
             s.stop()
 
+    def test_full_queue_sheds_before_compiling(self, prog):
+        from repro.core import ast as A
+
+        s = Server(workers=0, queue_capacity=1)
+        s.start()
+        try:
+            s.warm(prog)
+            admitted = s.submit(ServeRequest(prog, xs(1.0)))
+            assert not admitted.done()  # queued: the queue is now full
+            misses_before = s.cache.stats.misses
+            # A never-seen program: admitting it would cost a compile.
+            # An overloaded server must refuse *before* paying it.
+            r = s.submit(ServeRequest(A.Prog(funs=()), [])).result(
+                timeout=5
+            )
+            assert r.status == "shed"
+            assert isinstance(r.error, ServiceOverloaded)
+            assert s.cache.stats.misses == misses_before  # no compile
+        finally:
+            s.stop()
+
     def test_pending_failed_on_shutdown(self, prog):
         s = Server(workers=0, queue_capacity=4)
         s.start()
@@ -189,6 +210,37 @@ class TestDegradation:
         assert health["breakers"]["vector"]["trips"] >= 1
         # Post-trip requests recorded the skip in their degradation trail.
         assert any("vector:open" in r.degraded_from for r in results)
+
+    def test_program_error_during_probe_does_not_wedge_breaker(self, prog):
+        # Regression: a half-open probe that dies of a *program* error
+        # (or deadline) used to leave the probe slot held forever,
+        # permanently refusing the rung.  The neutral outcome must
+        # release the slot so the next request can probe.
+        plans = ServiceFaultPlan.broken_backend("vector", seed=7)
+        with Server(
+            workers=1,
+            queue_capacity=8,
+            fault_plans=plans,
+            retries_per_rung=0,
+            breaker_threshold=1,
+            breaker_recovery_s=0.0,  # open resolves to half-open at once
+        ) as s:
+            s.warm(prog)
+            first = s.call(ServeRequest(prog, xs(1.0)), timeout=60)
+            assert first.ok, first.error
+            assert s.breakers["vector"].trips >= 1
+            # Burn the half-open probe on a request with a caller
+            # error (wrong arity): neutral outcome for the backend.
+            bad = s.call(ServeRequest(prog, []), timeout=60)
+            assert bad.status == "error"
+            assert s.breakers["vector"].state is BreakerState.HALF_OPEN
+            # Heal the backend: the very next request must win a fresh
+            # probe and succeed on vector instead of being refused.
+            s.fault_plans = ServiceFaultPlan()
+            healed = s.call(ServeRequest(prog, xs(2.0)), timeout=60)
+            assert healed.ok, healed.error
+            assert healed.backend == "vector"
+            assert s.breakers["vector"].state is BreakerState.CLOSED
 
     def test_interp_floor_when_everything_is_broken(self, prog):
         plans = ServiceFaultPlan(
