@@ -13,20 +13,31 @@ run FILE [--size name=value ...]
     Compile FILE and price it analytically at the given sizes on both
     simulated devices.
 
-bench [table1|figure13|table2|impact <kind>|validate|perf|mem] [--names ...]
+bench [table1|figure13|table2|impact <kind>|validate|perf|mem|calibrate]
     Regenerate the paper's evaluation artefacts; ``validate`` runs the
     named benchmarks on the simulated device against the interpreter
     and prints each run's report and per-pass compile breakdown;
     ``perf`` wall-clocks the scalar interpreter against the vectorized
     engine (``--executor vector``) and writes ``BENCH_vm.json``;
     ``mem`` compares peak device-memory footprint with the liveness
-    planner on vs off and writes ``BENCH_mem.json``.
+    planner on vs off and writes ``BENCH_mem.json``; ``calibrate``
+    sweeps the suite comparing the static cost model's per-kernel
+    predictions against the simulator's observations and writes
+    ``BENCH_calib.json``.
 
-serve-bench [--clients N --deadline-ms MS --chaos ...]
+serve-bench [--clients N --deadline-ms MS --chaos --flight-dir DIR ...]
     Drive the resilient serving layer (:mod:`repro.serve`) with N
     concurrent clients over the benchmark suite and print the health
     report: accepted/shed/deadline counts, breaker states and per-lane
-    latency percentiles.
+    latency percentiles.  With ``--flight-dir`` a flight recorder
+    captures every request's trace/metrics; failing or SLO-busting
+    requests dump Perfetto-loadable ``flightrec-<id>.json`` bundles.
+
+obs replay BUNDLE | obs top [--calib BENCH_calib.json]
+    Post-mortem tooling: ``replay`` validates a flight-recorder bundle
+    and renders its trace/metrics/run-report in the terminal; ``top``
+    ranks kernels from a ``bench calibrate`` sweep by simulated time
+    and by predicted-vs-observed divergence.
 
 Exit codes
 ----------
@@ -250,6 +261,35 @@ def cmd_bench(args) -> int:
             json.dump(results, f, indent=2)
         print(f"wrote {out}", file=sys.stderr)
         return 0
+    if what == "calibrate":
+        import json
+
+        from .bench.runner import calib_suite
+
+        results = calib_suite(names=names, seed=args.seed)
+        for name, row in results["benchmarks"].items():
+            print(
+                f"{name:14s} {len(row['kernels']):3d} kernels  "
+                f"geomean |rel err| "
+                f"{row['geomean_abs_rel_error'] * 100:6.2f}%"
+            )
+        print(
+            f"{'suite':14s} {results['kernel_count']:3d} kernels  "
+            f"geomean |rel err| "
+            f"{results['geomean_abs_rel_error'] * 100:6.2f}%"
+        )
+        for r in results["worst_offenders"][:5]:
+            print(
+                f"  worst: {r['benchmark']}/{r['kernel']} "
+                f"pred {r['predicted_us']:.1f}us "
+                f"obs {r['observed_us']:.1f}us "
+                f"({r['rel_error'] * 100:+.1f}%)"
+            )
+        out = args.out if args.out != "BENCH_vm.json" else "BENCH_calib.json"
+        with open(out, "w") as f:
+            json.dump(results, f, indent=2)
+        print(f"wrote {out}", file=sys.stderr)
+        return 0
     if what == "table2":
         for name, ds in TABLE2.items():
             print(f"{name:14s} {ds.description:45s} {ds.full}")
@@ -282,6 +322,93 @@ def cmd_bench(args) -> int:
     return 1
 
 
+def cmd_obs(args) -> int:
+    """Post-mortem tooling over observability artefacts: replay a
+    flight-recorder bundle in the terminal, or rank kernels from a
+    calibration sweep."""
+    import json
+
+    from .errors import ArgumentError
+    from .obs.export import _table, validate_flight_bundle
+    from .obs.flight import read_bundle, render_bundle
+
+    if args.action == "replay":
+        if not args.file:
+            raise ArgumentError("obs replay requires a bundle file")
+        bundle = read_bundle(args.file)
+        errors = validate_flight_bundle(bundle)
+        if errors:
+            for e in errors:
+                print(f"invalid bundle: {e}", file=sys.stderr)
+            return 1
+        print(render_bundle(bundle, top=args.limit))
+        return 0
+    if args.action == "top":
+        if not args.calib:
+            raise ArgumentError("obs top requires --calib BENCH_calib.json")
+        with open(args.calib) as f:
+            payload = json.load(f)
+        if payload.get("schema") != "repro.bench_calib/v1":
+            raise ArgumentError(
+                f"{args.calib}: not a repro.bench_calib/v1 payload"
+            )
+        rows = []
+        for bench, b in payload["benchmarks"].items():
+            for kname, k in b["kernels"].items():
+                rows.append((bench, kname, k))
+        by_time = sorted(
+            rows, key=lambda r: -(r[2]["observed_us"] * r[2]["launches"])
+        )[: args.limit]
+        print("hottest kernels (simulated time):")
+        print(
+            "\n".join(
+                _table(
+                    [
+                        [
+                            f"{bench}/{kname}",
+                            k["kind"],
+                            str(k["launches"]),
+                            f"{k['observed_us'] * k['launches']:.1f}us",
+                            f"{k['rel_error'] * 100:+.1f}%"
+                            if k["rel_error"] is not None
+                            else "-",
+                        ]
+                        for bench, kname, k in by_time
+                    ],
+                    ["kernel", "kind", "launches", "total", "rel err"],
+                )
+            )
+        )
+        diverging = sorted(
+            (r for r in rows if r[2]["rel_error"] is not None),
+            key=lambda r: -abs(r[2]["rel_error"]),
+        )[: args.limit]
+        print("\nmost divergent kernels (|predicted - observed| / observed):")
+        print(
+            "\n".join(
+                _table(
+                    [
+                        [
+                            f"{bench}/{kname}",
+                            f"{k['predicted_us']:.1f}us",
+                            f"{k['observed_us']:.1f}us",
+                            f"{k['rel_error'] * 100:+.1f}%",
+                        ]
+                        for bench, kname, k in diverging
+                    ],
+                    ["kernel", "predicted", "observed", "rel err"],
+                )
+            )
+        )
+        print(
+            f"\nsuite geomean |rel err|: "
+            f"{payload['geomean_abs_rel_error'] * 100:.2f}% "
+            f"over {payload['kernel_count']} kernels"
+        )
+        return 0
+    raise ArgumentError(f"unknown obs action: {args.action}")
+
+
 def cmd_serve_bench(args) -> int:
     """Hammer the serving layer with concurrent clients and print the
     health report — the CLI face of the service chaos/saturation
@@ -299,11 +426,23 @@ def cmd_serve_bench(args) -> int:
     fault_plans = (
         ServiceFaultPlan.chaos(seed=args.seed) if args.chaos else None
     )
+    recorder = None
+    if args.flight_dir is not None:
+        from .obs.flight import FlightRecorder
+
+        recorder = FlightRecorder(
+            capacity=args.flight_capacity,
+            dump_dir=args.flight_dir,
+            slo_latency_us=(
+                args.slo_ms * 1e3 if args.slo_ms is not None else None
+            ),
+        )
     server = Server(
         workers=args.workers,
         queue_capacity=args.queue_capacity,
         options=_options_from_flags(args),
         fault_plans=fault_plans,
+        flight_recorder=recorder,
     )
     specs = []
     with server:
@@ -368,6 +507,15 @@ def cmd_serve_bench(args) -> int:
             f"breaker {rung}: {b['state']} "
             f"({b['trips']} trips, {b['refusals']} refusals)"
         )
+    if recorder is not None:
+        stats = recorder.stats()
+        print(
+            f"flight recorder: {stats['occupancy']}/{stats['capacity']} "
+            f"records held, {stats['dumps']} bundle(s) dumped"
+        )
+        for record in recorder.records():
+            if record.dump_path:
+                print(f"  {record.dump_trigger}: {record.dump_path}")
     if args.out:
         with open(args.out, "w") as f:
             json.dump({"outcomes": outcomes, "health": health}, f, indent=2)
@@ -404,7 +552,7 @@ def main(argv=None) -> int:
     p.add_argument(
         "what",
         choices=("table1", "table2", "figure13", "impact", "validate",
-                 "perf", "mem"),
+                 "perf", "mem", "calibrate"),
     )
     p.add_argument("--names", default=None)
     p.add_argument(
@@ -483,9 +631,47 @@ def main(argv=None) -> int:
         "--out", default=None,
         help="write outcome counts and the health report as JSON",
     )
+    p.add_argument(
+        "--flight-dir", default=None,
+        help="enable the flight recorder; failing requests dump "
+        "Perfetto-loadable flightrec-<id>.json bundles here",
+    )
+    p.add_argument(
+        "--flight-capacity", type=int, default=64,
+        help="flight-recorder ring capacity (records retained)",
+    )
+    p.add_argument(
+        "--slo-ms", type=float, default=None,
+        help="latency SLO; requests slower than this also dump a "
+        "flight bundle (requires --flight-dir)",
+    )
     _add_opt_flags(p)
     _add_obs_flags(p)
     p.set_defaults(fn=cmd_serve_bench)
+
+    p = sub.add_parser(
+        "obs",
+        help="inspect observability artefacts (flight bundles, "
+        "calibration sweeps)",
+    )
+    p.add_argument(
+        "action", choices=("replay", "top"),
+        help="replay: render a flight-recorder bundle; "
+        "top: rank kernels from a bench calibrate sweep",
+    )
+    p.add_argument(
+        "file", nargs="?", default=None,
+        help="flightrec-<id>.json bundle for obs replay",
+    )
+    p.add_argument(
+        "--calib", default="BENCH_calib.json",
+        help="BENCH_calib.json payload for obs top",
+    )
+    p.add_argument(
+        "--limit", type=int, default=10,
+        help="rows per ranking table",
+    )
+    p.set_defaults(fn=cmd_obs)
 
     args = parser.parse_args(argv)
     from .errors import ReproError, exit_code_for

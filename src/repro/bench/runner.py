@@ -30,6 +30,7 @@ __all__ = [
     "validate_benchmark",
     "perf_suite",
     "mem_suite",
+    "calib_suite",
     "table1_runtimes",
     "figure13_speedups",
     "run_impact",
@@ -260,6 +261,145 @@ def mem_suite(
         "geomean_peak_ratio": geomean_ratio,
         "geomean_reduction": 1.0 - geomean_ratio,
         "improved_count": improved,
+    }
+
+
+def _geomean_abs(errors: List[float]) -> float:
+    """Geometric mean of |relative error|, zero-robust: computed as
+    ``exp(mean(log1p(|e|))) - 1`` so exact predictions (e = 0) pull
+    the mean down instead of collapsing it to zero."""
+    if not errors:
+        return 0.0
+    return float(np.expm1(np.mean(np.log1p(np.abs(errors)))))
+
+
+def calib_suite(
+    names: Optional[List[str]] = None,
+    seed: int = 0,
+    executor: str = "sim",
+    device: DeviceProfile = NVIDIA_GTX780TI,
+    worst: int = 10,
+) -> Dict:
+    """Predicted-vs-observed kernel cost divergence across the suite.
+
+    Every benchmark is executed at reduced scale on the simulated
+    device; for each kernel, the *static* per-launch prediction
+    (:func:`repro.gpu.costmodel.static_kernel_costs`, priced at the
+    entry sizes without executing anything) is compared against the
+    mean per-launch cost the simulator actually observed at runtime
+    sizes.  The signed relative error ``(predicted - observed) /
+    observed`` per kernel, the per-benchmark and suite-wide geomean
+    |error|, and a worst-offenders table form the ``BENCH_calib.json``
+    payload (schema ``repro.bench_calib/v1``) — the instrument that
+    tells us where ``estimate_program`` stops being trustworthy.
+    """
+    from ..gpu.costmodel import static_kernel_costs
+
+    logger = get_logger("bench")
+    names = names or list(BENCHMARKS.names())
+    policy = ExecutionPolicy(executor=executor)
+    benchmarks: Dict[str, Dict] = {}
+    all_rows: List[Dict] = []
+    for name in names:
+        spec = BENCHMARKS[name]
+        prog = spec.program()
+        compiled = compile_program(prog)
+        rng = np.random.default_rng(seed)
+        args = spec.small_args(rng)
+        _, cost, report = compiled.execute(
+            args, device, policy=policy, run_id=f"calib/{name}", seed=seed
+        )
+        if report.fallbacks:
+            raise ValidationError(
+                f"{name}: calibration run degraded to the interpreter "
+                f"({report.summary()})"
+            )
+        size_env: Dict[str, int] = {}
+        for p, v in zip(compiled.host.params, args):
+            value = getattr(v, "value", None)
+            if value is not None and getattr(
+                getattr(v, "type", None), "is_integral", False
+            ):
+                size_env[p.name] = int(value)
+        predicted = static_kernel_costs(
+            compiled.host, size_env, device, coalescing=True
+        )
+        observed: Dict[str, Dict[str, float]] = {}
+        for k in cost.kernel_costs:
+            agg = observed.setdefault(
+                k.name,
+                {
+                    "launches": 0,
+                    "time_us": 0.0,
+                    "bytes_effective": 0.0,
+                    "occupancy": 0.0,
+                    "kind": k.kind,
+                },
+            )
+            agg["launches"] += 1
+            agg["time_us"] += k.time_us
+            agg["bytes_effective"] += k.bytes_effective
+            agg["occupancy"] += k.occupancy
+        kernels: Dict[str, Dict] = {}
+        errors: List[float] = []
+        for kname, agg in observed.items():
+            n = agg["launches"]
+            obs_us = agg["time_us"] / n
+            obs_bytes = agg["bytes_effective"] / n
+            pred = predicted.get(kname)
+            row: Dict = {
+                "kind": agg["kind"],
+                "launches": n,
+                "observed_us": obs_us,
+                "predicted_us": pred.time_us if pred is not None else None,
+                "rel_error": None,
+                "bytes_rel_error": None,
+                "occupancy_observed": agg["occupancy"] / n,
+                "occupancy_predicted": (
+                    pred.occupancy if pred is not None else None
+                ),
+            }
+            if pred is not None and obs_us > 0:
+                row["rel_error"] = (pred.time_us - obs_us) / obs_us
+                errors.append(row["rel_error"])
+            if pred is not None and obs_bytes > 0:
+                row["bytes_rel_error"] = (
+                    pred.bytes_effective - obs_bytes
+                ) / obs_bytes
+            kernels[kname] = row
+            if row["rel_error"] is not None:
+                all_rows.append(
+                    {
+                        "benchmark": name,
+                        "kernel": kname,
+                        "kind": agg["kind"],
+                        "launches": n,
+                        "predicted_us": row["predicted_us"],
+                        "observed_us": obs_us,
+                        "rel_error": row["rel_error"],
+                    }
+                )
+        benchmarks[name] = {
+            "sizes": dict(spec.dataset.small),
+            "total_observed_us": cost.total_us,
+            "kernels": kernels,
+            "geomean_abs_rel_error": _geomean_abs(errors),
+        }
+        logger.debug(
+            "calib-row", benchmark=name, kernels=len(kernels),
+            geomean=benchmarks[name]["geomean_abs_rel_error"],
+        )
+    suite_errors = [r["rel_error"] for r in all_rows]
+    all_rows.sort(key=lambda r: -abs(r["rel_error"]))
+    return {
+        "schema": "repro.bench_calib/v1",
+        "device": device.name,
+        "executor": executor,
+        "seed": seed,
+        "benchmarks": benchmarks,
+        "kernel_count": len(all_rows),
+        "geomean_abs_rel_error": _geomean_abs(suite_errors),
+        "worst_offenders": all_rows[:worst],
     }
 
 

@@ -40,7 +40,13 @@ from ..backend.kernel_ir import (
 )
 from .device import DeviceProfile
 
-__all__ = ["KernelCost", "CostReport", "kernel_cost", "estimate_program"]
+__all__ = [
+    "KernelCost",
+    "CostReport",
+    "kernel_cost",
+    "estimate_program",
+    "static_kernel_costs",
+]
 
 _HOST_EVAL_US = 0.3
 
@@ -361,6 +367,72 @@ def estimate_program(
     report.mem_alloc_count = heap.stats.alloc_count
     report.mem_reuse_count = heap.stats.reuse_count
     return report
+
+
+def static_kernel_costs(
+    hp: HostProgram,
+    size_env: Mapping[str, int],
+    device: DeviceProfile,
+    layouts: Optional[Mapping[str, IndexFn]] = None,
+    coalescing: bool = True,
+) -> Dict[str, KernelCost]:
+    """The *per-launch* static prediction for every kernel in ``hp``,
+    keyed by kernel name.
+
+    This is the calibration side of :func:`estimate_program`: where
+    the estimator aggregates (multiplying loop bodies by trip counts),
+    this returns the raw roofline prediction for a single launch of
+    each kernel, priced at the entry sizes with host scalars
+    propagated — exactly what the simulator's observed per-launch
+    :class:`KernelCost` should match.  The divergence between the two
+    is recorded as ``gpu.calib.*`` metrics and swept by ``bench
+    calibrate``.
+
+    Copy launches the memory planner elided never execute, so they get
+    no prediction.  Loop bodies are priced once: the prediction for a
+    kernel launched N times is its first-launch cost (sizes rarely
+    change across iterations; when they do, the divergence histogram
+    is the instrument that shows it).
+    """
+    out: Dict[str, KernelCost] = {}
+    env = dict(size_env)
+    _collect_kernel_costs(
+        hp.stmts, env, device,
+        layouts if layouts is not None else hp.layouts,
+        coalescing, out,
+    )
+    return out
+
+
+def _collect_kernel_costs(
+    stmts,
+    size_env: Dict[str, int],
+    device: DeviceProfile,
+    layouts: Mapping[str, IndexFn],
+    coalescing: bool,
+    out: Dict[str, KernelCost],
+) -> None:
+    for s in stmts:
+        if isinstance(s, LaunchStmt):
+            if s.elide_copy is not None:
+                continue
+            if s.kernel.name not in out:
+                out[s.kernel.name] = kernel_cost(
+                    s.kernel, size_env, device, layouts, coalescing
+                )
+        elif isinstance(s, HostEval):
+            _propagate_scalar(s.binding, size_env)
+        elif isinstance(s, HostLoopStmt):
+            _collect_kernel_costs(
+                s.body, size_env, device, layouts, coalescing, out
+            )
+        elif isinstance(s, HostIfStmt):
+            _collect_kernel_costs(
+                s.then_body, size_env, device, layouts, coalescing, out
+            )
+            _collect_kernel_costs(
+                s.else_body, size_env, device, layouts, coalescing, out
+            )
 
 
 #: Backstop on per-loop heap replay iterations; every paper-scale

@@ -9,7 +9,7 @@ with occupancy and traffic computed from the *actual* runtime sizes.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..core import ast as A
 from ..core.values import ArrayValue, ScalarValue, Value, scalar
@@ -29,7 +29,7 @@ from ..backend.kernel_ir import (
 from ..core.types import Array
 from ..errors import ArgumentError, CompilerBug, KernelTimeout
 from ..obs import get_metrics, get_tracer
-from .costmodel import CostReport, kernel_cost
+from .costmodel import CostReport, KernelCost, kernel_cost
 from .device import DeviceProfile
 from .faults import FaultInjector
 from .heap import DeviceHeap
@@ -40,6 +40,15 @@ __all__ = ["GpuSimulator"]
 #: cost estimate (plus a floor for tiny kernels) before being killed.
 WATCHDOG_FACTOR = 8.0
 WATCHDOG_FLOOR_US = 100.0
+
+#: Signed-relative-error buckets for the ``gpu.calib.*`` divergence
+#: histograms: (predicted - observed) / observed, so -0.5 means the
+#: static model under-predicted by half and 1.0 means it predicted
+#: double the observed cost.
+CALIB_ERROR_BUCKETS = (
+    -0.75, -0.5, -0.25, -0.1, -0.05, 0.0,
+    0.05, 0.1, 0.25, 0.5, 0.75, 1.0, 2.0, 5.0,
+)
 
 
 class GpuSimulator:
@@ -72,6 +81,7 @@ class GpuSimulator:
         prog: Optional[A.Prog] = None,
         trace_track: str = "sim-gpu",
         deadline=None,
+        predictions: Optional[Mapping[str, KernelCost]] = None,
     ) -> None:
         self.device = device
         self.coalescing = coalescing
@@ -84,6 +94,16 @@ class GpuSimulator:
         #: Chrome-trace track this simulator's kernel spans land on;
         #: the resilient executor gives each retry attempt its own.
         self.trace_track = trace_track
+        #: Per-kernel static cost predictions (from
+        #: :func:`repro.gpu.costmodel.static_kernel_costs`); when set,
+        #: every launch records its predicted-vs-observed divergence
+        #: into the ``gpu.calib.*`` metrics.
+        self.predictions = predictions
+        # Per-kernel resolved metric instruments, keyed by the registry
+        # they came from: launches re-use the same instruments run
+        # after run, and re-rendering label keys on every launch is
+        # measurable on the serving hot path.
+        self._instrument_cache: Optional[Tuple[Any, Dict[str, Any]]] = None
         # Kernels normally contain no function calls (inlining runs
         # first), but when the pass guard rolls inlining back the
         # remaining calls must still resolve.
@@ -299,6 +319,11 @@ class GpuSimulator:
         With observability off this costs two guard checks."""
         tracer = get_tracer()
         cycles = cost.cycles(self.device)
+        predicted = (
+            self.predictions.get(cost.name)
+            if self.predictions is not None
+            else None
+        )
         if tracer.enabled:
             tracer.complete(
                 f"kernel:{cost.name}",
@@ -317,25 +342,110 @@ class GpuSimulator:
                 flops=cost.flops,
                 occupancy=cost.occupancy,
                 watchdog_consumed=watchdog_consumed,
+                heap_live_bytes=self.heap.live_bytes,
+                predicted_us=(
+                    predicted.time_us if predicted is not None else None
+                ),
             )
         metrics = get_metrics()
         if metrics.enabled:
-            metrics.counter("gpu.launches", kind=cost.kind).inc(
-                cost.launches
-            )
-            metrics.counter("gpu.sim_time_us").inc(cost.time_us)
-            metrics.counter("gpu.cycles").inc(cycles)
-            metrics.counter("gpu.bytes_effective").inc(cost.bytes_effective)
-            metrics.counter("gpu.bytes_raw").inc(cost.bytes_raw)
-            metrics.counter("gpu.flops").inc(cost.flops)
-            metrics.histogram("gpu.kernel_time_us").observe(cost.time_us)
-            metrics.histogram(
-                "gpu.occupancy", buckets=(0.1, 0.25, 0.5, 0.75, 0.9, 1.0)
-            ).observe(cost.occupancy)
-            metrics.histogram(
-                "gpu.watchdog_consumed",
-                buckets=(0.05, 0.125, 0.25, 0.5, 0.75, 1.0),
-            ).observe(watchdog_consumed)
+            inst = self._launch_instruments(metrics, cost)
+            if predicted is not None:
+                self._observe_calibration(inst, cost, predicted, cycles)
+            inst["launches"].inc(cost.launches)
+            inst["sim_time_us"].inc(cost.time_us)
+            inst["cycles"].inc(cycles)
+            inst["bytes_effective"].inc(cost.bytes_effective)
+            inst["bytes_raw"].inc(cost.bytes_raw)
+            inst["flops"].inc(cost.flops)
+            inst["kernel_time_us"].observe(cost.time_us)
+            inst["occupancy"].observe(cost.occupancy)
+            inst["watchdog_consumed"].observe(watchdog_consumed)
+
+    def _launch_instruments(self, metrics, cost) -> Dict[str, Any]:
+        """The per-kernel instrument bundle, resolved once per
+        (registry, kernel) and reused on every subsequent launch."""
+        cache = self._instrument_cache
+        if cache is None or cache[0] is not metrics:
+            cache = (metrics, {})
+            self._instrument_cache = cache
+        inst = cache[1].get(cost.name)
+        if inst is None:
+            inst = cache[1][cost.name] = {
+                "launches": metrics.counter("gpu.launches", kind=cost.kind),
+                "sim_time_us": metrics.counter("gpu.sim_time_us"),
+                "cycles": metrics.counter("gpu.cycles"),
+                "bytes_effective": metrics.counter("gpu.bytes_effective"),
+                "bytes_raw": metrics.counter("gpu.bytes_raw"),
+                "flops": metrics.counter("gpu.flops"),
+                "kernel_time_us": metrics.histogram("gpu.kernel_time_us"),
+                "occupancy": metrics.histogram(
+                    "gpu.occupancy",
+                    buckets=(0.1, 0.25, 0.5, 0.75, 0.9, 1.0),
+                ),
+                "watchdog_consumed": metrics.histogram(
+                    "gpu.watchdog_consumed",
+                    buckets=(0.05, 0.125, 0.25, 0.5, 0.75, 1.0),
+                ),
+                "calib_observations": metrics.counter(
+                    "gpu.calib.observations", kernel=cost.name
+                ),
+                "calib_time_rel_err": metrics.histogram(
+                    "gpu.calib.time_rel_err",
+                    buckets=CALIB_ERROR_BUCKETS,
+                    kernel=cost.name,
+                ),
+                "calib_cycles_rel_err": metrics.histogram(
+                    "gpu.calib.cycles_rel_err",
+                    buckets=CALIB_ERROR_BUCKETS,
+                    kernel=cost.name,
+                ),
+                "calib_bytes_rel_err": metrics.histogram(
+                    "gpu.calib.bytes_rel_err",
+                    buckets=CALIB_ERROR_BUCKETS,
+                    kernel=cost.name,
+                ),
+                "calib_occupancy_diff": metrics.histogram(
+                    "gpu.calib.occupancy_diff",
+                    buckets=(
+                        -0.5, -0.25, -0.1, -0.01, 0.0, 0.01, 0.1, 0.25, 0.5,
+                    ),
+                    kernel=cost.name,
+                ),
+            }
+        return inst
+
+    def _observe_calibration(
+        self,
+        inst: Dict[str, Any],
+        cost: KernelCost,
+        predicted: KernelCost,
+        cycles: float,
+    ) -> None:
+        """Record this launch's predicted-vs-observed divergence.
+
+        Errors are signed and relative — ``(predicted - observed) /
+        observed`` — per kernel: negative means the static model
+        under-predicted.  Observed zeros are skipped (no meaningful
+        ratio).  ``bench calibrate`` sweeps these across the benchmark
+        suite into ``BENCH_calib.json``.
+        """
+        inst["calib_observations"].inc()
+        pairs = (
+            ("calib_time_rel_err", predicted.time_us, cost.time_us),
+            ("calib_cycles_rel_err", predicted.cycles(self.device), cycles),
+            (
+                "calib_bytes_rel_err",
+                predicted.bytes_effective,
+                cost.bytes_effective,
+            ),
+        )
+        for key, pred, obs in pairs:
+            if obs > 0:
+                inst[key].observe((pred - obs) / obs)
+        inst["calib_occupancy_diff"].observe(
+            predicted.occupancy - cost.occupancy
+        )
 
     def _exec_loop(
         self,

@@ -36,6 +36,14 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Optional
 
+from .flight import (  # noqa: F401
+    DUMP_TRIGGERS,
+    FLIGHT_SCHEMA,
+    FlightRecord,
+    FlightRecorder,
+    TeeMetrics,
+    TeeTracer,
+)
 from .log import StructuredLogger, get_logger, set_verbose, verbose  # noqa: F401
 from .metrics import (  # noqa: F401
     DEFAULT_BUCKETS,
@@ -47,6 +55,7 @@ from .metrics import (  # noqa: F401
     get_metrics,
     metering,
     set_metrics,
+    thread_metering,
 )
 from .trace import (  # noqa: F401
     NULL_TRACER,
@@ -55,6 +64,7 @@ from .trace import (  # noqa: F401
     Tracer,
     get_tracer,
     set_tracer,
+    thread_tracing,
     tracing,
 )
 
@@ -67,12 +77,20 @@ __all__ = [
     "Gauge",
     "Histogram",
     "StructuredLogger",
+    "FlightRecord",
+    "FlightRecorder",
+    "TeeTracer",
+    "TeeMetrics",
+    "DUMP_TRIGGERS",
+    "FLIGHT_SCHEMA",
     "get_tracer",
     "set_tracer",
     "tracing",
+    "thread_tracing",
     "get_metrics",
     "set_metrics",
     "metering",
+    "thread_metering",
     "get_logger",
     "set_verbose",
     "verbose",

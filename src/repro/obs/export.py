@@ -33,6 +33,7 @@ __all__ = [
     "write_metrics",
     "validate_chrome_trace",
     "validate_metrics_dump",
+    "validate_flight_bundle",
     "summary",
 ]
 
@@ -198,6 +199,84 @@ def validate_metrics_dump(obj: Any) -> List[str]:
             continue
         if len(h["counts"]) != len(h["bounds"]) + 1:
             errors.append(f"histogram {key!r}: counts/bounds length mismatch")
+            continue
+        bounds = h["bounds"]
+        if any(
+            bounds[i] >= bounds[i + 1] for i in range(len(bounds) - 1)
+        ):
+            errors.append(
+                f"histogram {key!r}: bounds not strictly ascending"
+            )
+        if "count" in h and sum(h["counts"]) != h["count"]:
+            errors.append(
+                f"histogram {key!r}: bucket counts sum to "
+                f"{sum(h['counts'])}, expected count={h['count']}"
+            )
+    return errors
+
+
+def validate_flight_bundle(obj: Any) -> List[str]:
+    """Schema check of a flight-recorder bundle
+    (``repro.flightrec/v1``); returns problems (empty = valid).
+
+    Beyond structure, asserts the bundle is *joinable*: the embedded
+    trace metadata, metrics metadata and RunReport must all carry the
+    bundle's ``run_id`` (when they carry one at all — a request that
+    died before reaching the executor has ``run_report: null``).
+    """
+    errors: List[str] = []
+    if not isinstance(obj, dict):
+        return ["top level must be an object"]
+    if obj.get("schema") != "repro.flightrec/v1":
+        errors.append(f"unknown schema {obj.get('schema')!r}")
+    for field in ("run_id", "status", "trigger", "trace", "metrics"):
+        if field not in obj:
+            errors.append(f"missing field {field!r}")
+    run_id = obj.get("run_id")
+    if not isinstance(run_id, str) or not run_id:
+        errors.append(f"run_id must be a non-empty string: {run_id!r}")
+    if obj.get("status") not in ("ok", "error", "shed"):
+        errors.append(f"bad status {obj.get('status')!r}")
+    trigger = obj.get("trigger")
+    if trigger is not None and not isinstance(trigger, str):
+        errors.append(f"trigger must be a string or null: {trigger!r}")
+    if "trace" in obj:
+        errors.extend(
+            f"trace: {e}" for e in validate_chrome_trace(obj["trace"])
+        )
+        other = (
+            obj["trace"].get("otherData", {})
+            if isinstance(obj["trace"], dict)
+            else {}
+        )
+        trace_id = other.get("run_id") if isinstance(other, dict) else None
+        if trace_id is not None and trace_id != run_id:
+            errors.append(
+                f"trace run_id {trace_id!r} != bundle run_id {run_id!r}"
+            )
+    if "metrics" in obj:
+        errors.extend(
+            f"metrics: {e}" for e in validate_metrics_dump(obj["metrics"])
+        )
+        if isinstance(obj["metrics"], dict):
+            meta = obj["metrics"].get("metadata") or {}
+            metrics_id = meta.get("run_id") if isinstance(meta, dict) else None
+            if metrics_id is not None and metrics_id != run_id:
+                errors.append(
+                    f"metrics run_id {metrics_id!r} != bundle "
+                    f"run_id {run_id!r}"
+                )
+    report = obj.get("run_report")
+    if report is not None:
+        if not isinstance(report, dict):
+            errors.append("run_report must be an object or null")
+        else:
+            report_id = report.get("run_id")
+            if report_id and report_id != run_id:
+                errors.append(
+                    f"run_report run_id {report_id!r} != bundle "
+                    f"run_id {run_id!r}"
+                )
     return errors
 
 

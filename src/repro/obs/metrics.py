@@ -34,6 +34,7 @@ __all__ = [
     "get_metrics",
     "set_metrics",
     "metering",
+    "thread_metering",
     "DEFAULT_BUCKETS",
 ]
 
@@ -105,6 +106,36 @@ class Histogram:
     @property
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (``0 <= q <= 100``), estimated by
+        linear interpolation within the bucket that holds the target
+        rank.  With no observations returns 0.0; a target landing in
+        the +inf overflow bucket returns the last finite bound (the
+        best available lower estimate).  Shared by ``Server.health()``
+        and the flight recorder's SLO trigger, so both agree on what
+        "p99" means.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile out of range: {q}")
+        with self._lock:
+            total = self.count
+            if total == 0:
+                return 0.0
+            rank = (q / 100.0) * total
+            cumulative = 0
+            for i, n in enumerate(self.counts):
+                if n == 0:
+                    continue
+                if cumulative + n >= rank:
+                    if i >= len(self.bounds):
+                        return self.bounds[-1]
+                    lo = self.bounds[i - 1] if i > 0 else 0.0
+                    hi = self.bounds[i]
+                    frac = (rank - cumulative) / n
+                    return lo + (hi - lo) * min(max(frac, 0.0), 1.0)
+                cumulative += n
+            return self.bounds[-1]
 
 
 def _key(name: str, labels: Dict[str, Any]) -> Tuple:
@@ -236,10 +267,21 @@ NULL_METRICS = NullMetrics()
 
 _CURRENT: Any = NULL_METRICS
 
+#: Thread-local registry override (mirrors ``trace._TLS``): a serve
+#: worker capturing a flight record diverts its own metric updates
+#: without disturbing other threads' view of the global registry.
+_TLS = threading.local()
+
 
 def get_metrics():
-    """The ambient registry (:data:`NULL_METRICS` unless installed)."""
-    return _CURRENT
+    """The ambient registry for the calling thread.
+
+    A thread-local override installed by :func:`thread_metering` wins
+    over the process-wide registry; otherwise the global one (default
+    :data:`NULL_METRICS`) is returned.
+    """
+    override = getattr(_TLS, "metrics", None)
+    return override if override is not None else _CURRENT
 
 
 def set_metrics(registry) -> None:
@@ -258,3 +300,19 @@ def metering(registry: Optional[MetricsRegistry] = None):
         yield registry
     finally:
         set_metrics(previous)
+
+
+@contextmanager
+def thread_metering(registry):
+    """Install ``registry`` as *this thread's* ambient registry.
+
+    The thread-local counterpart of :func:`metering` — other threads
+    keep seeing the process-wide registry.  Nests: the previous
+    thread-local override (if any) is restored on exit.
+    """
+    previous = getattr(_TLS, "metrics", None)
+    _TLS.metrics = registry
+    try:
+        yield registry
+    finally:
+        _TLS.metrics = previous

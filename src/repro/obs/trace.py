@@ -40,6 +40,7 @@ __all__ = [
     "get_tracer",
     "set_tracer",
     "tracing",
+    "thread_tracing",
     "span_allocations",
 ]
 
@@ -181,14 +182,20 @@ class Tracer:
 
     # -- recording ----------------------------------------------------------
 
-    def span(self, name: str, category: str = "", **attrs: Any) -> Span:
+    def span(
+        self,
+        name: str,
+        category: str = "",
+        track: str = MAIN_TRACK,
+        **attrs: Any,
+    ) -> Span:
         """Open a nested span (use as a context manager)."""
         with self._lock:
             s = Span(
                 self,
                 name,
                 category,
-                MAIN_TRACK,
+                track,
                 self.now_us(),
                 time.time(),
                 len(self._stack),
@@ -340,10 +347,21 @@ NULL_TRACER = NullTracer()
 
 _CURRENT: Any = NULL_TRACER
 
+#: Thread-local tracer override: lets one thread (a serve worker
+#: capturing a per-request flight record) divert its own telemetry
+#: without disturbing the process-wide ambient tracer.
+_TLS = threading.local()
+
 
 def get_tracer():
-    """The ambient tracer (:data:`NULL_TRACER` unless one is installed)."""
-    return _CURRENT
+    """The ambient tracer for the calling thread.
+
+    A thread-local override installed by :func:`thread_tracing` wins
+    over the process-wide tracer; otherwise the global one (default
+    :data:`NULL_TRACER`) is returned.
+    """
+    override = getattr(_TLS, "tracer", None)
+    return override if override is not None else _CURRENT
 
 
 def set_tracer(tracer) -> None:
@@ -362,6 +380,25 @@ def tracing(tracer: Optional[Tracer] = None):
         yield tracer
     finally:
         set_tracer(previous)
+
+
+@contextmanager
+def thread_tracing(tracer):
+    """Install ``tracer`` as *this thread's* ambient tracer.
+
+    Unlike :func:`tracing` (which swaps the process-wide tracer), the
+    override is invisible to other threads — the flight recorder uses
+    this so each serve worker diverts exactly its own request's spans
+    into a per-request capture while unrelated workers keep writing to
+    the global tracer.  Nests: the previous thread-local override (if
+    any) is restored on exit.
+    """
+    previous = getattr(_TLS, "tracer", None)
+    _TLS.tracer = tracer
+    try:
+        yield tracer
+    finally:
+        _TLS.tracer = previous
 
 
 @dataclass

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from .core import ast as A
 from .core.values import Value
@@ -38,7 +38,7 @@ from .errors import (
     KernelTimeout,
     ReproError,
 )
-from .gpu.costmodel import CostReport
+from .gpu.costmodel import CostReport, static_kernel_costs
 from .gpu.device import DeviceProfile
 from .gpu.faults import FaultPlan
 from .gpu.simulator import (
@@ -161,6 +161,27 @@ class RunReport:
             return "(no pass timings recorded)"
         return "\n".join(str(t) for t in self.pass_timings)
 
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-serialisable view (embedded in flight-recorder
+        bundles next to the trace and metrics, joinable on run_id)."""
+        return {
+            "device": self.device,
+            "attempts": self.attempts,
+            "retries": self.retries,
+            "transient_faults": self.transient_faults,
+            "fatal_faults": self.fatal_faults,
+            "timeouts": self.timeouts,
+            "fallbacks": self.fallbacks,
+            "ooms": self.ooms,
+            "backoff_us": self.backoff_us,
+            "events": list(self.events),
+            "run_id": self.run_id,
+            "seed": self.seed,
+            "deadline_exceeded": self.deadline_exceeded,
+            "gave_up_reason": self.gave_up_reason,
+            "pass_timings": [str(t) for t in self.pass_timings],
+        }
+
 
 def _backoff_us(
     attempt: int, policy: ExecutionPolicy, rng: random.Random
@@ -236,6 +257,41 @@ def run_resilient(
     tracer = get_tracer()
     metrics = get_metrics()
     logger = get_logger("runtime")
+    # Static per-kernel cost predictions for the calibration layer:
+    # computed once per execution (not per attempt), and only when
+    # someone is observing — the uninstrumented hot path skips the
+    # whole pricing walk.
+    predictions = None
+    if metrics.enabled or tracer.enabled:
+        try:
+            size_env: Dict[str, int] = {}
+            for p, v in zip(host.params, args):
+                value = getattr(v, "value", None)
+                if value is not None and getattr(
+                    getattr(v, "type", None), "is_integral", False
+                ):
+                    size_env[p.name] = int(value)
+            # The static walk is pure in (program, sizes, device), so
+            # memoise it on the host program: a serving worker replays
+            # the same compiled program at the same sizes constantly
+            # and must not re-price it per request.
+            key = (
+                tuple(sorted(size_env.items())),
+                device.name,
+                coalescing,
+            )
+            cache = getattr(host, "_prediction_cache", None)
+            if cache is None:
+                cache = host._prediction_cache = {}
+            predictions = cache.get(key)
+            if predictions is None:
+                if len(cache) >= 64:
+                    cache.clear()
+                predictions = cache[key] = static_kernel_costs(
+                    host, size_env, device, coalescing=coalescing
+                )
+        except Exception:
+            predictions = None  # an unpriceable program is not an error
 
     with tracer.span(
         "execute",
@@ -277,6 +333,7 @@ def run_resilient(
                 prog=core,
                 trace_track=track,
                 deadline=deadline,
+                predictions=predictions,
             )
             with tracer.span(
                 f"attempt#{attempt + 1}", "runtime", run_id=run_id

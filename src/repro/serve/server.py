@@ -33,7 +33,6 @@ from __future__ import annotations
 import itertools
 import threading
 import time
-from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -51,7 +50,8 @@ from ..gpu.costmodel import estimate_program
 from ..gpu.device import DeviceProfile, NVIDIA_GTX780TI
 from ..gpu.faults import ServiceFaultPlan
 from ..interp import run_program
-from ..obs import get_logger, get_metrics, get_tracer
+from ..obs import Histogram, get_logger, get_metrics, get_tracer
+from ..obs.flight import FlightRecorder
 from ..pipeline import (
     CompiledProgram,
     CompilerOptions,
@@ -75,6 +75,14 @@ __all__ = [
 #: The full degradation ladder, fastest first.  The interpreter is the
 #: floor: it has no breaker because it cannot suffer device faults.
 DEGRADATION_LADDER: Tuple[str, ...] = ("vector", "sim", "interp")
+
+#: Per-lane latency histogram bounds, microseconds: 1.5x-spaced from
+#: 250us to ~32s, fine enough that bucket-interpolated percentiles
+#: track the true quantiles closely (the saturation suite compares
+#: loaded vs unloaded p50 through these).
+_LATENCY_BUCKETS_US: Tuple[float, ...] = tuple(
+    250.0 * 1.5**i for i in range(30)
+)
 
 _log = get_logger("serve")
 
@@ -168,6 +176,9 @@ class _Work:
     deadline: Optional[Deadline]
     lane: str
     submitted_at: float
+    #: Whether the compile was already cached when the request arrived
+    #: (recorded into the request's flight record).
+    cache_hit: bool = False
 
 
 class Server:
@@ -199,9 +210,11 @@ class Server:
         #: ride the interactive priority lane.
         interactive_threshold_us: float = 50_000.0,
         negative_compile_ttl_s: float = 5.0,
-        #: Per-lane latency samples retained for the percentile
-        #: surfaces in :meth:`health`.
-        latency_window: int = 2048,
+        #: Optional :class:`repro.obs.FlightRecorder`: when set, every
+        #: request is captured into a per-request trace/metrics record
+        #: and terminal device errors (or SLO-breaching latencies)
+        #: auto-dump a ``flightrec-<run_id>.json`` bundle.
+        flight_recorder: Optional[FlightRecorder] = None,
     ) -> None:
         if default_executor not in ladder:
             raise ValueError(
@@ -231,10 +244,14 @@ class Server:
         self._stopping = threading.Event()
         self._started = False
         self._lock = threading.Lock()
-        self._latency_window = latency_window
-        self._latencies: Dict[str, deque] = {
-            INTERACTIVE_LANE: deque(maxlen=latency_window),
-            BATCH_LANE: deque(maxlen=latency_window),
+        self.flight_recorder = flight_recorder
+        #: Per-lane latency distributions; :meth:`health` derives its
+        #: percentiles from these via :meth:`Histogram.percentile`, the
+        #: same quantile implementation the flight recorder's SLO
+        #: trigger uses.
+        self._latencies: Dict[str, Histogram] = {
+            INTERACTIVE_LANE: Histogram(_LATENCY_BUCKETS_US),
+            BATCH_LANE: Histogram(_LATENCY_BUCKETS_US),
         }
         self._counts: Dict[str, int] = {
             "admitted": 0,
@@ -323,6 +340,7 @@ class Server:
         key = request.key or compile_cache_key(
             request.program, self.options, request.entry
         )
+        cache_hit = self.cache.peek(key) is not None
         try:
             compiled = self.cache.get_or_compile(
                 key,
@@ -342,7 +360,10 @@ class Server:
             )
             return handle
         lane = self._classify(compiled, request.args)
-        work = _Work(request, handle, compiled, deadline, lane, submitted_at)
+        work = _Work(
+            request, handle, compiled, deadline, lane, submitted_at,
+            cache_hit=cache_hit,
+        )
         if not self.queue.offer(work, lane):
             self._complete_shed(handle, "admission queue full", lane)
             return handle
@@ -350,7 +371,9 @@ class Server:
             self._counts["admitted"] += 1
         metrics = get_metrics()
         if metrics.enabled:
-            metrics.counter("serve.admitted", lane=lane).inc()
+            metrics.counter(
+                "serve.admitted", lane=lane, run_id=request.request_id
+            ).inc()
             metrics.gauge("serve.queue_depth").set(len(self.queue))
         return handle
 
@@ -397,9 +420,13 @@ class Server:
     ) -> None:
         with self._lock:
             self._counts["shed"] += 1
+        if self.flight_recorder is not None:
+            self.flight_recorder.note_shed(handle.request_id)
         metrics = get_metrics()
         if metrics.enabled:
-            metrics.counter("serve.shed").inc()
+            metrics.counter(
+                "serve.shed", run_id=handle.request_id
+            ).inc()
         error = ServiceOverloaded(
             reason, queue_depth=len(self.queue), capacity=self.queue.capacity
         )
@@ -419,15 +446,17 @@ class Server:
                 self._counts["deadline_exceeded"] += 1
             else:
                 self._counts["errors"] += 1
-            self._latencies[result.lane].append(result.latency_s)
+        self._latencies[result.lane].observe(result.latency_s * 1e6)
         metrics = get_metrics()
         if metrics.enabled:
             metrics.counter(
                 "serve.requests", status=result.status,
                 backend=result.backend or "none",
+                run_id=result.request_id,
             ).inc()
             metrics.histogram(
-                "serve.latency_us", lane=result.lane
+                "serve.latency_us", lane=result.lane,
+                run_id=result.request_id,
             ).observe(result.latency_s * 1e6)
             metrics.gauge("serve.queue_depth").set(len(self.queue))
         handle._complete(result)
@@ -464,25 +493,64 @@ class Server:
 
     def _process(self, work: _Work) -> None:
         request, handle = work.request, work.handle
+        recorder = self.flight_recorder
+        if recorder is None:
+            self._finish(handle, self._traced_execute(work))
+            return
+        # Everything inside the capture window — the request span, the
+        # executor's attempt spans, the simulator's kernel launches and
+        # every metric update — lands in the request's private record
+        # (and is mirrored to the global tracer/registry).  _finish runs
+        # inside the window so its serve.* metrics are part of the
+        # record too.
+        queue_wait_us = (time.monotonic() - work.submitted_at) * 1e6
+        with recorder.capture(
+            request.request_id, program=work.compiled.host.name
+        ) as record:
+            result = self._traced_execute(work)
+            self._finish(handle, result)
+            run_report = result.run_report or getattr(
+                result.error, "report", None
+            )
+            recorder.finish(
+                record,
+                status="ok" if result.ok else "error",
+                latency_us=result.latency_s * 1e6,
+                error=result.error,
+                run_report=(
+                    run_report.to_dict() if run_report is not None else None
+                ),
+                lane=result.lane,
+                backend=result.backend or "",
+                rungs=[d.split(":", 1)[0] for d in result.degraded_from]
+                + ([result.backend] if result.backend else []),
+                queue_wait_us=queue_wait_us,
+                cache_hit=work.cache_hit,
+            )
+
+    def _traced_execute(self, work: _Work) -> ServeResult:
+        """Run the ladder under the request span, stamping the result
+        and its latency."""
+        request = work.request
         tracer = get_tracer()
-        t0 = time.monotonic()
-        queued_s = t0 - work.submitted_at
-        result = self._execute_ladder(work)
-        result.latency_s = time.monotonic() - work.submitted_at
-        if tracer.enabled:
-            tracer.complete(
-                f"request:{request.request_id}",
-                "serve",
-                ts_us=tracer.now_us() - result.latency_s * 1e6,
-                dur_us=result.latency_s * 1e6,
-                track="serve",
+        queued_s = time.monotonic() - work.submitted_at
+        with tracer.span(
+            f"request:{request.request_id}",
+            "serve",
+            track="serve",
+            run_id=request.request_id,
+            lane=work.lane,
+            queued_ms=queued_s * 1e3,
+            cache_hit=work.cache_hit,
+        ) as span:
+            result = self._execute_ladder(work)
+            result.latency_s = time.monotonic() - work.submitted_at
+            span.set(
                 status=result.status,
                 backend=result.backend,
-                lane=result.lane,
-                queued_ms=queued_s * 1e3,
                 degraded_from=",".join(result.degraded_from) or None,
             )
-        self._finish(handle, result)
+        return result
 
     def _execute_ladder(self, work: _Work) -> ServeResult:
         request, compiled, deadline = work.request, work.compiled, work.deadline
@@ -527,7 +595,10 @@ class Server:
                 degraded_from.append(f"{rung}:open")
                 metrics = get_metrics()
                 if metrics.enabled:
-                    metrics.counter("serve.breaker_refusals", backend=rung).inc()
+                    metrics.counter(
+                        "serve.breaker_refusals", backend=rung,
+                        run_id=request.request_id,
+                    ).inc()
                 continue
             policy = ExecutionPolicy(
                 executor=rung,
@@ -546,7 +617,7 @@ class Server:
                     fault_plan=self.fault_plans.for_backend(rung),
                     policy=policy,
                     entry=request.entry,
-                    run_id=f"{request.request_id}@{rung}",
+                    run_id=request.request_id,
                     pass_timings=compiled.pass_timings,
                     deadline=deadline,
                 )
@@ -600,32 +671,20 @@ class Server:
 
     # -- health / stats -----------------------------------------------------
 
-    @staticmethod
-    def _percentile(samples: List[float], q: float) -> float:
-        if not samples:
-            return 0.0
-        ordered = sorted(samples)
-        idx = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
-        return ordered[idx]
-
     def health(self) -> Dict[str, Any]:
         """A point-in-time JSON-serialisable view of the service."""
         with self._lock:
             counts = dict(self._counts)
             per_backend = dict(self._per_backend)
-            lane_samples = {
-                lane: list(samples)
-                for lane, samples in self._latencies.items()
-            }
         lanes = {}
-        for lane, samples in lane_samples.items():
+        for lane, hist in self._latencies.items():
             lanes[lane] = {
-                "count": len(samples),
-                "p50_ms": self._percentile(samples, 0.50) * 1e3,
-                "p95_ms": self._percentile(samples, 0.95) * 1e3,
-                "p99_ms": self._percentile(samples, 0.99) * 1e3,
+                "count": hist.count,
+                "p50_ms": hist.percentile(50.0) / 1e3,
+                "p95_ms": hist.percentile(95.0) / 1e3,
+                "p99_ms": hist.percentile(99.0) / 1e3,
             }
-        return {
+        out = {
             "workers": sum(1 for t in self._threads if t.is_alive()),
             "queue_depth": len(self.queue),
             "queue_capacity": self.queue.capacity,
@@ -642,3 +701,6 @@ class Server:
             "lanes": lanes,
             **counts,
         }
+        if self.flight_recorder is not None:
+            out["flight_recorder"] = self.flight_recorder.stats()
+        return out

@@ -45,6 +45,7 @@ class VectorEngine(GpuSimulator):
         prog: Optional[A.Prog] = None,
         trace_track: str = "vm-vector",
         deadline=None,
+        predictions=None,
     ) -> None:
         super().__init__(
             device,
@@ -56,6 +57,7 @@ class VectorEngine(GpuSimulator):
             prog=prog,
             trace_track=trace_track,
             deadline=deadline,
+            predictions=predictions,
         )
         self._vec = VectorEvaluator(
             prog if prog is not None else A.Prog(()), in_place=in_place

@@ -147,3 +147,29 @@ def test_summary_renders_passes_kernels_and_counters():
     assert "runtime.retries" in text
     assert "gpu.kernel_time_us" in text
     assert summary(None, None) == "(no observability data recorded)"
+
+
+def test_metrics_dump_carries_bucket_bounds():
+    m = MetricsRegistry()
+    m.histogram("h", buckets=(1.0, 2.0)).observe(1.5)
+    dump = metrics_dump(m)
+    assert dump["histograms"]["h"]["bounds"] == [1.0, 2.0]
+    assert len(dump["histograms"]["h"]["counts"]) == 3
+
+
+def test_metrics_validator_rejects_inconsistent_bucket_counts():
+    m = MetricsRegistry()
+    m.histogram("h", buckets=(1.0, 2.0)).observe(1.5)
+    dump = metrics_dump(m)
+    assert validate_metrics_dump(dump) == []
+    # Bucket counts that do not sum to the observation count.
+    broken = metrics_dump(m)
+    broken["histograms"]["h"]["count"] = 5
+    errs = validate_metrics_dump(broken)
+    assert any("sum to" in e for e in errs)
+    # Non-ascending bounds.
+    broken = metrics_dump(m)
+    broken["histograms"]["h"]["bounds"] = [2.0, 1.0]
+    broken["histograms"]["h"]["counts"] = [0, 1, 0]
+    errs = validate_metrics_dump(broken)
+    assert any("ascending" in e for e in errs)

@@ -95,3 +95,42 @@ def test_ambient_registry_install_and_restore():
     assert get_metrics() is NULL_METRICS
     set_metrics(None)
     assert get_metrics() is NULL_METRICS
+
+
+class TestPercentile:
+    def test_empty_histogram_is_zero(self):
+        h = Histogram(bounds=(1.0, 2.0, 4.0))
+        assert h.percentile(50.0) == 0.0
+
+    def test_interpolates_within_bucket(self):
+        h = Histogram(bounds=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 3.0, 3.5):
+            h.observe(v)
+        # rank 2 of 4 lands at the top of the (1, 2] bucket.
+        assert h.percentile(50.0) == 2.0
+        # rank 1 of 4 is the whole (0, 1] bucket.
+        assert h.percentile(25.0) == 1.0
+        assert h.percentile(100.0) == 4.0
+        assert h.percentile(0.0) == 0.0
+
+    def test_overflow_bucket_reports_last_finite_bound(self):
+        h = Histogram(bounds=(1.0, 2.0))
+        h.observe(100.0)
+        assert h.percentile(50.0) == 2.0
+
+    def test_out_of_range_quantile_rejected(self):
+        h = Histogram(bounds=(1.0,))
+        try:
+            h.percentile(101.0)
+        except ValueError:
+            pass
+        else:
+            raise AssertionError("expected ValueError")
+
+    def test_median_of_uniform_stream_is_close(self):
+        bounds = tuple(float(b) for b in range(10, 1010, 10))
+        h = Histogram(bounds=bounds)
+        for v in range(1, 1001):
+            h.observe(float(v))
+        assert abs(h.percentile(50.0) - 500.0) <= 10.0
+        assert abs(h.percentile(95.0) - 950.0) <= 10.0
