@@ -9,11 +9,12 @@ compile FILE [--emit core|opencl] [--no-fusion --no-coalescing ...]
 check FILE
     Type-check (including alias and uniqueness analysis) and report.
 
-run FILE [--size name=value ...]
+run FILE [--size name=value ...] [--device-profile NAME]
     Compile FILE and price it analytically at the given sizes on both
-    simulated devices.
+    simulated devices (or one named profile from
+    :data:`repro.gpu.device.PROFILES`).
 
-bench [table1|figure13|table2|impact <kind>|validate|perf|mem|calibrate]
+bench [table1|figure13|table2|impact <kind>|validate|perf|mem|calibrate|shard]
     Regenerate the paper's evaluation artefacts; ``validate`` runs the
     named benchmarks on the simulated device against the interpreter
     and prints each run's report and per-pass compile breakdown;
@@ -23,15 +24,20 @@ bench [table1|figure13|table2|impact <kind>|validate|perf|mem|calibrate]
     planner on vs off and writes ``BENCH_mem.json``; ``calibrate``
     sweeps the suite comparing the static cost model's per-kernel
     predictions against the simulator's observations and writes
-    ``BENCH_calib.json``.
+    ``BENCH_calib.json``; ``shard`` scales the shardable benchmarks
+    across simulated device pools of 1/2/4 devices (bit-identical
+    results required) and writes ``BENCH_shard.json``.
 
-serve-bench [--clients N --deadline-ms MS --chaos --flight-dir DIR ...]
+serve-bench [--clients N --devices SPEC --chaos --flight-dir DIR ...]
     Drive the resilient serving layer (:mod:`repro.serve`) with N
     concurrent clients over the benchmark suite and print the health
     report: accepted/shed/deadline counts, breaker states and per-lane
     latency percentiles.  With ``--flight-dir`` a flight recorder
     captures every request's trace/metrics; failing or SLO-busting
     requests dump Perfetto-loadable ``flightrec-<id>.json`` bundles.
+    With ``--devices`` (e.g. ``4`` or ``2xbig,2xsmall``) the device
+    rungs run on a multi-device pool with cost-model placement and
+    batch sharding (:mod:`repro.sched`).
 
 obs replay BUNDLE | obs top [--calib BENCH_calib.json]
     Post-mortem tooling: ``replay`` validates a flight-recorder bundle
@@ -150,7 +156,7 @@ def cmd_check(args) -> int:
 
 
 def cmd_run(args) -> int:
-    from .gpu.device import AMD_W8100, NVIDIA_GTX780TI
+    from .gpu.device import AMD_W8100, NVIDIA_GTX780TI, resolve_profile
     from .pipeline import compile_source
 
     text = open(args.file).read()
@@ -159,7 +165,12 @@ def cmd_run(args) -> int:
     for item in args.size or []:
         name, _, value = item.partition("=")
         sizes[name] = int(value)
-    for device in (NVIDIA_GTX780TI, AMD_W8100):
+    devices = (
+        (resolve_profile(args.device_profile),)
+        if args.device_profile
+        else (NVIDIA_GTX780TI, AMD_W8100)
+    )
+    for device in devices:
         report = compiled.estimate(sizes, device)
         print(
             f"{device.name}: {report.total_ms:10.3f} ms "
@@ -286,6 +297,31 @@ def cmd_bench(args) -> int:
                 f"({r['rel_error'] * 100:+.1f}%)"
             )
         out = args.out if args.out != "BENCH_vm.json" else "BENCH_calib.json"
+        with open(out, "w") as f:
+            json.dump(results, f, indent=2)
+        print(f"wrote {out}", file=sys.stderr)
+        return 0
+    if what == "shard":
+        import json
+
+        from .bench.runner import shard_suite
+
+        results = shard_suite(names=names, seed=args.seed)
+        counts = results["device_counts"]
+        for name, row in results["benchmarks"].items():
+            per = "  ".join(
+                f"x{c}: {row['devices'][str(c)]['makespan_us'] / 1e3:8.2f}ms"
+                for c in counts
+            )
+            print(
+                f"{name:14s} {row['batch_dim']}={row['batch']:<8d} {per}"
+                f"  speedup x{row['speedup_4x']:.2f}"
+            )
+        print(
+            f"{'geomean':14s} x{results['geomean_speedup_4x']:.2f} "
+            f"at {max(counts)} devices"
+        )
+        out = args.out if args.out != "BENCH_vm.json" else "BENCH_shard.json"
         with open(out, "w") as f:
             json.dump(results, f, indent=2)
         print(f"wrote {out}", file=sys.stderr)
@@ -426,6 +462,11 @@ def cmd_serve_bench(args) -> int:
     fault_plans = (
         ServiceFaultPlan.chaos(seed=args.seed) if args.chaos else None
     )
+    devices = None
+    if args.devices is not None:
+        from .gpu.device import parse_pool_spec
+
+        devices = parse_pool_spec(args.devices)
     recorder = None
     if args.flight_dir is not None:
         from .obs.flight import FlightRecorder
@@ -443,6 +484,7 @@ def cmd_serve_bench(args) -> int:
         options=_options_from_flags(args),
         fault_plans=fault_plans,
         flight_recorder=recorder,
+        devices=devices,
     )
     specs = []
     with server:
@@ -507,6 +549,23 @@ def cmd_serve_bench(args) -> int:
             f"breaker {rung}: {b['state']} "
             f"({b['trips']} trips, {b['refusals']} refusals)"
         )
+    if "pool" in health:
+        pool = health["pool"]
+        print(
+            f"pool: {len(pool['devices'])} devices, "
+            f"{pool['sharded']} sharded / {pool['whole']} whole, "
+            f"{pool['shards_executed']} shards, "
+            f"{pool['hedges_launched']} hedges "
+            f"({pool['hedges_won']} won), "
+            f"{pool['replacements']} replacements"
+        )
+        for d in pool["devices"]:
+            print(
+                f"  dev{d['id']} [{d['profile']}]: "
+                f"{d['executed']} ok / {d['failures']} failed, "
+                f"breaker {d['breaker']['state']}, "
+                f"busy {d['busy_us'] / 1e3:.1f}ms"
+            )
     if recorder is not None:
         stats = recorder.stats()
         print(
@@ -544,6 +603,11 @@ def main(argv=None) -> int:
     p = sub.add_parser("run", help="price a program on the simulated GPUs")
     p.add_argument("file")
     p.add_argument("--size", action="append", metavar="NAME=VALUE")
+    p.add_argument(
+        "--device-profile", default=None,
+        help="price on one named profile from "
+        "repro.gpu.device.PROFILES (default: both paper GPUs)",
+    )
     _add_opt_flags(p)
     _add_obs_flags(p)
     p.set_defaults(fn=cmd_run)
@@ -552,7 +616,7 @@ def main(argv=None) -> int:
     p.add_argument(
         "what",
         choices=("table1", "table2", "figure13", "impact", "validate",
-                 "perf", "mem", "calibrate"),
+                 "perf", "mem", "calibrate", "shard"),
     )
     p.add_argument("--names", default=None)
     p.add_argument(
@@ -621,6 +685,12 @@ def main(argv=None) -> int:
     p.add_argument(
         "--chaos", action="store_true",
         help="inject seeded per-backend device faults",
+    )
+    p.add_argument(
+        "--devices", default=None,
+        help="run device rungs on a simulated multi-device pool: a "
+        "count ('4'), profile names ('gtx780ti,w8100'), or counted "
+        "profiles ('2xbig,2xsmall'); see repro.gpu.device.PROFILES",
     )
     p.add_argument("--seed", type=int, default=0)
     p.add_argument(

@@ -31,6 +31,8 @@ __all__ = [
     "perf_suite",
     "mem_suite",
     "calib_suite",
+    "shard_suite",
+    "SHARD_SIZES",
     "table1_runtimes",
     "figure13_speedups",
     "run_impact",
@@ -400,6 +402,127 @@ def calib_suite(
         "kernel_count": len(all_rows),
         "geomean_abs_rel_error": _geomean_abs(suite_errors),
         "worst_offenders": all_rows[:worst],
+    }
+
+
+#: Saturation-scale dataset sizes for the multi-device sharding suite.
+#: Below the cost model's ``saturation_threads`` the simulated kernel
+#: time is size-independent, so sub-saturation shards show no scaling;
+#: these sizes put every shardable benchmark's batch dimension well
+#: past saturation even when split four ways.
+SHARD_SIZES: Dict[str, Dict[str, int]] = {
+    "Backprop": {"n": 64, "h": 262_144},
+    "MRI-Q": {"x": 262_144, "k": 64},
+    "Myocyte": {"w": 262_144, "eq": 8, "steps": 3},
+    "LocVolCalib": {"outer": 131_072, "nx": 8, "ny": 8, "numT": 2},
+}
+
+
+def shard_suite(
+    names: Optional[List[str]] = None,
+    seed: int = 0,
+    device_counts: Tuple[int, ...] = (1, 2, 4),
+    executor: str = "vector",
+    device: DeviceProfile = NVIDIA_GTX780TI,
+) -> Dict:
+    """Multi-device scaling of the shardable benchmarks.
+
+    Each benchmark whose entry point :func:`repro.sched.analyze_shardable`
+    proves outermost-dimension data-parallel is executed at
+    saturation-scale sizes (:data:`SHARD_SIZES`) on pools of 1, 2 and 4
+    identical devices.  Results must be bit-identical to the
+    single-device run with zero interpreter fallbacks; the scaling
+    metric is the pool's simulated *makespan* (the longest per-device
+    sum of shard times — wall clock would measure the Python
+    interpreter's threading, not the schedule).  The returned dict is
+    the ``BENCH_shard.json`` payload (schema ``repro.bench_shard/v1``);
+    CI gates on ``geomean_speedup_4x >= 2``.
+    """
+    import time
+
+    from ..pipeline import compile_cache_key
+    from ..sched import DevicePool, analyze_shardable
+
+    logger = get_logger("bench")
+    names = [n for n in (names or list(SHARD_SIZES)) if n in SHARD_SIZES]
+    max_count = max(device_counts)
+    benchmarks: Dict[str, Dict] = {}
+    for name in names:
+        spec = BENCHMARKS[name]
+        prog = spec.program()
+        info = analyze_shardable(prog)
+        if info is None:
+            raise ValidationError(
+                f"{name}: expected a shardable entry point"
+            )
+        sizes = SHARD_SIZES[name]
+        args = spec.args_at(np.random.default_rng(seed), sizes)
+        compiled = compile_program(prog)
+        key = compile_cache_key(prog, CompilerOptions())
+        baseline = None
+        row: Dict = {
+            "sizes": dict(sizes),
+            "batch_dim": info.dim,
+            "batch": info.batch_size(args),
+            "devices": {},
+        }
+        for count in device_counts:
+            # A tall hedge floor: this suite measures the *schedule*,
+            # and a spurious hedge would double-count shard work.
+            pool = DevicePool([device] * count, hedge_min_wall_s=30.0)
+            with pool:
+                t0 = time.perf_counter()
+                values, cost, report, placement = pool.run(
+                    compiled.host,
+                    compiled.core,
+                    args,
+                    executor=executor,
+                    entry="main",
+                    run_id=f"shard/{name}/x{count}",
+                    batch_info=info,
+                    key=key,
+                )
+                wall_s = time.perf_counter() - t0
+            if report.fallbacks:
+                raise ValidationError(
+                    f"{name} x{count}: sharded run degraded to the "
+                    f"interpreter ({report.summary()})"
+                )
+            if baseline is None:
+                baseline = values
+            else:
+                for e, g in zip(baseline, values):
+                    if not np.array_equal(e.data, g.data):
+                        raise ValidationError(
+                            f"{name} x{count}: sharded result is not "
+                            "bit-identical to the single-device run"
+                        )
+            makespan = placement["makespan_us"] or cost.total_us
+            row["devices"][str(count)] = {
+                "mode": placement["mode"],
+                "shards": len(placement["shards"]),
+                "makespan_us": makespan,
+                "total_us": cost.total_us,
+                "wall_s": wall_s,
+            }
+            logger.debug(
+                "shard-row", benchmark=name, devices=count,
+                makespan_us=makespan, mode=placement["mode"],
+            )
+        base_us = row["devices"][str(device_counts[0])]["makespan_us"]
+        top_us = row["devices"][str(max_count)]["makespan_us"]
+        row["speedup_4x"] = base_us / top_us if top_us > 0 else 0.0
+        benchmarks[name] = row
+    speedups = [b["speedup_4x"] for b in benchmarks.values()]
+    geomean = float(np.exp(np.mean(np.log(speedups)))) if speedups else 0.0
+    return {
+        "schema": "repro.bench_shard/v1",
+        "device": device.name,
+        "executor": executor,
+        "seed": seed,
+        "device_counts": list(device_counts),
+        "benchmarks": benchmarks,
+        "geomean_speedup_4x": geomean,
     }
 
 

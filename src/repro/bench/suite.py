@@ -32,6 +32,11 @@ class BenchmarkSpec:
     def perf_args(self, rng):
         return self.module.small_args(rng, self.dataset.perf)
 
+    def args_at(self, rng, sizes: Dict[str, int]):
+        """Arguments at arbitrary sizes (e.g. the sharding suite's
+        saturation-scale datasets)."""
+        return self.module.small_args(rng, sizes)
+
     def reference(self):
         return self.module.reference()
 

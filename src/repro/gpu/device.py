@@ -10,8 +10,17 @@ called out for LocVolCalib).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Dict, List
 
-__all__ = ["DeviceProfile", "NVIDIA_GTX780TI", "AMD_W8100"]
+__all__ = [
+    "DeviceProfile",
+    "NVIDIA_GTX780TI",
+    "AMD_W8100",
+    "SIM_SMALL",
+    "PROFILES",
+    "resolve_profile",
+    "parse_pool_spec",
+]
 
 
 @dataclass(frozen=True)
@@ -102,3 +111,71 @@ AMD_W8100 = DeviceProfile(
     clock_mhz=824.0,  # engine clock of the FirePro W8100
     memory_bytes=8 * 1024**3,  # 8 GB GDDR5
 )
+
+# A deliberately weaker profile for heterogeneous-pool experiments:
+# roughly half the bandwidth and compute of the GTX 780 Ti, saturating
+# at far fewer threads, with a small memory.  Not a real card.
+SIM_SMALL = DeviceProfile(
+    name="Simulated small GPU",
+    bandwidth_gbs=120.0,
+    peak_gflops=2000.0,
+    compute_efficiency=0.35,
+    launch_overhead_us=25.0,
+    uncoalesced_penalty=8.0,
+    gather_penalty=6.0,
+    warp=32,
+    block=128,
+    local_bandwidth_ratio=12.0,
+    transpose_efficiency=0.45,
+    saturation_threads=15_000,
+    time_tiling_efficiency=0.5,
+    host_sync_us=3.0,
+    clock_mhz=800.0,
+    memory_bytes=1 * 1024**3,  # 1 GB
+)
+
+#: Named registry used by CLI flags (``--device-profile``) and
+#: heterogeneous pool specs (``--devices 2xbig,2xsmall``).
+PROFILES: Dict[str, DeviceProfile] = {
+    "gtx780ti": NVIDIA_GTX780TI,
+    "w8100": AMD_W8100,
+    "small": SIM_SMALL,
+    # Convenience aliases for pool specs.
+    "big": NVIDIA_GTX780TI,
+}
+
+
+def resolve_profile(name: str) -> DeviceProfile:
+    """Look up a named profile; raises ``ValueError`` on unknown names."""
+    key = name.strip().lower()
+    if key not in PROFILES:
+        known = ", ".join(sorted(PROFILES))
+        raise ValueError(f"unknown device profile {name!r} (known: {known})")
+    return PROFILES[key]
+
+
+def parse_pool_spec(spec: str) -> List[DeviceProfile]:
+    """Parse a device-pool spec into a list of profiles.
+
+    Accepted forms (comma-separated terms):
+      - ``"4"`` — four copies of the default profile (gtx780ti)
+      - ``"2xbig,2xsmall"`` — counts of named profiles
+      - ``"gtx780ti,w8100"`` — one device per named profile
+    """
+    profiles: List[DeviceProfile] = []
+    for term in spec.split(","):
+        term = term.strip()
+        if not term:
+            continue
+        if term.isdigit():
+            profiles.extend([PROFILES["gtx780ti"]] * int(term))
+            continue
+        if "x" in term:
+            head, _, tail = term.partition("x")
+            if head.isdigit():
+                profiles.extend([resolve_profile(tail)] * int(head))
+                continue
+        profiles.append(resolve_profile(term))
+    if not profiles:
+        raise ValueError(f"empty device-pool spec {spec!r}")
+    return profiles

@@ -24,6 +24,7 @@ always reaches a correct result.
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional
 
@@ -58,6 +59,11 @@ class FaultPlan:
     #: watchdog timeout (must comfortably exceed the simulator's
     #: watchdog factor *and* its floor, even for microsecond kernels).
     timeout_slowdown: float = 1000.0
+    #: Real wall-clock delay (seconds) inserted before every kernel
+    #: launch.  Unlike every other knob — which operates on *simulated*
+    #: time — this one actually sleeps, making the device a wall-clock
+    #: straggler; the pool's hedging layer is tested against it.
+    wall_delay_s: float = 0.0
 
     def injector(self) -> "FaultInjector":
         """A fresh, deterministic injector for one resilient execution
@@ -183,6 +189,8 @@ class FaultInjector:
         """Called before a kernel launch; raises :class:`DeviceFault`
         when the plan injects a launch or memory fault here."""
         plan = self.plan
+        if plan.wall_delay_s > 0.0:
+            time.sleep(plan.wall_delay_s)
         draw = self._rng.random()
         fatal_draw = self._rng.random()
         key = f"{site}#device"

@@ -36,7 +36,24 @@ from typing import Dict, Optional
 
 from ..errors import DeviceOOM
 
-__all__ = ["DeviceHeap", "HeapStats"]
+__all__ = ["DeviceHeap", "HeapStats", "HeapLifetime"]
+
+
+@dataclass
+class HeapLifetime:
+    """Accumulated accounting across all runs served by one heap.
+
+    A pooled device keeps one :class:`DeviceHeap` for its whole life;
+    :meth:`DeviceHeap.reset_run` folds each finished run's stats into
+    this record before zeroing the per-run view.
+    """
+
+    runs: int = 0
+    alloc_count: int = 0
+    free_count: int = 0
+    reuse_count: int = 0
+    total_alloc_bytes: int = 0
+    peak_bytes: int = 0
 
 
 @dataclass
@@ -61,7 +78,26 @@ class DeviceHeap:
     def __init__(self, capacity_bytes: Optional[int] = None) -> None:
         self.capacity_bytes = capacity_bytes
         self.stats = HeapStats()
+        self.lifetime = HeapLifetime()
         self._live: Dict[str, int] = {}
+
+    def reset_run(self) -> None:
+        """Start a fresh run on a persistent heap.
+
+        Folds the finished run's stats into :attr:`lifetime`, then
+        zeroes the per-run stats and drops all live blocks (a run
+        leaves nothing resident between requests).
+        """
+        self.lifetime.runs += 1
+        self.lifetime.alloc_count += self.stats.alloc_count
+        self.lifetime.free_count += self.stats.free_count
+        self.lifetime.reuse_count += self.stats.reuse_count
+        self.lifetime.total_alloc_bytes += self.stats.total_alloc_bytes
+        self.lifetime.peak_bytes = max(
+            self.lifetime.peak_bytes, self.stats.peak_bytes
+        )
+        self.stats = HeapStats()
+        self._live = {}
 
     # -- queries ----------------------------------------------------------
 

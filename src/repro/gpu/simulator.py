@@ -82,6 +82,8 @@ class GpuSimulator:
         trace_track: str = "sim-gpu",
         deadline=None,
         predictions: Optional[Mapping[str, KernelCost]] = None,
+        metric_prefix: str = "gpu",
+        heap: Optional[DeviceHeap] = None,
     ) -> None:
         self.device = device
         self.coalescing = coalescing
@@ -110,8 +112,17 @@ class GpuSimulator:
         self._interp = Interpreter(
             prog if prog is not None else A.Prog(()), in_place=in_place
         )
-        #: Replaced with a fresh heap at the start of every run.
-        self.heap = DeviceHeap(device.memory_bytes)
+        #: Prefix for this engine's metric names: a pooled device gets
+        #: its own ``gpu.dev{id}.*`` namespace, standalone runs keep
+        #: the plain ``gpu.*`` names.
+        self.metric_prefix = metric_prefix
+        #: When a persistent heap is supplied (a pooled device's), it
+        #: is reset-per-run rather than replaced, so its lifetime stats
+        #: accumulate across requests.
+        self._external_heap = heap
+        self.heap = (
+            heap if heap is not None else DeviceHeap(device.memory_bytes)
+        )
 
     def run(
         self, hp: HostProgram, args: Sequence[Value]
@@ -127,8 +138,14 @@ class GpuSimulator:
                 arg = arg.copy()
             self._interp.bind_param(env, p, arg)
         report = CostReport(self.device.name)
-        #: Fresh per run: byte accounting against the device capacity.
-        self.heap = DeviceHeap(self.device.memory_bytes)
+        # Fresh per-run byte accounting against the device capacity:
+        # a persistent pool heap is reset (accumulating lifetime
+        # stats), a standalone heap is simply replaced.
+        if self._external_heap is not None:
+            self.heap = self._external_heap
+            self.heap.reset_run()
+        else:
+            self.heap = DeviceHeap(self.device.memory_bytes)
         size_env = self._size_env(env)
         for p in hp.params:
             block = hp.blocks.get(p.name)
@@ -142,11 +159,12 @@ class GpuSimulator:
         report.mem_reuse_count = stats.reuse_count
         metrics = get_metrics()
         if metrics.enabled:
-            metrics.gauge("gpu.mem.peak_bytes").set(stats.peak_bytes)
-            metrics.counter("gpu.mem.allocs").inc(stats.alloc_count)
-            metrics.counter("gpu.mem.frees").inc(stats.free_count)
-            metrics.counter("gpu.mem.reuses").inc(stats.reuse_count)
-            metrics.counter("gpu.mem.alloc_bytes").inc(
+            pfx = self.metric_prefix
+            metrics.gauge(f"{pfx}.mem.peak_bytes").set(stats.peak_bytes)
+            metrics.counter(f"{pfx}.mem.allocs").inc(stats.alloc_count)
+            metrics.counter(f"{pfx}.mem.frees").inc(stats.free_count)
+            metrics.counter(f"{pfx}.mem.reuses").inc(stats.reuse_count)
+            metrics.counter(f"{pfx}.mem.alloc_bytes").inc(
                 stats.total_alloc_bytes
             )
         return results, report
@@ -251,8 +269,9 @@ class GpuSimulator:
                     )
                 metrics = get_metrics()
                 if metrics.enabled:
-                    metrics.counter("gpu.manifests").inc()
-                    metrics.counter("gpu.manifest_bytes").inc(bytes_moved)
+                    pfx = self.metric_prefix
+                    metrics.counter(f"{pfx}.manifests").inc()
+                    metrics.counter(f"{pfx}.manifest_bytes").inc(bytes_moved)
             elif isinstance(s, AllocStmt):
                 size = s.block.size_bytes(self._size_env(env))
                 self.heap.alloc(
@@ -289,7 +308,7 @@ class GpuSimulator:
         tracer = get_tracer()
         if tracer.enabled:
             tracer.counter(
-                "gpu.mem.live_bytes",
+                f"{self.metric_prefix}.mem.live_bytes",
                 float(self.heap.live_bytes),
                 ts_us=report.total_us,
                 track=self.trace_track,
@@ -371,42 +390,49 @@ class GpuSimulator:
             self._instrument_cache = cache
         inst = cache[1].get(cost.name)
         if inst is None:
+            pfx = self.metric_prefix
             inst = cache[1][cost.name] = {
-                "launches": metrics.counter("gpu.launches", kind=cost.kind),
-                "sim_time_us": metrics.counter("gpu.sim_time_us"),
-                "cycles": metrics.counter("gpu.cycles"),
-                "bytes_effective": metrics.counter("gpu.bytes_effective"),
-                "bytes_raw": metrics.counter("gpu.bytes_raw"),
-                "flops": metrics.counter("gpu.flops"),
-                "kernel_time_us": metrics.histogram("gpu.kernel_time_us"),
+                "launches": metrics.counter(
+                    f"{pfx}.launches", kind=cost.kind
+                ),
+                "sim_time_us": metrics.counter(f"{pfx}.sim_time_us"),
+                "cycles": metrics.counter(f"{pfx}.cycles"),
+                "bytes_effective": metrics.counter(
+                    f"{pfx}.bytes_effective"
+                ),
+                "bytes_raw": metrics.counter(f"{pfx}.bytes_raw"),
+                "flops": metrics.counter(f"{pfx}.flops"),
+                "kernel_time_us": metrics.histogram(
+                    f"{pfx}.kernel_time_us"
+                ),
                 "occupancy": metrics.histogram(
-                    "gpu.occupancy",
+                    f"{pfx}.occupancy",
                     buckets=(0.1, 0.25, 0.5, 0.75, 0.9, 1.0),
                 ),
                 "watchdog_consumed": metrics.histogram(
-                    "gpu.watchdog_consumed",
+                    f"{pfx}.watchdog_consumed",
                     buckets=(0.05, 0.125, 0.25, 0.5, 0.75, 1.0),
                 ),
                 "calib_observations": metrics.counter(
-                    "gpu.calib.observations", kernel=cost.name
+                    f"{pfx}.calib.observations", kernel=cost.name
                 ),
                 "calib_time_rel_err": metrics.histogram(
-                    "gpu.calib.time_rel_err",
+                    f"{pfx}.calib.time_rel_err",
                     buckets=CALIB_ERROR_BUCKETS,
                     kernel=cost.name,
                 ),
                 "calib_cycles_rel_err": metrics.histogram(
-                    "gpu.calib.cycles_rel_err",
+                    f"{pfx}.calib.cycles_rel_err",
                     buckets=CALIB_ERROR_BUCKETS,
                     kernel=cost.name,
                 ),
                 "calib_bytes_rel_err": metrics.histogram(
-                    "gpu.calib.bytes_rel_err",
+                    f"{pfx}.calib.bytes_rel_err",
                     buckets=CALIB_ERROR_BUCKETS,
                     kernel=cost.name,
                 ),
                 "calib_occupancy_diff": metrics.histogram(
-                    "gpu.calib.occupancy_diff",
+                    f"{pfx}.calib.occupancy_diff",
                     buckets=(
                         -0.5, -0.25, -0.1, -0.01, 0.0, 0.01, 0.1, 0.25, 0.5,
                     ),

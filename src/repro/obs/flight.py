@@ -237,6 +237,9 @@ class FlightRecord:
     error: Optional[str] = None
     error_message: Optional[str] = None
     run_report: Optional[Dict[str, Any]] = None
+    #: The device pool's placement decision (mode, candidate scores,
+    #: per-shard assignment/timing, hedges); None for pool-less servers.
+    placement: Optional[Dict[str, Any]] = None
     #: Why this record was dumped (an error class name or "slo_latency");
     #: None when it never was.
     dump_trigger: Optional[str] = None
@@ -319,6 +322,7 @@ class FlightRecorder:
         rungs: Optional[Sequence[str]] = None,
         queue_wait_us: Optional[float] = None,
         cache_hit: Optional[bool] = None,
+        placement: Optional[Dict[str, Any]] = None,
     ) -> FlightRecord:
         """Finalize ``record``, append it to the ring, and dump a
         bundle if a trigger fires.  Never raises from the dump path."""
@@ -339,6 +343,8 @@ class FlightRecorder:
             record.queue_wait_us = queue_wait_us
         if cache_hit is not None:
             record.cache_hit = cache_hit
+        if placement is not None:
+            record.placement = placement
         record.dump_trigger = self._trigger_for(record)
         with self._lock:
             if len(self._ring) == self.capacity:
@@ -393,6 +399,7 @@ class FlightRecorder:
                 metrics, metadata={"run_id": record.request_id}
             ),
             "run_report": record.run_report,
+            "placement": record.placement,
         }
 
     def _dump(self, record: FlightRecord) -> None:
@@ -489,6 +496,31 @@ def render_bundle(bundle: Dict[str, Any], top: int = 10) -> str:
         )
         for ev in report.get("events") or []:
             lines.append(f"  - {ev}")
+    placement = bundle.get("placement")
+    if isinstance(placement, dict):
+        lines.append("")
+        lines.append("== placement ==")
+        lines.append(
+            f"mode={placement.get('mode')} "
+            f"batch_dim={placement.get('batch_dim')} "
+            f"batch={placement.get('batch')} "
+            f"makespan={_fmt_us(placement.get('makespan_us'))} "
+            f"hedges={placement.get('hedges_launched', 0)}"
+        )
+        shard_rows = [
+            [
+                str(s.get("index")),
+                f"[{s.get('lo')}:{s.get('hi')})",
+                str(s.get("device")),
+                _fmt_us(s.get("sim_us")),
+                "yes" if s.get("hedge_won") else "",
+            ]
+            for s in placement.get("shards") or []
+        ]
+        if shard_rows:
+            lines.extend(
+                _table(shard_rows, ["shard", "rows", "dev", "sim", "hedge"])
+            )
     trace = bundle.get("trace") or {}
     events = [
         ev

@@ -208,6 +208,9 @@ def run_resilient(
     seed: Optional[int] = None,
     pass_timings: Optional[List[PassTiming]] = None,
     deadline: Optional[Deadline] = None,
+    trace_track: Optional[str] = None,
+    metric_prefix: str = "gpu",
+    heap=None,
 ) -> Tuple[Tuple[Value, ...], CostReport, RunReport]:
     """Execute ``host`` on the simulated device with retry, watchdog
     and interpreter-fallback semantics.
@@ -227,6 +230,11 @@ def run_resilient(
     :class:`DeadlineExceeded` instead of falling back (the fallback
     would arrive too late to matter).  On failure paths the
     :class:`RunReport` is attached to the raised error as ``.report``.
+
+    ``trace_track``/``metric_prefix``/``heap`` let a device pool give
+    each device its own trace track, metric namespace (``gpu.dev0.*``)
+    and persistent :class:`~repro.gpu.heap.DeviceHeap`; defaults keep
+    single-device behaviour unchanged.
     """
     policy = policy or ExecutionPolicy()
     if policy.executor == "sim":
@@ -240,6 +248,8 @@ def run_resilient(
             f"unknown executor {policy.executor!r} "
             f"(expected 'sim' or 'vector')"
         )
+    if trace_track is not None:
+        base_track = trace_track
     if seed is None and fault_plan is not None:
         seed = fault_plan.seed
     if run_id is None:
@@ -334,6 +344,8 @@ def run_resilient(
                 trace_track=track,
                 deadline=deadline,
                 predictions=predictions,
+                metric_prefix=metric_prefix,
+                heap=heap,
             )
             with tracer.span(
                 f"attempt#{attempt + 1}", "runtime", run_id=run_id

@@ -1,0 +1,815 @@
+"""The device pool: N simulated devices, placement, sharding, hedging.
+
+A :class:`DevicePool` owns N heterogeneous simulated devices.  Each
+:class:`PoolDevice` has its own serial worker thread, persistent
+:class:`~repro.gpu.heap.DeviceHeap` (lifetime-accumulating),
+:class:`~repro.serve.breaker.CircuitBreaker`, optional
+:class:`~repro.gpu.faults.FaultPlan`, and its own observability
+namespace — kernel spans land on the ``gpu.dev{id}`` trace track and
+metrics under ``gpu.dev{id}.*``.
+
+:meth:`DevicePool.run` executes one request:
+
+- **shardable** requests (per :func:`repro.sched.shard.analyze_shardable`)
+  are split across the healthy devices by the :class:`ShardPlanner`
+  (weights = per-device speed from the cost model), executed
+  concurrently, and merged bit-identically;
+- everything else takes **whole-request placement** on the
+  least-estimated-completion-time device (:class:`Placer`), with a
+  program-affinity bonus for devices that already ran this compile key;
+- a shard that exceeds the cost model's predicted wall time by
+  ``hedge_factor`` gets a **hedged duplicate** on another device —
+  first result wins, the loser is cancelled (before start) or
+  discarded (mid-flight), with explicit accounting;
+- a shard whose device *fails* (after the resilient executor's own
+  retries) trips that device's breaker and is re-placed on another
+  healthy device; only when every device has failed it does the error
+  propagate — at which point the server's degradation ladder takes
+  over.
+"""
+
+from __future__ import annotations
+
+import queue as queue_mod
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..core.values import Value
+from ..errors import (
+    DeadlineExceeded,
+    DeviceFault,
+    DeviceOOM,
+    KernelTimeout,
+)
+from ..gpu.costmodel import CostReport
+from ..gpu.device import DeviceProfile
+from ..gpu.faults import FaultPlan
+from ..gpu.heap import DeviceHeap
+from ..obs import (
+    get_logger,
+    get_metrics,
+    get_tracer,
+    thread_metering,
+    thread_tracing,
+)
+from ..runtime import ExecutionPolicy, RunReport, run_resilient
+from ..serve.breaker import BreakerState, CircuitBreaker
+from .placer import Placer
+from .shard import BatchInfo, Shard, ShardPlanner, merge_results, slice_args
+
+__all__ = ["PoolDevice", "DevicePool"]
+
+_log = get_logger("sched")
+
+#: Error classes that indicate *device* trouble (breaker-relevant), as
+#: opposed to program errors or the request's own deadline.
+_DEVICE_ERRORS = (DeviceFault, DeviceOOM, KernelTimeout)
+
+
+@dataclass
+class _Task:
+    """One unit of device work: a whole request or one shard of it."""
+
+    run_id: str
+    host: Any
+    core: Any
+    args: Sequence[Value]
+    entry: str
+    executor: str
+    retries: int
+    coalescing: bool
+    in_place: bool
+    deadline: Any
+    est_us: float
+    shard_index: int
+    lo: int
+    hi: int
+    hedge: bool
+    cancel: threading.Event
+    results: "queue_mod.Queue[_Outcome]"
+    tracer: Any
+    metrics: Any
+    key: Optional[str] = None
+    fault_plan: Optional[FaultPlan] = None
+    pass_timings: Any = None
+
+
+@dataclass
+class _Outcome:
+    task: _Task
+    device_id: int
+    values: Optional[Tuple[Value, ...]] = None
+    cost: Optional[CostReport] = None
+    report: Optional[RunReport] = None
+    error: Optional[BaseException] = None
+    cancelled: bool = False
+    wall_s: float = 0.0
+
+
+class PoolDevice:
+    """One simulated device and its scheduling state."""
+
+    def __init__(
+        self,
+        dev_id: int,
+        profile: DeviceProfile,
+        breaker: CircuitBreaker,
+        fault_plan: Optional[FaultPlan] = None,
+    ) -> None:
+        self.id = dev_id
+        self.profile = profile
+        self.breaker = breaker
+        self.fault_plan = fault_plan
+        #: Persistent across requests: per-run stats are folded into
+        #: ``heap.lifetime`` at the start of every run.
+        self.heap = DeviceHeap(profile.memory_bytes)
+        #: Compile-cache keys this device has executed (the placer's
+        #: program-affinity signal).
+        self.seen_keys: set = set()
+        #: Estimated simulated work queued or in flight, µs.
+        self.backlog_us = 0.0
+        #: Cumulative simulated execution time of completed work, µs.
+        self.busy_us = 0.0
+        self.executed = 0
+        self.failures = 0
+        #: EMA of wall seconds per simulated µs on this device — the
+        #: bridge from cost-model predictions to wall-clock hedge
+        #: deadlines.  None until the first completed task.
+        self.wall_per_sim: Optional[float] = None
+        self.queue: "queue_mod.Queue[Optional[_Task]]" = queue_mod.Queue()
+        self.lock = threading.Lock()
+        self.trace_track = f"gpu.dev{dev_id}"
+        self.metric_prefix = f"gpu.dev{dev_id}"
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self.lock:
+            wall_per_sim = self.wall_per_sim
+            backlog_us = self.backlog_us
+            busy_us = self.busy_us
+            executed = self.executed
+            failures = self.failures
+            seen = len(self.seen_keys)
+        life = self.heap.lifetime
+        return {
+            "id": self.id,
+            "profile": self.profile.name,
+            "breaker": {
+                "state": self.breaker.state.value,
+                "trips": self.breaker.trips,
+                "refusals": self.breaker.refusals,
+                "transitions": dict(self.breaker.transitions),
+            },
+            "executed": executed,
+            "failures": failures,
+            "busy_us": busy_us,
+            "backlog_us": backlog_us,
+            "programs_seen": seen,
+            "wall_per_sim_us": wall_per_sim,
+            "heap_lifetime": {
+                "runs": life.runs,
+                "alloc_count": life.alloc_count,
+                "reuse_count": life.reuse_count,
+                "total_alloc_bytes": life.total_alloc_bytes,
+                "peak_bytes": life.peak_bytes,
+            },
+        }
+
+
+class DevicePool:
+    """N simulated devices behind one placement/sharding scheduler."""
+
+    def __init__(
+        self,
+        profiles: Sequence[DeviceProfile],
+        fault_plans: Optional[Sequence[Optional[FaultPlan]]] = None,
+        breaker_threshold: int = 3,
+        breaker_recovery_s: float = 0.25,
+        min_shard: int = 256,
+        hedge_factor: float = 4.0,
+        hedge_min_wall_s: float = 1.0,
+        affinity_bonus: float = 0.15,
+        placer: Optional[Placer] = None,
+    ) -> None:
+        if not profiles:
+            raise ValueError("a device pool needs at least one device")
+        if fault_plans is not None and len(fault_plans) != len(profiles):
+            raise ValueError(
+                "fault_plans must align with profiles "
+                f"({len(fault_plans)} vs {len(profiles)})"
+            )
+        self.devices: List[PoolDevice] = [
+            PoolDevice(
+                i,
+                profile,
+                CircuitBreaker(
+                    f"dev{i}",
+                    failure_threshold=breaker_threshold,
+                    recovery_s=breaker_recovery_s,
+                ),
+                fault_plans[i] if fault_plans is not None else None,
+            )
+            for i, profile in enumerate(profiles)
+        ]
+        self.planner = ShardPlanner(min_shard)
+        self.placer = placer or Placer(affinity_bonus)
+        self.hedge_factor = hedge_factor
+        self.hedge_min_wall_s = hedge_min_wall_s
+        self.counters: Dict[str, int] = {
+            "requests": 0,
+            "sharded": 0,
+            "whole": 0,
+            "shards_executed": 0,
+            "hedges_launched": 0,
+            "hedges_won": 0,
+            "hedges_wasted": 0,
+            "cancelled_before_start": 0,
+            "replacements": 0,
+        }
+        self._lock = threading.Lock()
+        self._threads: List[threading.Thread] = []
+        self._started = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> "DevicePool":
+        with self._lock:
+            if self._started:
+                return self
+            self._started = True
+        for dev in self.devices:
+            t = threading.Thread(
+                target=self._worker,
+                args=(dev,),
+                name=f"repro-sched-dev{dev.id}",
+                daemon=True,
+            )
+            t.start()
+            self._threads.append(t)
+        _log.info("pool-start", devices=len(self.devices))
+        return self
+
+    def stop(self, timeout: float = 10.0) -> None:
+        with self._lock:
+            if not self._started:
+                return
+            self._started = False
+        for dev in self.devices:
+            dev.queue.put(None)
+        for t in self._threads:
+            t.join(timeout=timeout)
+        self._threads.clear()
+        _log.info("pool-stop")
+
+    def __enter__(self) -> "DevicePool":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # -- the device workers -------------------------------------------------
+
+    def _worker(self, dev: PoolDevice) -> None:
+        while True:
+            task = dev.queue.get()
+            if task is None:
+                return
+            if task.cancel.is_set():
+                with self._lock:
+                    self.counters["cancelled_before_start"] += 1
+                with dev.lock:
+                    dev.backlog_us -= task.est_us
+                task.results.put(
+                    _Outcome(task, dev.id, cancelled=True)
+                )
+                continue
+            outcome = self._execute(dev, task)
+            self._record(dev, task, outcome)
+            task.results.put(outcome)
+
+    def _execute(self, dev: PoolDevice, task: _Task) -> _Outcome:
+        outcome = _Outcome(task, dev.id)
+        t0 = time.monotonic()
+        # Adopt the submitting request's ambient instruments so shard
+        # spans and gpu.dev{id}.* metrics land in that request's
+        # flight record, not whatever this worker saw last.
+        with thread_tracing(task.tracer), thread_metering(task.metrics):
+            tracer = get_tracer()
+            label = f"shard#{task.shard_index}" + (
+                " (hedge)" if task.hedge else ""
+            )
+            with tracer.span(
+                label,
+                "sched",
+                track=dev.trace_track,
+                run_id=task.run_id,
+                device=dev.id,
+                profile=dev.profile.name,
+                rows=f"[{task.lo}:{task.hi})",
+            ) as span:
+                try:
+                    policy = ExecutionPolicy(
+                        executor=task.executor,
+                        fallback=False,
+                        max_retries=task.retries,
+                    )
+                    values, cost, report = run_resilient(
+                        task.host,
+                        task.core,
+                        task.args,
+                        dev.profile,
+                        coalescing=task.coalescing,
+                        in_place=task.in_place,
+                        fault_plan=task.fault_plan,
+                        policy=policy,
+                        entry=task.entry,
+                        run_id=task.run_id,
+                        pass_timings=task.pass_timings,
+                        deadline=task.deadline,
+                        trace_track=dev.trace_track,
+                        metric_prefix=dev.metric_prefix,
+                        heap=dev.heap,
+                    )
+                    outcome.values = values
+                    outcome.cost = cost
+                    outcome.report = report
+                    span.set(outcome="ok", sim_us=cost.total_us)
+                except BaseException as e:
+                    outcome.error = e
+                    span.set(outcome=type(e).__name__)
+        outcome.wall_s = time.monotonic() - t0
+        return outcome
+
+    def _record(
+        self, dev: PoolDevice, task: _Task, outcome: _Outcome
+    ) -> None:
+        if outcome.error is None:
+            dev.breaker.record_success()
+        elif isinstance(outcome.error, _DEVICE_ERRORS):
+            dev.breaker.record_failure()
+        else:
+            # Deadline expiry or a program error: says nothing about
+            # this device's health, but any half-open probe slot
+            # allow() granted must be released.
+            dev.breaker.record_neutral()
+        with dev.lock:
+            dev.backlog_us = max(0.0, dev.backlog_us - task.est_us)
+            if outcome.error is None:
+                dev.executed += 1
+                assert outcome.cost is not None
+                dev.busy_us += outcome.cost.total_us
+                if task.key is not None:
+                    dev.seen_keys.add(task.key)
+                if outcome.cost.total_us > 0:
+                    obs = outcome.wall_s / outcome.cost.total_us
+                    dev.wall_per_sim = (
+                        obs
+                        if dev.wall_per_sim is None
+                        else 0.5 * dev.wall_per_sim + 0.5 * obs
+                    )
+            else:
+                dev.failures += 1
+        with self._lock:
+            self.counters["shards_executed"] += 1
+
+    # -- placement helpers --------------------------------------------------
+
+    def _healthy(self) -> List[PoolDevice]:
+        """Devices whose breaker is not OPEN (non-mutating check: the
+        half-open probe slot is only claimed by an actual submit)."""
+        return [
+            d
+            for d in self.devices
+            if d.breaker.state is not BreakerState.OPEN
+        ]
+
+    def _admit(
+        self,
+        preferred: Optional[int],
+        tried: set,
+    ) -> Optional[PoolDevice]:
+        """Claim a device for one task: the preferred one if its
+        breaker admits it, else the least-backlogged healthy device not
+        yet tried for this shard."""
+        order: List[PoolDevice] = []
+        if preferred is not None:
+            pref = self.devices[preferred]
+            if pref.id not in tried:
+                order.append(pref)
+        rest = [
+            d
+            for d in self._healthy()
+            if d.id not in tried and (preferred is None or d.id != preferred)
+        ]
+        rest.sort(key=lambda d: (d.backlog_us, d.id))
+        order.extend(rest)
+        for dev in order:
+            if dev.breaker.allow():
+                return dev
+        return None
+
+    def _submit(self, dev: PoolDevice, task: _Task) -> None:
+        with dev.lock:
+            dev.backlog_us += task.est_us
+        dev.queue.put(task)
+
+    def _hedge_budget_s(self, dev: PoolDevice, est_us: float) -> float:
+        """How long a task on ``dev`` may run (wall clock) before a
+        hedged duplicate is launched: the cost model's predicted time,
+        converted with the device's observed wall-per-simulated-µs
+        rate, times ``hedge_factor`` — floored so cold pools and tiny
+        requests don't hedge spuriously."""
+        with dev.lock:
+            rate = dev.wall_per_sim
+        if rate is None or est_us <= 0.0:
+            return self.hedge_min_wall_s
+        return max(
+            est_us * rate * self.hedge_factor, self.hedge_min_wall_s
+        )
+
+    # -- the request path ---------------------------------------------------
+
+    def run(
+        self,
+        host,
+        core,
+        args: Sequence[Value],
+        *,
+        executor: str,
+        entry: str,
+        run_id: str,
+        coalescing: bool = True,
+        in_place: bool = True,
+        retries: int = 2,
+        deadline=None,
+        batch_info: Optional[BatchInfo] = None,
+        key: Optional[str] = None,
+        pass_timings=None,
+        default_fault_plan: Optional[FaultPlan] = None,
+    ) -> Tuple[Tuple[Value, ...], CostReport, RunReport, Dict[str, Any]]:
+        """Execute one request across the pool.
+
+        Returns ``(values, cost, report, placement)`` where
+        ``placement`` is a JSON-serialisable record of the decision
+        (candidates, scores, shards, hedges, makespan) for the flight
+        recorder.  Raises the underlying error when every device
+        fails — the caller's degradation ladder takes over from there.
+        """
+        if not self._started:
+            self.start()
+        healthy = self._healthy()
+        if not healthy:
+            raise DeviceFault(
+                "pool", "all device breakers open", transient=True
+            )
+        with self._lock:
+            self.counters["requests"] += 1
+        size_env = self.placer.size_env_for(host, args)
+        candidates: List[Dict[str, Any]] = []
+        est_by_id: Dict[int, float] = {}
+        for d in healthy:
+            est = self.placer.estimate_us(
+                host, size_env, d.profile, coalescing
+            )
+            est_by_id[d.id] = est
+            with d.lock:
+                backlog = d.backlog_us
+                affinity = key is not None and key in d.seen_keys
+            candidates.append(
+                {
+                    "device": d.id,
+                    "profile": d.profile.name,
+                    "backlog_us": backlog,
+                    "est_us": est,
+                    "affinity": affinity,
+                }
+            )
+        batch = (
+            batch_info.batch_size(args) if batch_info is not None else 0
+        )
+        sharded = (
+            batch_info is not None
+            and len(healthy) > 1
+            and batch >= 2 * self.planner.min_shard
+        )
+        placement: Dict[str, Any] = {
+            "mode": "sharded" if sharded else "whole",
+            "batch_dim": batch_info.dim if batch_info is not None else None,
+            "batch": batch if batch_info is not None else None,
+            "candidates": candidates,
+            "skipped_open": [
+                d.id
+                for d in self.devices
+                if d.breaker.state is BreakerState.OPEN
+            ],
+            "shards": [],
+            "makespan_us": 0.0,
+            "hedges_launched": 0,
+            "hedges_won": 0,
+            "replacements": 0,
+        }
+        if sharded:
+            assert batch_info is not None
+            weights = [
+                (d.id, 1.0 / max(est_by_id[d.id], 1e-9)) for d in healthy
+            ]
+            shards = self.planner.plan(batch, weights)
+            with self._lock:
+                self.counters["sharded"] += 1
+        else:
+            chosen = self.placer.choose(candidates)
+            shards = [Shard(0, 0, batch, chosen)]
+            with self._lock:
+                self.counters["whole"] += 1
+        values, cost, report = self._run_shards(
+            shards,
+            placement,
+            host=host,
+            core=core,
+            args=args,
+            executor=executor,
+            entry=entry,
+            run_id=run_id,
+            coalescing=coalescing,
+            in_place=in_place,
+            retries=retries,
+            deadline=deadline,
+            batch_info=batch_info if sharded else None,
+            batch=batch,
+            key=key,
+            pass_timings=pass_timings,
+            default_fault_plan=default_fault_plan,
+            est_by_id=est_by_id,
+        )
+        return values, cost, report, placement
+
+    def _run_shards(
+        self,
+        shards: List[Shard],
+        placement: Dict[str, Any],
+        *,
+        host,
+        core,
+        args,
+        executor,
+        entry,
+        run_id,
+        coalescing,
+        in_place,
+        retries,
+        deadline,
+        batch_info,
+        batch,
+        key,
+        pass_timings,
+        default_fault_plan,
+        est_by_id,
+    ) -> Tuple[Tuple[Value, ...], CostReport, RunReport]:
+        results: "queue_mod.Queue[_Outcome]" = queue_mod.Queue()
+        tracer, metrics = get_tracer(), get_metrics()
+
+        def shard_est(dev_id: int, size: int) -> float:
+            est = est_by_id.get(dev_id)
+            if est is None:
+                # A device outside the original healthy set (recovered
+                # mid-request): price it now.
+                est = self.placer.estimate_us(
+                    host,
+                    self.placer.size_env_for(host, args),
+                    self.devices[dev_id].profile,
+                    coalescing,
+                )
+                est_by_id[dev_id] = est
+            if batch_info is None or batch <= 0:
+                return est
+            return est * (size / batch)
+
+        def make_task(
+            shard: Shard, dev: PoolDevice, hedge: bool
+        ) -> _Task:
+            if batch_info is not None:
+                task_args = slice_args(args, batch_info, shard.lo, shard.hi)
+                suffix = f"/s{shard.index}" + ("h" if hedge else "")
+            else:
+                task_args = args
+                suffix = "/h" if hedge else ""
+            fault_plan = (
+                dev.fault_plan
+                if dev.fault_plan is not None
+                else default_fault_plan
+            )
+            return _Task(
+                run_id=f"{run_id}{suffix}",
+                host=host,
+                core=core,
+                args=task_args,
+                entry=entry,
+                executor=executor,
+                retries=retries,
+                coalescing=coalescing,
+                in_place=in_place,
+                deadline=deadline,
+                est_us=shard_est(dev.id, shard.size),
+                shard_index=shard.index,
+                lo=shard.lo,
+                hi=shard.hi,
+                hedge=hedge,
+                cancel=threading.Event(),
+                results=results,
+                tracer=tracer,
+                metrics=metrics,
+                key=key,
+                fault_plan=fault_plan,
+                pass_timings=pass_timings,
+            )
+
+        # Per-shard coordination state.
+        state: Dict[int, Dict[str, Any]] = {}
+        for shard in shards:
+            tried = {shard.device_id}
+            dev = self._admit(shard.device_id, set())
+            if dev is None:
+                self._abort(state)
+                raise DeviceFault(
+                    "pool", "no device admitted the request",
+                    transient=True,
+                )
+            tried = {dev.id}
+            task = make_task(shard, dev, hedge=False)
+            st = {
+                "shard": shard,
+                "done": False,
+                "outcome": None,
+                "tasks": [task],
+                "tried": tried,
+                "hedged": False,
+                "hedge_at": time.monotonic()
+                + self._hedge_budget_s(dev, task.est_us),
+                "replacements": 0,
+            }
+            state[shard.index] = st
+            self._submit(dev, task)
+        pending = len(shards)
+
+        while pending > 0:
+            if deadline is not None and deadline.expired:
+                self._abort(state)
+                raise DeadlineExceeded(f"{run_id} in the device pool")
+            now = time.monotonic()
+            next_hedge = min(
+                (
+                    st["hedge_at"]
+                    for st in state.values()
+                    if not st["done"] and not st["hedged"]
+                ),
+                default=now + 0.5,
+            )
+            timeout = min(max(next_hedge - now, 0.01), 0.5)
+            try:
+                out = results.get(timeout=timeout)
+            except queue_mod.Empty:
+                out = None
+            if out is not None:
+                st = state[out.task.shard_index]
+                if out.cancelled:
+                    pass  # accounted by the worker
+                elif st["done"]:
+                    # A duplicate finishing after the shard's winner.
+                    if out.error is None:
+                        with self._lock:
+                            self.counters["hedges_wasted"] += 1
+                elif out.error is None:
+                    st["done"] = True
+                    st["outcome"] = out
+                    pending -= 1
+                    if out.task.hedge:
+                        with self._lock:
+                            self.counters["hedges_won"] += 1
+                        placement["hedges_won"] += 1
+                    for t in st["tasks"]:
+                        if t is not out.task:
+                            t.cancel.set()
+                elif isinstance(out.error, _DEVICE_ERRORS):
+                    # Re-place the shard on another healthy device; the
+                    # error only propagates when every device failed.
+                    replacement = self._admit(None, st["tried"])
+                    if replacement is None:
+                        self._abort(state)
+                        raise out.error
+                    st["tried"].add(replacement.id)
+                    st["replacements"] += 1
+                    with self._lock:
+                        self.counters["replacements"] += 1
+                    placement["replacements"] += 1
+                    task = make_task(
+                        st["shard"], replacement, hedge=out.task.hedge
+                    )
+                    st["tasks"].append(task)
+                    self._submit(replacement, task)
+                    _log.debug(
+                        "shard-replaced",
+                        run_id=run_id,
+                        shard=out.task.shard_index,
+                        failed_device=out.device_id,
+                        new_device=replacement.id,
+                    )
+                else:
+                    # Deadline or program error: identical everywhere.
+                    self._abort(state)
+                    raise out.error
+            # Straggler mitigation: any shard past its hedge deadline
+            # gets one duplicate on a different device.
+            now = time.monotonic()
+            for st in state.values():
+                if st["done"] or st["hedged"] or now < st["hedge_at"]:
+                    continue
+                dev = self._admit(None, st["tried"])
+                st["hedged"] = True  # one hedge per shard, tops
+                if dev is None:
+                    continue
+                st["tried"].add(dev.id)
+                hedge_task = make_task(st["shard"], dev, hedge=True)
+                st["tasks"].append(hedge_task)
+                with self._lock:
+                    self.counters["hedges_launched"] += 1
+                placement["hedges_launched"] += 1
+                self._submit(dev, hedge_task)
+                _log.debug(
+                    "hedge-launched",
+                    run_id=run_id,
+                    shard=st["shard"].index,
+                    device=dev.id,
+                )
+
+        # Every shard has a winner: merge in shard order, aggregate the
+        # winning outcomes' cost/report, compute the parallel makespan.
+        ordered = [state[s.index]["outcome"] for s in shards]
+        pool_name = f"pool({len(self.devices)} devices)"
+        cost = CostReport(pool_name)
+        report = RunReport(pool_name, run_id=run_id)
+        per_device_us: Dict[int, float] = {}
+        for out in ordered:
+            cost.merge(out.cost)
+            report.attempts += out.report.attempts
+            report.retries += out.report.retries
+            report.transient_faults += out.report.transient_faults
+            report.fatal_faults += out.report.fatal_faults
+            report.timeouts += out.report.timeouts
+            report.fallbacks += out.report.fallbacks
+            report.ooms += out.report.ooms
+            report.backoff_us += out.report.backoff_us
+            report.events.extend(out.report.events)
+            per_device_us[out.device_id] = (
+                per_device_us.get(out.device_id, 0.0)
+                + out.cost.total_us
+            )
+            st = state[out.task.shard_index]
+            placement["shards"].append(
+                {
+                    "index": out.task.shard_index,
+                    "lo": out.task.lo,
+                    "hi": out.task.hi,
+                    "device": out.device_id,
+                    "sim_us": out.cost.total_us,
+                    "wall_s": out.wall_s,
+                    "hedge_won": out.task.hedge,
+                    "replacements": st["replacements"],
+                }
+            )
+        placement["makespan_us"] = max(per_device_us.values(), default=0.0)
+        if pass_timings:
+            report.pass_timings = list(pass_timings)
+        if batch_info is not None:
+            values = merge_results(
+                [out.values for out in ordered], batch_info.n_results
+            )
+            report.events.append(
+                f"sharded over {len(shards)} devices "
+                f"(batch {batch}, makespan "
+                f"{placement['makespan_us']:.0f}us)"
+            )
+        else:
+            values = ordered[0].values
+        return values, cost, report
+
+    def _abort(self, state: Dict[int, Dict[str, Any]]) -> None:
+        """Cancel everything still outstanding for this request (tasks
+        not yet started are skipped by their worker; mid-flight tasks
+        finish and are discarded)."""
+        for st in state.values():
+            for t in st["tasks"]:
+                t.cancel.set()
+
+    # -- health -------------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """A JSON-serialisable snapshot for ``Server.health()``."""
+        with self._lock:
+            counters = dict(self.counters)
+        return {
+            "devices": [d.snapshot() for d in self.devices],
+            "min_shard": self.planner.min_shard,
+            "hedge_factor": self.hedge_factor,
+            **counters,
+        }

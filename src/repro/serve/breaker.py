@@ -23,7 +23,7 @@ from __future__ import annotations
 import enum
 import threading
 import time
-from typing import Callable
+from typing import Callable, Dict
 
 __all__ = ["BreakerState", "CircuitBreaker"]
 
@@ -58,6 +58,10 @@ class CircuitBreaker:
         #: Lifetime accounting, for ``Server.health()``.
         self.trips = 0
         self.refusals = 0
+        #: Per-edge state-transition counts (``"closed->open"``,
+        #: ``"open->half-open"``, ...), so routing decisions driven by
+        #: breaker state stay auditable after the fact.
+        self.transitions: Dict[str, int] = {}
 
     # -- queries ------------------------------------------------------------
 
@@ -73,9 +77,17 @@ class CircuitBreaker:
             self._state is BreakerState.OPEN
             and self._clock() - self._opened_at >= self.recovery_s
         ):
-            self._state = BreakerState.HALF_OPEN
+            self._set_state_locked(BreakerState.HALF_OPEN)
             self._probe_inflight = False
         return self._state
+
+    def _set_state_locked(self, new: BreakerState) -> None:
+        old = self._state
+        if old is new:
+            return
+        edge = f"{old.value}->{new.value}"
+        self.transitions[edge] = self.transitions.get(edge, 0) + 1
+        self._state = new
 
     # -- the serving-path API ----------------------------------------------
 
@@ -99,7 +111,7 @@ class CircuitBreaker:
         with self._lock:
             self._consecutive_failures = 0
             if self._state_locked() is not BreakerState.CLOSED:
-                self._state = BreakerState.CLOSED
+                self._set_state_locked(BreakerState.CLOSED)
             self._probe_inflight = False
 
     def record_neutral(self) -> None:
@@ -130,7 +142,7 @@ class CircuitBreaker:
                 self._trip_locked()
 
     def _trip_locked(self) -> None:
-        self._state = BreakerState.OPEN
+        self._set_state_locked(BreakerState.OPEN)
         self._opened_at = self._clock()
         self._consecutive_failures = 0
         self._probe_inflight = False

@@ -20,7 +20,13 @@ the full robustness ladder wired in:
   device-class failures; tripped or faulting rungs are skipped and the
   request degrades down the ladder, ending at the reference
   interpreter, which cannot suffer device faults.  A request therefore
-  only fails outright on a *program* error (or its own deadline).
+  only fails outright on a *program* error (or its own deadline);
+- **multi-device scheduling** — a server constructed with ``devices``
+  runs its device rungs on a :class:`repro.sched.DevicePool`:
+  cost-model placement across heterogeneous simulated devices,
+  outermost-dimension batch sharding with bit-identical merging,
+  per-device circuit breakers and hedged straggler duplicates (see
+  :mod:`repro.sched`).
 
 Results are delivered through :class:`ResultHandle` (event-based, no
 executor framework), and ``Server.health()``/``repro.obs`` metrics
@@ -59,6 +65,7 @@ from ..pipeline import (
     compile_program,
 )
 from ..runtime import ExecutionPolicy, RunReport, run_resilient
+from ..sched import BatchInfo, DevicePool, analyze_shardable
 from .breaker import CircuitBreaker
 from .cache import CompileCache
 from .deadline import Deadline
@@ -131,6 +138,9 @@ class ServeResult:
     run_report: Optional[RunReport] = None
     #: Rungs that were tried and failed (or were skipped open).
     degraded_from: List[str] = field(default_factory=list)
+    #: The device pool's placement decision for the successful rung
+    #: (None on pool-less servers and interp-rung results).
+    placement: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
@@ -179,6 +189,11 @@ class _Work:
     #: Whether the compile was already cached when the request arrived
     #: (recorded into the request's flight record).
     cache_hit: bool = False
+    #: The request's compile-cache key (the pool's affinity signal).
+    key: str = ""
+    #: Outermost-dimension shardability of the entry point (None when
+    #: not shardable or the server has no device pool).
+    batch_info: Optional[BatchInfo] = None
 
 
 class Server:
@@ -215,6 +230,18 @@ class Server:
         #: and terminal device errors (or SLO-breaching latencies)
         #: auto-dump a ``flightrec-<run_id>.json`` bundle.
         flight_recorder: Optional[FlightRecorder] = None,
+        #: Optional multi-device pool: when set, device rungs execute
+        #: on these (possibly heterogeneous) simulated devices with
+        #: cost-model placement, batch sharding and hedged stragglers
+        #: instead of on the single ``device``.
+        devices: Optional[Sequence[DeviceProfile]] = None,
+        #: Per-device fault plans for the pool (aligned with
+        #: ``devices``); a device without a plan inherits the rung's
+        #: ``fault_plans`` entry.
+        device_fault_plans: Optional[Sequence[Any]] = None,
+        min_shard: int = 256,
+        hedge_factor: float = 4.0,
+        hedge_min_wall_s: float = 1.0,
     ) -> None:
         if default_executor not in ladder:
             raise ValueError(
@@ -261,6 +288,23 @@ class Server:
             "errors": 0,
         }
         self._per_backend: Dict[str, int] = {}
+        self.pool: Optional[DevicePool] = (
+            DevicePool(
+                devices,
+                fault_plans=device_fault_plans,
+                breaker_threshold=breaker_threshold,
+                breaker_recovery_s=breaker_recovery_s,
+                min_shard=min_shard,
+                hedge_factor=hedge_factor,
+                hedge_min_wall_s=hedge_min_wall_s,
+            )
+            if devices
+            else None
+        )
+        #: Shardability analyses, keyed by compile-cache key (the
+        #: analysis runs on the pre-compilation program, once per
+        #: program rather than once per request).
+        self._batch_infos: Dict[str, Optional[BatchInfo]] = {}
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -277,6 +321,8 @@ class Server:
             )
             t.start()
             self._threads.append(t)
+        if self.pool is not None:
+            self.pool.start()
         _log.info("server-start", workers=self._n_workers)
         return self
 
@@ -293,6 +339,8 @@ class Server:
         if stuck:  # pragma: no cover - would be a worker deadlock bug
             raise RuntimeError(f"worker threads failed to exit: {stuck}")
         self._threads.clear()
+        if self.pool is not None:
+            self.pool.stop(timeout=timeout)
         _log.info("server-stop")
 
     def __enter__(self) -> "Server":
@@ -360,9 +408,19 @@ class Server:
             )
             return handle
         lane = self._classify(compiled, request.args)
+        batch_info: Optional[BatchInfo] = None
+        if self.pool is not None:
+            if key not in self._batch_infos:
+                # The analysis runs on the *pre-compilation* program
+                # (compilation restructures it but preserves the
+                # row-independence the analysis proves).
+                self._batch_infos[key] = analyze_shardable(
+                    request.program, request.entry
+                )
+            batch_info = self._batch_infos[key]
         work = _Work(
             request, handle, compiled, deadline, lane, submitted_at,
-            cache_hit=cache_hit,
+            cache_hit=cache_hit, key=key, batch_info=batch_info,
         )
         if not self.queue.offer(work, lane):
             self._complete_shed(handle, "admission queue full", lane)
@@ -526,6 +584,7 @@ class Server:
                 + ([result.backend] if result.backend else []),
                 queue_wait_us=queue_wait_us,
                 cache_hit=work.cache_hit,
+                placement=result.placement,
             )
 
     def _traced_execute(self, work: _Work) -> ServeResult:
@@ -606,21 +665,42 @@ class Server:
                 max_retries=self.retries_per_rung,
             )
             recorded = False
+            placement: Optional[Dict[str, Any]] = None
             try:
-                values, _cost, run_report = run_resilient(
-                    compiled.host,
-                    compiled.core,
-                    request.args,
-                    self.device,
-                    coalescing=self.options.coalescing,
-                    in_place=self.options.in_place,
-                    fault_plan=self.fault_plans.for_backend(rung),
-                    policy=policy,
-                    entry=request.entry,
-                    run_id=request.request_id,
-                    pass_timings=compiled.pass_timings,
-                    deadline=deadline,
-                )
+                if self.pool is not None:
+                    values, _cost, run_report, placement = self.pool.run(
+                        compiled.host,
+                        compiled.core,
+                        request.args,
+                        executor=rung,
+                        entry=request.entry,
+                        run_id=request.request_id,
+                        coalescing=self.options.coalescing,
+                        in_place=self.options.in_place,
+                        retries=self.retries_per_rung,
+                        deadline=deadline,
+                        batch_info=work.batch_info,
+                        key=work.key,
+                        pass_timings=compiled.pass_timings,
+                        default_fault_plan=self.fault_plans.for_backend(
+                            rung
+                        ),
+                    )
+                else:
+                    values, _cost, run_report = run_resilient(
+                        compiled.host,
+                        compiled.core,
+                        request.args,
+                        self.device,
+                        coalescing=self.options.coalescing,
+                        in_place=self.options.in_place,
+                        fault_plan=self.fault_plans.for_backend(rung),
+                        policy=policy,
+                        entry=request.entry,
+                        run_id=request.request_id,
+                        pass_timings=compiled.pass_timings,
+                        deadline=deadline,
+                    )
             except DeadlineExceeded as e:
                 # No rung further down could finish in time either.
                 return ServeResult(
@@ -650,7 +730,7 @@ class Server:
                 return ServeResult(
                     request.request_id, "ok", values=tuple(values),
                     backend=rung, lane=work.lane, run_report=run_report,
-                    degraded_from=degraded_from,
+                    degraded_from=degraded_from, placement=placement,
                 )
             finally:
                 if not recorded:
@@ -694,6 +774,7 @@ class Server:
                     "state": b.state.value,
                     "trips": b.trips,
                     "refusals": b.refusals,
+                    "transitions": dict(b.transitions),
                 }
                 for rung, b in self.breakers.items()
             },
@@ -701,6 +782,8 @@ class Server:
             "lanes": lanes,
             **counts,
         }
+        if self.pool is not None:
+            out["pool"] = self.pool.stats()
         if self.flight_recorder is not None:
             out["flight_recorder"] = self.flight_recorder.stats()
         return out

@@ -46,6 +46,8 @@ class VectorEngine(GpuSimulator):
         trace_track: str = "vm-vector",
         deadline=None,
         predictions=None,
+        metric_prefix: str = "gpu",
+        heap=None,
     ) -> None:
         super().__init__(
             device,
@@ -58,6 +60,8 @@ class VectorEngine(GpuSimulator):
             trace_track=trace_track,
             deadline=deadline,
             predictions=predictions,
+            metric_prefix=metric_prefix,
+            heap=heap,
         )
         self._vec = VectorEvaluator(
             prog if prog is not None else A.Prog(()), in_place=in_place

@@ -1,0 +1,81 @@
+"""Property tests for the shard planner's partition guarantee.
+
+Every plan the :class:`repro.sched.ShardPlanner` produces must be an
+*exact* partition of the batch's index space: contiguous, disjoint,
+complete and order-preserving — for arbitrary batch sizes, device
+pools (including zero-, negative- and equal-weight devices) and
+minimum shard granularities.  Merging sharded results is a plain
+concatenation, so any violation here would corrupt results silently.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sched import ShardPlanner
+
+DEVICES = st.lists(
+    st.tuples(
+        st.integers(0, 63),
+        st.floats(
+            -1.0, 1e6, allow_nan=False, allow_infinity=False
+        ),
+    ),
+    min_size=0,
+    max_size=12,
+    unique_by=lambda dw: dw[0],
+)
+
+
+@settings(max_examples=300, deadline=None)
+@given(
+    batch=st.integers(-5, 100_000),
+    devices=DEVICES,
+    min_shard=st.integers(1, 4096),
+)
+def test_plan_partitions_index_space_exactly(batch, devices, min_shard):
+    planner = ShardPlanner(min_shard)
+    shards = planner.plan(batch, devices)
+    if batch <= 0 or not devices:
+        assert shards == []
+        return
+    # Non-empty input always yields a plan covering the whole batch.
+    assert shards, "a positive batch with devices must be planned"
+    # Contiguous, ordered, disjoint and complete: shard i+1 starts
+    # exactly where shard i ended, from 0 to batch.
+    assert shards[0].lo == 0
+    assert shards[-1].hi == batch
+    for prev, cur in zip(shards, shards[1:]):
+        assert prev.hi == cur.lo
+        assert cur.index == prev.index + 1
+    assert shards[0].index == 0
+    # Every shard is non-empty and on a real device, at most one shard
+    # per device.
+    ids = [s.device_id for s in shards]
+    assert len(set(ids)) == len(ids)
+    known = {d for d, _ in devices}
+    for s in shards:
+        assert s.size > 0
+        assert s.device_id in known
+    # The min-shard floor holds whenever more than one device is used
+    # (a single shard may be smaller than the floor: someone must run
+    # the request).
+    if len(shards) > 1:
+        assert all(s.size >= min_shard for s in shards)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    batch=st.integers(1, 100_000),
+    devices=DEVICES.filter(bool),
+    min_shard=st.integers(1, 4096),
+)
+def test_plan_is_deterministic(batch, devices, min_shard):
+    planner = ShardPlanner(min_shard)
+    assert planner.plan(batch, devices) == planner.plan(batch, devices)
+
+
+def test_weights_bias_shard_sizes():
+    planner = ShardPlanner(min_shard=1)
+    shards = planner.plan(1000, [(0, 3.0), (1, 1.0)])
+    by_dev = {s.device_id: s.size for s in shards}
+    assert by_dev[0] > by_dev[1]
+    assert by_dev[0] + by_dev[1] == 1000

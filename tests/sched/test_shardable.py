@@ -1,0 +1,81 @@
+"""Unit tests for the shardability analysis and slice/merge helpers.
+
+The ground truth here was established empirically: for each benchmark,
+slicing the batch arguments, running the slices separately and
+concatenating was compared against the whole run.  The analysis must
+find exactly the four entry points where that transformation is sound
+— and, just as importantly, must *reject* the other twelve.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.suite import BENCHMARKS
+from repro.bench.programs import ALL_NAMES
+from repro.core.values import ArrayValue
+from repro.sched import BatchInfo, analyze_shardable, merge_results, slice_args
+
+#: Entry points that are data-parallel along their outermost dimension,
+#: and the batch dimension the analysis must identify.
+SHARDABLE = {
+    "Backprop": "h",
+    "Myocyte": "w",
+    "LocVolCalib": "outer",
+    "MRI-Q": "x",
+}
+
+
+@pytest.mark.parametrize("name", list(ALL_NAMES))
+def test_analysis_matches_ground_truth(name):
+    info = analyze_shardable(BENCHMARKS[name].program())
+    if name in SHARDABLE:
+        assert info is not None, f"{name} must be shardable"
+        assert info.dim == SHARDABLE[name]
+        assert info.arg_indices
+        assert info.n_results >= 1
+    else:
+        assert info is None, f"{name} must NOT be shardable"
+
+
+def test_unknown_entry_is_not_shardable():
+    prog = BENCHMARKS["Backprop"].program()
+    assert analyze_shardable(prog, entry="nope") is None
+
+
+def test_batch_size_reads_leading_dimension():
+    spec = BENCHMARKS["Backprop"]
+    info = analyze_shardable(spec.program())
+    args = spec.args_at(np.random.default_rng(0), {"n": 8, "h": 32})
+    assert info.batch_size(args) == 32
+
+
+def test_slice_then_merge_roundtrips():
+    spec = BENCHMARKS["Backprop"]
+    info = analyze_shardable(spec.program())
+    args = spec.args_at(np.random.default_rng(1), {"n": 8, "h": 32})
+    lo_part = slice_args(args, info, 0, 10)
+    hi_part = slice_args(args, info, 10, 32)
+    batch = set(info.arg_indices)
+    for i, (orig, a, b) in enumerate(zip(args, lo_part, hi_part)):
+        if i in batch:
+            rebuilt = np.concatenate([a.data, b.data], axis=0)
+            assert np.array_equal(rebuilt, orig.data)
+            # Slices are copies: mutating one must not alias the
+            # request's arrays.
+            assert not np.shares_memory(a.data, orig.data)
+        else:
+            assert a is orig and b is orig
+    # merge_results concatenates per result position in shard order.
+    parts = [
+        (ArrayValue(np.arange(6).reshape(3, 2), None),),
+        (ArrayValue(np.arange(6, 10).reshape(2, 2), None),),
+    ]
+    (merged,) = merge_results(parts, 1)
+    assert np.array_equal(merged.data, np.arange(10).reshape(5, 2))
+
+
+def test_batch_info_is_hashable_and_frozen():
+    info = BatchInfo("d", (0, 1), 2)
+    assert hash(info) == hash(BatchInfo("d", (0, 1), 2))
+    with pytest.raises(Exception):
+        info.dim = "e"

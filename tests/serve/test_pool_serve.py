@@ -1,0 +1,118 @@
+"""Server-level integration of the device pool: pooled rungs, health
+surface, flight-record placement, and chaos routing."""
+
+import numpy as np
+
+from repro.bench.suite import BENCHMARKS
+from repro.core.values import values_equal
+from repro.gpu.device import AMD_W8100, NVIDIA_GTX780TI, SIM_SMALL
+from repro.gpu.faults import FaultPlan
+from repro.interp import run_program
+from repro.obs.export import validate_flight_bundle
+from repro.obs.flight import FlightRecorder
+from repro.serve.breaker import BreakerState
+from repro.serve.server import Server, ServeRequest
+
+BROKEN = FaultPlan(seed=0, launch_failure_rate=1.0, max_consecutive=10**9)
+
+
+def _backprop(h=512):
+    spec = BENCHMARKS["Backprop"]
+    prog = spec.program()
+    args = spec.args_at(np.random.default_rng(9), {"n": 16, "h": h})
+    return prog, args
+
+
+def test_pooled_server_shards_and_reports_placement():
+    prog, args = _backprop()
+    expected = run_program(prog, args)
+    with Server(
+        workers=2,
+        devices=[NVIDIA_GTX780TI, AMD_W8100, SIM_SMALL],
+        min_shard=16,
+    ) as server:
+        result = server.call(
+            ServeRequest(prog, args), timeout=60
+        ).raise_for_status()
+        health = server.health()
+    assert result.ok and result.backend == "vector"
+    assert result.placement is not None
+    assert result.placement["mode"] == "sharded"
+    assert len(result.placement["shards"]) > 1
+    assert all(
+        values_equal(e, g) for e, g in zip(expected, result.values)
+    )
+    pool = health["pool"]
+    assert pool["requests"] == 1 and pool["sharded"] == 1
+    assert len(pool["devices"]) == 3
+    for d in pool["devices"]:
+        assert "transitions" in d["breaker"]
+        assert "heap_lifetime" in d
+    # The rung breakers expose transition counts too.
+    assert "transitions" in health["breakers"]["vector"]
+
+
+def test_pool_less_server_has_no_placement():
+    prog, args = _backprop(h=64)
+    with Server(workers=1) as server:
+        result = server.call(
+            ServeRequest(prog, args), timeout=60
+        ).raise_for_status()
+        health = server.health()
+    assert result.placement is None
+    assert "pool" not in health
+
+
+def test_flight_record_carries_placement(tmp_path):
+    prog, args = _backprop()
+    recorder = FlightRecorder(dump_dir=str(tmp_path))
+    with Server(
+        workers=1,
+        devices=[NVIDIA_GTX780TI, NVIDIA_GTX780TI],
+        min_shard=16,
+        flight_recorder=recorder,
+    ) as server:
+        server.call(ServeRequest(prog, args), timeout=60).raise_for_status()
+    (record,) = recorder.records()
+    assert record.placement is not None
+    assert record.placement["mode"] == "sharded"
+    bundle = recorder.bundle(record)
+    assert bundle["placement"]["mode"] == "sharded"
+    assert validate_flight_bundle(bundle) == []
+    # Per-device shard spans landed on the device's own track.
+    tracks = {
+        s.track for s in record.tracer.spans if s.name.startswith("shard#")
+    }
+    assert tracks and all(t.startswith("gpu.dev") for t in tracks)
+
+
+def test_pooled_server_survives_broken_device_chaos():
+    prog, args = _backprop()
+    expected = run_program(prog, args)
+    with Server(
+        workers=2,
+        devices=[NVIDIA_GTX780TI] * 4,
+        device_fault_plans=[BROKEN, None, None, None],
+        min_shard=16,
+        breaker_threshold=2,
+        breaker_recovery_s=600.0,
+    ) as server:
+        handles = [
+            server.submit(ServeRequest(prog, args, request_id=f"chaos-{i}"))
+            for i in range(6)
+        ]
+        results = [h.result(timeout=120) for h in handles]
+        health = server.health()
+    for r in results:
+        assert r.ok, f"{r.request_id}: {r.error}"
+        # The pool healed internally: no ladder degradation happened.
+        assert r.backend == "vector"
+        assert not r.degraded_from
+        assert all(
+            values_equal(e, g) for e, g in zip(expected, r.values)
+        )
+    pool = health["pool"]
+    dev0 = pool["devices"][0]
+    assert dev0["failures"] >= 2 and dev0["executed"] == 0
+    assert dev0["breaker"]["state"] == BreakerState.OPEN.value
+    assert pool["replacements"] >= 2
