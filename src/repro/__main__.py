@@ -3,11 +3,20 @@
 Commands
 --------
 compile FILE [--emit core|opencl] [--no-fusion --no-coalescing ...]
+        [--stop-after core|host] [--artifact-dir DIR] [--disable-pass NAME]
     Compile a core-language source file and print the core IR after
-    optimisation or the pseudo-OpenCL rendering.
+    optimisation or the pseudo-OpenCL rendering.  ``--stop-after``
+    stops at a stage frontier; ``--artifact-dir`` makes compiles
+    resume from (and store) persistent stage artifacts, so a second
+    invocation skips the passes whose inputs haven't changed;
+    ``--disable-pass`` skips any optional registered pass by name.
 
 check FILE
     Type-check (including alias and uniqueness analysis) and report.
+
+passes [--no-fusion --disable-pass NAME ...]
+    Print the registered compiler passes in plan order: stage,
+    enabled-under-the-given-flags, mandatory/optional, requirements.
 
 run FILE [--size name=value ...] [--device-profile NAME]
     Compile FILE and price it analytically at the given sizes on both
@@ -26,7 +35,9 @@ bench [table1|figure13|table2|impact <kind>|validate|perf|mem|calibrate|shard]
     predictions against the simulator's observations and writes
     ``BENCH_calib.json``; ``shard`` scales the shardable benchmarks
     across simulated device pools of 1/2/4 devices (bit-identical
-    results required) and writes ``BENCH_shard.json``.
+    results required) and writes ``BENCH_shard.json``; ``compile``
+    times cold versus artifact-warm compiles over the suite and
+    writes ``BENCH_compile.json``.
 
 serve-bench [--clients N --devices SPEC --chaos --flight-dir DIR ...]
     Drive the resilient serving layer (:mod:`repro.serve`) with N
@@ -78,6 +89,7 @@ def _options_from_flags(args) -> "CompilerOptions":
         interchange=not args.no_interchange,
         memory_planning=not args.no_memory_planning,
         executor=args.executor,
+        disabled_passes=tuple(args.disable_pass or ()),
     )
 
 
@@ -91,6 +103,15 @@ def _add_opt_flags(p: argparse.ArgumentParser) -> None:
         action="store_true",
         help="ablation: keep the naive never-free allocation behaviour "
         "(no liveness frees, no block reuse, no copy elision)",
+    )
+    p.add_argument(
+        "--disable-pass",
+        action="append",
+        metavar="NAME",
+        default=None,
+        help="skip one optional registered pass by name (repeatable; "
+        "see 'repro passes' for the registry; disabling a mandatory "
+        "pass is an error)",
     )
     p.add_argument(
         "--executor",
@@ -123,14 +144,31 @@ def _add_obs_flags(p: argparse.ArgumentParser) -> None:
 
 def cmd_compile(args) -> int:
     from .core.pretty import pretty_prog
-    from .pipeline import compile_source
+    from .pipeline import ArtifactCache, compile_source
 
     text = open(args.file).read()
-    compiled = compile_source(text, _options_from_flags(args))
-    if args.emit == "core":
+    cache = (
+        ArtifactCache(args.artifact_dir)
+        if args.artifact_dir is not None
+        else None
+    )
+    compiled = compile_source(
+        text,
+        _options_from_flags(args),
+        artifact_cache=cache,
+        stop_after=args.stop_after,
+    )
+    if args.emit == "core" or args.stop_after == "core":
+        # --stop-after core has no host program to render.
         print(pretty_prog(compiled.core))
     else:
         print(compiled.opencl())
+    if compiled.from_artifact:
+        print(
+            f"// resumed from {compiled.from_artifact} artifact "
+            f"{compiled.fingerprints[compiled.from_artifact][:12]}",
+            file=sys.stderr,
+        )
     if compiled.fusion_stats:
         print(
             f"// fusion: {compiled.fusion_stats.vertical} vertical, "
@@ -326,6 +364,32 @@ def cmd_bench(args) -> int:
             json.dump(results, f, indent=2)
         print(f"wrote {out}", file=sys.stderr)
         return 0
+    if what == "compile":
+        import json
+
+        from .bench.runner import compile_bench_suite
+
+        results = compile_bench_suite(
+            names=names,
+            repeats=args.repeats if args.repeats > 1 else 3,
+            artifact_dir=args.artifact_dir,
+        )
+        for name, row in results["benchmarks"].items():
+            if "skipped" in row:
+                print(f"{name:14s} skipped: {row['skipped']}")
+                continue
+            print(
+                f"{name:14s} cold {row['cold_s'] * 1e3:8.2f}ms  "
+                f"warm {row['warm_s'] * 1e3:8.2f}ms  "
+                f"x{row['speedup']:.1f}  "
+                f"({row['artifact_bytes'] / 1024:.1f} KiB artifact)"
+            )
+        print(f"{'geomean':14s} x{results['geomean_speedup']:.1f}")
+        out = args.out if args.out != "BENCH_vm.json" else "BENCH_compile.json"
+        with open(out, "w") as f:
+            json.dump(results, f, indent=2)
+        print(f"wrote {out}", file=sys.stderr)
+        return 0
     if what == "table2":
         for name, ds in TABLE2.items():
             print(f"{name:14s} {ds.description:45s} {ds.full}")
@@ -356,6 +420,44 @@ def cmd_bench(args) -> int:
         return 0
     print(f"unknown bench artefact {what!r}", file=sys.stderr)
     return 1
+
+
+def cmd_passes(args) -> int:
+    """Print the live pass registry: every registered pass in plan
+    order, with its stage, whether it is enabled under the options the
+    given flags produce, and its declared requirements."""
+    from .pipeline import REGISTRY
+
+    options = _options_from_flags(args)
+    rows = [
+        (
+            p.name,
+            p.stage,
+            "yes" if p.enabled_under(options) else "no",
+            "" if p.optional else "mandatory",
+            ", ".join(p.requires),
+        )
+        for p in REGISTRY.ordered()
+    ]
+    widths = [
+        max(len(r[i]) for r in rows + [_PASSES_HEADER])
+        for i in range(len(_PASSES_HEADER))
+    ]
+    try:
+        for row in [_PASSES_HEADER] + rows:
+            print(
+                "  ".join(
+                    cell.ljust(w) for cell, w in zip(row, widths)
+                ).rstrip()
+            )
+    except BrokenPipeError:  # `repro passes | head` closed the pipe
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    return 0
+
+
+_PASSES_HEADER = ("pass", "stage", "enabled", "", "requires")
 
 
 def cmd_obs(args) -> int:
@@ -592,6 +694,22 @@ def main(argv=None) -> int:
     p = sub.add_parser("compile", help="compile a source file")
     p.add_argument("file")
     p.add_argument("--emit", choices=("core", "opencl"), default="opencl")
+    p.add_argument(
+        "--stop-after",
+        choices=("core", "host"),
+        default=None,
+        help="staged compilation: stop at the named stage frontier "
+        "(core prints the optimised core IR; with --artifact-dir the "
+        "stage artifact is persisted for later compiles to resume from)",
+    )
+    p.add_argument(
+        "--artifact-dir",
+        metavar="DIR",
+        default=None,
+        help="persistent stage-artifact cache directory: compiles "
+        "resume from the deepest valid artifact found here and store "
+        "their own stage frontiers (see also $REPRO_ARTIFACT_DIR)",
+    )
     _add_opt_flags(p)
     _add_obs_flags(p)
     p.set_defaults(fn=cmd_compile)
@@ -599,6 +717,14 @@ def main(argv=None) -> int:
     p = sub.add_parser("check", help="static checking only")
     p.add_argument("file")
     p.set_defaults(fn=cmd_check)
+
+    p = sub.add_parser(
+        "passes",
+        help="print the registered compiler passes (plan order, "
+        "stage, enabled-under-flags, requirements)",
+    )
+    _add_opt_flags(p)
+    p.set_defaults(fn=cmd_passes)
 
     p = sub.add_parser("run", help="price a program on the simulated GPUs")
     p.add_argument("file")
@@ -616,7 +742,7 @@ def main(argv=None) -> int:
     p.add_argument(
         "what",
         choices=("table1", "table2", "figure13", "impact", "validate",
-                 "perf", "mem", "calibrate", "shard"),
+                 "perf", "mem", "calibrate", "shard", "compile"),
     )
     p.add_argument("--names", default=None)
     p.add_argument(
@@ -652,7 +778,14 @@ def main(argv=None) -> int:
     )
     p.add_argument(
         "--repeats", type=int, default=1,
-        help="best-of repeats for bench perf timing",
+        help="best-of repeats for bench perf / bench compile timing",
+    )
+    p.add_argument(
+        "--artifact-dir",
+        metavar="DIR",
+        default=None,
+        help="artifact-cache directory for bench compile "
+        "(default: a throwaway temp dir)",
     )
     _add_opt_flags(p)
     _add_obs_flags(p)

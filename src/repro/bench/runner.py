@@ -31,6 +31,7 @@ __all__ = [
     "perf_suite",
     "mem_suite",
     "calib_suite",
+    "compile_bench_suite",
     "shard_suite",
     "SHARD_SIZES",
     "table1_runtimes",
@@ -664,3 +665,112 @@ def run_impact(
             ).total_ms
         out[name] = slow / base
     return out
+
+
+def compile_bench_suite(
+    names: Optional[List[str]] = None,
+    repeats: int = 3,
+    artifact_dir: Optional[str] = None,
+) -> Dict:
+    """Cold vs artifact-warm compile wall-clock over the suite.
+
+    For every benchmark: ``cold_s`` is the best-of-``repeats`` time of
+    a full pass-pipeline compile (no artifact cache), ``warm_s`` the
+    best-of-``repeats`` time of the same compile resuming from the
+    on-disk host-program artifact a priming compile stored.  Every
+    warm compile must actually resume (``from_artifact == "host"``)
+    and its generated code must render identically to the cold
+    compile's — a warm-up that changed the program would be a cache
+    correctness bug, not a speedup.  The returned dict is the
+    ``BENCH_compile.json`` payload (schema ``repro.bench_compile/v1``);
+    CI gates on ``geomean_speedup >= 3``.
+    """
+    import shutil
+    import tempfile
+    import time
+
+    from ..pipeline import ArtifactCache
+
+    logger = get_logger("bench")
+    names = names or list(BENCHMARKS.names())
+    tmp = None
+    if artifact_dir is None:
+        tmp = artifact_dir = tempfile.mkdtemp(prefix="repro-bench-compile-")
+    cache = ArtifactCache(artifact_dir)
+    benchmarks: Dict[str, Dict] = {}
+    try:
+        for name in names:
+            spec = BENCHMARKS[name]
+            prog = spec.program()
+
+            cold_s = min(
+                _timed(lambda: compile_program(prog, artifact_cache=None))[0]
+                for _ in range(repeats)
+            )
+            cold = compile_program(prog, artifact_cache=cache)  # prime
+            if cold.diagnostics:
+                # The artifact cache only persists *clean* compiles; a
+                # benchmark whose compile needs a pass-guard rollback
+                # (a known planner bug, e.g. NN) can't warm-start.
+                # Record it as skipped rather than silently dropping it.
+                benchmarks[name] = {
+                    "skipped": "; ".join(map(str, cold.diagnostics)),
+                }
+                logger.info(
+                    "bench-compile-skip", benchmark=name,
+                    reason=benchmarks[name]["skipped"],
+                )
+                continue
+            warm_s, warm = min(
+                (
+                    _timed(lambda: compile_program(prog, artifact_cache=cache))
+                    for _ in range(repeats)
+                ),
+                key=lambda t: t[0],
+            )
+            if warm.from_artifact != "host":
+                raise ValidationError(
+                    f"{name}: warm compile did not resume from the host "
+                    f"artifact (from_artifact={warm.from_artifact!r})"
+                )
+            if warm.opencl() != cold.opencl():
+                raise ValidationError(
+                    f"{name}: artifact-warmed compile rendered different "
+                    "code than the cold compile"
+                )
+            artifact_bytes = cache.path_for(
+                "host", warm.fingerprints["host"]
+            ).stat().st_size
+            benchmarks[name] = {
+                "cold_s": cold_s,
+                "warm_s": warm_s,
+                "speedup": cold_s / warm_s,
+                "artifact_bytes": artifact_bytes,
+            }
+            logger.info(
+                "bench-compile", benchmark=name, cold_s=cold_s,
+                warm_s=warm_s, speedup=benchmarks[name]["speedup"],
+            )
+    finally:
+        if tmp is not None:
+            shutil.rmtree(tmp, ignore_errors=True)
+    speedups = [
+        row["speedup"] for row in benchmarks.values() if "speedup" in row
+    ]
+    geomean = float(np.exp(np.mean(np.log(speedups)))) if speedups else 0.0
+    return {
+        "schema": "repro.bench_compile/v1",
+        "repeats": repeats,
+        "benchmarks": benchmarks,
+        "geomean_speedup": geomean,
+        "artifact_stats": cache.stats.snapshot(),
+    }
+
+
+def _timed(fn):
+    """(elapsed_seconds, result) of one call."""
+    import time
+
+    t0 = time.perf_counter()
+    out = fn()
+    return time.perf_counter() - t0, out

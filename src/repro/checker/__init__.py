@@ -17,3 +17,29 @@ def check_program(prog, check_unique: bool = True):
     if check_unique:
         check_uniqueness(prog)
     return tc
+
+
+def register_passes(registry) -> None:
+    """Register the frontend check into the staged pass manager.
+
+    The initial check is fail-fast even in resilient mode: a malformed
+    input program is the caller's error, not a pass bug.
+    """
+    from ..pipeline.passes import Pass
+
+    def _check(prog, options, ctx):
+        import repro.pipeline as pl
+
+        pl.check_program(prog, check_unique=options.check_uniqueness)
+        return prog
+
+    registry.register(Pass(
+        name="check",
+        stage="frontend",
+        phase="frontend",
+        fn=_check,
+        enabled=lambda o: o.check,
+        option_keys=("check", "check_uniqueness"),
+        policy="failfast",
+        optional=False,
+    ))

@@ -6,3 +6,75 @@ from .context import MapCtx, lift_type, manifest  # noqa: F401
 from .distribute import FlattenOptions, flatten_body, flatten_prog  # noqa: F401
 from .interchange import apply_g5_body, vec_operator  # noqa: F401
 from .nests import NestInfo, perfect_nests  # noqa: F401
+
+
+def register_passes(registry) -> None:
+    """Register kernel extraction into the staged pass manager.
+
+    Flattening is mandatory, so a failure cannot simply be rolled
+    back; the registered fallback degrades to the most conservative
+    strategy (outermost parallelism only), and only if that also fails
+    reports a :class:`~repro.errors.CompilerBug`.
+    """
+    from ..pipeline.passes import Pass
+
+    def _flatten(prog, options, ctx):
+        import repro.pipeline as pl
+
+        return pl.flatten_prog(prog, pl.FlattenOptions(
+            distribute=options.distribute,
+            interchange=options.interchange,
+            reduce_map_interchange=options.reduce_map_interchange,
+            sequentialise_streams=options.sequentialise_streams,
+        ))
+
+    def _conservative(prog, options, ctx):
+        import repro.pipeline as pl
+        from ..core.pretty import pretty_prog
+        from ..errors import CompilerBug
+
+        try:
+            out = pl.flatten_prog(prog, pl._CONSERVATIVE_FLATTEN)
+            ctx.guard.revalidate(out)
+            return out
+        except Exception as e:
+            raise CompilerBug(
+                "flatten",
+                "kernel-extraction",
+                f"conservative flattening also failed: {e}",
+                ir=pretty_prog(prog),
+            ) from e
+
+    def _post(prog, options, ctx):
+        import repro.pipeline as pl
+
+        # Post-flattening cleanup must not hoist: pulling bindings out
+        # of lambda bodies could perturb the perfect nests just built.
+        return pl.simplify_prog(prog, hoisting=False)
+
+    registry.register(Pass(
+        name="flatten",
+        stage="core",
+        phase="kernel-extraction",
+        fn=_flatten,
+        requires=("simplify",),
+        invalidates=("types",),
+        option_keys=(
+            "distribute",
+            "interchange",
+            "reduce_map_interchange",
+            "sequentialise_streams",
+        ),
+        policy="degrade",
+        fallback=_conservative,
+        fallback_action="degraded to conservative",
+        optional=False,
+    ))
+    registry.register(Pass(
+        name="post-flatten-simplify",
+        stage="core",
+        phase="kernel-extraction",
+        fn=_post,
+        requires=("flatten",),
+        invalidates=("types",),
+    ))

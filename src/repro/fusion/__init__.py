@@ -9,3 +9,52 @@ from .stream_rules import (  # noqa: F401
     scan_to_stream_seq,
     sequentialise_body_to_stream_seq,
 )
+
+
+def register_passes(registry) -> None:
+    """Register producer-consumer/horizontal fusion and its cleanup
+    simplification into the staged pass manager."""
+    from ..pipeline.passes import Pass
+
+    def _fusion(prog, options, ctx):
+        import repro.pipeline as pl
+        from ..obs import get_metrics
+
+        fused, fstats = pl.fuse_prog(prog)
+        # Publish before the driver revalidates: the stats describe
+        # what fusion *did*, which stays true even if the guard then
+        # rolls the IR back.
+        ctx.fusion_stats = fstats
+        ctx.annotate(
+            fused_vertical=fstats.vertical,
+            fused_horizontal=fstats.horizontal,
+        )
+        metrics = get_metrics()
+        metrics.counter("fusion.vertical").inc(fstats.vertical)
+        metrics.counter("fusion.horizontal").inc(fstats.horizontal)
+        return fused
+
+    def _post(prog, options, ctx):
+        import repro.pipeline as pl
+
+        return pl.simplify_prog(prog)
+
+    registry.register(Pass(
+        name="fusion",
+        stage="core",
+        phase="fusion",
+        fn=_fusion,
+        requires=("simplify",),
+        invalidates=("types",),
+        enabled=lambda o: o.fusion,
+        option_keys=("fusion",),
+    ))
+    registry.register(Pass(
+        name="post-fusion-simplify",
+        stage="core",
+        phase="fusion",
+        fn=_post,
+        requires=("fusion",),
+        invalidates=("types",),
+        enabled=lambda o: o.fusion,
+    ))

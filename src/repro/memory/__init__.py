@@ -27,3 +27,60 @@ def __getattr__(name):
 
         return plan_memory
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def register_passes(registry) -> None:
+    """Register the locality optimisations and device-memory planning
+    into the staged pass manager.  Each pass keeps its own internal
+    ``enabled=`` switch wired to :class:`CompilerOptions`, preserving
+    the historical ablation behaviour (the pass runs and no-ops when
+    switched off, so pass timings stay comparable across ablations);
+    ``--disable-pass`` removes a pass from the plan entirely."""
+    from ..pipeline.passes import Pass
+
+    def _coalesce(hp, options, ctx):
+        import repro.pipeline as pl
+
+        return pl.coalesce_program(hp, enabled=options.coalescing)
+
+    def _tile(hp, options, ctx):
+        import repro.pipeline as pl
+
+        return pl.tile_program(hp, enabled=options.tiling)
+
+    def _plan(hp, options, ctx):
+        import repro.pipeline as pl
+
+        return pl.plan_memory(
+            hp,
+            enabled=options.memory_planning,
+            allow_elision=options.in_place,
+        )
+
+    registry.register(Pass(
+        name="coalescing",
+        stage="host",
+        phase="memory",
+        fn=_coalesce,
+        requires=("lower",),
+        invalidates=("memory",),
+        option_keys=("coalescing",),
+    ))
+    registry.register(Pass(
+        name="tiling",
+        stage="host",
+        phase="memory",
+        fn=_tile,
+        requires=("coalescing",),
+        invalidates=("memory",),
+        option_keys=("tiling",),
+    ))
+    registry.register(Pass(
+        name="memory-plan",
+        stage="host",
+        phase="memory",
+        fn=_plan,
+        requires=("lower",),
+        invalidates=("memory",),
+        option_keys=("memory_planning", "in_place"),
+    ))

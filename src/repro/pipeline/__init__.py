@@ -1,0 +1,169 @@
+"""The compiler pipeline — the staged pass manager over Fig. 3.
+
+This package replaces the old monolithic driver module with four
+layers:
+
+* :mod:`repro.pipeline.passes` — the declarative :class:`Pass`
+  descriptor and :class:`PassRegistry`; the transformation packages
+  (:mod:`repro.checker`, :mod:`repro.simplify`, :mod:`repro.fusion`,
+  :mod:`repro.flatten`, :mod:`repro.backend`, :mod:`repro.memory`)
+  register their passes here through ``register_passes`` hooks;
+* :mod:`repro.pipeline.driver` — the dependency-ordered driver with
+  the self-healing pass guard (rollback / degrade / escalate policies);
+* :mod:`repro.pipeline.fingerprint` — the one hashing scheme behind
+  every compile cache;
+* :mod:`repro.pipeline.artifact` — versioned stage artifacts and the
+  persistent cross-process :class:`ArtifactCache`.
+
+The public API is unchanged: ``compile_program`` / ``compile_source``
+take a program through the full pipeline under
+:class:`CompilerOptions`, returning a :class:`CompiledProgram`.  The
+transformation entry points (``fuse_prog``, ``simplify_prog``, ...)
+are re-exported here and looked up *late* by the registered passes, so
+tests can monkeypatch ``repro.pipeline.fuse_prog`` etc. exactly as
+before.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..backend.codegen import lower_program
+from ..backend.opencl_text import render_program
+from ..checker import check_program
+from ..core import ast as A
+from ..core.pretty import pretty_prog
+from ..flatten import FlattenOptions, flatten_prog
+from ..fusion import fuse_prog
+from ..memory.coalescing import coalesce_program
+from ..memory.plan import plan_memory
+from ..memory.tiling import tile_program
+from ..simplify import inline_prog, simplify_prog
+
+from .options import CompilerOptions, PassDiagnostic
+from .passes import REGISTRY, Pass, PassContext, PassRegistry, STAGES
+from .fingerprint import (
+    ARTIFACT_VERSION,
+    compile_fingerprint,
+    fingerprint_program,
+    fingerprint_text,
+    options_slice,
+    pipeline_fingerprint,
+    stage_fingerprint,
+)
+from .artifact import (
+    ARTIFACT_DIR_ENV,
+    ARTIFACT_SCHEMA,
+    ArtifactCache,
+    StageArtifact,
+    default_artifact_cache,
+)
+from .driver import (
+    CompiledProgram,
+    compile_program,
+    compile_source,
+    compile_to_stage,
+)
+
+__all__ = [
+    # the stable public API
+    "CompilerOptions",
+    "CompiledProgram",
+    "PassDiagnostic",
+    "compile_program",
+    "compile_source",
+    "compile_cache_key",
+    "source_cache_key",
+    # the staged pass manager
+    "Pass",
+    "PassContext",
+    "PassRegistry",
+    "REGISTRY",
+    "STAGES",
+    "compile_to_stage",
+    # fingerprints & artifacts
+    "ARTIFACT_VERSION",
+    "ARTIFACT_DIR_ENV",
+    "ARTIFACT_SCHEMA",
+    "ArtifactCache",
+    "StageArtifact",
+    "default_artifact_cache",
+    "compile_fingerprint",
+    "fingerprint_program",
+    "fingerprint_text",
+    "options_slice",
+    "pipeline_fingerprint",
+    "stage_fingerprint",
+]
+
+#: The most conservative kernel-extraction strategy: exploit only the
+#: outermost parallelism and sequentialise everything nested.  This is
+#: the degradation target when full flattening fails.
+_CONSERVATIVE_FLATTEN = FlattenOptions(
+    distribute=False,
+    interchange=False,
+    reduce_map_interchange=False,
+    sequentialise_streams=True,
+)
+
+
+# -- deprecated cache-key aliases -------------------------------------------
+#
+# The historical cache-key helpers are thin wrappers over the
+# fingerprint API (:mod:`repro.pipeline.fingerprint`) — same identity
+# semantics, one hashing scheme.  Prefer ``compile_fingerprint`` /
+# ``fingerprint_text`` / ``fingerprint_program`` in new code.
+
+
+def _cache_key(
+    body: str, options: Optional[CompilerOptions] = None, entry: str = "main"
+) -> str:
+    """Deprecated: use ``compile_fingerprint(fingerprint_text(body))``."""
+    return compile_fingerprint(fingerprint_text(body), options, entry)
+
+
+def compile_cache_key(
+    prog: A.Prog,
+    options: Optional[CompilerOptions] = None,
+    entry: str = "main",
+) -> str:
+    """A stable cache key for compiling ``prog`` — used by the serving
+    layer's single-flight compile cache (:mod:`repro.serve.cache`) so
+    N concurrent requests for the same program compile once.
+
+    Deprecated alias of
+    ``compile_fingerprint(fingerprint_program(prog), options, entry)``.
+    """
+    return compile_fingerprint(fingerprint_program(prog), options, entry)
+
+
+def source_cache_key(
+    text: str,
+    options: Optional[CompilerOptions] = None,
+    entry: str = "main",
+) -> str:
+    """Like :func:`compile_cache_key` but keyed on concrete syntax
+    (no parse needed to look up a cached compile).
+
+    Deprecated alias of
+    ``compile_fingerprint(fingerprint_text(text), options, entry)``.
+    """
+    return compile_fingerprint(fingerprint_text(text), options, entry)
+
+
+# -- registry population ----------------------------------------------------
+
+
+def _register_all() -> None:
+    """Populate :data:`REGISTRY` from the transformation packages'
+    ``register_passes`` hooks.  Registration order is the plan-order
+    tiebreak, and ``requires`` must already be registered, so the hook
+    order below mirrors the pipeline: frontend check, core simplify /
+    fusion / flatten chain, then lowering and the memory passes."""
+    from .. import backend, checker, flatten, fusion, memory, simplify
+
+    for package in (checker, simplify, fusion, flatten, backend, memory):
+        package.register_passes(REGISTRY)
+
+
+_register_all()

@@ -1,0 +1,242 @@
+"""Versioned, serializable stage artifacts and the on-disk cache.
+
+A :class:`StageArtifact` snapshots one stage frontier of a clean
+compile — the core IR after the core passes, or the finished host
+program — identified by its :func:`~repro.pipeline.fingerprint.stage_fingerprint`
+and integrity-checked by a sha256 over the serialized payload.  The
+:class:`ArtifactCache` persists artifacts under ``~/.cache/repro`` (or
+``$REPRO_ARTIFACT_DIR`` / ``--artifact-dir``) with atomic writes and
+fingerprint-verified loads, so a second process — or a restarted
+server — resumes compilation from the deepest valid stage instead of
+recompiling from source.
+
+Safety model: a load only succeeds when the file's schema, format
+version, stage, requested fingerprint and payload checksum all agree;
+anything else (truncation, corruption, a stale format, a hash
+collision in the file name) counts as a miss, and the offending file
+is evicted so it cannot fail twice.  Payloads are pickled IR trees —
+the cache directory is trusted local state, same as any build cache.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import threading
+from dataclasses import dataclass, field
+from hashlib import sha256
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from ..obs import get_logger
+
+__all__ = ["ARTIFACT_SCHEMA", "StageArtifact", "ArtifactCache", "default_artifact_cache"]
+
+ARTIFACT_SCHEMA = "repro.stage_artifact/v1"
+
+#: Environment variable that opts a whole process into on-disk
+#: artifact caching (the CLI's ``--artifact-dir`` equivalent).
+ARTIFACT_DIR_ENV = "REPRO_ARTIFACT_DIR"
+
+_log = get_logger("pipeline.artifact")
+
+
+@dataclass
+class StageArtifact:
+    """One serialized stage frontier of a clean compile."""
+
+    #: ``core`` or ``host`` (the ``source`` stage is the input itself
+    #: and is never materialised).
+    stage: str
+    #: Identity: the stage fingerprint this artifact answers for.
+    fingerprint: str
+    entry: str
+    #: The payload, stage-dependent:
+    #: ``core`` → ``{"core": A.Prog, "fusion_stats": ...}``;
+    #: ``host`` → ``{"core": A.Prog, "host": HostProgram,
+    #: "fusion_stats": ...}``.
+    payload: Dict[str, Any]
+    #: Provenance breadcrumbs (options slice, pass list); informational
+    #: only — identity lives entirely in ``fingerprint``.
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def to_bytes(self) -> bytes:
+        """Serialize with an integrity envelope: the payload is pickled
+        separately and checksummed, so a bit-flip anywhere in it is
+        caught before unpickling."""
+        payload_bytes = pickle.dumps(self.payload, protocol=pickle.HIGHEST_PROTOCOL)
+        envelope = {
+            "schema": ARTIFACT_SCHEMA,
+            "stage": self.stage,
+            "fingerprint": self.fingerprint,
+            "entry": self.entry,
+            "meta": self.meta,
+            "payload_sha256": sha256(payload_bytes).hexdigest(),
+            "payload": payload_bytes,
+        }
+        return pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @classmethod
+    def from_bytes(cls, data: bytes, expect_fingerprint: Optional[str] = None) -> "StageArtifact":
+        """Parse and verify; raises ``ValueError`` on any mismatch
+        (schema, checksum, or — when given — the expected fingerprint)."""
+        try:
+            envelope = pickle.loads(data)
+        except Exception as e:
+            raise ValueError(f"undecodable artifact: {e}") from e
+        if not isinstance(envelope, dict) or envelope.get("schema") != ARTIFACT_SCHEMA:
+            raise ValueError(
+                f"not a {ARTIFACT_SCHEMA} artifact "
+                f"(schema={envelope.get('schema') if isinstance(envelope, dict) else None!r})"
+            )
+        payload_bytes = envelope["payload"]
+        digest = sha256(payload_bytes).hexdigest()
+        if digest != envelope["payload_sha256"]:
+            raise ValueError("artifact payload checksum mismatch")
+        if (
+            expect_fingerprint is not None
+            and envelope["fingerprint"] != expect_fingerprint
+        ):
+            raise ValueError(
+                f"artifact fingerprint mismatch: stored "
+                f"{envelope['fingerprint'][:12]}…, wanted {expect_fingerprint[:12]}…"
+            )
+        try:
+            payload = pickle.loads(payload_bytes)
+        except Exception as e:
+            raise ValueError(f"undecodable artifact payload: {e}") from e
+        return cls(
+            stage=envelope["stage"],
+            fingerprint=envelope["fingerprint"],
+            entry=envelope["entry"],
+            payload=payload,
+            meta=envelope.get("meta", {}),
+        )
+
+
+class ArtifactStats:
+    """Lifetime accounting, surfaced through ``Server.health()`` and
+    the driver's ``pipeline.artifacts`` metrics."""
+
+    __slots__ = ("hits", "misses", "stores", "evictions", "errors")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        #: Corrupt / mismatching files removed on load.
+        self.evictions = 0
+        #: I/O failures (stores are best-effort: a full or read-only
+        #: disk degrades to cold compiles, never to a failed compile).
+        self.errors = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {s: getattr(self, s) for s in self.__slots__}
+
+
+class ArtifactCache:
+    """A content-addressed on-disk store of stage artifacts.
+
+    Concurrency-safe by construction: files are named by fingerprint,
+    written to a temp name and published with ``os.replace`` (atomic on
+    POSIX), so concurrent processes racing on the same key at worst
+    both do the work and one wins the rename.  Loads verify the full
+    envelope and evict anything invalid.
+    """
+
+    def __init__(self, root: Optional[os.PathLike] = None) -> None:
+        if root is None:
+            root = os.path.join(
+                os.environ.get(
+                    "XDG_CACHE_HOME",
+                    os.path.join(os.path.expanduser("~"), ".cache"),
+                ),
+                "repro",
+            )
+        self.root = Path(root)
+        self.stats = ArtifactStats()
+        self._lock = threading.Lock()
+
+    def path_for(self, stage: str, fingerprint: str) -> Path:
+        return self.root / f"{stage}-{fingerprint}.artifact"
+
+    def load(self, stage: str, fingerprint: str) -> Optional[StageArtifact]:
+        """The verified artifact, or None.  Corrupt, truncated or
+        mismatching files are evicted so the next compile rebuilds
+        them cleanly."""
+        path = self.path_for(stage, fingerprint)
+        try:
+            data = path.read_bytes()
+        except (FileNotFoundError, OSError):
+            with self._lock:
+                self.stats.misses += 1
+            return None
+        try:
+            artifact = StageArtifact.from_bytes(data, expect_fingerprint=fingerprint)
+            if artifact.stage != stage:
+                raise ValueError(
+                    f"artifact stage mismatch: {artifact.stage!r} != {stage!r}"
+                )
+        except ValueError as e:
+            _log.info("artifact-evict", path=str(path), error=str(e))
+            with self._lock:
+                self.stats.evictions += 1
+                self.stats.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        with self._lock:
+            self.stats.hits += 1
+        return artifact
+
+    def store(self, artifact: StageArtifact) -> Optional[Path]:
+        """Atomically persist; best-effort (returns None and counts an
+        error instead of raising on I/O failure)."""
+        path = self.path_for(artifact.stage, artifact.fingerprint)
+        tmp = path.with_name(
+            f".{path.name}.{os.getpid()}.{os.urandom(4).hex()}.tmp"
+        )
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            tmp.write_bytes(artifact.to_bytes())
+            os.replace(tmp, path)
+        except OSError as e:
+            _log.info("artifact-store-failed", path=str(path), error=str(e))
+            with self._lock:
+                self.stats.errors += 1
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            return None
+        with self._lock:
+            self.stats.stores += 1
+        return path
+
+    def clear(self) -> int:
+        """Remove every artifact; returns how many were removed."""
+        removed = 0
+        if self.root.is_dir():
+            for p in self.root.glob("*.artifact"):
+                try:
+                    p.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*.artifact"))
+
+
+def default_artifact_cache() -> Optional[ArtifactCache]:
+    """The process-wide default: an :class:`ArtifactCache` rooted at
+    ``$REPRO_ARTIFACT_DIR`` when that is set, else None (disk caching
+    is opt-in — library callers pass ``artifact_cache=`` explicitly,
+    the CLI passes ``--artifact-dir``)."""
+    root = os.environ.get(ARTIFACT_DIR_ENV)
+    return ArtifactCache(root) if root else None

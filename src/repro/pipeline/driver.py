@@ -1,0 +1,594 @@
+"""The staged, dependency-ordered compile driver.
+
+Replaces the old hardcoded pass sequence: the driver asks the registry
+(:data:`repro.pipeline.passes.REGISTRY`) for the plan enabled under the
+given :class:`CompilerOptions` and replays it stage by stage, with the
+self-healing guard semantics applied as *policy* declared on each
+:class:`~repro.pipeline.passes.Pass`:
+
+* ``guarded`` passes are re-validated (re-typecheck for core IR,
+  memory validation for host programs) and rolled back on any failure,
+  recording a :class:`PassDiagnostic` — a buggy optimisation degrades
+  performance instead of crashing the compile;
+* ``degrade`` passes (flattening) retry their conservative fallback
+  before escalating to :class:`CompilerBug`;
+* ``escalate`` passes (lowering) report failures as
+  :class:`CompilerBug` with the offending IR attached;
+* ``failfast`` passes (the initial check) always propagate — a
+  malformed input program is the caller's error, not a pass bug;
+* ``CompilerOptions(strict=True)`` restores fail-fast behaviour
+  everywhere, for tests that want to *see* pass bugs.
+
+With an :class:`~repro.pipeline.artifact.ArtifactCache` attached
+(explicitly, via ``$REPRO_ARTIFACT_DIR``, or the CLI's
+``--artifact-dir``), the driver resumes from the deepest stage whose
+fingerprint-verified artifact is on disk — a warm process skips
+straight to the finished host program — and stores the stage frontiers
+of every clean compile for the next process.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core import ast as A
+from ..core.pretty import pretty_prog
+from ..core.values import Value
+from ..backend.kernel_ir import HostProgram
+from ..backend.opencl_text import render_program
+from ..checker import check_program
+from ..errors import ArgumentError, CompilerBug, ReproError
+from ..fusion.fuse import FusionStats
+from ..gpu.costmodel import CostReport, estimate_program
+from ..gpu.device import DeviceProfile, NVIDIA_GTX780TI
+from ..gpu.faults import FaultPlan
+from ..backend.validate import validate_host_program
+from ..obs import PassTiming, get_logger, get_metrics, get_tracer
+from ..obs.irstats import ir_stats
+from ..runtime import ExecutionPolicy, RunReport, run_resilient
+from .artifact import ArtifactCache, StageArtifact, default_artifact_cache
+from .fingerprint import (
+    fingerprint_program,
+    fingerprint_text,
+    options_slice,
+    stage_fingerprint,
+)
+from .options import CompilerOptions, PassDiagnostic
+from .passes import REGISTRY, Pass, PassContext
+
+__all__ = [
+    "CompiledProgram",
+    "compile_program",
+    "compile_source",
+    "compile_to_stage",
+]
+
+#: Sentinel distinguishing "no cache" (None) from "use the process
+#: default" (the ``$REPRO_ARTIFACT_DIR``-driven opt-in).
+_DEFAULT_CACHE = object()
+
+
+class _PassGuard:
+    """Runs passes; on failure rolls back and records a diagnostic.
+
+    Every pass is also the observability layer's unit of account: the
+    guard opens a span per pass (with IR-size-delta attributes when a
+    tracer is installed), appends a :class:`PassTiming` to the compile's
+    timing breakdown, and emits rollback instants/counters when it has
+    to intervene.  Timing costs two monotonic-clock reads per pass and
+    is always on; IR statistics cost an IR walk and are computed only
+    when tracing is enabled.
+    """
+
+    def __init__(
+        self, options: CompilerOptions, diagnostics: List[PassDiagnostic]
+    ) -> None:
+        self.options = options
+        self.diagnostics = diagnostics
+        self.timings: List[PassTiming] = []
+        #: The span of the most recent pass, for late attribute
+        #: attachment (e.g. fusion edge counts) — a no-op span when
+        #: tracing is off.
+        self.last_span = None
+
+    def _note(self, name: str, phase: str, exc: Exception, action: str) -> None:
+        self.diagnostics.append(
+            PassDiagnostic(name, phase, f"{type(exc).__name__}: {exc}", action)
+        )
+        get_metrics().counter(
+            "pipeline.rollbacks", pass_name=name, phase=phase
+        ).inc()
+        get_tracer().instant(
+            f"rollback:{name}",
+            "pipeline",
+            phase=phase,
+            action=action,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+        get_logger("pipeline").info(
+            "pass-guard", pass_name=name, phase=phase, action=action,
+            error=str(exc),
+        )
+
+    def annotate_last(self, **attrs) -> None:
+        """Attach attributes to the most recent pass span (no-op when
+        tracing is off)."""
+        if self.last_span is not None:
+            self.last_span.set(**attrs)
+
+    def guarded(
+        self,
+        name: str,
+        phase: str,
+        fn,
+        arg,
+        revalidate=None,
+        stats_of=None,
+        fallback=None,
+        fallback_action: str = "rolled back",
+    ):
+        """The shared pass-guard machinery: run ``fn`` inside a span,
+        validate its output, recover on failure, and record one
+        :class:`PassTiming` with optional IR-size attributes.
+
+        ``revalidate(out)`` raises when the pass produced bad IR;
+        ``stats_of(ir)`` (called only when tracing) returns a dict of
+        size figures attached as ``<key>_before``/``<key>_after`` span
+        attributes; ``fallback()`` produces the recovery value (default:
+        roll back to ``arg``) and may itself raise to escalate.
+        """
+        tracer = get_tracer()
+        before = (
+            stats_of(arg) if stats_of is not None and tracer.enabled
+            else None
+        )
+        rolled = False
+        t0 = time.perf_counter()
+        with tracer.span(f"pass:{name}", "pipeline", phase=phase) as span:
+            self.last_span = span
+            if self.options.strict:
+                out = fn(arg)
+            else:
+                try:
+                    out = fn(arg)
+                    if revalidate is not None:
+                        revalidate(out)
+                except Exception as e:
+                    self._note(name, phase, e, fallback_action)
+                    rolled = True
+                    out = arg if fallback is None else fallback()
+            dur_us = (time.perf_counter() - t0) * 1e6
+            timing = PassTiming(name, phase, dur_us, rolled_back=rolled)
+            if before is not None:
+                after = stats_of(out)
+                timing.bindings_before = before.get("bindings")
+                timing.bindings_after = after.get("bindings")
+                timing.soacs_before = before.get("soacs")
+                timing.soacs_after = after.get("soacs")
+                attrs = {f"{k}_before": v for k, v in before.items()}
+                attrs.update({f"{k}_after": v for k, v in after.items()})
+                span.set(rolled_back=rolled, **attrs)
+            self.timings.append(timing)
+        get_metrics().counter("pipeline.passes", phase=phase).inc()
+        return out
+
+    @staticmethod
+    def _core_stats(prog: A.Prog) -> Dict[str, int]:
+        stats = ir_stats(prog)
+        return {"bindings": stats.bindings, "soacs": stats.soacs}
+
+    @staticmethod
+    def _host_stats(hp: HostProgram) -> Dict[str, int]:
+        return {"kernels": len(hp.kernels())}
+
+    def revalidate(self, prog: A.Prog) -> None:
+        """Re-typecheck the IR a pass just produced (uniqueness is a
+        front-end property and is not re-checked here)."""
+        if self.options.check:
+            check_program(prog, check_unique=False)
+
+    def revalidate_host(self, hp: HostProgram) -> None:
+        """Check memory well-formedness of the host program a pass just
+        produced (every referenced block allocated, no use-after-free,
+        layout ranks consistent)."""
+        if self.options.check:
+            problems = validate_host_program(hp)
+            if problems:
+                raise CompilerBug(
+                    "validate-host", "memory", "; ".join(problems[:5])
+                )
+
+    # -- pass-descriptor dispatch -------------------------------------------
+
+    def run_pass(self, p: Pass, ir, ctx: PassContext):
+        """Execute one registered pass under its declared policy."""
+        ctx.guard = self
+        fn = lambda arg: p.fn(arg, self.options, ctx)
+        if p.policy == "failfast":
+            with get_tracer().span(
+                f"pass:{p.name}", "pipeline", phase=p.phase
+            ) as span:
+                self.last_span = span
+                return fn(ir)
+        if p.policy == "escalate":
+            return self._escalating(p, fn, ir)
+        revalidate, stats_of = self._validators(p, ir)
+        fallback = None
+        if p.policy == "degrade" and p.fallback is not None:
+            def fallback():  # noqa: E731 - closure over p/ir/ctx
+                return p.fallback(ir, self.options, ctx)
+        return self.guarded(
+            p.name, p.phase, fn, ir,
+            revalidate=revalidate,
+            stats_of=stats_of,
+            fallback=fallback,
+            fallback_action=p.fallback_action if fallback else "rolled back",
+        )
+
+    def _validators(self, p: Pass, ir):
+        """(revalidate, stats_of) from the pass's declared facts: a
+        pass that invalidates ``types`` gets a core re-typecheck, one
+        that invalidates ``memory`` gets host-program validation."""
+        if "memory" in p.invalidates or isinstance(ir, HostProgram):
+            return self.revalidate_host, self._host_stats
+        if "types" in p.invalidates:
+            return self.revalidate, self._core_stats
+        return None, self._core_stats if isinstance(ir, A.Prog) else None
+
+    def _escalating(self, p: Pass, fn, ir):
+        """Mandatory lowering-style passes: a failure here is a genuine
+        compiler bug and is reported with the offending IR attached."""
+        tracer = get_tracer()
+        t0 = time.perf_counter()
+        with tracer.span(f"pass:{p.name}", "pipeline", phase=p.phase) as span:
+            self.last_span = span
+            if self.options.strict:
+                out = fn(ir)
+            else:
+                try:
+                    out = fn(ir)
+                except ReproError:
+                    raise
+                except Exception as e:
+                    raise CompilerBug(
+                        p.name, p.phase, str(e),
+                        ir=pretty_prog(ir) if isinstance(ir, A.Prog) else None,
+                    ) from e
+            if tracer.enabled and isinstance(out, HostProgram):
+                span.set(kernels=len(out.kernels()))
+            self.timings.append(
+                PassTiming(p.name, p.phase, (time.perf_counter() - t0) * 1e6)
+            )
+        get_metrics().counter("pipeline.passes", phase=p.phase).inc()
+        return out
+
+
+@dataclass
+class CompiledProgram:
+    """The result of running the pipeline on one entry point."""
+
+    core: A.Prog
+    host: HostProgram
+    options: CompilerOptions
+    fusion_stats: Optional[FusionStats] = None
+    #: Pass-guard interventions (empty for a clean compile).
+    diagnostics: List[PassDiagnostic] = field(default_factory=list)
+    #: Per-pass wall-clock (and, when traced, IR-size) breakdown; a
+    #: warm compile shows ``artifact:<stage>`` load entries instead of
+    #: the skipped passes.
+    pass_timings: List[PassTiming] = field(default_factory=list)
+    #: The deepest stage artifact this compile resumed from (``None``
+    #: for a cold compile, ``"core"`` or ``"host"``).
+    from_artifact: Optional[str] = None
+    #: The per-stage artifact fingerprints of this compile
+    #: (``source``/``core``/``host``).
+    fingerprints: Dict[str, str] = field(default_factory=dict)
+
+    def opencl(self) -> str:
+        """Pseudo-OpenCL rendering of the generated code."""
+        return render_program(self.host)
+
+    def run(
+        self,
+        args: Sequence[Value],
+        device: DeviceProfile = NVIDIA_GTX780TI,
+        fault_plan: Optional[FaultPlan] = None,
+        policy: Optional[ExecutionPolicy] = None,
+    ) -> Tuple[Tuple[Value, ...], CostReport]:
+        """Execute on the simulated device: returns result values and
+        the simulated-time cost report.  Runs through the resilient
+        executor; use :meth:`execute` to also get the
+        :class:`RunReport` of retries/faults/fallbacks."""
+        values, cost, _ = self.execute(args, device, fault_plan, policy)
+        return values, cost
+
+    def execute(
+        self,
+        args: Sequence[Value],
+        device: DeviceProfile = NVIDIA_GTX780TI,
+        fault_plan: Optional[FaultPlan] = None,
+        policy: Optional[ExecutionPolicy] = None,
+        run_id: Optional[str] = None,
+        seed: Optional[int] = None,
+    ) -> Tuple[Tuple[Value, ...], CostReport, RunReport]:
+        """Execute with full resilience semantics: bounded retry with
+        backoff on transient device faults, watchdog timeouts derived
+        from the cost model, and graceful degradation to the reference
+        interpreter.  Returns ``(values, cost_report, run_report)``;
+        the run report carries this compile's per-pass timing breakdown
+        plus the ``run_id``/``seed`` identifying the execution."""
+        if policy is None:
+            policy = ExecutionPolicy(executor=self.options.executor)
+        return run_resilient(
+            self.host,
+            self.core,
+            args,
+            device,
+            coalescing=self.options.coalescing,
+            in_place=self.options.in_place,
+            fault_plan=fault_plan,
+            policy=policy,
+            run_id=run_id,
+            seed=seed,
+            pass_timings=self.pass_timings,
+        )
+
+    def estimate(
+        self,
+        size_env: Mapping[str, int],
+        device: DeviceProfile = NVIDIA_GTX780TI,
+        loop_trip_default: int = 8,
+    ) -> CostReport:
+        """Price the program analytically at the given sizes (no
+        execution) — used to evaluate paper-scale datasets."""
+        return estimate_program(
+            self.host,
+            size_env,
+            device,
+            coalescing=self.options.coalescing,
+            loop_trip_default=loop_trip_default,
+        )
+
+
+# -- artifact plumbing ------------------------------------------------------
+
+
+def _artifact_event(
+    guard: _PassGuard, stage: str, event: str, fingerprint: str,
+    dur_us: Optional[float] = None,
+) -> None:
+    """One uniform observability record per artifact interaction: a
+    counter, a trace instant, and — for loads — a :class:`PassTiming`
+    entry so warm compiles show where their time went."""
+    get_metrics().counter(
+        "pipeline.artifacts", stage=stage, event=event
+    ).inc()
+    get_tracer().instant(
+        f"artifact-{event}:{stage}",
+        "pipeline",
+        stage=stage,
+        fingerprint=fingerprint[:12],
+    )
+    if dur_us is not None:
+        guard.timings.append(PassTiming(f"artifact:{stage}", "cache", dur_us))
+
+
+def _try_load(
+    cache: Optional[ArtifactCache],
+    guard: _PassGuard,
+    stage: str,
+    fingerprint: str,
+) -> Optional[StageArtifact]:
+    if cache is None:
+        return None
+    t0 = time.perf_counter()
+    artifact = cache.load(stage, fingerprint)
+    if artifact is None:
+        _artifact_event(guard, stage, "miss", fingerprint)
+        return None
+    _artifact_event(
+        guard, stage, "hit", fingerprint,
+        dur_us=(time.perf_counter() - t0) * 1e6,
+    )
+    return artifact
+
+
+def _maybe_store(
+    cache: Optional[ArtifactCache],
+    guard: _PassGuard,
+    stage: str,
+    fingerprint: str,
+    entry: str,
+    payload: Dict[str, Any],
+    options: CompilerOptions,
+    plan: Sequence[Pass],
+) -> None:
+    """Persist one stage frontier — only for *clean* compiles: a
+    rollback means the output depends on a transient pass bug, which
+    must not be immortalised on disk."""
+    if cache is None or guard.diagnostics:
+        return
+    keys = [k for p in plan for k in p.option_keys]
+    artifact = StageArtifact(
+        stage=stage,
+        fingerprint=fingerprint,
+        entry=entry,
+        payload=payload,
+        meta={
+            "passes": [p.name for p in plan],
+            "options_slice": options_slice(options, keys),
+        },
+    )
+    if cache.store(artifact) is not None:
+        _artifact_event(guard, stage, "store", fingerprint)
+
+
+# -- the driver -------------------------------------------------------------
+
+
+def _stage_passes(plan: Sequence[Pass], *stages: str) -> List[Pass]:
+    return [p for p in plan if p.stage in stages]
+
+
+def _compile(
+    prog: Optional[A.Prog],
+    source: Optional[str],
+    options: Optional[CompilerOptions],
+    entry: str,
+    artifact_cache,
+    stop_after: Optional[str],
+) -> CompiledProgram:
+    options = options or CompilerOptions()
+    cache = (
+        default_artifact_cache()
+        if artifact_cache is _DEFAULT_CACHE
+        else artifact_cache
+    )
+    stop = stop_after or "host"
+    if stop not in ("core", "host"):
+        raise ArgumentError(
+            f"stop_after must be 'core' or 'host', not {stop!r}"
+        )
+    plan = REGISTRY.plan(options)
+    diagnostics: List[PassDiagnostic] = []
+    guard = _PassGuard(options, diagnostics)
+    ctx = PassContext(options=options, entry=entry, guard=guard)
+    tracer = get_tracer()
+
+    with tracer.span("compile", "pipeline", entry=entry) as compile_span:
+        source_fp = (
+            fingerprint_text(source)
+            if source is not None
+            else fingerprint_program(prog)
+        )
+        fps = {
+            "source": source_fp,
+            "core": stage_fingerprint("core", source_fp, options, plan, entry),
+            "host": stage_fingerprint("host", source_fp, options, plan, entry),
+        }
+        core_prog: Optional[A.Prog] = None
+        host: Optional[HostProgram] = None
+        loaded: Optional[str] = None
+
+        if stop == "host":
+            artifact = _try_load(cache, guard, "host", fps["host"])
+            if artifact is not None:
+                core_prog = artifact.payload["core"]
+                host = artifact.payload["host"]
+                ctx.fusion_stats = artifact.payload.get("fusion_stats")
+                loaded = "host"
+        if loaded is None:
+            artifact = _try_load(cache, guard, "core", fps["core"])
+            if artifact is not None:
+                core_prog = artifact.payload["core"]
+                ctx.fusion_stats = artifact.payload.get("fusion_stats")
+                loaded = "core"
+
+        if core_prog is None:
+            if prog is None:
+                from ..frontend import parse
+
+                with tracer.span("parse", "pipeline", entry=entry):
+                    prog = parse(source)
+            core_prog = prog
+            for p in _stage_passes(plan, "frontend", "core"):
+                core_prog = guard.run_pass(p, core_prog, ctx)
+            _maybe_store(
+                cache, guard, "core", fps["core"], entry,
+                {"core": core_prog, "fusion_stats": ctx.fusion_stats},
+                options, _stage_passes(plan, "frontend", "core"),
+            )
+
+        if stop == "host" and host is None:
+            ir: Any = core_prog
+            for p in _stage_passes(plan, "host"):
+                ir = guard.run_pass(p, ir, ctx)
+            host = ir
+            _maybe_store(
+                cache, guard, "host", fps["host"], entry,
+                {
+                    "core": core_prog,
+                    "host": host,
+                    "fusion_stats": ctx.fusion_stats,
+                },
+                options, plan,
+            )
+        compile_span.set(
+            passes=len(guard.timings),
+            rollbacks=len(diagnostics),
+            from_artifact=loaded,
+        )
+    get_metrics().counter("pipeline.compiles").inc()
+    return CompiledProgram(
+        core_prog, host, options, ctx.fusion_stats, diagnostics,
+        guard.timings, from_artifact=loaded, fingerprints=fps,
+    )
+
+
+def compile_program(
+    prog: A.Prog,
+    options: Optional[CompilerOptions] = None,
+    entry: str = "main",
+    *,
+    artifact_cache=_DEFAULT_CACHE,
+    stop_after: Optional[str] = None,
+) -> CompiledProgram:
+    """Run the full Fig. 3 pipeline (now the registry's dependency-
+    ordered plan).
+
+    ``artifact_cache`` opts into on-disk stage-artifact reuse (default:
+    the ``$REPRO_ARTIFACT_DIR`` process default, i.e. off unless the
+    environment enables it; pass ``None`` to force a cold compile).
+    ``stop_after="core"`` runs only the frontend/core stages and
+    returns a :class:`CompiledProgram` whose ``host`` is ``None``.
+    """
+    return _compile(prog, None, options, entry, artifact_cache, stop_after)
+
+
+def compile_source(
+    text: str,
+    options: Optional[CompilerOptions] = None,
+    entry: str = "main",
+    *,
+    artifact_cache=_DEFAULT_CACHE,
+    stop_after: Optional[str] = None,
+) -> CompiledProgram:
+    """Parse concrete syntax and compile it.  With a warm artifact
+    cache the parse itself is skipped: the host-program artifact is
+    keyed on the source text."""
+    return _compile(None, text, options, entry, artifact_cache, stop_after)
+
+
+def compile_to_stage(
+    text: str,
+    stage: str,
+    options: Optional[CompilerOptions] = None,
+    entry: str = "main",
+    artifact_cache=_DEFAULT_CACHE,
+) -> Tuple[CompiledProgram, StageArtifact]:
+    """Staged compilation for the CLI's ``--stop-after``: compile
+    ``text`` up to ``stage`` and return the compile plus the (possibly
+    just stored) :class:`StageArtifact` describing that frontier."""
+    if stage not in ("core", "host"):
+        raise ArgumentError(
+            f"--stop-after must be 'core' or 'host', not {stage!r}"
+        )
+    compiled = compile_source(
+        text, options, entry,
+        artifact_cache=artifact_cache,
+        stop_after=stage,
+    )
+    payload: Dict[str, Any] = {
+        "core": compiled.core,
+        "fusion_stats": compiled.fusion_stats,
+    }
+    if stage == "host":
+        payload["host"] = compiled.host
+    return compiled, StageArtifact(
+        stage=stage,
+        fingerprint=compiled.fingerprints[stage],
+        entry=entry,
+        payload=payload,
+    )

@@ -1,0 +1,69 @@
+"""Pipeline configuration: the ablation switches of §6.1.1 plus the
+generic per-pass disable gate of the staged pass manager."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["CompilerOptions", "PassDiagnostic"]
+
+
+@dataclass(frozen=True)
+class CompilerOptions:
+    """Pipeline switches (all on by default, as in the paper).
+
+    Every named switch gates one or more registered passes through the
+    pass's declared ``enabled`` predicate (see
+    :mod:`repro.pipeline.passes`); ``disabled_passes`` is the generic
+    escape hatch — any *optional* registered pass can be switched off
+    by name (the CLI's ``--disable-pass``) without a dedicated flag.
+    """
+
+    fusion: bool = True
+    distribute: bool = True
+    interchange: bool = True
+    reduce_map_interchange: bool = True
+    #: The paper's heuristic of sequentialising stream_red/stream_map
+    #: nested inside map nests ("Presently, nested stream_reds are
+    #: sequentialised", §5.1).
+    sequentialise_streams: bool = True
+    coalescing: bool = True
+    tiling: bool = True
+    #: Liveness-based device-memory planning (frees at last use, block
+    #: reuse, copy elision); off = the naive never-free allocation
+    #: behaviour, the ``--no-memory-planning`` ablation.
+    memory_planning: bool = True
+    check: bool = True
+    check_uniqueness: bool = True
+    #: Execute in-place updates by mutation on the simulated device
+    #: (sound only for uniqueness-checked programs).
+    in_place: bool = True
+    #: Fail fast on a broken optimisation pass instead of rolling the
+    #: IR back and continuing.
+    strict: bool = False
+    #: Which execution engine :meth:`CompiledProgram.execute` uses when
+    #: no explicit :class:`ExecutionPolicy` is given: ``"sim"`` (the
+    #: scalar interpreter behind the simulated device) or ``"vector"``
+    #: (the vectorized NumPy engine, :mod:`repro.vm`).  Runtime-only:
+    #: does not affect the generated code or the stage artifacts.
+    executor: str = "sim"
+    #: Optional registered passes to skip by name (the generic
+    #: ``--disable-pass`` ablation; see ``repro passes`` for the
+    #: registry listing).  Disabling a mandatory pass is an
+    #: :class:`~repro.errors.ArgumentError`.
+    disabled_passes: Tuple[str, ...] = ()
+
+
+@dataclass
+class PassDiagnostic:
+    """One pass-guard intervention: which pass failed, in which phase,
+    how, and what the guard did about it."""
+
+    pass_name: str
+    phase: str
+    error: str
+    action: str = "rolled back"
+
+    def __str__(self) -> str:
+        return f"[{self.phase}/{self.pass_name}] {self.action}: {self.error}"

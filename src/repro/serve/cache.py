@@ -10,7 +10,17 @@ retries the build.
 
 Successful entries never expire (a compile is deterministic in its
 key, which covers source, options and entry point — see
-:func:`repro.pipeline.compile_cache_key`).
+:func:`repro.pipeline.compile_fingerprint`, of which the historical
+:func:`repro.pipeline.compile_cache_key` is a thin alias).
+
+This cache is the *in-memory, per-process* layer of a two-level
+scheme: when the server is given a persistent
+:class:`repro.pipeline.ArtifactCache`, the build function it
+deduplicates compiles *through* the on-disk stage artifacts, so a
+cache-miss compile in a warm-started process loads the finished host
+program from disk instead of rerunning the pass pipeline.  The
+layering keeps concerns separate — single-flight and negative TTL
+here, fingerprint-verified persistence there.
 """
 
 from __future__ import annotations

@@ -59,6 +59,7 @@ from ..interp import run_program
 from ..obs import Histogram, get_logger, get_metrics, get_tracer
 from ..obs.flight import FlightRecorder
 from ..pipeline import (
+    ArtifactCache,
     CompiledProgram,
     CompilerOptions,
     compile_cache_key,
@@ -242,6 +243,14 @@ class Server:
         min_shard: int = 256,
         hedge_factor: float = 4.0,
         hedge_min_wall_s: float = 1.0,
+        #: Optional persistent stage-artifact cache
+        #: (:class:`repro.pipeline.ArtifactCache`): cache-miss compiles
+        #: resume from on-disk artifacts, and a restarted server warms
+        #: up from the previous process's compiles instead of starting
+        #: cold.  ``artifact_dir`` is the convenience form (a directory
+        #: path); ``artifact_cache`` wins when both are given.
+        artifact_cache: Optional[ArtifactCache] = None,
+        artifact_dir: Optional[str] = None,
     ) -> None:
         if default_executor not in ladder:
             raise ValueError(
@@ -257,6 +266,12 @@ class Server:
         self.interactive_threshold_us = interactive_threshold_us
         self.queue = AdmissionQueue(queue_capacity)
         self.cache = CompileCache(negative_ttl_s=negative_compile_ttl_s)
+        if artifact_cache is None and artifact_dir is not None:
+            artifact_cache = ArtifactCache(artifact_dir)
+        #: The in-memory CompileCache sits in front of this persistent
+        #: layer: single-flight misses compile *through* the artifact
+        #: cache, so identical programs cost one disk load per process.
+        self.artifact_cache = artifact_cache
         self.breakers: Dict[str, CircuitBreaker] = {
             rung: CircuitBreaker(
                 rung,
@@ -357,7 +372,11 @@ class Server:
         Returns the cache key."""
         key = compile_cache_key(program, self.options, entry)
         self.cache.get_or_compile(
-            key, lambda: compile_program(program, self.options, entry)
+            key,
+            lambda: compile_program(
+                program, self.options, entry,
+                artifact_cache=self.artifact_cache,
+            ),
         )
         return key
 
@@ -393,7 +412,8 @@ class Server:
             compiled = self.cache.get_or_compile(
                 key,
                 lambda: compile_program(
-                    request.program, self.options, request.entry
+                    request.program, self.options, request.entry,
+                    artifact_cache=self.artifact_cache,
                 ),
             )
         except ReproError as e:
@@ -782,6 +802,8 @@ class Server:
             "lanes": lanes,
             **counts,
         }
+        if self.artifact_cache is not None:
+            out["artifact_cache"] = self.artifact_cache.stats.snapshot()
         if self.pool is not None:
             out["pool"] = self.pool.stats()
         if self.flight_recorder is not None:

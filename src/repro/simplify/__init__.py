@@ -8,3 +8,40 @@ from .rules import simplify_body_once  # noqa: F401
 from .cse import cse_body  # noqa: F401
 from .dce import dce_body, dce_prog  # noqa: F401
 from .hoist import hoist_body  # noqa: F401
+
+
+def register_passes(registry) -> None:
+    """Register inlining and the simplification fixpoint into the
+    staged pass manager.  Both look their implementation up through
+    ``repro.pipeline`` at call time, so monkeypatching
+    ``repro.pipeline.simplify_prog`` (as the chaos tests do) affects
+    the registered passes too."""
+    from ..pipeline.passes import Pass
+
+    def _inline(prog, options, ctx):
+        import repro.pipeline as pl
+
+        return pl.inline_prog(prog, keep=ctx.entry)
+
+    def _simplify(prog, options, ctx):
+        import repro.pipeline as pl
+
+        return pl.simplify_prog(prog)
+
+    registry.register(Pass(
+        name="inline",
+        stage="core",
+        phase="simplify",
+        fn=_inline,
+        requires=("check",),
+        invalidates=("types",),
+        optional=False,
+    ))
+    registry.register(Pass(
+        name="simplify",
+        stage="core",
+        phase="simplify",
+        fn=_simplify,
+        requires=("inline",),
+        invalidates=("types",),
+    ))

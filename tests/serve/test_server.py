@@ -297,3 +297,35 @@ class TestHealth:
     def test_default_executor_must_be_on_ladder(self):
         with pytest.raises(ValueError):
             Server(default_executor="tpu")
+
+
+class TestArtifactWarmStart:
+    def test_restarted_server_resumes_from_artifacts(self, prog, tmp_path):
+        """A server restart with the same artifact dir compiles from
+        the persisted host artifact instead of rerunning the passes."""
+        with Server(workers=1, queue_capacity=8,
+                    artifact_dir=str(tmp_path)) as s1:
+            r = s1.call(ServeRequest(prog, xs(1.0, 2.0)), timeout=30)
+            assert r.ok
+            health = s1.health()
+        assert health["artifact_cache"]["stores"] == 2  # core + host
+        assert health["artifact_cache"]["hits"] == 0
+
+        with Server(workers=1, queue_capacity=8,
+                    artifact_dir=str(tmp_path)) as s2:
+            r = s2.call(ServeRequest(prog, xs(3.0, 4.0)), timeout=30)
+            assert r.ok
+            health = s2.health()
+            expected = run_program(prog, xs(3.0, 4.0))
+            assert values_equal(r.values[0], expected[0])
+        # The in-memory compile cache missed (fresh process), but the
+        # compile resumed from the on-disk host artifact.
+        assert health["compile_cache"]["misses"] == 1
+        assert health["artifact_cache"]["hits"] == 1
+        assert health["artifact_cache"]["stores"] == 0
+
+    def test_no_artifact_cache_no_health_entry(self, prog):
+        with Server(workers=1, queue_capacity=8) as s:
+            s.call(ServeRequest(prog, xs(1.0)), timeout=30)
+            health = s.health()
+        assert "artifact_cache" not in health
