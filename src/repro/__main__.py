@@ -23,12 +23,15 @@ run FILE [--size name=value ...] [--device-profile NAME]
     simulated devices (or one named profile from
     :data:`repro.gpu.device.PROFILES`).
 
-bench [table1|figure13|table2|impact <kind>|validate|perf|mem|calibrate|shard]
+bench [table1|figure13|table2|impact <kind>|validate|perf|jit|mem|calibrate|shard]
     Regenerate the paper's evaluation artefacts; ``validate`` runs the
     named benchmarks on the simulated device against the interpreter
     and prints each run's report and per-pass compile breakdown;
     ``perf`` wall-clocks the scalar interpreter against the vectorized
     engine (``--executor vector``) and writes ``BENCH_vm.json``;
+    ``jit`` extends that into the full executor matrix — interpreter
+    vs vectorized engine vs kernel transpiler (``--executor jit``) —
+    and writes ``BENCH_jit.json``;
     ``mem`` compares peak device-memory footprint with the liveness
     planner on vs off and writes ``BENCH_mem.json``; ``calibrate``
     sweeps the suite comparing the static cost model's per-kernel
@@ -115,10 +118,11 @@ def _add_opt_flags(p: argparse.ArgumentParser) -> None:
     )
     p.add_argument(
         "--executor",
-        choices=("sim", "vector"),
+        choices=("sim", "vector", "jit"),
         default="sim",
-        help="kernel engine: scalar interpreter per launch (sim) or "
-        "the vectorized NumPy engine (vector)",
+        help="kernel engine: scalar interpreter per launch (sim), "
+        "the vectorized NumPy engine (vector), or kernels transpiled "
+        "to specialized NumPy code (jit)",
     )
 
 
@@ -285,6 +289,30 @@ def cmd_bench(args) -> int:
         with open(args.out, "w") as f:
             json.dump(results, f, indent=2)
         print(f"wrote {args.out}", file=sys.stderr)
+        return 0
+    if what == "jit":
+        import json
+
+        from .bench.runner import jit_perf_suite
+
+        results = jit_perf_suite(
+            names=names, seed=args.seed, repeats=max(2, args.repeats)
+        )
+        for name, row in results["benchmarks"].items():
+            print(
+                f"{name:14s} interp {row['interp_s']:8.3f}s  "
+                f"vm {row['vector_s']:8.3f}s  "
+                f"jit {row['jit_s']:8.3f}s  "
+                f"x{row['jit_vs_vector']:.2f} vs vm"
+            )
+        print(
+            f"{'geomean':14s} x{results['geomean_jit_vs_interp']:.1f} "
+            f"vs interp, x{results['geomean_jit_vs_vector']:.2f} vs vm"
+        )
+        out = args.out if args.out != "BENCH_vm.json" else "BENCH_jit.json"
+        with open(out, "w") as f:
+            json.dump(results, f, indent=2)
+        print(f"wrote {out}", file=sys.stderr)
         return 0
     if what == "mem":
         import json
@@ -742,7 +770,7 @@ def main(argv=None) -> int:
     p.add_argument(
         "what",
         choices=("table1", "table2", "figure13", "impact", "validate",
-                 "perf", "mem", "calibrate", "shard", "compile"),
+                 "perf", "jit", "mem", "calibrate", "shard", "compile"),
     )
     p.add_argument("--names", default=None)
     p.add_argument(

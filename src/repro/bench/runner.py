@@ -29,6 +29,7 @@ from .suite import BENCHMARKS, BenchmarkSpec
 __all__ = [
     "validate_benchmark",
     "perf_suite",
+    "jit_perf_suite",
     "mem_suite",
     "calib_suite",
     "compile_bench_suite",
@@ -192,6 +193,115 @@ def perf_suite(
         "repeats": repeats,
         "benchmarks": benchmarks,
         "geomean_speedup": geomean,
+    }
+
+
+def jit_perf_suite(
+    names: Optional[List[str]] = None,
+    seed: int = 0,
+    repeats: int = 2,
+    device: DeviceProfile = NVIDIA_GTX780TI,
+) -> Dict:
+    """Wall-clock the full executor matrix — scalar interpreter,
+    vectorized engine and the kernel transpiler (:mod:`repro.vm.jit`) —
+    on every benchmark at ``perf`` scale.
+
+    Each program runs on all three executors with identical inputs and
+    the vector/jit results are checked against the interpreter's.  The
+    jit executor gets one untimed warm-up run per benchmark so the
+    timed repeats measure steady-state execution (transpilation is a
+    once-per-process cost, amortised across runs and — through the
+    artifact cache — across processes); the warm-up's transpile count
+    is recorded per row.  The returned dict is the ``BENCH_jit.json``
+    payload."""
+    import time
+
+    from ..obs import metering
+
+    logger = get_logger("bench")
+    names = names or list(BENCHMARKS.names())
+    vector_policy = ExecutionPolicy(executor="vector")
+    jit_policy = ExecutionPolicy(executor="jit")
+    benchmarks: Dict[str, Dict] = {}
+    for name in names:
+        spec = BENCHMARKS[name]
+        prog = spec.program()
+        compiled = compile_program(prog)
+        args = spec.perf_args(np.random.default_rng(seed))
+        t0 = time.perf_counter()
+        expected = run_program(prog, args, in_place=True)
+        interp_s = time.perf_counter() - t0
+
+        def check(got, label: str) -> None:
+            if len(got) != len(expected) or not all(
+                values_equal(e, g, rtol=1e-4, atol=1e-4)
+                for e, g in zip(expected, got)
+            ):
+                raise ValidationError(
+                    f"{name}: {label} result differs from interpreter"
+                )
+
+        with metering() as m:
+            compiled.execute(args, policy=jit_policy)  # warm-up
+        warm = m.snapshot()["counters"]
+        transpiles = sum(
+            v for k, v in warm.items() if k.startswith("jit.transpiles")
+        )
+        vector_s = jit_s = float("inf")
+        fallbacks = 0.0
+        for _ in range(max(1, repeats)):
+            t0 = time.perf_counter()
+            got, _, report = compiled.execute(args, policy=vector_policy)
+            vector_s = min(vector_s, time.perf_counter() - t0)
+            check(got, "vector")
+            if report.fallbacks:
+                raise ValidationError(
+                    f"{name}: vector perf run degraded to the "
+                    f"interpreter ({report.summary()})"
+                )
+            with metering() as m:
+                t0 = time.perf_counter()
+                got, _, report = compiled.execute(args, policy=jit_policy)
+                jit_s = min(jit_s, time.perf_counter() - t0)
+            check(got, "jit")
+            if report.fallbacks:
+                raise ValidationError(
+                    f"{name}: jit perf run degraded to the "
+                    f"interpreter ({report.summary()})"
+                )
+            counters = m.snapshot()["counters"]
+            fallbacks = sum(
+                v for k, v in counters.items()
+                if k.startswith("vm.fallback")
+            )
+        benchmarks[name] = {
+            "sizes": dict(spec.dataset.perf),
+            "interp_s": interp_s,
+            "vector_s": vector_s,
+            "jit_s": jit_s,
+            "jit_vs_interp": interp_s / jit_s if jit_s > 0 else float("inf"),
+            "jit_vs_vector": (
+                vector_s / jit_s if jit_s > 0 else float("inf")
+            ),
+            "kernel_fallbacks": fallbacks,
+            "transpiles": transpiles,
+        }
+        logger.debug(
+            "jit-perf-row", benchmark=name, interp_s=interp_s,
+            vector_s=vector_s, jit_s=jit_s,
+        )
+    def geomean(key: str) -> float:
+        vals = [b[key] for b in benchmarks.values()]
+        return float(np.exp(np.mean(np.log(vals)))) if vals else 0.0
+
+    return {
+        "schema": "repro.bench_jit/v1",
+        "device": device.name,
+        "seed": seed,
+        "repeats": repeats,
+        "benchmarks": benchmarks,
+        "geomean_jit_vs_interp": geomean("jit_vs_interp"),
+        "geomean_jit_vs_vector": geomean("jit_vs_vector"),
     }
 
 
@@ -710,17 +820,13 @@ def compile_bench_suite(
             cold = compile_program(prog, artifact_cache=cache)  # prime
             if cold.diagnostics:
                 # The artifact cache only persists *clean* compiles; a
-                # benchmark whose compile needs a pass-guard rollback
-                # (a known planner bug, e.g. NN) can't warm-start.
-                # Record it as skipped rather than silently dropping it.
-                benchmarks[name] = {
-                    "skipped": "; ".join(map(str, cold.diagnostics)),
-                }
-                logger.info(
-                    "bench-compile-skip", benchmark=name,
-                    reason=benchmarks[name]["skipped"],
+                # pass-guard rollback would make warm-start impossible.
+                # All 16 benchmarks compile clean, so a diagnostic here
+                # is a pipeline regression, not a known limitation.
+                raise ValidationError(
+                    f"{name}: compile needed a pass-guard intervention: "
+                    + "; ".join(map(str, cold.diagnostics))
                 )
-                continue
             warm_s, warm = min(
                 (
                     _timed(lambda: compile_program(prog, artifact_cache=cache))

@@ -62,7 +62,8 @@ def plan_memory(
     if not enabled:
         return hp
     backing = _initial_backing(hp)
-    _extend_backing(backing, hp.stmts)
+    manifest_srcs: Dict[int, str] = {}
+    _extend_backing(backing, hp.stmts, manifest_srcs)
     live_out = {
         backing[a.name]
         for a in hp.result
@@ -72,7 +73,8 @@ def plan_memory(
         name for name, b in hp.blocks.items() if b.space == "param"
     }
     hp.stmts = _plan_scope(
-        hp, hp.stmts, backing, live_out, owned, allow_elision
+        hp, hp.stmts, backing, live_out, owned, allow_elision,
+        manifest_srcs,
     )
     return hp
 
@@ -107,13 +109,27 @@ def _alias_source(e: A.Exp) -> Optional[str]:
     return None
 
 
-def _extend_backing(backing: Dict[str, str], stmts: Sequence) -> None:
+def _extend_backing(
+    backing: Dict[str, str],
+    stmts: Sequence,
+    manifest_srcs: Optional[Dict[int, str]] = None,
+) -> None:
     """Forward propagation of alias classes through one scope (and its
-    nested scopes — names are globally unique)."""
+    nested scopes — names are globally unique).
+
+    ``manifest_srcs`` (keyed by statement identity) records the block
+    each manifestation *reads*, captured before an in-place manifest
+    (``dst == src``) rebinds the name onto its destination block.  The
+    final ``backing`` map is flow-insensitive, so without this record a
+    manifest's source block would look dead one statement early and the
+    planner would free (or recycle) it before the re-layout reads it.
+    """
     for s in stmts:
         if isinstance(s, AllocStmt):
             backing[s.block.name] = s.block.name
         elif isinstance(s, ManifestStmt):
+            if manifest_srcs is not None and s.src in backing:
+                manifest_srcs.setdefault(id(s), backing[s.src])
             if s.block is not None:
                 backing[s.dst] = s.block.name
         elif isinstance(s, HostEval):
@@ -122,16 +138,20 @@ def _extend_backing(backing: Dict[str, str], stmts: Sequence) -> None:
                 for p in s.binding.pat:
                     backing[p.name] = backing[src]
         elif isinstance(s, HostLoopStmt):
-            _extend_backing(backing, s.body)
+            # Merge params alias their initialisers *before* the body
+            # runs — seed them first so body statements that view or
+            # update a carried array map back to the init's block
+            # (matches the validator's walk order).
             for p, init in s.merge:
                 if isinstance(init, A.Var) and init.name in backing:
                     backing.setdefault(p.name, backing[init.name])
+            _extend_backing(backing, s.body, manifest_srcs)
             for p, a in zip(s.pat, s.body_result):
                 if isinstance(a, A.Var) and a.name in backing:
                     backing[p.name] = backing[a.name]
         elif isinstance(s, HostIfStmt):
-            _extend_backing(backing, s.then_body)
-            _extend_backing(backing, s.else_body)
+            _extend_backing(backing, s.then_body, manifest_srcs)
+            _extend_backing(backing, s.else_body, manifest_srcs)
             for p, a in zip(s.pat, s.then_result):
                 if isinstance(a, A.Var) and a.name in backing:
                     backing[p.name] = backing[a.name]
@@ -190,8 +210,32 @@ def _stmt_refs(s) -> Set[str]:
     return set()
 
 
-def _used_blocks(s, backing: Dict[str, str]) -> Set[str]:
-    return {backing[n] for n in _stmt_refs(s) if n in backing}
+def _manifests_within(s) -> List[ManifestStmt]:
+    if isinstance(s, ManifestStmt):
+        return [s]
+    if isinstance(s, HostLoopStmt):
+        return [m for sub in s.body for m in _manifests_within(sub)]
+    if isinstance(s, HostIfStmt):
+        return [
+            m
+            for sub in list(s.then_body) + list(s.else_body)
+            for m in _manifests_within(sub)
+        ]
+    return []
+
+
+def _used_blocks(
+    s,
+    backing: Dict[str, str],
+    manifest_srcs: Optional[Dict[int, str]] = None,
+) -> Set[str]:
+    blocks = {backing[n] for n in _stmt_refs(s) if n in backing}
+    if manifest_srcs:
+        for m in _manifests_within(s):
+            src_block = manifest_srcs.get(id(m))
+            if src_block is not None:
+                blocks.add(src_block)
+    return blocks
 
 
 # ---------------------------------------------------------------------------
@@ -206,9 +250,10 @@ def _plan_scope(
     live_out: Set[str],
     extra_owned: Set[str],
     allow_elision: bool,
+    manifest_srcs: Dict[int, str],
 ) -> List:
     """Plan one statement list in place; returns the new list."""
-    _extend_backing(backing, stmts)
+    _extend_backing(backing, stmts, manifest_srcs)
 
     # Recurse into nested scopes first: their live-out is everything
     # that flows out through the result pattern or stays loop-carried.
@@ -226,7 +271,8 @@ def _plan_scope(
                 if isinstance(init, A.Var) and init.name in backing
             }
             s.body = _plan_scope(
-                hp, s.body, backing, inner_out, set(), allow_elision
+                hp, s.body, backing, inner_out, set(), allow_elision,
+                manifest_srcs,
             )
             _mark_recycled(s, backing)
         elif isinstance(s, HostIfStmt):
@@ -237,10 +283,12 @@ def _plan_scope(
                 if isinstance(a, A.Var) and a.name in backing
             }
             s.then_body = _plan_scope(
-                hp, s.then_body, backing, inner_out, set(), allow_elision
+                hp, s.then_body, backing, inner_out, set(), allow_elision,
+                manifest_srcs,
             )
             s.else_body = _plan_scope(
-                hp, s.else_body, backing, inner_out, set(), allow_elision
+                hp, s.else_body, backing, inner_out, set(), allow_elision,
+                manifest_srcs,
             )
 
     def _owned() -> Set[str]:
@@ -258,12 +306,12 @@ def _plan_scope(
 
     owned = _owned()
     if allow_elision:
-        stmts = _elide_copies(stmts, backing, live_out, owned)
+        stmts = _elide_copies(stmts, backing, live_out, owned, manifest_srcs)
         # Elision re-routes outputs onto source blocks.
-        _extend_backing(backing, stmts)
+        _extend_backing(backing, stmts, manifest_srcs)
         owned = _owned()
 
-    stmts = _insert_frees(stmts, backing, live_out, owned)
+    stmts = _insert_frees(stmts, backing, live_out, owned, manifest_srcs)
     stmts = _reuse_blocks(hp, stmts)
     return stmts
 
@@ -337,8 +385,9 @@ def _elide_copies(
     backing: Dict[str, str],
     live_out: Set[str],
     owned: Set[str],
+    manifest_srcs: Optional[Dict[int, str]] = None,
 ) -> List:
-    last_use = _last_uses(stmts, backing)
+    last_use = _last_uses(stmts, backing, manifest_srcs)
     out: List = []
     elided_allocs: Set[int] = set()
     for i, s in enumerate(stmts):
@@ -377,10 +426,14 @@ def _is_copy_launch_elided(s, block_name: str) -> bool:
     )
 
 
-def _last_uses(stmts: Sequence, backing: Dict[str, str]) -> Dict[str, int]:
+def _last_uses(
+    stmts: Sequence,
+    backing: Dict[str, str],
+    manifest_srcs: Optional[Dict[int, str]] = None,
+) -> Dict[str, int]:
     last: Dict[str, int] = {}
     for i, s in enumerate(stmts):
-        for block in _used_blocks(s, backing):
+        for block in _used_blocks(s, backing, manifest_srcs):
             last[block] = i
     return last
 
@@ -390,8 +443,9 @@ def _insert_frees(
     backing: Dict[str, str],
     live_out: Set[str],
     owned: Set[str],
+    manifest_srcs: Optional[Dict[int, str]] = None,
 ) -> List:
-    last_use = _last_uses(stmts, backing)
+    last_use = _last_uses(stmts, backing, manifest_srcs)
     frees_after: Dict[int, List[str]] = {}
     for block in owned:
         if block in live_out:

@@ -44,9 +44,10 @@ class CompilerOptions:
     strict: bool = False
     #: Which execution engine :meth:`CompiledProgram.execute` uses when
     #: no explicit :class:`ExecutionPolicy` is given: ``"sim"`` (the
-    #: scalar interpreter behind the simulated device) or ``"vector"``
-    #: (the vectorized NumPy engine, :mod:`repro.vm`).  Runtime-only:
-    #: does not affect the generated code or the stage artifacts.
+    #: scalar interpreter behind the simulated device), ``"vector"``
+    #: (the vectorized NumPy engine, :mod:`repro.vm`) or ``"jit"`` (the
+    #: kernel transpiler, :mod:`repro.vm.jit`).  Runtime-only: does not
+    #: affect the generated code or the stage artifacts.
     executor: str = "sim"
     #: Optional registered passes to skip by name (the generic
     #: ``--disable-pass`` ablation; see ``repro passes`` for the

@@ -80,8 +80,10 @@ class ExecutionPolicy:
     #: Which engine computes kernel values: ``"sim"`` evaluates every
     #: launch on the scalar reference interpreter; ``"vector"`` runs
     #: kernels on the vectorized NumPy engine (:mod:`repro.vm`), with
-    #: per-kernel interpreter fallback.  Retry/watchdog/fault semantics
-    #: are identical for both.
+    #: per-kernel interpreter fallback; ``"jit"`` runs transpiled
+    #: straight-line NumPy code (:mod:`repro.vm.jit`), degrading per
+    #: kernel to vector and then the interpreter.  Retry/watchdog/fault
+    #: semantics are identical for all three.
     executor: str = "sim"
     #: Cap on the *cumulative* backoff spent across all retries,
     #: microseconds (None = unlimited).  When a deadline is supplied to
@@ -243,10 +245,14 @@ def run_resilient(
         from .vm import VectorEngine
 
         engine_cls, base_track = VectorEngine, "vm-vector"
+    elif policy.executor == "jit":
+        from .vm import JitEngine
+
+        engine_cls, base_track = JitEngine, "vm-jit"
     else:
         raise ArgumentError(
             f"unknown executor {policy.executor!r} "
-            f"(expected 'sim' or 'vector')"
+            f"(expected 'sim', 'vector' or 'jit')"
         )
     if trace_track is not None:
         base_track = trace_track

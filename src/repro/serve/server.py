@@ -82,7 +82,10 @@ __all__ = [
 
 #: The full degradation ladder, fastest first.  The interpreter is the
 #: floor: it has no breaker because it cannot suffer device faults.
-DEGRADATION_LADDER: Tuple[str, ...] = ("vector", "sim", "interp")
+#: The jit rung only tops a request's ladder when asked for
+#: (``ServeRequest.executor="jit"`` or ``default_executor="jit"``) —
+#: the server default starts at ``"vector"``.
+DEGRADATION_LADDER: Tuple[str, ...] = ("jit", "vector", "sim", "interp")
 
 #: Per-lane latency histogram bounds, microseconds: 1.5x-spaced from
 #: 250us to ~32s, fine enough that bucket-interpolated percentiles

@@ -9,9 +9,21 @@ space at once).  Select it with ``executor="vector"`` on
 CLI.  Kernels outside the vectorizable subset fall back to the
 interpreter (counted on the ``vm.fallback`` metric), so results are
 always interpreter-identical.
+
+One tier further up, ``executor="jit"`` (:mod:`repro.vm.jit`) transpiles
+each kernel once into specialized straight-line NumPy source — no IR
+walk at all on the hot path — with the same per-kernel fallback ladder:
+jit → vector → interpreter.
 """
 
 from .engine import VectorEngine
+from .jit import JitEngine
 from .vectorize import BValue, VectorEvaluator, VmFallback
 
-__all__ = ["VectorEngine", "VectorEvaluator", "BValue", "VmFallback"]
+__all__ = [
+    "JitEngine",
+    "VectorEngine",
+    "VectorEvaluator",
+    "BValue",
+    "VmFallback",
+]

@@ -1,0 +1,69 @@
+"""Runtime support for transpiled kernels.
+
+Generated kernel modules (see :mod:`repro.vm.jit.codegen`) are
+self-contained Python source: they import NumPy and the scalar
+primitive-operator tables directly, and receive one :class:`JitRuntime`
+instance (``R``) carrying the per-engine knobs the source must not bake
+in — the ``in_place`` execution mode, the stream chunking policy, and
+the shared ``arange`` cache used by gather/scatter index vectors.
+
+:class:`JitFallback` is the generated code's escape hatch, the analogue
+of :class:`repro.vm.vectorize.VmFallback`: raised at run time when a
+pre-resolved trap condition fires (zero divisor, out-of-bounds gather,
+...), it tells :class:`~repro.vm.jit.engine.JitEngine` to re-run the
+kernel one rung down the degradation ladder, on the vectorized
+evaluator — which reproduces the authoritative behaviour, be that a
+per-kernel interpreter fallback or a genuine program error.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+import numpy as np
+
+from ...interp.interpreter import InterpError, _default_chunks
+
+__all__ = ["JitFallback", "JitRuntime"]
+
+
+class JitFallback(Exception):
+    """Raised by generated code when a kernel must degrade to the
+    vectorized evaluator.  Never escapes to users: the engine catches
+    it and re-runs the kernel on the next ladder rung."""
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+class JitRuntime:
+    """The per-engine context passed to every generated kernel."""
+
+    __slots__ = ("in_place", "chunk_policy", "_aranges")
+
+    def __init__(self, in_place: bool = True, chunk_policy=_default_chunks):
+        self.in_place = in_place
+        self.chunk_policy = chunk_policy
+        self._aranges: Dict[int, np.ndarray] = {}
+
+    def arange(self, n: int) -> np.ndarray:
+        r = self._aranges.get(n)
+        if r is None:
+            r = self._aranges[n] = np.arange(n)
+        return r
+
+    def chunks(self, width: int) -> Iterator[Tuple[int, int]]:
+        """``(size, offset)`` pairs partitioning a stream of ``width``
+        elements under the engine's chunk policy (validated exactly as
+        the vectorized evaluator validates it)."""
+        sizes = list(self.chunk_policy(width))
+        if sum(sizes) != width or any(s <= 0 for s in sizes):
+            raise InterpError(
+                f"chunk policy returned {sizes}, which does not "
+                f"partition a stream of width {width}"
+            )
+        offset = 0
+        for size in sizes:
+            yield size, offset
+            offset += size

@@ -134,8 +134,23 @@ class VEnv:
 
 #: NumPy ufuncs for the reduction operators whose fold NumPy can run
 #: natively.  ``and``/``or`` short-circuit on integers, so only their
-#: boolean (logical) forms are safe to lift.
+#: boolean (logical) forms are safe to lift.  Both the recognition
+#: (:func:`_simple_op`, a lambda-body walk) and the ufunc choice are
+#: pure functions of immutable inputs, so they are memoized — reduce
+#: and scan sites re-run every launch and every loop iteration.
+_UFUNC_CACHE: Dict[Tuple[Optional[str], str], object] = {}
+
+
 def _ufunc_for(op: Optional[str], elem: PrimType):
+    key = (op, elem.name)
+    try:
+        return _UFUNC_CACHE[key]
+    except KeyError:
+        uf = _UFUNC_CACHE[key] = _ufunc_for_uncached(op, elem)
+        return uf
+
+
+def _ufunc_for_uncached(op: Optional[str], elem: PrimType):
     if op is None:
         return None
     if op in ("add", "mul") and not elem.is_bool:
@@ -211,6 +226,11 @@ class VectorEvaluator:
         self._interp = Interpreter(prog, in_place=False)
         self._fresh: set = set()
         self._aranges: Dict[int, np.ndarray] = {}
+        #: ``_simple_op`` result per lambda (keyed by identity: the
+        #: program owns its lambdas for the evaluator's lifetime, so
+        #: ids are stable).  Reduce/scan re-recognize their combining
+        #: operator on every launch without this.
+        self._simple_ops: Dict[int, Optional[str]] = {}
         #: How many batched map lambdas enclose the current expression.
         #: Zero means "no batch in scope": only then may a map introduce
         #: one (inside a batch, a uniform-input map must not — its body
@@ -241,6 +261,14 @@ class VectorEvaluator:
             return env.get(a.name)
         except KeyError:
             raise InterpError(f"unbound variable {a.name}") from None
+
+    def _lam_op(self, lam: A.Lambda) -> Optional[str]:
+        key = id(lam)
+        try:
+            return self._simple_ops[key]
+        except KeyError:
+            op = self._simple_ops[key] = _simple_op(lam)
+            return op
 
     def _arange(self, n: int) -> np.ndarray:
         r = self._aranges.get(n)
@@ -982,7 +1010,7 @@ class VectorEvaluator:
             return tuple(neutral)
         if len(vals) == 1 and len(neutral) == 1:
             v = vals[0]
-            op = _simple_op(e.lam)
+            op = self._lam_op(e.lam)
             uf = _ufunc_for(op, v.elem)
             if uf is not None:
                 if isinstance(v, BValue):
@@ -1007,7 +1035,7 @@ class VectorEvaluator:
         neutral = [self._atom(env, a) for a in e.neutral]
         if len(vals) == 1 and len(neutral) == 1:
             v = vals[0]
-            op = _simple_op(e.lam)
+            op = self._lam_op(e.lam)
             uf = _ufunc_for(op, v.elem)
             if uf is not None:
                 if isinstance(v, BValue):

@@ -73,8 +73,9 @@ void main(__global float *grids, intnumT) {
         loop_26_lifted_2 = launch map_1<<<outer, ny>>>();
         tr_29_lifted_4 = rearrange (0, 2, 1) loop_26_lifted_2;  // host
         loop_53_lifted_6 = alloc(1*nx*ny*outer * 4B);  // reuses g_1_outer_0_mem1  // recycles previous generation
-        tr_29_lifted_4_mem2 = alloc(1*nx*ny*outer * 4B);  // reuses loop_26_lifted_2
+        tr_29_lifted_4_mem2 = alloc(1*nx*ny*outer * 4B);
         manifest(tr_29_lifted_4 -> tr_29_lifted_4 in tr_29_lifted_4_mem2, layout perm(2, 0, 1));  // transposition
+        free(loop_26_lifted_2);
         loop_53_lifted_6 = launch map_2<<<outer, nx>>>();
         free(tr_29_lifted_4_mem2);
         tr_56_lifted_8 = rearrange (0, 2, 1) loop_53_lifted_6;  // host

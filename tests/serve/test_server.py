@@ -272,6 +272,61 @@ class TestDegradation:
         assert values_equal(results[-1].values[0], expected[0])
 
 
+class TestJitRung:
+    def test_jit_request_serves_on_jit_backend(self, prog):
+        """``executor="jit"`` tops the request's ladder with the
+        transpiling engine; results still match the interpreter."""
+        with Server(workers=1, queue_capacity=8) as s:
+            r = s.call(
+                ServeRequest(prog, xs(1.0, 2.0), executor="jit"),
+                timeout=30,
+            )
+        assert r.ok, r.error
+        assert r.backend == "jit"
+        expected = run_program(prog, xs(1.0, 2.0))
+        assert values_equal(r.values[0], expected[0])
+
+    def test_default_requests_do_not_use_jit(self, prog):
+        """The default ladder still starts at the vector rung."""
+        with Server(workers=1, queue_capacity=8) as s:
+            r = s.call(ServeRequest(prog, xs(1.0)), timeout=30)
+        assert r.ok
+        assert r.backend == "vector"
+
+    def test_jit_warm_restart_skips_transpilation(self, prog, tmp_path):
+        """A restarted server with the same artifact dir loads the
+        persisted generated source and transpiles nothing."""
+        from repro.obs import metering
+
+        with metering() as m:
+            with Server(
+                workers=1, queue_capacity=8, artifact_dir=str(tmp_path)
+            ) as s:
+                r = s.call(
+                    ServeRequest(prog, xs(1.0), executor="jit"), timeout=30
+                )
+                assert r.ok and r.backend == "jit"
+        cold = m.snapshot()["counters"]
+        assert sum(
+            v for k, v in cold.items() if k.startswith("jit.transpiles")
+        ) > 0
+        with metering() as m:
+            with Server(
+                workers=1, queue_capacity=8, artifact_dir=str(tmp_path)
+            ) as s:
+                r = s.call(
+                    ServeRequest(prog, xs(1.0), executor="jit"), timeout=30
+                )
+                assert r.ok and r.backend == "jit"
+        warm = m.snapshot()["counters"]
+        assert sum(
+            v for k, v in warm.items() if k.startswith("jit.transpiles")
+        ) == 0
+        assert sum(
+            v for k, v in warm.items() if k.startswith("jit.kernels")
+        ) > 0
+
+
 class TestHealth:
     def test_health_shape(self, prog):
         with Server(workers=2, queue_capacity=8) as s:
@@ -281,7 +336,7 @@ class TestHealth:
         assert h["queue_capacity"] == 8
         assert h["completed"] == 1
         assert h["admitted"] == 1
-        assert set(h["breakers"]) == {"vector", "sim"}
+        assert set(h["breakers"]) == {"jit", "vector", "sim"}
         assert h["compile_cache"]["misses"] == 1
         lane = h["lanes"]["interactive"]
         assert lane["count"] == 1
